@@ -1,0 +1,31 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+SCALE ?= default
+
+.PHONY: install test bench bench-ci figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-ci:
+	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every figure/table via the CLI at the chosen scale.
+figures:
+	@for fig in figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10 figure11; do \
+		REPRO_SCALE=$(SCALE) $(PYTHON) -m repro figure $$fig; echo; \
+	done
+	@for tbl in variable_memory varying_memory static_join multiway_join arm_study slow_cpu multi_query; do \
+		REPRO_SCALE=$(SCALE) $(PYTHON) -m repro table $$tbl; echo; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

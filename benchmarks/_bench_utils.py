@@ -1,0 +1,44 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> Path:
+    """Persist a rendered figure/table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def emit_figure(name: str, figure) -> Path:
+    """Persist a figure as aligned text plus machine-readable CSV."""
+    from repro.experiments import format_figure, save_figure_csv
+
+    path = emit(name, format_figure(figure))
+    save_figure_csv(figure, RESULTS_DIR / f"{name}.csv")
+    return path
+
+
+def emit_table(name: str, table) -> Path:
+    """Persist a table as aligned text plus machine-readable CSV."""
+    from repro.experiments import format_table, save_table_csv
+
+    path = emit(name, format_table(table))
+    save_table_csv(table, RESULTS_DIR / f"{name}.csv")
+    return path
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a kernel with a small fixed round count.
+
+    Figure generation itself can take tens of seconds at larger scales,
+    so kernels are timed with three rounds of one iteration each rather
+    than pytest-benchmark's adaptive calibration.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=3, iterations=1)

@@ -1,0 +1,90 @@
+"""Ablation benchmarks: statistics module, predictor quality, drift, solver.
+
+These probe the design choices DESIGN.md calls out beyond the paper's
+own figures; see :mod:`repro.experiments.ablations`.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.experiments import format_table
+from repro.experiments.ablations import (
+    drift_ablation,
+    predictor_quality_ablation,
+    solver_ablation,
+    statistics_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def statistics_table(scale):
+    data = statistics_ablation(scale)
+    emit_table("ablation_statistics", data)
+    return data
+
+
+@pytest.fixture(scope="module")
+def predictor_table(scale):
+    data = predictor_quality_ablation(scale)
+    emit_table("ablation_predictor", data)
+    return data
+
+
+@pytest.fixture(scope="module")
+def drift_table(scale):
+    data = drift_ablation(scale)
+    emit_table("ablation_drift", data)
+    return data
+
+
+@pytest.fixture(scope="module")
+def solver_table(scale):
+    data = solver_ablation(scale)
+    emit_table("ablation_solver", data)
+    return data
+
+
+def _prob_kernel(scale):
+    """The representative kernel timed by the ablation benchmarks."""
+    from repro.experiments import run_algorithm
+    from repro.experiments.config import DEFAULT_DOMAIN, even_memory
+    from repro.streams import zipf_pair
+
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=0)
+    window = scale.window
+    return run_algorithm("PROB", pair, window, even_memory(window, 0.5))
+
+
+def test_statistics_ablation(benchmark, statistics_table, scale):
+    run_once(benchmark, _prob_kernel, scale)
+    ratios = statistics_table.column("x RAND")
+    assert all(ratio > 1.2 for ratio in ratios[:-1])
+    outputs = statistics_table.column("PROB output")
+    assert outputs[0] == max(outputs[:-1])  # exact table is best
+
+
+def test_predictor_ablation(benchmark, predictor_table, scale):
+    run_once(benchmark, _prob_kernel, scale)
+    outputs = predictor_table.column("PROB output")
+    assert outputs[0] > outputs[-2]  # corruption hurts
+    assert outputs[-2] < 1.5 * outputs[-1]  # fully corrupted ~ RAND
+
+
+def test_drift_ablation(benchmark, drift_table, scale):
+    run_once(benchmark, _prob_kernel, scale)
+    outputs = dict(
+        zip(drift_table.column("statistics module"), drift_table.column("PROB output"))
+    )
+    assert outputs["EWMA (alpha=0.02)"] > outputs["static table (first phase)"]
+
+
+def test_solver_ablation(benchmark, solver_table, scale):
+    # The kernel benchmarked here is the SSP-based OPT used in production.
+    from repro.core.offline import solve_opt
+    from repro.experiments.config import DEFAULT_DOMAIN
+    from repro.streams import zipf_pair
+
+    pair = zipf_pair(450, DEFAULT_DOMAIN, 1.0, seed=0)
+    run_once(benchmark, solve_opt, pair, 30, 30)
+    outputs = solver_table.column("OPT output")
+    assert outputs[0] == outputs[1]

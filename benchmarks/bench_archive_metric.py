@@ -1,0 +1,70 @@
+"""Archive-metric experiment (A1): ArM across policies and memory sizes.
+
+Extension of the paper's future work (Section 6): measures the
+Archive-metric of each policy and the archive refinement cost, and
+benchmarks the ArM computation kernel.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.core.archive import refine_from_archive
+from repro.core.metrics.archive import archive_metric
+from repro.experiments import format_table, run_algorithm
+from repro.experiments.config import DEFAULT_DOMAIN, even_memory
+from repro.experiments.figures import arm_study
+from repro.streams import zipf_pair
+
+
+@pytest.fixture(scope="module")
+def table(scale):
+    data = arm_study(scale)
+    emit_table("arm_study", data)
+    return data
+
+
+def test_arm_study(benchmark, table, scale):
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=0)
+    window = scale.window
+    result = run_algorithm(
+        "PROB", pair, window, even_memory(window, 0.5), track_survival=True
+    )
+    run_once(
+        benchmark,
+        archive_metric,
+        pair,
+        result.r_departures,
+        result.s_departures,
+        window,
+        count_from=2 * window,
+    )
+
+    columns = table.columns
+    for name in ("RAND", "PROB", "LIFE", "ARM"):
+        arm_col = columns.index(f"{name} ArM")
+        arms = [row[arm_col] for row in table.rows]
+        # ArM falls as memory grows (more tuples live out their windows).
+        assert arms[0] >= arms[-1]
+    # Semantic shedding leaves fewer incomplete tuples than RAND at the
+    # mid-range budgets.
+    mid = len(table.rows) // 2
+    rand_arm = table.rows[mid][columns.index("RAND ArM")]
+    prob_arm = table.rows[mid][columns.index("PROB ArM")]
+    assert prob_arm < rand_arm
+
+
+def test_refinement_work(benchmark, scale):
+    """Night-mode refinement repays exactly the missing output."""
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=1)
+    window = scale.window
+    day = run_algorithm(
+        "PROB", pair, window, even_memory(window, 0.5),
+        materialize=True, track_survival=True,
+    )
+    report = run_once(benchmark, refine_from_archive, pair, day)
+
+    from repro.core.exact import run_exact
+
+    exact = run_exact(pair, window).output_count
+    assert day.output_count + report.missing_count == exact
+    assert report.archive_reads >= report.missing_count

@@ -1,0 +1,59 @@
+"""Engine-kernel throughput: tuples/second per policy.
+
+Not a paper figure — an implementation benchmark guarding against
+regressions in the per-tick hot path of each policy.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.experiments import estimators_for, format_table, run_algorithm
+from repro.experiments.config import DEFAULT_DOMAIN, even_memory
+from repro.experiments.figures import TableData
+from repro.streams import zipf_pair
+
+POLICIES = ("EXACT", "RAND", "PROB", "PROBV", "LIFE", "ARM")
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    length = max(scale.stream_length, 2000)
+    pair = zipf_pair(length, DEFAULT_DOMAIN, 1.0, seed=0)
+    return pair, max(scale.window, 100)
+
+
+@pytest.fixture(scope="module")
+def throughput_table(workload):
+    import time
+
+    pair, window = workload
+    memory = even_memory(window, 0.5)
+    estimators = estimators_for(pair)
+    rows = []
+    for name in POLICIES:
+        start = time.perf_counter()
+        result = run_algorithm(name, pair, window, memory, estimators=estimators)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [name, result.output_count, round(len(pair) / elapsed / 1000, 1)]
+        )
+    data = TableData(
+        table_id="engine_throughput",
+        title=f"Engine throughput, n={len(pair)}, w={window}, M={memory}",
+        columns=["policy", "output", "k-tuples/s per stream"],
+        rows=rows,
+        expectation="All policies sustain the same order of magnitude.",
+    )
+    emit_table("engine_throughput", data)
+    return data
+
+
+@pytest.mark.parametrize("name", POLICIES)
+def test_policy_throughput(benchmark, throughput_table, workload, name):
+    pair, window = workload
+    memory = even_memory(window, 0.5)
+    estimators = estimators_for(pair)
+    result = run_once(
+        benchmark, run_algorithm, name, pair, window, memory, estimators=estimators
+    )
+    assert result.output_count >= 0

@@ -1,0 +1,44 @@
+"""Figure 3: output vs. memory, Zipf(1.0) both streams, window w.
+
+Regenerates the figure's five series (RAND, LIFE, PROB, OPT, EXACT) over
+the paper's memory sweep and benchmarks the PROB engine kernel on the
+same workload.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.experiments import format_figure, run_algorithm
+from repro.experiments.config import DEFAULT_DOMAIN
+from repro.experiments.figures import figure3
+from repro.streams import zipf_pair
+
+
+@pytest.fixture(scope="module")
+def figure(scale):
+    data = figure3(scale)
+    emit_figure("figure3", data)
+    return data
+
+
+def test_figure3(benchmark, figure, scale):
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=0)
+    window = scale.window
+    run_once(benchmark, run_algorithm, "PROB", pair, window, window)
+
+    rand = figure.series_by_label("RAND").y
+    life = figure.series_by_label("LIFE").y
+    prob = figure.series_by_label("PROB").y
+    opt = figure.series_by_label("OPT").y
+    exact = figure.series_by_label("EXACT").y
+
+    # Paper shape: PROB far above RAND, close to OPT; everything <= OPT <= EXACT.
+    assert all(p > r for p, r in zip(prob, rand))
+    assert all(p >= l for p, l in zip(prob, life))
+    assert all(max(r, l, p) <= o for r, l, p, o in zip(rand, life, prob, opt))
+    assert all(o <= e for o, e in zip(opt, exact))
+    # RAND grows monotonically (roughly linearly) with memory.
+    assert rand == sorted(rand)
+    # PROB tracks OPT closely at M = w.
+    index = figure.params["memories"].index(window)
+    assert prob[index] / opt[index] > 0.8

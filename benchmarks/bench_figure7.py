@@ -1,0 +1,45 @@
+"""Figure 7: the weather workload — output vs. memory.
+
+Uses the synthetic substitute for the Hahn/Warren/London cloud dataset
+(see DESIGN.md section 5); like the paper, OPT is omitted at this scale.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.experiments import format_figure, run_algorithm
+from repro.experiments.config import even_memory
+from repro.experiments.figures import figure7
+from repro.streams import weather_pair
+
+
+@pytest.fixture(scope="module")
+def figure(scale):
+    data = figure7(scale)
+    emit_figure("figure7", data)
+    return data
+
+
+def test_figure7(benchmark, figure, scale):
+    pair = weather_pair(min(scale.weather_length, 20_000), seed=0)
+    window = scale.weather_window
+    memory = even_memory(window, 0.5)
+    run_once(
+        benchmark, run_algorithm, "PROB", pair, window, memory,
+        warmup=scale.weather_warmup,
+    )
+
+    rand = figure.series_by_label("RAND").y
+    prob = figure.series_by_label("PROB").y
+    probv = figure.series_by_label("PROBV").y
+    exact = figure.series_by_label("EXACT").y
+    memories = figure.params["memories"]
+
+    # PROB beats RAND throughout; PROB == PROBV (similar distributions).
+    assert all(p > r for p, r in zip(prob, rand))
+    for a, b in zip(prob, probv):
+        assert abs(a - b) / max(a, 1) < 0.05
+    # The paper: >90% of EXACT with only 50% of the memory (M = w).
+    index = memories.index(even_memory(scale.weather_window, 1.0))
+    assert prob[index] / exact[index] > 0.7
+    assert all(p <= e for p, e in zip(prob, exact))

@@ -1,0 +1,44 @@
+"""Figure 8: PROBV's memory allocation between R and S over time.
+
+The paper observes the split staying at the 50-50 mark throughout the
+weather run because the two years' distributions are nearly identical.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.experiments import format_figure, run_algorithm
+from repro.experiments.config import even_memory
+from repro.experiments.figures import figure8
+from repro.streams import weather_pair
+
+
+@pytest.fixture(scope="module")
+def figure(scale):
+    data = figure8(scale)
+    emit_figure("figure8", data)
+    return data
+
+
+def test_figure8(benchmark, figure, scale):
+    pair = weather_pair(min(scale.weather_length, 20_000), seed=0)
+    window = scale.weather_window
+    run_once(
+        benchmark,
+        run_algorithm,
+        "PROBV",
+        pair,
+        window,
+        even_memory(window, 1.0),
+        warmup=scale.weather_warmup,
+        track_shares=True,
+        share_sample_every=max(1, len(pair) // 200),
+    )
+
+    shares = figure.series[0].y
+    # Skip the fill-up phase, then require the share to hover around 1/2.
+    post_warmup = shares[len(shares) // 4:]
+    assert post_warmup, "share trace is empty"
+    mean_share = sum(post_warmup) / len(post_warmup)
+    assert 0.45 < mean_share < 0.55
+    assert all(0.3 < s < 0.7 for s in post_warmup)

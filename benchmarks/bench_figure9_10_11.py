@@ -1,0 +1,64 @@
+"""Figures 9-11: effect of the join-attribute domain size (10 / 50 / 200).
+
+The paper's point: growing the domain pulls OPT towards EXACT (EXACT/OPT
+approaches 1) while separating PROB from OPT (more low-frequency values
+to "make a mistake" on).
+"""
+
+import pytest
+
+from _bench_utils import emit, run_once
+from repro.experiments import format_figure
+from repro.experiments.config import DOMAIN_SIZES
+from repro.experiments.figures import figure_domain_size
+from repro.core.offline import solve_opt
+from repro.streams import zipf_pair
+
+FIGURE_IDS = {10: "figure9", 50: "figure10", 200: "figure11"}
+
+
+@pytest.fixture(scope="module")
+def figures(scale):
+    data = {}
+    for domain in DOMAIN_SIZES:
+        figure = figure_domain_size(domain, FIGURE_IDS[domain], scale)
+        emit(FIGURE_IDS[domain], format_figure(figure))
+        data[domain] = figure
+    return data
+
+
+@pytest.mark.parametrize("domain", DOMAIN_SIZES)
+def test_domain_size_figure(benchmark, figures, scale, domain):
+    pair = zipf_pair(scale.stream_length, domain, 1.0, seed=0)
+    window = scale.window
+    run_once(benchmark, solve_opt, pair, window, window if window % 2 == 0 else window - 1)
+
+    figure = figures[domain]
+    rand = figure.series_by_label("RAND/OPT").y
+    prob = figure.series_by_label("PROB/OPT").y
+    exact = figure.series_by_label("EXACT/OPT").y
+
+    assert all(r <= 1.0 + 1e-9 for r in rand)
+    assert all(p <= 1.0 + 1e-9 for p in prob)
+    assert all(e >= 1.0 - 1e-9 for e in exact)
+    assert all(p >= r for p, r in zip(prob, rand))
+
+
+def test_domain_size_trend(benchmark, figures, scale):
+    """EXACT/OPT falls towards 1 as the domain grows (paper's headline)."""
+    pair = zipf_pair(scale.stream_length, DOMAIN_SIZES[-1], 1.0, seed=0)
+    window = scale.window
+    run_once(
+        benchmark, solve_opt, pair, window, window if window % 2 == 0 else window - 1
+    )
+
+    # Compare EXACT/OPT at the largest memory point across domains.
+    ratios = [figures[domain].series_by_label("EXACT/OPT").y[-1] for domain in DOMAIN_SIZES]
+    assert ratios[-1] <= ratios[0] + 1e-9
+    # At the largest domain, OPT nearly reaches EXACT with M = w (the
+    # paper: "the graphs for OPT and EXACT meet already for M = w").
+    memories = figures[DOMAIN_SIZES[-1]].params["memories"]
+    at_w = memories.index(
+        min(memories, key=lambda m: abs(m - scale.window))
+    )
+    assert figures[DOMAIN_SIZES[-1]].series_by_label("EXACT/OPT").y[at_w] < 1.35

@@ -1,0 +1,78 @@
+"""Flow-solver scaling (C1): OPT-offline solve cost vs. stream length.
+
+The paper restricted OPT runs to 5600 tuples because CS2's runtime is
+super-linear; this benchmark records how the compact formulation scales
+(nodes/arcs grow linearly in stream length + join size) and times solves
+at increasing sizes.
+"""
+
+import time
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.core.offline import extract_jobs, solve_opt
+from repro.core.offline.flowgraph import build_schedule_network
+from repro.experiments.config import DEFAULT_DOMAIN
+from repro.experiments.figures import TableData
+from repro.experiments.reporting import format_table
+from repro.streams import zipf_pair
+
+
+def _instance(length: int, window: int):
+    pair = zipf_pair(length, DEFAULT_DOMAIN, 1.0, seed=0)
+    return pair, window
+
+
+@pytest.fixture(scope="module")
+def table(scale):
+    rows = []
+    base = max(scale.stream_length // 4, 200)
+    window = max(scale.window // 2, 20)
+    for factor in (1, 2, 4):
+        length = base * factor
+        pair, window_ = _instance(length, window)
+        r_jobs, s_jobs, _ = extract_jobs(pair, window_, count_from=2 * window_)
+        schedule = build_schedule_network(r_jobs, length, window_ // 2)
+        start = time.perf_counter()
+        result = solve_opt(pair, window_, window_ if window_ % 2 == 0 else window_ - 1)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                length,
+                schedule.network.num_nodes,
+                schedule.network.num_arcs,
+                result.output_count,
+                round(elapsed, 3),
+            ]
+        )
+    data = TableData(
+        table_id="flow_solver",
+        title=f"OPT-offline solve scaling, w={window}",
+        columns=["stream length", "nodes (R pool)", "arcs (R pool)", "OPT output", "solve s"],
+        rows=rows,
+        expectation=(
+            "Nodes/arcs grow linearly with stream length; solve time stays "
+            "far below CS2-on-Theta(wN)-graphs territory."
+        ),
+    )
+    emit_table("flow_solver", data)
+    return data
+
+
+def test_flow_solver_scaling(benchmark, table, scale):
+    length = max(scale.stream_length // 2, 400)
+    window = max(scale.window // 2, 20)
+    pair, _ = _instance(length, window)
+    memory = window if window % 2 == 0 else window - 1
+    run_once(benchmark, solve_opt, pair, window, memory)
+
+    lengths = table.column("stream length")
+    nodes = table.column("nodes (R pool)")
+    arcs = table.column("arcs (R pool)")
+    # Linear growth: doubling the stream roughly doubles the graph.
+    assert nodes[-1] < nodes[0] * (lengths[-1] / lengths[0]) * 1.5
+    assert arcs[-1] < arcs[0] * (lengths[-1] / lengths[0]) * 2.0
+    # Output grows with stream length.
+    outputs = table.column("OPT output")
+    assert outputs == sorted(outputs)

@@ -1,0 +1,55 @@
+"""Slow-CPU experiment (Q1): queue-shedding policies under overload.
+
+Extension of Section 2.1's modular model (future work in Section 6):
+semantic queue shedding against random/tail drops when the CPU serves
+only half the arrival rate.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.core.policies import ProbPolicy
+from repro.core.slowcpu import SlowCpuConfig, SlowCpuEngine
+from repro.experiments import estimators_for, format_table
+from repro.experiments.config import DEFAULT_DOMAIN, even_memory
+from repro.experiments.figures import slow_cpu_study
+from repro.streams import clip_schedule, poisson_schedule, zipf_pair
+
+
+@pytest.fixture(scope="module")
+def table(scale):
+    data = slow_cpu_study(scale)
+    emit_table("slow_cpu", data)
+    return data
+
+
+def test_slow_cpu(benchmark, table, scale):
+    length = scale.stream_length
+    pair = zipf_pair(length, DEFAULT_DOMAIN, 1.0, seed=0)
+    estimators = estimators_for(pair)
+    r_schedule = clip_schedule(poisson_schedule(length, 1.0, seed=10), length)
+    s_schedule = clip_schedule(poisson_schedule(length, 1.0, seed=11), length)
+
+    def kernel():
+        config = SlowCpuConfig(
+            window=scale.window,
+            memory=even_memory(scale.window, 0.5),
+            service_per_tick=1,
+            queue_capacity=max(scale.window // 4, 4),
+            queue_policy="prob",
+        )
+        engine = SlowCpuEngine(
+            config,
+            policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)},
+            estimators=estimators,
+        )
+        return engine.run(pair.r, pair.s, r_schedule, s_schedule)
+
+    run_once(benchmark, kernel)
+
+    outputs = {row[0]: row[1] for row in table.rows}
+    shed = {row[0]: row[3] for row in table.rows}
+    # Semantic queue shedding wins; all policies shed comparably much.
+    assert outputs["prob"] > outputs["random"]
+    assert outputs["prob"] > outputs["tail"]
+    assert all(count > 0 for count in shed.values())

@@ -1,0 +1,62 @@
+"""Section 3.1: static join load shedding (S1) and the m-relation case (S2).
+
+Benchmarks the optimal DP kernel and regenerates the DP-vs-baselines
+table plus the 3-relation approximation study.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.core.static_join import extract_components, min_edges_lost_deleting, total_nodes
+from repro.experiments import format_table
+from repro.experiments.config import DEFAULT_DOMAIN
+from repro.experiments.figures import multiway_join_study, static_join_study
+from repro.streams import zipf_pair
+
+
+@pytest.fixture(scope="module")
+def table(scale):
+    data = static_join_study(scale)
+    emit_table("static_join", data)
+    return data
+
+
+@pytest.fixture(scope="module")
+def multiway_table():
+    data = multiway_join_study()
+    emit_table("multiway_join", data)
+    return data
+
+
+def test_static_join_dp(benchmark, table, scale):
+    size = max(scale.stream_length // 4, 50)
+    pair = zipf_pair(size, DEFAULT_DOMAIN, 1.0, seed=0)
+    components = extract_components(pair.r, pair.s)
+    k = total_nodes(components) // 2
+    run_once(benchmark, min_edges_lost_deleting, components, k)
+
+    for row in table.rows:
+        _k, full, optimal, greedy, random_drop = row
+        assert random_drop <= optimal <= full
+        assert greedy <= optimal
+    # The DP's edge over random deletion widens as more is deleted.
+    advantages = [row[2] - row[4] for row in table.rows]
+    assert advantages[-2] > advantages[0]
+
+
+def test_multiway_approximation(benchmark, multiway_table):
+    import numpy as np
+
+    from repro.core.static_join.multiway import MultiwayInstance, independent_selection
+
+    rng = np.random.default_rng(0)
+    relations = [rng.integers(0, 6, size=200).tolist() for _ in range(3)]
+    instance = MultiwayInstance.from_relations(relations)
+    run_once(benchmark, independent_selection, instance, [40, 40, 40])
+
+    columns = multiway_table.columns
+    opt_loss = columns.index("optimal loss")
+    approx_loss = columns.index("approx loss")
+    for row in multiway_table.rows:
+        # The paper's m-approximation guarantee with m = 3.
+        assert row[approx_loss] <= 3 * row[opt_loss] or row[opt_loss] == 0

@@ -1,0 +1,88 @@
+"""Section 4.3 (prose): fixed vs. variable memory allocation.
+
+Reproduces the text-only result: PROBV/OPTV outperform their fixed
+counterparts when the two streams' skews differ, with the more skewed
+stream claiming the larger memory share.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.experiments import format_table, run_algorithm
+from repro.experiments.config import DEFAULT_DOMAIN, even_memory
+from repro.experiments.figures import variable_memory_study
+from repro.streams import zipf_pair
+
+
+@pytest.fixture(scope="module")
+def table(scale):
+    data = variable_memory_study(scale)
+    emit_table("variable_memory", data)
+    return data
+
+
+def test_variable_memory(benchmark, table, scale):
+    window = scale.window
+    memory = even_memory(window, 0.5)
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 2.0, skew_s=0.5, seed=0)
+    run_once(benchmark, run_algorithm, "PROBV", pair, window, memory)
+
+    columns = table.columns
+    opt_col = columns.index("OPT")
+    optv_col = columns.index("OPTV")
+    prob_col = columns.index("PROB")
+    probv_col = columns.index("PROBV")
+    share_col = columns.index("R mem share")
+
+    for row in table.rows:
+        # OPTV dominates OPT by construction (strictly more schedules).
+        assert row[optv_col] >= row[opt_col]
+        # PROBV matches or beats PROB up to small run-to-run noise, and
+        # the gain stays within the paper's ~10% bound.
+        assert row[probv_col] >= 0.95 * row[prob_col]
+        assert row[probv_col] <= 1.15 * row[prob_col]
+
+    # The more skewed stream receives a growing share of the memory.
+    shares = table.column("R mem share")
+    assert shares[-1] > shares[0]
+    assert shares[-1] > 0.6
+
+
+@pytest.fixture(scope="module")
+def varying_table(scale):
+    from repro.experiments.figures import varying_memory_study
+
+    data = varying_memory_study(scale)
+    emit_table("varying_memory", data)
+    return data
+
+
+def test_varying_memory(benchmark, varying_table, scale):
+    """Section 3.3 claim: the policies adapt to a time-varying budget."""
+    window = scale.window
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=0)
+    low = even_memory(window, 0.25)
+    high = even_memory(window, 1.0)
+
+    def kernel():
+        from repro.core.engine import EngineConfig, JoinEngine
+        from repro.experiments import estimators_for
+        from repro.experiments.runner import _policy_for
+
+        estimators = estimators_for(pair)
+        config = EngineConfig(
+            window=window,
+            memory=high,
+            memory_schedule=lambda t: high if (t // window) % 2 == 0 else low,
+        )
+        return JoinEngine(
+            config, policy=_policy_for("PROB", estimators, window, 0)
+        ).run(pair)
+
+    run_once(benchmark, kernel)
+
+    for row in varying_table.rows:
+        _name, low_out, varying_out, _mean_out, high_out = row
+        assert low_out <= varying_out <= high_out
+    outputs = {row[0]: row[2] for row in varying_table.rows}
+    assert outputs["PROB"] > outputs["RAND"]

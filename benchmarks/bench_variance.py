@@ -1,0 +1,39 @@
+"""Seed-stability benchmark: the headline conclusions across seeds.
+
+Repeats the Figure 3 configuration over several seeds and checks that
+the paper's ordering (OPT > PROB > LIFE > FIFO ~ RAND) holds with margin
+on every seed, not just on average.
+"""
+
+import pytest
+
+from _bench_utils import emit_figure, emit_table, run_once
+from repro.experiments import format_table, run_algorithm
+from repro.experiments.config import DEFAULT_DOMAIN, even_memory
+from repro.experiments.sweep import variance_study
+from repro.streams import zipf_pair
+
+
+@pytest.fixture(scope="module")
+def table(scale):
+    data = variance_study(scale)
+    emit_table("variance_study", data)
+    return data
+
+
+def test_variance(benchmark, table, scale):
+    window = scale.window
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=0)
+    run_once(benchmark, run_algorithm, "PROB", pair, window, even_memory(window, 0.5))
+
+    means = {row[0]: row[1] for row in table.rows[:-1]}
+    stds = {row[0]: row[2] for row in table.rows[:-1]}
+
+    # Ordering of the fraction-of-EXACT means with clear separation.
+    assert means["OPT"] > means["PROB"] + stds["PROB"]
+    assert means["PROB"] > means["RAND"] + 2 * stds["RAND"]
+    assert abs(means["FIFO"] - means["RAND"]) < 0.35 * means["RAND"]
+
+    # PROB beat RAND on every single seed.
+    dominance = table.rows[-1]
+    assert dominance[1] == len(table.params["seeds"])

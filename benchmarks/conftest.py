@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one figure or table of the paper at
+the scale selected by ``REPRO_SCALE`` (``ci`` / ``default`` / ``paper``;
+see ``repro.experiments.config``), writes the rendered rows to
+``benchmarks/results/<id>.txt``, prints them (visible with ``pytest -s``
+or on failure), asserts the paper's qualitative shape, and times a
+representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale for this benchmark session."""
+    return current_scale()

@@ -1,0 +1,103 @@
+"""Sensor-network static join (the paper's Section 3.1 scenario).
+
+Battery-powered sensors each hold a relation of measurements; a proxy
+wants their equi-join but every transmitted tuple costs battery.  Each
+sensor ships only a compact value histogram; the proxy runs the optimal
+retention DP on the Kurotowski components to decide exactly which tuples
+to request so that the truncated join is as large as possible under the
+transmission budget.
+
+Run:  python examples/sensor_proxy.py [--budget-fraction F]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+import numpy as np
+
+from repro import extract_components, max_edges_retaining
+from repro.core.static_join import (
+    greedy_min_degree_deletion,
+    random_deletion,
+    total_edges,
+    total_nodes,
+)
+
+
+def simulate_sensor(readings: int, hot_values: list[int], seed: int) -> list[int]:
+    """A sensor's measurement relation: clustered around hot values."""
+    rng = np.random.default_rng(seed)
+    hot = rng.choice(hot_values, size=int(readings * 0.7))
+    cold = rng.integers(0, 100, size=readings - len(hot))
+    values = np.concatenate([hot, cold]).astype(int)
+    rng.shuffle(values)
+    return values.tolist()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--readings", type=int, default=400, help="tuples per sensor")
+    parser.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of all tuples the sensors may transmit",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    # Two sensors observing overlapping phenomena.
+    sensor_a = simulate_sensor(args.readings, hot_values=[5, 17, 42], seed=args.seed)
+    sensor_b = simulate_sensor(args.readings, hot_values=[17, 42, 63], seed=args.seed + 1)
+
+    # Each sensor transmits only its value histogram (tiny) to the proxy.
+    histogram_a = Counter(sensor_a)
+    histogram_b = Counter(sensor_b)
+    print(f"sensor A: {len(sensor_a)} tuples, histogram of {len(histogram_a)} values")
+    print(f"sensor B: {len(sensor_b)} tuples, histogram of {len(histogram_b)} values")
+
+    # The proxy reconstructs the join components from the histograms alone.
+    components = extract_components(
+        list(histogram_a.elements()), list(histogram_b.elements())
+    )
+    nodes = total_nodes(components)
+    full_join = total_edges(components)
+    budget = int(nodes * args.budget_fraction)
+    print(f"\nfull join would produce {full_join} result tuples")
+    print(f"transmission budget: {budget} of {nodes} tuples\n")
+
+    optimal = max_edges_retaining(components, budget)
+    greedy = greedy_min_degree_deletion(components, nodes - budget)
+    random_plan = random_deletion(components, nodes - budget, seed=args.seed)
+
+    print(f"{'strategy':<22} {'join tuples':>12} {'% of full':>10}")
+    print("-" * 46)
+    for label, plan in (
+        ("optimal DP (paper)", optimal),
+        ("greedy min-degree", greedy),
+        ("random selection", random_plan),
+    ):
+        print(
+            f"{label:<22} {plan.retained_edges:>12} "
+            f"{100 * plan.retained_edges / max(full_join, 1):>9.1f}%"
+        )
+
+    # The proxy now knows per join value how many tuples to request.
+    print("\nper-value transmission plan (optimal, top 5 by benefit):")
+    ranked = sorted(
+        zip(components, optimal.per_component),
+        key=lambda item: item[1][0] * item[1][1],
+        reverse=True,
+    )[:5]
+    for component, (keep_a, keep_b) in ranked:
+        print(
+            f"  value {component.key!r:>4}: request {keep_a}/{component.m} "
+            f"from A, {keep_b}/{component.n} from B  "
+            f"-> {keep_a * keep_b} join tuples"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can be
+installed editable in offline environments whose setuptools lacks PEP 660
+support (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

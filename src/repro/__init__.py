@@ -1,0 +1,99 @@
+"""repro: Approximate Join Processing Over Data Streams.
+
+A complete reproduction of Das, Gehrke & Riedewald (SIGMOD 2003):
+semantic load shedding for sliding-window equi-joins over data streams,
+including
+
+* the fast-CPU integrated join engine with the RAND / PROB / LIFE
+  eviction policies (fixed and variable memory allocation),
+* the optimal offline algorithm (OPT / OPTV) via min-cost network flow,
+* static join load shedding (the ``O(c k^2)`` DP, the ``(k_A, k_B)``
+  variant, and the m-relation approximation),
+* the error-measure design space (MAX-subset, set coefficients, EMD,
+  MAC) and the Archive-metric with archive-backed load smoothing,
+* every workload of the evaluation and generators for all of its
+  figures.
+
+Quick start::
+
+    from repro import zipf_pair, run_algorithm
+
+    pair = zipf_pair(length=2000, domain_size=50, skew=1.0, seed=7)
+    prob = run_algorithm("PROB", pair, window=100, memory=50)
+    opt = run_algorithm("OPT", pair, window=100, memory=50)
+    print(prob.output_count, opt.output_count)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core import (
+    EngineConfig,
+    JoinEngine,
+    RunResult,
+    SlowCpuConfig,
+    SlowCpuEngine,
+    WindowSpec,
+    run_exact,
+)
+from .core.archive import ArchiveStore, RefinementReport, refine_from_archive
+from .core.metrics import archive_metric, max_subset_report
+from .core.offline import OptResult, solve_opt
+from .core.policies import (
+    ArmAwarePolicy,
+    EvictionPolicy,
+    LifePolicy,
+    ProbPolicy,
+    RandomEvictionPolicy,
+)
+from .core.static_join import (
+    extract_components,
+    max_edges_retaining,
+    min_edges_lost_deleting,
+    retention_benefit,
+)
+from .experiments import run_algorithm, run_suite
+from .streams import (
+    StreamPair,
+    StreamTuple,
+    exact_join_size,
+    uniform_pair,
+    weather_pair,
+    zipf_pair,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchiveStore",
+    "ArmAwarePolicy",
+    "EngineConfig",
+    "EvictionPolicy",
+    "JoinEngine",
+    "LifePolicy",
+    "OptResult",
+    "ProbPolicy",
+    "RandomEvictionPolicy",
+    "RefinementReport",
+    "RunResult",
+    "SlowCpuConfig",
+    "SlowCpuEngine",
+    "StreamPair",
+    "StreamTuple",
+    "WindowSpec",
+    "archive_metric",
+    "exact_join_size",
+    "extract_components",
+    "max_edges_retaining",
+    "max_subset_report",
+    "min_edges_lost_deleting",
+    "refine_from_archive",
+    "retention_benefit",
+    "run_algorithm",
+    "run_exact",
+    "run_suite",
+    "solve_opt",
+    "uniform_pair",
+    "weather_pair",
+    "zipf_pair",
+]

@@ -1,0 +1,226 @@
+"""Command-line interface.
+
+Four verbs, all printing plain text:
+
+* ``repro list`` — available algorithms, figures, tables, and scales;
+* ``repro run`` — run one algorithm on a generated workload;
+* ``repro compare`` — run several algorithms on the same workload;
+* ``repro figure`` / ``repro table`` — regenerate one of the paper's
+  figures/tables (or an ablation) at a chosen scale.
+
+Examples
+--------
+::
+
+    repro run --algorithm PROB --length 2000 --window 100 --memory 50
+    repro compare --algorithms RAND,PROB,OPT --skew 1.5
+    repro figure figure3 --scale ci
+    repro table ablation_drift --scale ci
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    ABLATION_GENERATORS,
+    ALL_ALGORITHMS,
+    FIGURE_GENERATORS,
+    SCALES,
+    TABLE_GENERATORS,
+    format_figure,
+    format_table,
+    run_algorithm,
+    run_suite,
+)
+from .streams import exact_join_size, uniform_pair, weather_pair, zipf_pair
+
+
+def _build_pair(args: argparse.Namespace):
+    """The workload a ``run``/``compare`` invocation asks for."""
+    if args.workload == "weather":
+        return weather_pair(args.length, seed=args.seed)
+    if args.workload == "uniform":
+        return uniform_pair(args.length, args.domain, seed=args.seed)
+    return zipf_pair(
+        args.length,
+        args.domain,
+        args.skew,
+        skew_s=args.skew_s,
+        correlation=args.correlation,
+        seed=args.seed,
+    )
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--length", type=int, default=2000, help="tuples per stream")
+    parser.add_argument("--window", type=int, default=100, help="window size w")
+    parser.add_argument("--memory", type=int, default=50, help="memory budget M")
+    parser.add_argument(
+        "--workload",
+        choices=("zipf", "uniform", "weather"),
+        default="zipf",
+    )
+    parser.add_argument("--domain", type=int, default=50, help="join-value domain size")
+    parser.add_argument("--skew", type=float, default=1.0, help="Zipf parameter of R")
+    parser.add_argument(
+        "--skew-s", type=float, default=None, dest="skew_s",
+        help="Zipf parameter of S (defaults to --skew)",
+    )
+    parser.add_argument(
+        "--correlation",
+        choices=("uncorrelated", "correlated", "anticorrelated"),
+        default="uncorrelated",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="output-counting start (default: 2 * window)",
+    )
+
+
+def _scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES) + ["full"],
+        default=None,
+        help="experiment scale (default: REPRO_SCALE or 'default')",
+    )
+
+
+def _resolve_scale(name: Optional[str]):
+    if name is None:
+        from .experiments import current_scale
+
+        return current_scale()
+    return SCALES["paper" if name == "full" else name]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("algorithms :", ", ".join(ALL_ALGORITHMS))
+    print("figures    :", ", ".join(sorted(FIGURE_GENERATORS)))
+    print("tables     :", ", ".join(sorted(TABLE_GENERATORS)))
+    print("ablations  :", ", ".join(sorted(ABLATION_GENERATORS)))
+    print("scales     :", ", ".join(sorted(SCALES)), "(or 'full' = paper)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    pair = _build_pair(args)
+    result = run_algorithm(
+        args.algorithm, pair, args.window, args.memory,
+        seed=args.seed, warmup=args.warmup,
+    )
+    warmup = args.warmup if args.warmup is not None else 2 * args.window
+    exact = exact_join_size(pair, args.window, count_from=warmup)
+    print(f"workload : {pair.name}")
+    print(f"window   : {args.window}   memory: {args.memory}   warmup: {warmup}")
+    print(f"{args.algorithm}: {result.output_count} output tuples "
+          f"({100 * result.output_count / max(exact, 1):.1f}% of exact {exact})")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    names = [name.strip().upper() for name in args.algorithms.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ALL_ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(ALL_ALGORITHMS)}", file=sys.stderr)
+        return 2
+    pair = _build_pair(args)
+    results = run_suite(
+        names, pair, args.window, args.memory, seed=args.seed, warmup=args.warmup
+    )
+    warmup = args.warmup if args.warmup is not None else 2 * args.window
+    exact = exact_join_size(pair, args.window, count_from=warmup)
+    print(f"workload : {pair.name}   w={args.window}  M={args.memory}")
+    print(f"{'algorithm':<10} {'output':>10} {'% of exact':>11}")
+    print("-" * 33)
+    for name in names:
+        count = results[name].output_count
+        print(f"{name:<10} {count:>10} {100 * count / max(exact, 1):>10.1f}%")
+    print(f"{'EXACT':<10} {exact:>10} {100.0:>10.1f}%")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.name not in FIGURE_GENERATORS:
+        print(f"unknown figure {args.name!r}; choose from "
+              f"{', '.join(sorted(FIGURE_GENERATORS))}", file=sys.stderr)
+        return 2
+    scale = _resolve_scale(args.scale)
+    figure = FIGURE_GENERATORS[args.name](scale, seed=args.seed)
+    print(format_figure(figure))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    generators = {**TABLE_GENERATORS, **ABLATION_GENERATORS}
+    if args.name not in generators:
+        print(f"unknown table {args.name!r}; choose from "
+              f"{', '.join(sorted(generators))}", file=sys.stderr)
+        return 2
+    generator = generators[args.name]
+    scale = _resolve_scale(args.scale)
+    if args.name == "multiway_join":  # scale-free tiny study
+        table = generator(seed=args.seed)
+    else:
+        table = generator(scale, seed=args.seed)
+    print(format_table(table))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate Join Processing Over Data Streams (SIGMOD 2003) — reproduction CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list algorithms, figures, tables, scales")
+
+    run_parser = commands.add_parser("run", help="run one algorithm on a workload")
+    run_parser.add_argument(
+        "--algorithm", default="PROB", type=str.upper,
+        help=f"one of {', '.join(ALL_ALGORITHMS)}",
+    )
+    _add_workload_arguments(run_parser)
+
+    compare_parser = commands.add_parser("compare", help="run several algorithms")
+    compare_parser.add_argument(
+        "--algorithms", default="RAND,PROB,OPT",
+        help="comma-separated algorithm names",
+    )
+    _add_workload_arguments(compare_parser)
+
+    figure_parser = commands.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", help="e.g. figure3 .. figure11")
+    figure_parser.add_argument("--seed", type=int, default=0)
+    _scale_argument(figure_parser)
+
+    table_parser = commands.add_parser("table", help="regenerate a table / ablation")
+    table_parser.add_argument("name", help="e.g. static_join, ablation_drift")
+    table_parser.add_argument("--seed", type=int, default=0)
+    _scale_argument(table_parser)
+
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "table": _cmd_table,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Core library: the paper's contribution.
+
+* :mod:`repro.core.engine` — fast-CPU integrated-model simulator;
+* :mod:`repro.core.policies` — RAND / PROB / LIFE (+V) semantic shedding;
+* :mod:`repro.core.offline` — OPT-offline via min-cost flow;
+* :mod:`repro.core.static_join` — k-truncated static joins (DP, variants);
+* :mod:`repro.core.metrics` — MAX-subset, set measures, EMD, MAC, ArM;
+* :mod:`repro.core.archive` — load smoothing with archive refinement;
+* :mod:`repro.core.slowcpu` — the modular slow-CPU extension.
+"""
+
+from .async_engine import (
+    AsyncEngineConfig,
+    AsyncJoinEngine,
+    AsyncRunResult,
+    batches_from_pair,
+)
+from .engine import (
+    CapacityExceededError,
+    EngineConfig,
+    JoinEngine,
+    RunResult,
+)
+from .exact import run_exact
+from .memory import JoinMemory, StreamMemory, TupleRecord
+from .slowcpu import SlowCpuConfig, SlowCpuEngine, SlowCpuResult
+from .window import WindowSpec
+
+__all__ = [
+    "AsyncEngineConfig",
+    "AsyncJoinEngine",
+    "AsyncRunResult",
+    "CapacityExceededError",
+    "batches_from_pair",
+    "EngineConfig",
+    "JoinEngine",
+    "JoinMemory",
+    "RunResult",
+    "SlowCpuConfig",
+    "SlowCpuEngine",
+    "SlowCpuResult",
+    "StreamMemory",
+    "TupleRecord",
+    "WindowSpec",
+    "run_exact",
+]

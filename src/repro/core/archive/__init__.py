@@ -1,0 +1,6 @@
+"""Archive support for semantic load smoothing (day/night processing)."""
+
+from .refine import RefinementReport, refine_from_archive
+from .store import ArchiveStore
+
+__all__ = ["ArchiveStore", "RefinementReport", "refine_from_archive"]

@@ -1,0 +1,105 @@
+"""Night-mode refinement: completing a shed join from the archive.
+
+Day mode runs the engine with load shedding and records per-tuple
+survival; night mode walks the incomplete tuples (the Archive-metric
+population), fetches their full partner sets from the archive, and emits
+exactly the output pairs the approximation missed.  The union of the
+day-time output and the refinement output equals the exact join — load
+was *deferred*, not lost — and the number of archive reads realises the
+ArM cost model (work proportional to the incomplete-tuple count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...streams.tuples import JoinResultTuple, StreamPair
+from ..engine import RunResult
+from ..metrics.archive import archive_metric
+from .store import ArchiveStore
+
+
+@dataclass
+class RefinementReport:
+    """Outcome of a night-mode refinement pass.
+
+    Attributes
+    ----------
+    missing_pairs:
+        Output pairs the day-time run failed to produce (deduplicated).
+    incomplete_tuples:
+        The ArM value — tuples that triggered archive work.
+    archive_reads:
+        Tuples fetched from the archive while refining.
+    """
+
+    missing_pairs: list[JoinResultTuple]
+    incomplete_tuples: int
+    archive_reads: int
+
+    @property
+    def missing_count(self) -> int:
+        return len(self.missing_pairs)
+
+
+def refine_from_archive(
+    pair: StreamPair,
+    run: RunResult,
+    *,
+    count_from: int | None = None,
+) -> RefinementReport:
+    """Produce every output pair the day-time run missed.
+
+    Parameters
+    ----------
+    pair:
+        The archived streams (also the engine's input).
+    run:
+        The day-time run; must have been executed with
+        ``track_survival=True`` so missed pairs are identifiable.
+    count_from:
+        Pairs with emission time before this tick are ignored; defaults
+        to the run's warmup (consistent with its ``output_count``).
+
+    Notes
+    -----
+    A pair ``(x(i), y(j))``, ``i < j``, was missed iff the earlier tuple
+    departed before ``j``.  Enumerating missed pairs therefore needs only
+    the *earlier* endpoint's survival record; each missed pair is found
+    once, so no deduplication pass is required.
+    """
+    if run.r_departures is None or run.s_departures is None:
+        raise ValueError("run must be executed with track_survival=True")
+    if count_from is None:
+        count_from = run.warmup
+    window = run.window
+    length = len(pair)
+
+    archive = ArchiveStore.from_pair(pair)
+    missing: list[JoinResultTuple] = []
+
+    for i in range(length):
+        # Missed partners of r(i) on S after i.
+        departure = run.r_departures[i]
+        horizon = min(i + window - 1, length - 1)
+        if departure < horizon:
+            key = pair.r[i]
+            low = max(departure + 1, count_from, i + 1)
+            for j in archive.partners_in_range("S", key, low, horizon):
+                missing.append(JoinResultTuple(r_arrival=i, s_arrival=j, key=key))
+        # Missed partners of s(i) on R after i.
+        departure = run.s_departures[i]
+        if departure < horizon:
+            key = pair.s[i]
+            low = max(departure + 1, count_from, i + 1)
+            for j in archive.partners_in_range("R", key, low, horizon):
+                missing.append(JoinResultTuple(r_arrival=j, s_arrival=i, key=key))
+
+    arm = archive_metric(
+        pair, run.r_departures, run.s_departures, window, count_from=count_from
+    )
+    return RefinementReport(
+        missing_pairs=missing,
+        incomplete_tuples=arm.arm,
+        archive_reads=archive.reads,
+    )

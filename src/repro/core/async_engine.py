@@ -1,0 +1,265 @@
+"""Asynchronous-arrival join engine (paper Section 1's generalisation).
+
+The paper's analysis assumes one tuple per stream per time unit but notes
+the techniques "can be generalized to windows defined in terms of the
+number of tuples and to asynchronous tuple arrival".  This engine
+implements that generalisation for the fast-CPU integrated model: any
+number of tuples (including zero) may arrive on each stream per tick.
+
+Semantics
+---------
+* arrivals of one tick are processed in order — the R batch, then the S
+  batch; each tuple probes the opposite memory *when processed*, so a
+  same-tick pair is found when the later-processed partner probes (no
+  separate "top path" is needed);
+* ``window_mode="time"``: the pair ``(r, s)`` requires ``|t_r - t_s| <
+  w`` in ticks, exactly as the synchronous engine;
+* ``window_mode="count"``: each stream's window is its last ``w``
+  tuples — a tuple expires when ``w`` further tuples of its *own* stream
+  have arrived.  Priorities that depend on remaining *time* (LIFE, ARM)
+  are not meaningful here, so count mode accepts only RAND/PROB-style
+  policies (enforced at configuration time);
+* ``window_mode="landmark"``: tuples accumulate from the most recent
+  landmark (every ``landmark_every`` ticks, e.g. "since the top of the
+  hour") and the whole state resets at each landmark — the third window
+  style Section 1 lists.  Remaining lifetime is again not meaningful to
+  a per-tuple priority, so the same policy restriction applies.
+
+Output is counted per processing tick against the usual warmup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..streams.tuples import StreamPair
+from .engine import DROP_EVICTED, DROP_EXPIRED, DROP_REJECTED, PolicySpec
+from .memory import JoinMemory, TupleRecord
+from .policies.base import EvictionPolicy
+from .policies.life import LifePolicy
+
+WINDOW_MODES = ("time", "count", "landmark")
+
+
+@dataclass
+class AsyncEngineConfig:
+    """Configuration of an asynchronous-arrival run.
+
+    In ``"landmark"`` mode ``window`` is ignored for expiry and
+    ``landmark_every`` sets the reset period (state clears at every tick
+    that is a positive multiple of it).
+    """
+
+    window: int
+    memory: int
+    variable: bool = False
+    warmup: Optional[int] = None  # in ticks
+    window_mode: str = "time"
+    landmark_every: Optional[int] = None
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.memory <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory}")
+        if self.window_mode not in WINDOW_MODES:
+            raise ValueError(
+                f"window_mode must be one of {WINDOW_MODES}, got {self.window_mode!r}"
+            )
+        if self.window_mode == "landmark":
+            if self.landmark_every is None or self.landmark_every <= 0:
+                raise ValueError("landmark mode needs a positive landmark_every")
+        elif self.landmark_every is not None:
+            raise ValueError("landmark_every only applies to landmark mode")
+        if self.warmup is None:
+            self.warmup = 2 * self.window
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup}")
+
+
+@dataclass
+class AsyncRunResult:
+    """Counters of one asynchronous run."""
+
+    output_count: int
+    total_output_count: int
+    ticks: int
+    arrivals: int
+    policy_name: str
+    drop_counts: dict = field(default_factory=dict)
+
+
+class AsyncJoinEngine:
+    """Fast-CPU integrated model with bursty / idle ticks.
+
+    Policies are wired exactly as for
+    :class:`~repro.core.engine.JoinEngine` (``None`` / single instance /
+    per-side dict).
+    """
+
+    def __init__(self, config: AsyncEngineConfig, policy: PolicySpec = None) -> None:
+        self.config = config
+        self.memory = JoinMemory(config.memory, variable=config.variable)
+
+        if policy is None:
+            self._policy_r: Optional[EvictionPolicy] = None
+            self._policy_s: Optional[EvictionPolicy] = None
+            self._policies: tuple[EvictionPolicy, ...] = ()
+            self.policy_name = "NONE"
+        elif isinstance(policy, EvictionPolicy):
+            if not config.variable:
+                raise ValueError("a single policy instance requires variable allocation")
+            policy.bind(self.memory)
+            self._policy_r = self._policy_s = policy
+            self._policies = (policy,)
+            self.policy_name = f"{policy.name}V"
+        elif isinstance(policy, dict):
+            missing = {"R", "S"} - set(policy)
+            if missing:
+                raise ValueError(f"policy dict missing sides: {sorted(missing)}")
+            policy["R"].bind(self.memory)
+            policy["S"].bind(self.memory)
+            self._policy_r = policy["R"]
+            self._policy_s = policy["S"]
+            self._policies = (policy["R"], policy["S"])
+            self.policy_name = policy["R"].name
+        else:
+            raise TypeError(f"unsupported policy specification: {policy!r}")
+
+        if config.window_mode in ("count", "landmark"):
+            from .policies.arm import ArmAwarePolicy
+
+            for bound in self._policies:
+                if isinstance(bound, (LifePolicy, ArmAwarePolicy)):
+                    raise ValueError(
+                        f"{config.window_mode}-based windows have no fixed "
+                        "per-tuple lifetime; time-based priorities (LIFE, "
+                        "ARM) do not apply"
+                    )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        r_batches: Sequence[Sequence],
+        s_batches: Sequence[Sequence],
+    ) -> AsyncRunResult:
+        """Process per-tick arrival batches.
+
+        ``r_batches[t]`` is the (possibly empty) sequence of R join keys
+        arriving at tick ``t``; likewise for S.  Both sequences must
+        cover the same number of ticks.
+        """
+        if len(r_batches) != len(s_batches):
+            raise ValueError("batch sequences must cover the same number of ticks")
+        config = self.config
+        memory = self.memory
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+        count_mode = config.window_mode == "count"
+        landmark_mode = config.window_mode == "landmark"
+
+        output = 0
+        total_output = 0
+        arrivals = 0
+        sequence = {"R": 0, "S": 0}  # per-stream tuple counters (count mode)
+        drop_counts = {
+            "R": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
+            "S": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
+        }
+
+        for t in range(len(r_batches)):
+            if landmark_mode:
+                if t > 0 and t % config.landmark_every == 0:
+                    # A new landmark: the whole window state resets.
+                    for record in memory.expire_until(t):
+                        self._notify_remove(record, t, expired=True)
+                        drop_counts[record.stream][DROP_EXPIRED] += 1
+            elif not count_mode:
+                for record in memory.expire_until(t - window):
+                    self._notify_remove(record, t, expired=True)
+                    drop_counts[record.stream][DROP_EXPIRED] += 1
+
+            for stream, batch in (("R", r_batches[t]), ("S", s_batches[t])):
+                other_memory = memory.other_side(stream)
+                for key in batch:
+                    arrivals += 1
+                    for bound in self._policies:
+                        bound.observe_arrival(stream, key, t)
+
+                    matches = other_memory.match_count(key)
+                    total_output += matches
+                    if t >= warmup:
+                        output += matches
+
+                    if count_mode:
+                        # The tuple's own arrival pushes the count window.
+                        sequence[stream] += 1
+                        own = memory.side(stream)
+                        for record in own.expire_until(sequence[stream] - window):
+                            self._notify_remove(record, t, expired=True)
+                            drop_counts[stream][DROP_EXPIRED] += 1
+                        record = TupleRecord(stream, sequence[stream], key)
+                    else:
+                        record = TupleRecord(stream, t, key)
+                    self._admit(record, t, drop_counts)
+
+            if config.validate:
+                self._check_invariants(t)
+
+        return AsyncRunResult(
+            output_count=output,
+            total_output_count=total_output,
+            ticks=len(r_batches),
+            arrivals=arrivals,
+            policy_name=self.policy_name,
+            drop_counts=drop_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def _policy_for(self, stream: str) -> Optional[EvictionPolicy]:
+        return self._policy_r if stream == "R" else self._policy_s
+
+    def _notify_remove(self, record: TupleRecord, now: int, *, expired: bool) -> None:
+        policy = self._policy_for(record.stream)
+        if policy is not None:
+            policy.on_remove(record, now, expired=expired)
+
+    def _admit(self, record: TupleRecord, now: int, drop_counts: dict) -> None:
+        memory = self.memory
+        policy = self._policy_for(record.stream)
+        if not memory.needs_eviction(record.stream):
+            memory.admit(record)
+            if policy is not None:
+                policy.on_admit(record, now)
+            return
+        if policy is None:
+            raise RuntimeError(
+                f"memory overflow at tick {now} with no shedding policy"
+            )
+        victim = policy.choose_victim(record, now)
+        if victim is None:
+            drop_counts[record.stream][DROP_REJECTED] += 1
+            return
+        memory.remove(victim)
+        self._notify_remove(victim, now, expired=False)
+        drop_counts[victim.stream][DROP_EVICTED] += 1
+        memory.admit(record)
+        policy.on_admit(record, now)
+
+    def _check_invariants(self, now: int) -> None:
+        memory = self.memory
+        if memory.variable:
+            if memory.total_size > memory.capacity:
+                raise AssertionError(f"tick {now}: pool exceeds budget")
+        else:
+            half = memory.capacity // 2
+            if memory.r.size > half or memory.s.size > half:
+                raise AssertionError(f"tick {now}: a side exceeds its budget")
+
+
+def batches_from_pair(pair: StreamPair) -> tuple[list[list], list[list]]:
+    """The synchronous workload as one-tuple-per-tick batches."""
+    return [[key] for key in pair.r], [[key] for key in pair.s]

@@ -1,0 +1,439 @@
+"""Fast-CPU integrated-model join engine (Section 2.1).
+
+Simulates the paper's processing model: at every time unit one tuple
+arrives on each stream, is joined against the resident tuples of the
+other stream (plus its simultaneous counterpart), and is then offered to
+the join memory, whose eviction policy may shed it or displace a
+resident.  The engine produces the output counts the paper's figures
+plot, plus the per-tuple survival records the Archive-metric needs and
+the memory-share trace of Figure 8.
+
+Timing within one tick ``t``
+----------------------------
+1. tuples with ``arrival <= t - w`` expire;
+2. ``r(t)`` and ``s(t)`` arrive; every policy observes both arrivals;
+3. probes: ``r(t)`` matches resident S-tuples, ``s(t)`` matches resident
+   R-tuples, and ``(r(t), s(t))`` is emitted if their keys agree (the
+   flow graph's "top path" — a new tuple is *always* seen by the join);
+4. admissions: first ``r(t)``, then ``s(t)``; a full memory asks the
+   policy for a victim (``None`` = drop the newcomer).
+
+Because probes precede admissions, a tuple evicted at time ``t`` has
+already produced its matches with the time-``t`` arrivals; its survival
+record therefore covers probe events ``arrival + 1 .. t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Union
+
+from ..streams.tuples import JoinResultTuple, StreamPair
+from .memory import JoinMemory, TupleRecord
+from .policies.base import EvictionPolicy
+
+#: How a tuple left the join memory.
+DROP_REJECTED = "rejected"
+DROP_EVICTED = "evicted"
+DROP_EXPIRED = "expired"
+
+PolicySpec = Union[None, EvictionPolicy, dict]
+
+
+class CapacityExceededError(RuntimeError):
+    """Raised when a policy-less (exact) run overflows its memory."""
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of one engine run.
+
+    Attributes
+    ----------
+    window:
+        Window size ``w`` in time units.
+    memory:
+        Total memory budget ``M`` in tuples (the paper varies it as
+        ``0.1w .. 1.5w``; ``2w`` guarantees the exact result).
+    variable:
+        Variable memory allocation (one shared pool; PROBV/RANDV/OPTV)
+        instead of the fixed M/2 + M/2 split.
+    warmup:
+        Ticks before output counting starts; defaults to ``2 * window``
+        (the paper's choice, so startup effects don't pollute counts).
+    count_simultaneous:
+        Count the always-produced pair ``(r(t), s(t))`` when keys match.
+    materialize:
+        Collect the actual post-warmup output pairs (costs memory; used
+        by metrics and small-scale tests).
+    track_shares:
+        Record ``(t, resident R-tuples, resident S-tuples)`` each
+        ``share_sample_every`` ticks (Figure 8).
+    track_survival:
+        Record per-tuple departure times (needed by the Archive-metric
+        and by OPT cross-validation).
+    memory_schedule:
+        Optional time-varying budget: a callable ``t -> M(t)`` or a
+        sequence indexed by tick.  ``memory`` is the initial budget; when
+        the budget shrinks, the policy sheds its weakest residents (the
+        paper, Section 3.3: PROB/LIFE "can easily deal with varying
+        memory and window sizes").
+    window_schedule:
+        Optional time-varying window: a callable ``t -> w(t)`` or a
+        sequence indexed by tick (the other half of the same Section 3.3
+        claim).  ``window`` is the initial size.  At tick ``t`` tuples
+        older than ``t - w(t)`` expire, i.e. a pair is in the join iff
+        the earlier tuple is within the window *in force when the later
+        one arrives*.  Survival tracking is unsupported in this mode
+        (per-tuple lifetimes become schedule-dependent); LIFE's
+        priorities use the initial window as its lifetime scale.
+    validate:
+        Run per-tick invariant checks (tests only; slow).
+    """
+
+    window: int
+    memory: int
+    variable: bool = False
+    warmup: Optional[int] = None
+    count_simultaneous: bool = True
+    materialize: bool = False
+    track_shares: bool = False
+    share_sample_every: int = 1
+    track_survival: bool = True
+    memory_schedule: Optional[object] = None
+    window_schedule: Optional[object] = None
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.memory <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory}")
+        if self.warmup is None:
+            self.warmup = 2 * self.window
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {self.warmup}")
+        if self.share_sample_every <= 0:
+            raise ValueError("share_sample_every must be positive")
+        if self.window_schedule is not None and self.track_survival:
+            raise ValueError(
+                "track_survival is not supported with a window_schedule "
+                "(per-tuple lifetimes become schedule-dependent)"
+            )
+
+
+@dataclass
+class RunResult:
+    """Everything one engine run produces.
+
+    ``output_count`` is the post-warmup output size — the quantity every
+    figure of the paper plots.  ``r_departures[i]`` / ``s_departures[i]``
+    give the last probe-event time the tuple arriving at ``i`` was present
+    for (see module docstring); ``None`` when survival tracking is off.
+    """
+
+    output_count: int
+    total_output_count: int
+    length: int
+    window: int
+    memory: int
+    warmup: int
+    policy_name: str
+    pairs: Optional[list[JoinResultTuple]] = None
+    r_departures: Optional[list[int]] = None
+    s_departures: Optional[list[int]] = None
+    shares: Optional[list[tuple[int, int, int]]] = None
+    drop_counts: dict = field(default_factory=dict)
+
+    def share_fraction_r(self) -> list[tuple[int, float]]:
+        """Fraction of resident tuples belonging to R over time."""
+        if self.shares is None:
+            raise ValueError("run was not configured with track_shares")
+        return [
+            (t, (r / (r + s)) if (r + s) else 0.5) for t, r, s in self.shares
+        ]
+
+
+class JoinEngine:
+    """Drives one sliding-window join run under a shedding policy.
+
+    Parameters
+    ----------
+    config:
+        Run configuration.
+    policy:
+        * ``None`` — no shedding; the memory must never overflow (use
+          ``memory >= 2 * window`` — the EXACT reference);
+        * a single :class:`EvictionPolicy` — governs the shared pool
+          (requires ``config.variable``) ;
+        * ``{"R": policy, "S": policy}`` — one independent policy per
+          side (requires fixed allocation).
+    """
+
+    def __init__(self, config: EngineConfig, policy: PolicySpec = None) -> None:
+        self.config = config
+        self.memory = JoinMemory(config.memory, variable=config.variable)
+
+        if policy is None:
+            self._policy_r: Optional[EvictionPolicy] = None
+            self._policy_s: Optional[EvictionPolicy] = None
+            self._policies: tuple[EvictionPolicy, ...] = ()
+            self.policy_name = "EXACT" if config.memory >= 2 * config.window else "NONE"
+        elif isinstance(policy, EvictionPolicy):
+            if not config.variable:
+                raise ValueError(
+                    "a single policy instance requires variable allocation; "
+                    "pass {'R': ..., 'S': ...} for fixed allocation"
+                )
+            policy.bind(self.memory)
+            self._policy_r = self._policy_s = policy
+            self._policies = (policy,)
+            self.policy_name = f"{policy.name}V"
+        elif isinstance(policy, dict):
+            if config.variable:
+                raise ValueError(
+                    "per-side policies require fixed allocation; "
+                    "pass a single policy for a variable pool"
+                )
+            missing = {"R", "S"} - set(policy)
+            if missing:
+                raise ValueError(f"policy dict missing sides: {sorted(missing)}")
+            if policy["R"] is policy["S"]:
+                raise ValueError("fixed allocation needs two independent policy instances")
+            policy["R"].bind(self.memory)
+            policy["S"].bind(self.memory)
+            self._policy_r = policy["R"]
+            self._policy_s = policy["S"]
+            self._policies = (policy["R"], policy["S"])
+            self.policy_name = policy["R"].name
+        else:
+            raise TypeError(f"unsupported policy specification: {policy!r}")
+
+    # ------------------------------------------------------------------
+    def run(self, pair: StreamPair) -> RunResult:
+        """Process a finite stream pair and return the run's results."""
+        config = self.config
+        memory = self.memory
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+
+        length = len(pair)
+        r_keys = pair.r
+        s_keys = pair.s
+
+        track_survival = config.track_survival
+        r_departures: Optional[list[int]] = [0] * length if track_survival else None
+        s_departures: Optional[list[int]] = [0] * length if track_survival else None
+
+        pairs: Optional[list[JoinResultTuple]] = [] if config.materialize else None
+        shares: Optional[list[tuple[int, int, int]]] = [] if config.track_shares else None
+
+        output = 0
+        total_output = 0
+        drop_counts = {
+            "R": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
+            "S": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
+        }
+
+        schedule = config.memory_schedule
+        if schedule is not None and not callable(schedule):
+            sequence = schedule
+            schedule = lambda t: sequence[t]  # noqa: E731 - tiny adapter
+        window_schedule = config.window_schedule
+        if window_schedule is not None and not callable(window_schedule):
+            window_sequence = window_schedule
+            window_schedule = lambda t: window_sequence[t]  # noqa: E731
+
+        for t in range(length):
+            # 0. budget / window change (time-varying resources) --------
+            if schedule is not None:
+                target = int(schedule(t))
+                if target != memory.capacity:
+                    memory.resize(target)
+                    self._shed_surplus(t, drop_counts, r_departures, s_departures)
+            if window_schedule is not None:
+                window = int(window_schedule(t))
+                if window <= 0:
+                    raise ValueError(f"window schedule produced {window} at t={t}")
+
+            # 1. expiry ------------------------------------------------
+            for record in memory.expire_until(t - window):
+                policy = self._policy_for(record.stream)
+                if policy is not None:
+                    policy.on_remove(record, t, expired=True)
+                drop_counts[record.stream][DROP_EXPIRED] += 1
+                if track_survival:
+                    self._set_departure(
+                        r_departures, s_departures, record, record.arrival + window - 1
+                    )
+
+            r_key = r_keys[t]
+            s_key = s_keys[t]
+
+            # 2. statistics hooks ---------------------------------------
+            for policy in self._policies:
+                policy.observe_arrival("R", r_key, t)
+                policy.observe_arrival("S", s_key, t)
+
+            # 3. probes -------------------------------------------------
+            matches = memory.s.match_count(r_key) + memory.r.match_count(s_key)
+            simultaneous = 1 if (config.count_simultaneous and r_key == s_key) else 0
+            total_output += matches + simultaneous
+            if t >= warmup:
+                output += matches + simultaneous
+                if pairs is not None:
+                    for record in memory.s.matches(r_key):
+                        pairs.append(JoinResultTuple(t, record.arrival, r_key))
+                    for record in memory.r.matches(s_key):
+                        pairs.append(JoinResultTuple(record.arrival, t, s_key))
+                    if simultaneous:
+                        pairs.append(JoinResultTuple(t, t, r_key))
+
+            # 4. admissions ---------------------------------------------
+            self._admit(TupleRecord("R", t, r_key), t, drop_counts, r_departures, s_departures)
+            self._admit(TupleRecord("S", t, s_key), t, drop_counts, r_departures, s_departures)
+
+            if shares is not None and t % config.share_sample_every == 0:
+                shares.append((t, memory.r.size, memory.s.size))
+
+            if config.validate:
+                self._check_invariants(t)
+
+        # Tuples still resident at stream end would have served their full
+        # window; record the counterfactual natural departure.
+        if track_survival:
+            for side in (memory.r, memory.s):
+                for record in list(side.records()):
+                    self._set_departure(
+                        r_departures, s_departures, record, record.arrival + window - 1
+                    )
+
+        return RunResult(
+            output_count=output,
+            total_output_count=total_output,
+            length=length,
+            window=window,
+            memory=config.memory,
+            warmup=warmup,
+            policy_name=self.policy_name,
+            pairs=pairs,
+            r_departures=r_departures,
+            s_departures=s_departures,
+            shares=shares,
+            drop_counts=drop_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def _policy_for(self, stream: str) -> Optional[EvictionPolicy]:
+        return self._policy_r if stream == "R" else self._policy_s
+
+    @staticmethod
+    def _set_departure(
+        r_departures: Optional[list[int]],
+        s_departures: Optional[list[int]],
+        record: TupleRecord,
+        departure: int,
+    ) -> None:
+        target = r_departures if record.stream == "R" else s_departures
+        if target is not None:
+            target[record.arrival] = departure
+
+    def _shed_surplus(
+        self,
+        now: int,
+        drop_counts: dict,
+        r_departures: Optional[list[int]],
+        s_departures: Optional[list[int]],
+    ) -> None:
+        """Evict residents until the (shrunk) budget is respected.
+
+        Victims were last present for the previous tick's probes, so
+        their survival record ends at ``now - 1``.
+        """
+        memory = self.memory
+        streams = ("R",) if memory.variable else ("R", "S")
+        for stream in streams:
+            policy = self._policy_for(stream)
+            while memory.surplus(stream) > 0:
+                if policy is None:
+                    raise CapacityExceededError(
+                        f"budget shrank below contents at t={now} with no policy"
+                    )
+                victim = policy.weakest_resident(stream, now)
+                if victim is None:  # pragma: no cover - surplus implies residents
+                    raise RuntimeError("surplus reported but no resident found")
+                memory.remove(victim)
+                victim_policy = self._policy_for(victim.stream) or policy
+                victim_policy.on_remove(victim, now, expired=False)
+                drop_counts[victim.stream][DROP_EVICTED] += 1
+                if self.config.track_survival:
+                    self._set_departure(r_departures, s_departures, victim, now - 1)
+
+    def _admit(
+        self,
+        record: TupleRecord,
+        now: int,
+        drop_counts: dict,
+        r_departures: Optional[list[int]],
+        s_departures: Optional[list[int]],
+    ) -> None:
+        memory = self.memory
+        policy = self._policy_for(record.stream)
+
+        if not memory.needs_eviction(record.stream):
+            memory.admit(record)
+            if policy is not None:
+                policy.on_admit(record, now)
+            return
+
+        if policy is None:
+            raise CapacityExceededError(
+                f"memory overflow at t={now} with no shedding policy "
+                f"(capacity {self.config.memory}, window {self.config.window})"
+            )
+
+        victim = policy.choose_victim(record, now)
+        if victim is None:
+            drop_counts[record.stream][DROP_REJECTED] += 1
+            if self.config.track_survival:
+                # A rejected tuple was only present for its own arrival.
+                self._set_departure(r_departures, s_departures, record, record.arrival)
+            return
+
+        if not victim.alive:
+            raise RuntimeError(
+                f"policy {policy.name} returned a non-resident victim {victim!r}"
+            )
+        memory.remove(victim)
+        policy_victim = self._policy_for(victim.stream)
+        if policy_victim is not None and policy_victim is not policy:
+            policy_victim.on_remove(victim, now, expired=False)
+        else:
+            policy.on_remove(victim, now, expired=False)
+        drop_counts[victim.stream][DROP_EVICTED] += 1
+        if self.config.track_survival:
+            self._set_departure(r_departures, s_departures, victim, now)
+
+        memory.admit(record)
+        policy.on_admit(record, now)
+
+    def _check_invariants(self, now: int) -> None:
+        memory = self.memory
+        if memory.variable:
+            if memory.total_size > memory.capacity:
+                raise AssertionError(
+                    f"t={now}: pool holds {memory.total_size} > M={memory.capacity}"
+                )
+        else:
+            half = memory.capacity // 2
+            if memory.r.size > half or memory.s.size > half:
+                raise AssertionError(
+                    f"t={now}: sides hold {memory.r.size}/{memory.s.size} > M/2={half}"
+                )
+        for side in (memory.r, memory.s):
+            for record in side.records():
+                if not record.alive:
+                    raise AssertionError(f"t={now}: dead record in slot array")
+                if record.arrival <= now - self.config.window:
+                    raise AssertionError(f"t={now}: expired record {record!r} resident")

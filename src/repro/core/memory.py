@@ -1,0 +1,239 @@
+"""Join memory: the bounded tuple state of the window join operator.
+
+Implements the integrated-model join memory of Section 2.1 with either a
+*fixed* allocation (M/2 slots per stream; an incoming R-tuple can only
+displace an R-tuple) or a *variable* allocation (one shared pool of M
+slots with "cross" evictions), the distinction behind the paper's
+PROB/PROBV and OPT/OPTV pairs.
+
+Data-structure notes
+--------------------
+Everything on the hot path is O(1) amortised:
+
+* match counting uses per-key alive counters;
+* random eviction uses a slot array with swap-remove;
+* per-key FIFO deques give the oldest alive tuple of a key (PROB's tie
+  rule and LIFE's per-key minimum) with lazy cleanup of dead entries;
+* expiry walks an arrival-ordered deque, skipping dead entries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterator, Optional
+
+
+class TupleRecord:
+    """A stream tuple resident in (or offered to) the join memory."""
+
+    __slots__ = ("stream", "arrival", "key", "alive", "slot", "priority", "tag")
+
+    def __init__(self, stream: str, arrival: int, key: Hashable) -> None:
+        self.stream = stream
+        self.arrival = arrival
+        self.key = key
+        self.alive = False
+        self.slot = -1  # index into the owning side's slot array
+        self.priority = 0.0  # cached policy priority (static per tuple)
+        self.tag = None  # policy-private scratch (e.g. ARM's doomed flag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"TupleRecord({self.stream}({self.arrival})={self.key!r}, {state})"
+
+
+class StreamMemory:
+    """All resident tuples of one stream side."""
+
+    def __init__(self, stream: str) -> None:
+        self.stream = stream
+        self._slots: list[TupleRecord] = []
+        self._by_key: dict[Hashable, deque[TupleRecord]] = {}
+        self._key_counts: dict[Hashable, int] = {}
+        self._by_arrival: deque[TupleRecord] = deque()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._slots)
+
+    def match_count(self, key: Hashable) -> int:
+        """Number of resident tuples with the given join value."""
+        return self._key_counts.get(key, 0)
+
+    def matches(self, key: Hashable) -> Iterator[TupleRecord]:
+        """Resident tuples with the given join value (for materialising)."""
+        bucket = self._by_key.get(key)
+        if not bucket:
+            return
+        for record in bucket:
+            if record.alive:
+                yield record
+
+    def oldest_alive(self, key: Hashable) -> Optional[TupleRecord]:
+        """Earliest-arrived resident tuple with this key, if any."""
+        bucket = self._by_key.get(key)
+        if not bucket:
+            return None
+        while bucket and not bucket[0].alive:
+            bucket.popleft()
+        if not bucket:
+            del self._by_key[key]
+            return None
+        return bucket[0]
+
+    def record_at_slot(self, index: int) -> TupleRecord:
+        """Resident tuple at slot ``index`` (for uniform random eviction)."""
+        return self._slots[index]
+
+    def resident_keys(self) -> Iterator[Hashable]:
+        """Keys with at least one resident tuple."""
+        return iter(self._key_counts)
+
+    def records(self) -> Iterator[TupleRecord]:
+        """All resident tuples (unspecified order)."""
+        return iter(self._slots)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, record: TupleRecord) -> None:
+        if record.alive:
+            raise ValueError(f"{record!r} is already resident")
+        record.alive = True
+        record.slot = len(self._slots)
+        self._slots.append(record)
+        self._by_key.setdefault(record.key, deque()).append(record)
+        self._key_counts[record.key] = self._key_counts.get(record.key, 0) + 1
+        self._by_arrival.append(record)
+
+    def remove(self, record: TupleRecord) -> None:
+        """Remove a resident tuple (eviction or expiry), O(1)."""
+        if not record.alive:
+            raise ValueError(f"{record!r} is not resident")
+        record.alive = False
+
+        last = self._slots[-1]
+        self._slots[record.slot] = last
+        last.slot = record.slot
+        self._slots.pop()
+        record.slot = -1
+
+        remaining = self._key_counts[record.key] - 1
+        if remaining:
+            self._key_counts[record.key] = remaining
+        else:
+            del self._key_counts[record.key]
+        # The _by_key and _by_arrival deques clean up lazily via `alive`.
+
+    def expire_until(self, horizon: int) -> list[TupleRecord]:
+        """Remove and return tuples with ``arrival <= horizon``.
+
+        Arrivals enter in time order, so expiry only inspects the front of
+        the arrival deque (dead entries are skipped and discarded).
+        """
+        expired: list[TupleRecord] = []
+        by_arrival = self._by_arrival
+        while by_arrival:
+            front = by_arrival[0]
+            if not front.alive:
+                by_arrival.popleft()
+                continue
+            if front.arrival > horizon:
+                break
+            by_arrival.popleft()
+            self.remove(front)
+            expired.append(front)
+        return expired
+
+
+class JoinMemory:
+    """The complete join state: two stream sides under one budget.
+
+    Parameters
+    ----------
+    capacity:
+        Total memory budget M in tuples.
+    variable:
+        False — fixed allocation, each side owns ``capacity // 2`` slots
+        (the paper requires M even here).  True — one shared pool; a new
+        tuple of either stream may displace a tuple of either stream.
+    """
+
+    def __init__(self, capacity: int, *, variable: bool = False) -> None:
+        self._validate_capacity(capacity, variable)
+        self.capacity = capacity
+        self.variable = variable
+        self.r = StreamMemory("R")
+        self.s = StreamMemory("S")
+
+    @staticmethod
+    def _validate_capacity(capacity: int, variable: bool) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not variable and capacity % 2 != 0:
+            raise ValueError(
+                f"fixed allocation splits memory evenly; capacity must be even, got {capacity}"
+            )
+
+    def resize(self, capacity: int) -> None:
+        """Change the budget (time-varying memory, paper Section 3.3.1).
+
+        Shrinking below the current contents is allowed; the caller (the
+        engine) is responsible for evicting the surplus afterwards.
+        """
+        self._validate_capacity(capacity, self.variable)
+        self.capacity = capacity
+
+    def surplus(self, stream: str) -> int:
+        """Resident tuples beyond the budget on ``stream``'s pool."""
+        if self.variable:
+            return max(0, self.total_size - self.capacity)
+        return max(0, self.side(stream).size - self.capacity // 2)
+
+    def side(self, stream: str) -> StreamMemory:
+        if stream == "R":
+            return self.r
+        if stream == "S":
+            return self.s
+        raise ValueError(f"unknown stream {stream!r}")
+
+    def other_side(self, stream: str) -> StreamMemory:
+        return self.s if stream == "R" else self.r
+
+    @property
+    def total_size(self) -> int:
+        return self.r.size + self.s.size
+
+    def needs_eviction(self, stream: str) -> bool:
+        """Would admitting a tuple of ``stream`` exceed the budget?"""
+        if self.variable:
+            return self.total_size >= self.capacity
+        return self.side(stream).size >= self.capacity // 2
+
+    def side_capacity(self, stream: str) -> int:
+        """Slots available to one stream (the whole pool when variable)."""
+        return self.capacity if self.variable else self.capacity // 2
+
+    def eviction_candidates(self, stream: str) -> tuple[StreamMemory, ...]:
+        """Sides a new tuple of ``stream`` may displace a victim from."""
+        if self.variable:
+            return (self.r, self.s)
+        return (self.side(stream),)
+
+    def admit(self, record: TupleRecord) -> None:
+        """Add a tuple; the caller must have made room first."""
+        if self.needs_eviction(record.stream):
+            raise RuntimeError(
+                f"admit called on full memory (capacity {self.capacity})"
+            )
+        self.side(record.stream).add(record)
+
+    def remove(self, record: TupleRecord) -> None:
+        self.side(record.stream).remove(record)
+
+    def expire_until(self, horizon: int) -> list[TupleRecord]:
+        """Expire tuples of both sides with ``arrival <= horizon``."""
+        return self.r.expire_until(horizon) + self.s.expire_until(horizon)

@@ -1,0 +1,45 @@
+"""Quality measures for approximate join results (Section 2.2)."""
+
+from .archive import ArchiveMetricReport, archive_metric
+from .emd import emd, emd_sorted
+from .mac import mac_distance
+from .max_subset import (
+    MaxSubsetReport,
+    fraction_of,
+    max_subset_report,
+    missing_tuples,
+    verify_subset,
+)
+from .set_measures import (
+    cosine_coefficient,
+    dice_coefficient,
+    is_multisubset,
+    jaccard_coefficient,
+    matching_coefficient,
+    multiset_intersection_size,
+    multiset_union_size,
+    overlap_coefficient,
+    symmetric_difference_size,
+)
+
+__all__ = [
+    "ArchiveMetricReport",
+    "MaxSubsetReport",
+    "archive_metric",
+    "cosine_coefficient",
+    "dice_coefficient",
+    "emd",
+    "emd_sorted",
+    "fraction_of",
+    "is_multisubset",
+    "jaccard_coefficient",
+    "mac_distance",
+    "matching_coefficient",
+    "max_subset_report",
+    "missing_tuples",
+    "multiset_intersection_size",
+    "multiset_union_size",
+    "overlap_coefficient",
+    "symmetric_difference_size",
+    "verify_subset",
+]

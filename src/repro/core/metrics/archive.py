@@ -1,0 +1,145 @@
+"""The Archive-metric (ArM) — the paper's novel measure (Section 2.2).
+
+In archive-backed "load smoothing" deployments an approximate daytime
+result is completed at night from the archive, so the relevant cost is
+not approximation error but *post-processing work*: the number of tuples
+that were not matched with all of their partners while streaming.
+
+Formally (paper notation): ``r(i)`` is *complete* iff
+
+* every earlier partner ``s(j)``, ``j ∈ S^<(i) = {j ∈ [i-w+1, i-1] :
+  s(j) = r(i)}``, was still in memory at time ``i``  (``δ_S(j, i-j)=1``),
+  and
+* ``r(i)`` itself stayed in memory until its last partner's arrival
+  ``j_r(i) = max{j ∈ [i, i+w-1] : s(j) = r(i)}``  (``δ_R(i, j_r-i)=1``).
+
+ArM is the count of incomplete tuples across both streams.  It is
+computed here from the per-tuple survival records the engine (and
+OPT-offline) emit, using the convention that ``departure[i]`` is the last
+probe tick the tuple was present for — so "in memory at time t" means
+``departure >= t``, and surviving to ``j_r`` means ``departure >= j_r``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...streams.tuples import StreamPair
+
+
+@dataclass(frozen=True)
+class ArchiveMetricReport:
+    """ArM breakdown for one run.
+
+    Attributes
+    ----------
+    incomplete_r / incomplete_s:
+        Tuples of each stream missing at least one partner.
+    considered:
+        Tuples inspected (those with ``arrival >= count_from``).
+    """
+
+    incomplete_r: int
+    incomplete_s: int
+    considered: int
+
+    @property
+    def arm(self) -> int:
+        """The Archive-metric: total incomplete tuples."""
+        return self.incomplete_r + self.incomplete_s
+
+    @property
+    def incomplete_fraction(self) -> float:
+        if self.considered == 0:
+            return 0.0
+        return self.arm / self.considered
+
+
+def _times_by_key(keys: Sequence) -> dict:
+    index: dict = {}
+    for t, key in enumerate(keys):
+        index.setdefault(key, []).append(t)
+    return index
+
+
+def _is_complete(
+    arrival: int,
+    own_departure: int,
+    partner_times: Sequence[int],
+    partner_departures: Sequence[int],
+    window: int,
+    length: int,
+) -> bool:
+    """Completeness of one tuple given its partner index."""
+    if not partner_times:
+        return True
+    # Earlier partners must have been in memory at `arrival`.
+    start = bisect_left(partner_times, arrival - window + 1)
+    stop = bisect_left(partner_times, arrival)
+    for idx in range(start, stop):
+        j = partner_times[idx]
+        if partner_departures[j] < arrival:
+            return False
+    # The tuple must survive to its last partner in [arrival, arrival+w-1].
+    last_idx = bisect_right(partner_times, min(arrival + window - 1, length - 1)) - 1
+    if last_idx >= 0:
+        last_partner = partner_times[last_idx]
+        if last_partner >= arrival and own_departure < last_partner:
+            return False
+    return True
+
+
+def archive_metric(
+    pair: StreamPair,
+    r_departures: Sequence[int],
+    s_departures: Sequence[int],
+    window: int,
+    *,
+    count_from: int = 0,
+) -> ArchiveMetricReport:
+    """Compute ArM from survival records.
+
+    Parameters
+    ----------
+    pair:
+        The input streams.
+    r_departures / s_departures:
+        Engine survival records (:attr:`RunResult.r_departures`): last
+        probe tick each tuple was present for.
+    window:
+        Window size ``w``.
+    count_from:
+        Only tuples arriving at or after this tick are assessed (skips
+        the warmup phase, mirroring the output accounting).
+    """
+    length = len(pair)
+    if len(r_departures) != length or len(s_departures) != length:
+        raise ValueError("survival records must cover every arrival")
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+
+    r_times = _times_by_key(pair.r)
+    s_times = _times_by_key(pair.s)
+
+    incomplete_r = 0
+    incomplete_s = 0
+    for i in range(count_from, length):
+        r_key = pair.r[i]
+        if not _is_complete(
+            i, r_departures[i], s_times.get(r_key, ()), s_departures, window, length
+        ):
+            incomplete_r += 1
+        s_key = pair.s[i]
+        if not _is_complete(
+            i, s_departures[i], r_times.get(s_key, ()), r_departures, window, length
+        ):
+            incomplete_s += 1
+
+    considered = 2 * max(0, length - count_from)
+    return ArchiveMetricReport(
+        incomplete_r=incomplete_r,
+        incomplete_s=incomplete_s,
+        considered=considered,
+    )

@@ -1,0 +1,105 @@
+"""Earth Mover's Distance between multisets (Section 2.2).
+
+EMD views two multisets as mass distributions over a metric space and
+measures the least total ``mass x distance`` needed to transform one into
+the other.  The paper cites it as an alternative quality measure which
+"trivially evaluates to 0" for subset results; it is implemented here to
+complete the measure design space and because it exercises the flow
+substrate from a second angle.
+
+Two solvers:
+
+* :func:`emd_sorted` — the classical 1-D closed form for equal-mass
+  multisets of numbers (sort both, sum coordinate distances);
+* :func:`emd` — the general case (``|X| <= |Y|``): a min-cost
+  transportation problem where all of X's mass must land on Y, solved
+  with :mod:`repro.flow`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Hashable, Iterable, Optional
+
+from ...flow.network import FlowNetwork
+from ...flow.ssp import solve_min_cost_flow
+
+
+def emd_sorted(x: Iterable[float], y: Iterable[float]) -> float:
+    """1-D EMD of two equal-mass multisets of numbers.
+
+    Sorting both sides and pairing by rank is optimal in one dimension.
+
+    Raises
+    ------
+    ValueError
+        If the multisets differ in size (use :func:`emd` then).
+    """
+    xs = sorted(x)
+    ys = sorted(y)
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"emd_sorted needs equal masses, got {len(xs)} and {len(ys)}"
+        )
+    return float(sum(abs(a - b) for a, b in zip(xs, ys)))
+
+
+def emd(
+    x: Iterable[Hashable],
+    y: Iterable[Hashable],
+    distance: Optional[Callable[[Hashable, Hashable], int]] = None,
+) -> int:
+    """General EMD via min-cost flow: move all of X's mass onto Y.
+
+    Parameters
+    ----------
+    x, y:
+        Multisets with ``|X| <= |Y|`` (the paper's "equal or greater
+        mass" convention).
+    distance:
+        Integer ground distance between elements; defaults to
+        ``abs(a - b)`` for numeric values.  Integrality keeps the flow
+        solver exact.
+
+    Returns
+    -------
+    The minimum total work; ``0`` whenever X is a sub-multiset of Y.
+    """
+    if distance is None:
+        distance = lambda a, b: abs(a - b)  # noqa: E731 - simple default
+
+    counts_x = Counter(x)
+    counts_y = Counter(y)
+    mass_x = sum(counts_x.values())
+    mass_y = sum(counts_y.values())
+    if mass_x > mass_y:
+        raise ValueError(
+            f"EMD requires |X| <= |Y| (got {mass_x} > {mass_y}); swap the arguments"
+        )
+    if mass_x == 0:
+        return 0
+
+    network = FlowNetwork()
+    x_nodes = {value: network.add_node(f"x:{value!r}", supply=count)
+               for value, count in counts_x.items()}
+    y_nodes = {value: network.add_node(f"y:{value!r}")
+               for value, count in counts_y.items()}
+    # Y's surplus capacity drains to a slack sink at zero cost.
+    sink = network.add_node("slack", supply=-mass_x)
+
+    for x_value, x_node in x_nodes.items():
+        for y_value, y_node in y_nodes.items():
+            cost = distance(x_value, y_value)
+            if cost < 0 or cost != int(cost):
+                raise ValueError(
+                    f"distance must be a non-negative integer, got {cost!r} "
+                    f"for ({x_value!r}, {y_value!r})"
+                )
+            network.add_arc(x_node, y_node, counts_x[x_value], int(cost))
+    for y_value, y_node in y_nodes.items():
+        network.add_arc(y_node, sink, counts_y[y_value], 0)
+
+    result = solve_min_cost_flow(network)
+    if not result.feasible:
+        raise RuntimeError("EMD transportation problem was infeasible")  # pragma: no cover
+    return result.cost

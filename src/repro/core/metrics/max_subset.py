@@ -1,0 +1,96 @@
+"""The MAX-subset measure (Section 2.2) — the paper's principal metric.
+
+When load shedding only ever *drops* output tuples, the approximate
+result is a sub-multiset of the exact one, the symmetric difference
+collapses to the count of missing tuples, and maximising quality means
+maximising the produced output size.  These helpers quantify a run
+against the exact result and guard the subset assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+from .set_measures import is_multisubset
+
+
+@dataclass(frozen=True)
+class MaxSubsetReport:
+    """Loss accounting of one approximate join run.
+
+    Attributes
+    ----------
+    exact_size / produced_size:
+        Output sizes of the exact join and the approximation.
+    missing:
+        ``exact_size - produced_size`` — the MAX-subset error.
+    fraction:
+        ``produced_size / exact_size`` (1.0 when the exact size is 0) —
+        the quantity the paper's "fraction of OPT/EXACT" plots use.
+    """
+
+    exact_size: int
+    produced_size: int
+
+    def __post_init__(self) -> None:
+        if self.exact_size < 0 or self.produced_size < 0:
+            raise ValueError("sizes must be non-negative")
+        if self.produced_size > self.exact_size:
+            raise ValueError(
+                f"produced {self.produced_size} exceeds exact {self.exact_size}: "
+                "the approximation is not a subset of the exact result"
+            )
+
+    @property
+    def missing(self) -> int:
+        return self.exact_size - self.produced_size
+
+    @property
+    def fraction(self) -> float:
+        if self.exact_size == 0:
+            return 1.0
+        return self.produced_size / self.exact_size
+
+
+def max_subset_report(exact_size: int, produced_size: int) -> MaxSubsetReport:
+    """Build a report from two output counts."""
+    return MaxSubsetReport(exact_size=exact_size, produced_size=produced_size)
+
+
+def verify_subset(
+    produced: Iterable[Hashable],
+    exact: Iterable[Hashable],
+) -> MaxSubsetReport:
+    """Check the subset property on materialised results and report.
+
+    Raises
+    ------
+    ValueError
+        If the produced result contains a tuple (or multiplicity) absent
+        from the exact result — load shedding can never create output, so
+        this indicates an engine bug.
+    """
+    produced = list(produced)
+    exact = list(exact)
+    if not is_multisubset(produced, exact):
+        raise ValueError("produced result is not a sub-multiset of the exact result")
+    return MaxSubsetReport(exact_size=len(exact), produced_size=len(produced))
+
+
+def fraction_of(reference: int, produced: int, *, default: float = 1.0) -> float:
+    """``produced / reference`` guarding the zero-reference case.
+
+    Unlike :class:`MaxSubsetReport` this allows ``produced > reference``
+    (EXACT routinely exceeds OPT in the Figure 9-11 normalisation).
+    """
+    if reference < 0 or produced < 0:
+        raise ValueError("counts must be non-negative")
+    if reference == 0:
+        return default
+    return produced / reference
+
+
+def missing_tuples(exact_size: int, produced_size: int) -> int:
+    """The MAX-subset error: how many output tuples were lost."""
+    return max_subset_report(exact_size, produced_size).missing

@@ -1,0 +1,105 @@
+"""Set-theoretic similarity measures for approximate query results.
+
+Section 2.2 surveys the design space of error measures for set-valued
+(really multiset-valued) query answers.  These are implemented over
+multisets via :class:`collections.Counter`: intersections take per-element
+minima, unions take maxima.
+
+For a subset relation ``X ⊆ Y`` (the situation tuple-dropping joins
+create) the matching/Dice/Jaccard/cosine coefficients are all maximised
+by maximising ``|X|`` — i.e. they reduce to the MAX-subset measure — and
+the overlap coefficient degenerates to 1.  The test-suite verifies these
+claims.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Hashable, Iterable
+
+
+def _counter(items: Iterable[Hashable]) -> Counter:
+    return items if isinstance(items, Counter) else Counter(items)
+
+
+def multiset_intersection_size(x: Iterable[Hashable], y: Iterable[Hashable]) -> int:
+    """``|X ∩ Y|`` with multiset (minimum multiplicity) semantics."""
+    cx, cy = _counter(x), _counter(y)
+    if len(cy) < len(cx):
+        cx, cy = cy, cx
+    return sum(min(count, cy[key]) for key, count in cx.items() if key in cy)
+
+
+def multiset_union_size(x: Iterable[Hashable], y: Iterable[Hashable]) -> int:
+    """``|X ∪ Y|`` with multiset (maximum multiplicity) semantics."""
+    cx, cy = _counter(x), _counter(y)
+    total = sum(cx.values()) + sum(cy.values())
+    return total - multiset_intersection_size(cx, cy)
+
+
+def symmetric_difference_size(x: Iterable[Hashable], y: Iterable[Hashable]) -> int:
+    """``|(X - Y) ∪ (Y - X)|`` — the paper's base error measure.
+
+    For ``X ⊆ Y`` this equals ``|Y| - |X|``, the number of missing output
+    tuples, motivating the MAX-subset measure.
+    """
+    cx, cy = _counter(x), _counter(y)
+    total = sum(cx.values()) + sum(cy.values())
+    return total - 2 * multiset_intersection_size(cx, cy)
+
+
+def matching_coefficient(x: Iterable[Hashable], y: Iterable[Hashable]) -> int:
+    """``|X ∩ Y|``."""
+    return multiset_intersection_size(x, y)
+
+
+def dice_coefficient(x: Iterable[Hashable], y: Iterable[Hashable]) -> float:
+    """``2 |X ∩ Y| / (|X| + |Y|)`` in [0, 1]; 1 for two empty sets."""
+    cx, cy = _counter(x), _counter(y)
+    denominator = sum(cx.values()) + sum(cy.values())
+    if denominator == 0:
+        return 1.0
+    return 2.0 * multiset_intersection_size(cx, cy) / denominator
+
+
+def jaccard_coefficient(x: Iterable[Hashable], y: Iterable[Hashable]) -> float:
+    """``|X ∩ Y| / |X ∪ Y|`` in [0, 1]; 1 for two empty sets."""
+    cx, cy = _counter(x), _counter(y)
+    union = multiset_union_size(cx, cy)
+    if union == 0:
+        return 1.0
+    return multiset_intersection_size(cx, cy) / union
+
+
+def cosine_coefficient(x: Iterable[Hashable], y: Iterable[Hashable]) -> float:
+    """``|X ∩ Y| / sqrt(|X| * |Y|)`` in [0, 1]; 1 for two empty sets.
+
+    Note: the paper's text prints ``sqrt(|X| + |Y|)``, which is neither
+    the standard Ochiai/cosine coefficient nor bounded by 1; we implement
+    the standard ``sqrt(|X| * |Y|)`` form (van Rijsbergen), which for
+    ``X ⊆ Y`` is still maximised by maximising ``|X|``.
+    """
+    cx, cy = _counter(x), _counter(y)
+    size_x = sum(cx.values())
+    size_y = sum(cy.values())
+    if size_x == 0 and size_y == 0:
+        return 1.0
+    if size_x == 0 or size_y == 0:
+        return 0.0
+    return multiset_intersection_size(cx, cy) / math.sqrt(size_x * size_y)
+
+
+def overlap_coefficient(x: Iterable[Hashable], y: Iterable[Hashable]) -> float:
+    """``|X ∩ Y| / min(|X|, |Y|)``; equals 1 whenever ``X ⊆ Y``."""
+    cx, cy = _counter(x), _counter(y)
+    smaller = min(sum(cx.values()), sum(cy.values()))
+    if smaller == 0:
+        return 1.0
+    return multiset_intersection_size(cx, cy) / smaller
+
+
+def is_multisubset(x: Iterable[Hashable], y: Iterable[Hashable]) -> bool:
+    """True when every element of X occurs in Y at least as often."""
+    cx, cy = _counter(x), _counter(y)
+    return all(count <= cy.get(key, 0) for key, count in cx.items())

@@ -1,0 +1,289 @@
+"""Multiple window joins sharing input queues (paper Sections 2.1 and 6).
+
+The modular architecture's advertised benefit is that "if streams provide
+input for multiple operators, queues can be shared", with queue shedding
+"taking into account ... input from several statistics modules" because
+different operators prefer different tuples.  The paper leaves resource
+sharing across queries as future work (Section 6); this module builds
+that system:
+
+* tuples carry several join attributes
+  (:func:`repro.streams.generators.multi_attribute_pair`);
+* each registered query is a sliding-window equi-join on one attribute
+  with its own window, memory budget, and PROB statistics;
+* both streams feed one shared bounded queue per stream; the service
+  budget (operator-tuple deliveries per tick) is the scarce resource;
+* on overflow the queue sheds by a pluggable rule: ``"tail"``,
+  ``"random"``, or semantic aggregation over the queries' statistics —
+  ``"max"`` (protect a tuple any query values) or ``"sum"`` (weigh total
+  demand).
+
+Every delivered tuple is processed by *all* queries (probe + admit under
+each query's own policy), so one queue drop loses the tuple for every
+query — exactly the coupling that makes shared shedding interesting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..stats.frequency import StaticFrequencyTable
+from ..streams.tuples import StreamPair
+from .memory import JoinMemory, TupleRecord
+from .policies.prob import ProbPolicy
+
+SHED_RULES = ("tail", "random", "max", "sum")
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One sliding-window join registered with the shared system.
+
+    Attributes
+    ----------
+    name:
+        Identifier for reporting.
+    attribute:
+        Index of the join attribute within each tuple's key vector.
+    window / memory:
+        The query's own window size and (fixed-allocation) budget.
+    """
+
+    name: str
+    attribute: int
+    window: int
+    memory: int
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"{self.name}: window must be positive")
+        if self.memory <= 0 or self.memory % 2:
+            raise ValueError(f"{self.name}: memory must be positive and even")
+        if self.attribute < 0:
+            raise ValueError(f"{self.name}: attribute must be non-negative")
+
+
+@dataclass
+class MultiQueryResult:
+    """Per-query outputs plus shared-queue counters."""
+
+    outputs: dict[str, int]
+    processed: int
+    shed_from_queue: int
+    expired_in_queue: int
+    arrived: int
+
+    @property
+    def total_output(self) -> int:
+        return sum(self.outputs.values())
+
+
+class _QueryOperator:
+    """One query's join state within the shared system."""
+
+    def __init__(self, spec: QuerySpec, estimators: dict) -> None:
+        self.spec = spec
+        self.memory = JoinMemory(spec.memory)
+        self.policies = {
+            "R": ProbPolicy(estimators),
+            "S": ProbPolicy(estimators),
+        }
+        self.policies["R"].bind(self.memory)
+        self.policies["S"].bind(self.memory)
+        self.output = 0
+
+    def process(self, stream: str, arrival: int, keys: tuple, now: int, counted: bool) -> None:
+        if arrival <= now - self.spec.window:
+            return  # queued too long: already outside this query's window
+        key = keys[self.spec.attribute]
+        self.memory.expire_until(now - self.spec.window)
+
+        matches = self.memory.other_side(stream).match_count(key)
+        if counted:
+            self.output += matches
+
+        policy = self.policies[stream]
+        record = TupleRecord(stream, arrival, key)
+        if not self.memory.needs_eviction(stream):
+            self.memory.admit(record)
+            policy.on_admit(record, now)
+            return
+        victim = policy.choose_victim(record, now)
+        if victim is None:
+            return
+        self.memory.remove(victim)
+        policy.on_remove(victim, now, expired=False)
+        self.memory.admit(record)
+        policy.on_admit(record, now)
+
+
+class SharedQueueSystem:
+    """K window joins fed by shared per-stream queues.
+
+    Parameters
+    ----------
+    pair:
+        Multi-attribute stream pair (keys are attribute vectors).
+    queries:
+        The joins sharing the streams.
+    service_per_tick:
+        Operator-tuple deliveries per tick; delivering one tuple to all
+        K queries costs K units, so a budget below ``2K`` (two arrivals
+        per tick) forces queue shedding.
+    queue_capacity:
+        Per-stream queue bound.
+    shed_rule:
+        ``"tail"`` / ``"random"`` / ``"max"`` / ``"sum"`` (see module
+        docstring).
+    warmup:
+        Ticks before per-query output counting starts.
+    """
+
+    def __init__(
+        self,
+        pair: StreamPair,
+        queries: Sequence[QuerySpec],
+        *,
+        service_per_tick: int,
+        queue_capacity: int,
+        shed_rule: str = "tail",
+        warmup: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if not queries:
+            raise ValueError("need at least one query")
+        names = [query.name for query in queries]
+        if len(set(names)) != len(names):
+            raise ValueError("query names must be unique")
+        if service_per_tick <= 0:
+            raise ValueError("service_per_tick must be positive")
+        if queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if shed_rule not in SHED_RULES:
+            raise ValueError(f"shed_rule must be one of {SHED_RULES}")
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+
+        distributions = pair.metadata.get("attribute_distributions")
+        if distributions is None:
+            raise ValueError(
+                "pair must come from multi_attribute_pair (attribute "
+                "distributions are the queries' statistics modules)"
+            )
+        width = len(distributions)
+        for query in queries:
+            if query.attribute >= width:
+                raise ValueError(
+                    f"{query.name}: attribute {query.attribute} out of range "
+                    f"(tuples have {width})"
+                )
+
+        self.pair = pair
+        self.service_per_tick = service_per_tick
+        self.queue_capacity = queue_capacity
+        self.shed_rule = shed_rule
+        self.warmup = warmup
+        self._rng = np.random.default_rng(seed)
+
+        self._estimators_per_attribute = [
+            {
+                "R": StaticFrequencyTable.from_array(dist_r.probabilities()),
+                "S": StaticFrequencyTable.from_array(dist_s.probabilities()),
+            }
+            for dist_r, dist_s in distributions
+        ]
+        self.operators = [
+            _QueryOperator(query, self._estimators_per_attribute[query.attribute])
+            for query in queries
+        ]
+
+    # ------------------------------------------------------------------
+    def _tuple_value(self, stream: str, keys: tuple) -> float:
+        """Aggregate partner-arrival probability across the queries."""
+        other = "S" if stream == "R" else "R"
+        values = [
+            self._estimators_per_attribute[op.spec.attribute][other].probability(
+                keys[op.spec.attribute]
+            )
+            for op in self.operators
+        ]
+        return max(values) if self.shed_rule == "max" else sum(values)
+
+    def _shed(self, queue: deque, newcomer: tuple) -> tuple:
+        """Pick what to drop; returns the victim (maybe the newcomer)."""
+        if self.shed_rule == "tail" or not queue:
+            return newcomer
+        if self.shed_rule == "random":
+            index = int(self._rng.integers(len(queue) + 1))
+            if index == len(queue):
+                return newcomer
+            victim = queue[index]
+            del queue[index]
+            return victim
+        # Semantic: shed the lowest aggregate value; ties drop older.
+        weakest_index = -1
+        weakest_score = (self._tuple_value(newcomer[1], newcomer[2]), newcomer[0])
+        for index, (arrival, stream, keys) in enumerate(queue):
+            score = (self._tuple_value(stream, keys), arrival)
+            if score < weakest_score:
+                weakest_score = score
+                weakest_index = index
+        if weakest_index < 0:
+            return newcomer
+        victim = queue[weakest_index]
+        del queue[weakest_index]
+        return victim
+
+    def run(self) -> MultiQueryResult:
+        """Simulate the shared pipeline over the whole stream pair."""
+        queues = {"R": deque(), "S": deque()}
+        max_window = max(op.spec.window for op in self.operators)
+        cost_per_tuple = len(self.operators)
+
+        processed = 0
+        shed = 0
+        expired = 0
+        arrived = 0
+
+        for t in range(len(self.pair)):
+            for stream, keys in (("R", self.pair.r[t]), ("S", self.pair.s[t])):
+                arrived += 1
+                newcomer = (t, stream, keys)
+                queue = queues[stream]
+                if len(queue) >= self.queue_capacity:
+                    victim = self._shed(queue, newcomer)
+                    shed += 1
+                    if victim is newcomer:
+                        continue
+                queue.append(newcomer)
+
+            budget = self.service_per_tick
+            while budget >= cost_per_tuple:
+                head_r = queues["R"][0] if queues["R"] else None
+                head_s = queues["S"][0] if queues["S"] else None
+                if head_r is None and head_s is None:
+                    break
+                if head_s is None or (head_r is not None and head_r[0] <= head_s[0]):
+                    arrival, stream, keys = queues["R"].popleft()
+                else:
+                    arrival, stream, keys = queues["S"].popleft()
+                if arrival <= t - max_window:
+                    expired += 1
+                    continue  # stale for every query; costs no service
+                counted = t >= self.warmup
+                for operator in self.operators:
+                    operator.process(stream, arrival, keys, t, counted)
+                processed += 1
+                budget -= cost_per_tuple
+
+        return MultiQueryResult(
+            outputs={op.spec.name: op.output for op in self.operators},
+            processed=processed,
+            shed_from_queue=shed,
+            expired_in_queue=expired,
+            arrived=arrived,
+        )

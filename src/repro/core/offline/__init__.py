@@ -1,0 +1,24 @@
+"""OPT-offline: optimal keep/drop schedules via min-cost flow (Section 3.2)."""
+
+from .brute import brute_force_opt, brute_force_side
+from .flowgraph import JobArc, ScheduleNetwork, build_schedule_network, decode_departures
+from .intervals import TupleJob, extract_jobs, total_exact_output
+from .opt import OptResult, solve_opt
+from .sensitivity import MemoryValueCurve, MemoryValuePoint, memory_value_curve
+
+__all__ = [
+    "JobArc",
+    "MemoryValueCurve",
+    "MemoryValuePoint",
+    "OptResult",
+    "ScheduleNetwork",
+    "TupleJob",
+    "brute_force_opt",
+    "brute_force_side",
+    "build_schedule_network",
+    "decode_departures",
+    "memory_value_curve",
+    "extract_jobs",
+    "solve_opt",
+    "total_exact_output",
+]

@@ -1,0 +1,134 @@
+"""Exhaustive optimal scheduler for tiny instances.
+
+Explores every admit/reject/evict decision sequence of the fast-CPU model
+by memoised search, giving a ground-truth optimum to validate the flow
+formulation of OPT-offline against.  Exponential in general — intended
+for streams of a dozen tuples and single-digit memory in tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from ...streams.tuples import StreamPair
+
+
+def _simultaneous(pair: StreamPair, count_from: int) -> int:
+    return sum(1 for t in range(count_from, len(pair)) if pair.r[t] == pair.s[t])
+
+
+def brute_force_side(
+    self_keys: Sequence,
+    other_keys: Sequence,
+    window: int,
+    capacity: int,
+    *,
+    count_from: int = 0,
+) -> int:
+    """Optimal held-tuple output of one side under fixed allocation.
+
+    Counts, over all schedules, the outputs earned by *self*-stream
+    tuples resident when their partners arrive on the other stream.
+    """
+    if len(self_keys) != len(other_keys):
+        raise ValueError("streams must have equal length")
+    length = len(self_keys)
+    if capacity <= 0 or length == 0:
+        return 0
+
+    self_keys = tuple(self_keys)
+    other_keys = tuple(other_keys)
+
+    @lru_cache(maxsize=None)
+    def best(t: int, residents: tuple[int, ...]) -> int:
+        if t == length:
+            return 0
+        residents = tuple(a for a in residents if a > t - window)
+        profit = 0
+        if t >= count_from:
+            probe = other_keys[t]
+            profit = sum(1 for a in residents if self_keys[a] == probe)
+
+        # Admission choices for the tuple arriving now on the self stream.
+        outcomes = [best(t + 1, residents)]  # reject the newcomer
+        if len(residents) < capacity:
+            outcomes.append(best(t + 1, tuple(sorted(residents + (t,)))))
+        else:
+            for victim in residents:
+                kept = tuple(sorted(a for a in residents if a != victim) + [t])
+                outcomes.append(best(t + 1, kept))
+        return profit + max(outcomes)
+
+    return best(0, ())
+
+
+def brute_force_opt(
+    pair: StreamPair,
+    window: int,
+    memory: int,
+    *,
+    variable: bool = False,
+    count_from: int = 0,
+) -> int:
+    """Ground-truth optimal counted output (including simultaneous pairs)."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if memory <= 0:
+        raise ValueError(f"memory must be positive, got {memory}")
+    if not variable:
+        if memory % 2 != 0:
+            raise ValueError(f"fixed allocation needs even memory, got {memory}")
+        half = memory // 2
+        return (
+            brute_force_side(pair.r, pair.s, window, half, count_from=count_from)
+            + brute_force_side(pair.s, pair.r, window, half, count_from=count_from)
+            + _simultaneous(pair, count_from)
+        )
+    return _brute_force_variable(pair, window, memory, count_from) + _simultaneous(
+        pair, count_from
+    )
+
+
+def _brute_force_variable(
+    pair: StreamPair, window: int, memory: int, count_from: int
+) -> int:
+    """Joint search over a shared pool (cross evictions allowed)."""
+    length = len(pair)
+    r_keys = tuple(pair.r)
+    s_keys = tuple(pair.s)
+
+    def admission_states(own, other, t):
+        """(own, other) states after deciding the newcomer of `own`'s side."""
+        states = [(own, other)]  # reject the newcomer
+        if len(own) + len(other) < memory:
+            states.append((tuple(sorted(own + (t,))), other))
+        else:
+            admitted = tuple(sorted(own + (t,)))
+            for victim in own:
+                shrunk = tuple(sorted(a for a in own if a != victim))
+                states.append((tuple(sorted(shrunk + (t,))), other))
+            for victim in other:
+                states.append((admitted, tuple(a for a in other if a != victim)))
+        return states
+
+    @lru_cache(maxsize=None)
+    def best(t: int, residents_r: tuple[int, ...], residents_s: tuple[int, ...]) -> int:
+        if t == length:
+            return 0
+        residents_r = tuple(a for a in residents_r if a > t - window)
+        residents_s = tuple(a for a in residents_s if a > t - window)
+
+        profit = 0
+        if t >= count_from:
+            profit += sum(1 for a in residents_s if s_keys[a] == r_keys[t])
+            profit += sum(1 for a in residents_r if r_keys[a] == s_keys[t])
+
+        # Enumerate admissions of r(t) then s(t); cross evictions allowed.
+        outcomes = []
+        for new_r, mid_s in admission_states(residents_r, residents_s, t):
+            for new_s, final_r in admission_states(mid_s, new_r, t):
+                outcomes.append(best(t + 1, final_r, new_s))
+        return profit + max(outcomes)
+
+    return best(0, (), ())

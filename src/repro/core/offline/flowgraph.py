@@ -1,0 +1,173 @@
+"""Compact min-cost-flow construction for OPT-offline.
+
+The paper's flow graph (Section 3.2.1) has a node for every (tuple, time)
+pair — Θ(wN) nodes — and is solved with the C-coded CS2 solver.  This
+module builds the provably equivalent compact network described in
+DESIGN.md section 3: weighted interval scheduling of the tuples' match
+intervals on M identical memory slots.
+
+Construction
+------------
+* one *time node* per tick ``0 .. N`` (node ids in time order);
+* chain arcs ``time_t -> time_{t+1}`` with capacity = slot count, cost 0
+  (units flowing along the chain are idle slots);
+* per tuple job: an *entry node* wedged (in id order) between its arrival
+  tick and the next tick, fed by a unit-capacity zero-cost arc from
+  ``time_arrival``, with one outgoing arc per counted match time ``m``:
+  ``entry -> time_m`` with capacity 1 and cost ``-(k+1)`` for the
+  ``k``-th match — "hold the tuple for probes ``arrival+1 .. m``, then
+  release the slot to a tuple arriving at ``m``";
+* supply = slot count at ``time_0``, demand at ``time_N``.
+
+Every arc goes from a lower to a higher node id, so the network is a DAG
+in topological order and the SSP solver's O(V+E) potential
+initialisation applies.  Integral data ⇒ integral optimum (the paper's
+Theorem 2 applies unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...flow.network import FlowNetwork
+from .intervals import TupleJob
+
+
+@dataclass(frozen=True)
+class JobArc:
+    """Bookkeeping for one candidate departure of one job."""
+
+    job: TupleJob
+    departure: int  # the tuple is present for probes arrival+1 .. departure
+    profit: int
+
+
+@dataclass
+class ScheduleNetwork:
+    """A built OPT-offline network plus the decode tables.
+
+    Attributes
+    ----------
+    network:
+        The flow problem (solve with ``solve_min_cost_flow``).
+    entry_arcs:
+        arc id -> job, for the unit arcs ``time_arrival -> entry_node``
+        (flow 1 means the tuple is admitted).
+    departure_arcs:
+        arc id -> :class:`JobArc`, for the ``entry -> time_m`` arcs
+        (flow 1 selects that departure).
+    capacity:
+        Memory slots represented by the chain.
+    length:
+        Number of ticks N (time nodes are ``0 .. N``).
+    """
+
+    network: FlowNetwork
+    entry_arcs: dict[int, TupleJob]
+    departure_arcs: dict[int, JobArc]
+    capacity: int
+    length: int
+
+
+def build_schedule_network(
+    jobs: list[TupleJob], length: int, capacity: int
+) -> ScheduleNetwork:
+    """Build the compact network for one slot pool.
+
+    Parameters
+    ----------
+    jobs:
+        Interval jobs competing for the pool (one stream's jobs under
+        fixed allocation; both streams' jobs under variable allocation).
+    length:
+        Stream length N.
+    capacity:
+        Number of memory slots in the pool.
+
+    Notes
+    -----
+    With ``capacity == 0`` the network carries no flow and the optimum is
+    zero — still a valid (empty) schedule.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+
+    network = FlowNetwork()
+    entry_arcs: dict[int, TupleJob] = {}
+    departure_arcs: dict[int, JobArc] = {}
+
+    if length == 0:
+        return ScheduleNetwork(network, entry_arcs, departure_arcs, capacity, length)
+
+    # Group jobs by arrival so entry nodes can be created in id order.
+    jobs_by_arrival: dict[int, list[TupleJob]] = {}
+    for job in jobs:
+        if not 0 <= job.arrival < length:
+            raise ValueError(f"job arrival {job.arrival} outside stream of length {length}")
+        jobs_by_arrival.setdefault(job.arrival, []).append(job)
+
+    # Create nodes tick by tick: time node, then that tick's entry nodes.
+    time_node = [0] * (length + 1)
+    entry_node: dict[int, int] = {}  # id(job) -> node (jobs are unique objects)
+    job_entries: list[tuple[TupleJob, int]] = []
+    for t in range(length):
+        time_node[t] = network.add_node(f"t={t}")
+        for job in jobs_by_arrival.get(t, ()):
+            node = network.add_node(f"{job.stream}({job.arrival})")
+            entry_node[id(job)] = node
+            job_entries.append((job, node))
+    time_node[length] = network.add_node(f"t={length}")
+
+    network.set_supply(time_node[0], capacity)
+    network.set_supply(time_node[length], -capacity)
+
+    for t in range(length):
+        network.add_arc(time_node[t], time_node[t + 1], capacity, 0)
+
+    for job, node in job_entries:
+        arc_id = network.add_arc(time_node[job.arrival], node, 1, 0)
+        entry_arcs[arc_id] = job
+        for k, match_time in enumerate(job.match_times):
+            if not job.arrival < match_time <= length - 1:
+                raise ValueError(
+                    f"match time {match_time} invalid for arrival {job.arrival} "
+                    f"in stream of length {length}"
+                )
+            profit = k + 1
+            arc_id = network.add_arc(node, time_node[match_time], 1, -profit)
+            departure_arcs[arc_id] = JobArc(job, match_time, profit)
+
+    return ScheduleNetwork(network, entry_arcs, departure_arcs, capacity, length)
+
+
+def decode_departures(
+    schedule: ScheduleNetwork, flow: list[int]
+) -> dict[tuple[str, int], int]:
+    """Read the kept/dropped schedule off an optimal flow.
+
+    Returns
+    -------
+    mapping ``(stream, arrival) -> departure``:
+        For every *admitted* job, the last probe tick it stays for.
+        Tuples absent from the mapping are shed on arrival.
+
+    Raises
+    ------
+    ValueError
+        If the flow selects more than one departure for a job (cannot
+        happen for a feasible flow — the entry arc has capacity 1 — but
+        guarded to catch solver bugs).
+    """
+    departures: dict[tuple[str, int], int] = {}
+    for arc_id, job_arc in schedule.departure_arcs.items():
+        if flow[arc_id] == 0:
+            continue
+        if flow[arc_id] != 1:
+            raise ValueError(f"job arc {arc_id} carries flow {flow[arc_id]} != 1")
+        key = (job_arc.job.stream, job_arc.job.arrival)
+        if key in departures:
+            raise ValueError(f"job {key} selected two departures")
+        departures[key] = job_arc.departure
+    return departures

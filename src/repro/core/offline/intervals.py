@@ -1,0 +1,127 @@
+"""Per-tuple match-time extraction for OPT-offline.
+
+Under the MAX-subset measure, the only times at which holding a tuple in
+memory pays off are the arrival times of its match partners on the other
+stream.  Every output pair ``(r(i), s(j))`` with ``i != j`` is earned by
+the *earlier* tuple being resident when the later one arrives, so each
+tuple's potential contribution is fully described by the ascending list
+of its future match times within the window — its "interval job".
+
+Match times before ``count_from`` (the warmup boundary) produce no
+counted output and are dropped: an optimal schedule never holds a tuple
+past a match it gets no credit for unless a later counted match follows,
+and the remaining (counted) match times express exactly those options.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ...streams.tuples import StreamPair
+
+
+@dataclass(frozen=True)
+class TupleJob:
+    """The OPT-offline view of one tuple: when would holding it pay?
+
+    Attributes
+    ----------
+    stream:
+        ``"R"`` or ``"S"`` — which side's memory the tuple occupies.
+    arrival:
+        Arrival time ``i``.
+    match_times:
+        Strictly ascending arrival times of counted future partners, all
+        within ``(i, i + w)`` and ``>= count_from``.  Holding the tuple
+        for probes ``i+1 .. match_times[k]`` earns ``k + 1`` outputs.
+    """
+
+    stream: str
+    arrival: int
+    match_times: tuple[int, ...]
+
+    @property
+    def max_profit(self) -> int:
+        return len(self.match_times)
+
+
+def _future_matches(
+    arrival: int,
+    key: Hashable,
+    other_times_by_key: dict,
+    window: int,
+    length: int,
+    count_from: int,
+) -> tuple[int, ...]:
+    """Counted partner-arrival times for a tuple in ``(arrival, arrival+w)``."""
+    times: Sequence[int] = other_times_by_key.get(key, ())
+    if not times:
+        return ()
+    low = max(arrival + 1, count_from)
+    high = min(arrival + window - 1, length - 1)
+    if low > high:
+        return ()
+    start = bisect_left(times, low)
+    stop = bisect_right(times, high)
+    return tuple(times[start:stop])
+
+
+def extract_jobs(
+    pair: StreamPair, window: int, *, count_from: int = 0
+) -> tuple[list[TupleJob], list[TupleJob], int]:
+    """Turn a stream pair into interval jobs plus the simultaneous count.
+
+    Returns
+    -------
+    (r_jobs, s_jobs, simultaneous):
+        Jobs for tuples with at least one counted future match (tuples
+        with none can never contribute and are omitted), and the number
+        of counted simultaneous pairs ``r(t) == s(t)`` with
+        ``t >= count_from`` (always produced; the flow graph's top path).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if count_from < 0:
+        raise ValueError(f"count_from must be non-negative, got {count_from}")
+
+    length = len(pair)
+    r_times_by_key: dict = {}
+    s_times_by_key: dict = {}
+    for t, (r_key, s_key) in enumerate(zip(pair.r, pair.s)):
+        r_times_by_key.setdefault(r_key, []).append(t)
+        s_times_by_key.setdefault(s_key, []).append(t)
+
+    r_jobs: list[TupleJob] = []
+    s_jobs: list[TupleJob] = []
+    for t, (r_key, s_key) in enumerate(zip(pair.r, pair.s)):
+        r_matches = _future_matches(t, r_key, s_times_by_key, window, length, count_from)
+        if r_matches:
+            r_jobs.append(TupleJob("R", t, r_matches))
+        s_matches = _future_matches(t, s_key, r_times_by_key, window, length, count_from)
+        if s_matches:
+            s_jobs.append(TupleJob("S", t, s_matches))
+
+    simultaneous = sum(
+        1
+        for t in range(count_from, length)
+        if pair.r[t] == pair.s[t]
+    )
+    return r_jobs, s_jobs, simultaneous
+
+
+def total_exact_output(
+    r_jobs: list[TupleJob], s_jobs: list[TupleJob], simultaneous: int
+) -> int:
+    """Output size of the EXACT join implied by the jobs.
+
+    With unbounded memory every job realises its full profit; this equals
+    :func:`repro.streams.tuples.exact_join_size` with the same
+    ``count_from`` and serves as a cross-check between the two pipelines.
+    """
+    return (
+        sum(job.max_profit for job in r_jobs)
+        + sum(job.max_profit for job in s_jobs)
+        + simultaneous
+    )

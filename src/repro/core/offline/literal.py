@@ -1,0 +1,172 @@
+"""The paper's literal OPT-offline flow graph (Section 3.2.1).
+
+This is the Θ(wN)-node construction exactly as Figure 2 describes it:
+
+* a node ``x(i):j`` for every tuple and every time it could be resident;
+* horizontal arcs model a tuple surviving one more tick, carrying cost
+  −1 when the other stream's arrival at the new time matches it;
+* diagonal arcs model replacement by the tuple newly arriving on the
+  same stream (plus cross arcs to the *other* stream's newcomer in the
+  variable-allocation generalisation);
+* the source feeds the first M/2 tuples of each stream (they always fit)
+  and a separate "top path" accounts for simultaneous matches — here
+  folded in as the constant it always contributes, since the top path
+  carries exactly one unit of flow regardless of the schedule;
+* all flow drains to the sink at the stream end.
+
+The production solver uses the compact formulation in
+:mod:`repro.core.offline.flowgraph` (Θ(N) nodes); this module exists to
+*validate* that compaction: the test-suite asserts both constructions
+and the exhaustive scheduler agree on small inputs.  It is also a
+faithful reference for readers following the paper's own exposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...flow.network import FlowNetwork
+from ...flow.ssp import solve_min_cost_flow
+from ...streams.tuples import StreamPair
+
+
+@dataclass
+class LiteralGraph:
+    """The built literal network plus decode information."""
+
+    network: FlowNetwork
+    node_of: dict[tuple[str, int, int], int]  # (stream, tuple, time) -> node
+    simultaneous: int
+    capacity_r: int
+    capacity_s: int
+
+
+def _last_node_time(arrival: int, window: int, length: int) -> int:
+    """Latest time a tuple can be resident for (expiry and stream end)."""
+    return min(arrival + window - 1, length - 1)
+
+
+def build_literal_graph(
+    pair: StreamPair,
+    window: int,
+    memory: int,
+    *,
+    variable: bool = False,
+    count_from: int = 0,
+) -> LiteralGraph:
+    """Construct the paper's tuple-time flow graph.
+
+    Parameters
+    ----------
+    pair, window, memory:
+        As for :func:`repro.core.offline.opt.solve_opt`.
+    variable:
+        Add the cross arcs of the variable-allocation generalisation.
+    count_from:
+        Matches before this tick carry no cost (warmup).
+
+    Notes
+    -----
+    Intended for small inputs (node count is Θ(wN)); the stream must be
+    long enough to absorb the initial allocation (``length >= M/2``).
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if memory <= 0:
+        raise ValueError(f"memory must be positive, got {memory}")
+    if not variable and memory % 2 != 0:
+        raise ValueError(f"fixed allocation needs even memory, got {memory}")
+
+    length = len(pair)
+    half = memory // 2
+    capacity_r = min(half, length)
+    capacity_s = min(half, length)
+
+    network = FlowNetwork()
+    source = network.add_node("source", supply=capacity_r + capacity_s)
+    node_of: dict[tuple[str, int, int], int] = {}
+
+    keys = {"R": pair.r, "S": pair.s}
+    other = {"R": pair.s, "S": pair.r}
+
+    # Create nodes time-major so arcs go forward in node-id order (lets
+    # the solver use its DAG potential initialisation).
+    for t in range(length):
+        for stream in ("R", "S"):
+            for arrival in range(max(0, t - window + 1), t + 1):
+                if _last_node_time(arrival, window, length) >= t:
+                    node_of[(stream, arrival, t)] = network.add_node(
+                        f"{stream.lower()}({arrival}):{t}"
+                    )
+    sink = network.add_node("sink", supply=-(capacity_r + capacity_s))
+
+    # Source arcs: the first M/2 tuples of each stream always fit.
+    for stream, capacity in (("R", capacity_r), ("S", capacity_s)):
+        for arrival in range(capacity):
+            network.add_arc(source, node_of[(stream, arrival, arrival)], 1, 0)
+
+    # Arc semantics follow the fast-CPU model's probe-then-evict order: a
+    # tuple resident "at time j" receives the match with the time-j
+    # arrival even when it is evicted at that very tick to admit the
+    # newcomer (the paper's Figure 2 optimum — missing exactly the pairs
+    # (r(1), s(2)) and (r(1), s(3)) — requires this reading).
+    for (stream, arrival, t), node in node_of.items():
+        last = _last_node_time(arrival, window, length)
+        cross = "S" if stream == "R" else "R"
+        # Horizontal arc: survive to the next tick, producing an output
+        # iff the other stream's arrival there matches this tuple.
+        if t + 1 <= last:
+            matches = other[stream][t + 1] == keys[stream][arrival]
+            cost = -1 if (matches and t + 1 >= count_from) else 0
+            network.add_arc(node, node_of[(stream, arrival, t + 1)], 1, cost)
+        # Same-tick handover: after the tick-t probe the slot passes to
+        # the tuple newly arriving at t (replacement).
+        if t > arrival:
+            network.add_arc(node, node_of[(stream, t, t)], 1, 0)
+            if variable:
+                network.add_arc(node, node_of[(cross, t, t)], 1, 0)
+        # Expiry handover: at the end of its lifetime the slot passes to
+        # the next tick's newcomer (or drains at the stream end).
+        if t == last:
+            if t + 1 <= length - 1:
+                network.add_arc(node, node_of[(stream, t + 1, t + 1)], 1, 0)
+                if variable:
+                    network.add_arc(node, node_of[(cross, t + 1, t + 1)], 1, 0)
+            else:
+                network.add_arc(node, sink, 1, 0)
+
+    simultaneous = sum(
+        1 for t in range(count_from, length) if pair.r[t] == pair.s[t]
+    )
+    return LiteralGraph(
+        network=network,
+        node_of=node_of,
+        simultaneous=simultaneous,
+        capacity_r=capacity_r,
+        capacity_s=capacity_s,
+    )
+
+
+def solve_opt_literal(
+    pair: StreamPair,
+    window: int,
+    memory: int,
+    *,
+    variable: bool = False,
+    count_from: int = 0,
+) -> int:
+    """Optimal counted output via the paper's literal graph.
+
+    Returns the same value as
+    :func:`repro.core.offline.opt.solve_opt(...).output_count` (the
+    test-suite asserts this); use only on small inputs.
+    """
+    graph = build_literal_graph(
+        pair, window, memory, variable=variable, count_from=count_from
+    )
+    if graph.network.total_supply() == 0:
+        return graph.simultaneous
+    result = solve_min_cost_flow(graph.network)
+    if not result.feasible:
+        raise RuntimeError("literal OPT graph was infeasible")  # pragma: no cover
+    return -result.cost + graph.simultaneous

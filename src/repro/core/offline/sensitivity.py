@@ -1,0 +1,103 @@
+"""Memory-value analysis on top of OPT-offline.
+
+OPT as a function of the memory budget answers the provisioning question
+behind the whole paper: *how much is another tuple of memory worth?*
+For the compact formulation this is a parametric min-cost flow in the
+chain capacity, so the optimal profit is concave in the budget — each
+additional slot buys at most as much output as the previous one.  The
+helpers here compute the curve, its marginal values, and the smallest
+budget achieving a target fraction of the exact result ("the knee").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ...streams.tuples import StreamPair, exact_join_size
+from .opt import solve_opt
+
+
+@dataclass(frozen=True)
+class MemoryValuePoint:
+    """One point of the memory-value curve."""
+
+    memory: int
+    output: int
+    fraction_of_exact: float
+
+
+@dataclass
+class MemoryValueCurve:
+    """OPT output as a function of the memory budget.
+
+    Attributes
+    ----------
+    points:
+        Curve points in increasing memory order.
+    exact:
+        The unconstrained (EXACT) output the fractions refer to.
+    """
+
+    points: list[MemoryValuePoint]
+    exact: int
+    window: int
+    variable: bool
+
+    def marginal_values(self) -> list[float]:
+        """Output gained per extra tuple of memory between grid points.
+
+        Concavity of the parametric flow optimum means these are
+        non-increasing (verified by the test-suite); a sharp drop marks
+        the provisioning knee.
+        """
+        marginals: list[float] = []
+        for previous, current in zip(self.points, self.points[1:]):
+            span = current.memory - previous.memory
+            marginals.append((current.output - previous.output) / max(span, 1))
+        return marginals
+
+    def smallest_budget_reaching(self, fraction: float) -> Optional[int]:
+        """Least measured budget with ``output >= fraction * exact``."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        for point in self.points:
+            if point.fraction_of_exact >= fraction:
+                return point.memory
+        return None
+
+
+def memory_value_curve(
+    pair: StreamPair,
+    window: int,
+    memories: Sequence[int],
+    *,
+    variable: bool = False,
+    count_from: Optional[int] = None,
+) -> MemoryValueCurve:
+    """Solve OPT across a memory grid and assemble the value curve.
+
+    ``memories`` must be strictly increasing (and even under fixed
+    allocation, as usual).
+    """
+    if not memories:
+        raise ValueError("need at least one memory budget")
+    if list(memories) != sorted(set(memories)):
+        raise ValueError("memories must be strictly increasing")
+    if count_from is None:
+        count_from = 2 * window
+
+    exact = exact_join_size(pair, window, count_from=count_from)
+    points = []
+    for memory in memories:
+        output = solve_opt(
+            pair, window, memory, variable=variable, count_from=count_from
+        ).output_count
+        points.append(
+            MemoryValuePoint(
+                memory=memory,
+                output=output,
+                fraction_of_exact=output / max(exact, 1),
+            )
+        )
+    return MemoryValueCurve(points=points, exact=exact, window=window, variable=variable)

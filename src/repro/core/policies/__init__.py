@@ -1,0 +1,25 @@
+"""Join-memory eviction policies (semantic load shedding).
+
+* :class:`RandomEvictionPolicy` — RAND/RANDV, the random-shedding baseline;
+* :class:`ProbPolicy` — PROB/PROBV, partner-arrival probability;
+* :class:`LifePolicy` — LIFE/LIFEV, remaining-lifetime x probability;
+* :class:`ArmAwarePolicy` — extension targeting the Archive-metric.
+"""
+
+from .arm import ArmAwarePolicy, KeyArrivalTracker
+from .base import EvictionPolicy, later_arrival_wins
+from .fifo import FifoPolicy
+from .life import LifePolicy
+from .prob import ProbPolicy
+from .random_policy import RandomEvictionPolicy
+
+__all__ = [
+    "ArmAwarePolicy",
+    "EvictionPolicy",
+    "FifoPolicy",
+    "KeyArrivalTracker",
+    "LifePolicy",
+    "ProbPolicy",
+    "RandomEvictionPolicy",
+    "later_arrival_wins",
+]

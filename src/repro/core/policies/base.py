@@ -1,0 +1,110 @@
+"""Eviction-policy interface for semantic load shedding.
+
+A policy decides, when the join memory is full and a new tuple arrives,
+whether to reject the newcomer or which resident tuple to displace.  The
+engine drives the protocol:
+
+1. every arrival is announced via :meth:`EvictionPolicy.observe_arrival`
+   (statistics maintenance — both streams, regardless of side);
+2. if the newcomer's side has room it is admitted and
+   :meth:`EvictionPolicy.on_admit` fires;
+3. otherwise :meth:`EvictionPolicy.choose_victim` returns a resident
+   tuple to evict (the engine then fires ``on_remove`` for the victim and
+   ``on_admit`` for the newcomer) or ``None`` to drop the newcomer;
+4. expiring tuples fire :meth:`EvictionPolicy.on_remove` too.
+
+With fixed allocation the engine instantiates one policy per stream side;
+with variable allocation a single policy instance governs the shared pool
+and may return victims from either side.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Optional
+
+from ..memory import JoinMemory, TupleRecord
+
+
+class EvictionPolicy(ABC):
+    """Base class for join-memory admission/eviction strategies."""
+
+    #: Human-readable policy name, set by subclasses ("RAND", "PROB", ...).
+    name: str = "?"
+
+    def __init__(self) -> None:
+        self._memory: Optional[JoinMemory] = None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind(self, memory: JoinMemory) -> None:
+        """Attach the policy to the join memory it governs.
+
+        Called once by the engine before the run starts; policies must not
+        be shared across concurrent runs.
+        """
+        if self._memory is not None and self._memory is not memory:
+            raise RuntimeError(f"{self.name} policy is already bound to another memory")
+        self._memory = memory
+
+    @property
+    def memory(self) -> JoinMemory:
+        if self._memory is None:
+            raise RuntimeError(f"{self.name} policy used before bind()")
+        return self._memory
+
+    # ------------------------------------------------------------------
+    # notifications (optional overrides)
+    # ------------------------------------------------------------------
+    def observe_arrival(self, stream: str, key: Hashable, now: int) -> None:
+        """Called for *every* arrival on both streams (statistics hook)."""
+
+    def on_admit(self, record: TupleRecord, now: int) -> None:
+        """Called after a tuple is admitted to memory."""
+
+    def on_remove(self, record: TupleRecord, now: int, *, expired: bool) -> None:
+        """Called after a tuple leaves memory (eviction or expiry)."""
+
+    # ------------------------------------------------------------------
+    # the decisions
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def choose_victim(self, candidate: TupleRecord, now: int) -> Optional[TupleRecord]:
+        """Pick the tuple to displace in favour of ``candidate``.
+
+        Only called when ``candidate``'s side is full.  The return value
+        must be a resident tuple from one of
+        ``memory.eviction_candidates(candidate.stream)``, or ``None`` to
+        reject the candidate instead.
+        """
+
+    def weakest_resident(self, stream: str, now: int) -> Optional[TupleRecord]:
+        """The resident this policy would shed first (no newcomer involved).
+
+        Used when the memory budget *shrinks* at runtime (the paper notes
+        PROB/LIFE "can easily deal with varying memory and window sizes",
+        Section 3.3).  ``stream`` selects the pool under fixed allocation
+        and is ignored for a shared pool.  Returns ``None`` only when the
+        relevant pool is empty.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support shrinking memory budgets"
+        )
+
+
+def later_arrival_wins(
+    resident_priority: float,
+    resident_arrival: int,
+    candidate_priority: float,
+    candidate_arrival: int,
+) -> bool:
+    """Shared tie rule: evict the resident iff it is strictly worse.
+
+    The paper breaks priority ties "by giving higher priority to the tuple
+    that arrived later", so an equal-priority resident (which necessarily
+    arrived no later than the candidate) loses.
+    """
+    if resident_priority != candidate_priority:
+        return resident_priority < candidate_priority
+    return resident_arrival < candidate_arrival

@@ -1,0 +1,46 @@
+"""FIFO: evict the oldest resident (a value-oblivious baseline).
+
+Not in the paper's comparison, but the natural "do what the window does,
+only sooner" strategy: the memory holds the *most recent* M tuples, i.e.
+a uniformly shrunken window.  Deterministic, which makes it a useful
+baseline alongside RAND in ablations: FIFO retains recency, RAND retains
+a uniform sample of the window — both ignore values.
+
+Expected behaviour: close to RAND on iid inputs (for a shrunken window
+of size m per stream the expected output is ~m/w of EXACT, like RAND's
+linear curve), far below PROB on skewed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..memory import StreamMemory, TupleRecord
+from .base import EvictionPolicy
+
+
+class FifoPolicy(EvictionPolicy):
+    """Always admit the newcomer; evict the earliest-arrived resident."""
+
+    name = "FIFO"
+
+    def _oldest_on(self, side: StreamMemory) -> Optional[TupleRecord]:
+        oldest: Optional[TupleRecord] = None
+        for key in list(side.resident_keys()):
+            record = side.oldest_alive(key)
+            if record is not None and (oldest is None or record.arrival < oldest.arrival):
+                oldest = record
+        return oldest
+
+    def weakest_resident(self, stream: str, now: int) -> Optional[TupleRecord]:
+        oldest: Optional[TupleRecord] = None
+        for side in self.memory.eviction_candidates(stream):
+            contender = self._oldest_on(side)
+            if contender is not None and (
+                oldest is None or contender.arrival < oldest.arrival
+            ):
+                oldest = contender
+        return oldest
+
+    def choose_victim(self, candidate: TupleRecord, now: int) -> Optional[TupleRecord]:
+        return self.weakest_resident(candidate.stream, now)

@@ -1,0 +1,98 @@
+"""PROB: the paper's headline heuristic (Section 3.3.1).
+
+A tuple's priority is the probability that a *partner* arrives on the
+other stream: for ``r(i)`` it is ``p_S(r(i))``.  When the memory is full,
+the lowest-priority tuple (among residents and the newcomer) is shed;
+priority ties go to the later arrival.  Because priorities are static per
+key, a lazy min-heap gives O(log M) decisions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Mapping, Optional
+
+from ...stats.frequency import FrequencyEstimator
+from ..memory import TupleRecord
+from .base import EvictionPolicy, later_arrival_wins
+
+
+class ProbPolicy(EvictionPolicy):
+    """Partner-arrival-probability eviction (PROB; PROBV on a shared pool).
+
+    Parameters
+    ----------
+    estimators:
+        Mapping from stream name (``"R"``/``"S"``) to the frequency
+        estimator of *that stream's own* arrival distribution.  A resident
+        R-tuple is scored with the S estimator and vice versa, matching
+        the paper's ``p_S(r(i))`` / ``p_R(s(i))``.
+
+    update_estimators:
+        When True, every arrival on either stream is fed to its own
+        stream's estimator (for online statistics such as
+        :class:`~repro.stats.ewma.EwmaFrequencyEstimator` or the sketch
+        estimators).  The paper's experiments keep the estimators static
+        (the default).
+
+    Notes
+    -----
+    With online estimators the priority cached at admission time is used
+    for eviction ordering (refreshing the heap on every estimate change
+    would be prohibitively expensive and the paper does not do it);
+    candidates are always scored with the current estimate.
+    """
+
+    name = "PROB"
+
+    def __init__(
+        self,
+        estimators: Mapping[str, FrequencyEstimator],
+        *,
+        update_estimators: bool = False,
+    ) -> None:
+        super().__init__()
+        missing = {"R", "S"} - set(estimators)
+        if missing:
+            raise ValueError(f"estimators missing for streams: {sorted(missing)}")
+        self._estimators = dict(estimators)
+        self._update_estimators = update_estimators
+        # Lazy min-heap of (priority, arrival, seq, record).
+        self._heap: list[tuple[float, int, int, TupleRecord]] = []
+        self._seq = count()
+
+    def observe_arrival(self, stream: str, key, now: int) -> None:
+        if self._update_estimators:
+            self._estimators[stream].observe(key)
+
+    def partner_probability(self, record: TupleRecord) -> float:
+        """Probability that a partner for ``record`` arrives next tick."""
+        other = "S" if record.stream == "R" else "R"
+        return self._estimators[other].probability(record.key)
+
+    def on_admit(self, record: TupleRecord, now: int) -> None:
+        record.priority = self.partner_probability(record)
+        heapq.heappush(
+            self._heap, (record.priority, record.arrival, next(self._seq), record)
+        )
+
+    def _peek_min_alive(self) -> Optional[TupleRecord]:
+        heap = self._heap
+        while heap and not heap[0][3].alive:
+            heapq.heappop(heap)
+        return heap[0][3] if heap else None
+
+    def choose_victim(self, candidate: TupleRecord, now: int) -> Optional[TupleRecord]:
+        weakest = self._peek_min_alive()
+        if weakest is None:
+            return None
+        candidate_priority = self.partner_probability(candidate)
+        if later_arrival_wins(
+            weakest.priority, weakest.arrival, candidate_priority, candidate.arrival
+        ):
+            return weakest
+        return None
+
+    def weakest_resident(self, stream: str, now: int) -> Optional[TupleRecord]:
+        return self._peek_min_alive()

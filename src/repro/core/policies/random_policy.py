@@ -1,0 +1,66 @@
+"""RAND: random load shedding, the paper's state-of-the-art baseline.
+
+When the memory is full, the victim is drawn uniformly at random from the
+resident tuples the newcomer may displace plus (by default) the newcomer
+itself, so every tuple — old or new — is equally likely to be shed.  This
+is the value-oblivious strategy of Kang et al. that the paper's semantic
+policies are measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..memory import TupleRecord
+from .base import EvictionPolicy
+
+
+class RandomEvictionPolicy(EvictionPolicy):
+    """Uniform random eviction (RAND; RANDV on a variable pool).
+
+    Parameters
+    ----------
+    seed:
+        Seed for the policy's private RNG; runs are reproducible.
+    include_newcomer:
+        When True (default) the newcomer is part of the victim draw, so it
+        is rejected with probability ``1 / (residents + 1)``.  When False
+        the newcomer is always admitted and a resident is always evicted.
+    """
+
+    name = "RAND"
+
+    def __init__(self, *, seed: int = 0, include_newcomer: bool = True) -> None:
+        super().__init__()
+        self._rng = np.random.default_rng(seed)
+        self._include_newcomer = include_newcomer
+
+    def choose_victim(self, candidate: TupleRecord, now: int) -> Optional[TupleRecord]:
+        sides = self.memory.eviction_candidates(candidate.stream)
+        resident_count = sum(side.size for side in sides)
+        if resident_count == 0:
+            return None  # nothing can be displaced; drop the newcomer
+
+        population = resident_count + (1 if self._include_newcomer else 0)
+        index = int(self._rng.integers(population))
+        if index == resident_count:
+            return None  # the newcomer itself was drawn
+        for side in sides:
+            if index < side.size:
+                return side.record_at_slot(index)
+            index -= side.size
+        raise AssertionError("unreachable: index within resident_count")
+
+    def weakest_resident(self, stream: str, now: int) -> Optional[TupleRecord]:
+        sides = self.memory.eviction_candidates(stream)
+        resident_count = sum(side.size for side in sides)
+        if resident_count == 0:
+            return None
+        index = int(self._rng.integers(resident_count))
+        for side in sides:
+            if index < side.size:
+                return side.record_at_slot(index)
+            index -= side.size
+        raise AssertionError("unreachable: index within resident_count")

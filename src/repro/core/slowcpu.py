@@ -1,0 +1,304 @@
+"""Slow-CPU, modular join processing (Section 2.1; future work in §6).
+
+When tuples arrive faster than the join can process them, a queue buffers
+the input and overflows must be shed *before* tuples ever reach the join
+— the Aurora-style load shedding the paper generalises.  This module
+implements that modular architecture as an extension:
+
+* bursty arrival schedules (see :mod:`repro.streams.arrival`) feed
+  per-stream queues of bounded capacity;
+* the join operator pulls up to ``service_per_tick`` tuples per tick
+  (oldest arrival first, alternating between streams on ties);
+* queue overflow triggers a queue-shedding policy: ``"tail"`` (drop the
+  newcomer), ``"random"`` (drop a uniformly random queued tuple) or
+  ``"prob"`` (semantic: drop the queued tuple with the lowest
+  partner-arrival probability);
+* tuples that expire while queued are discarded unprocessed;
+* tuples reaching the join are processed exactly as in the fast-CPU
+  model (probe, then admission under the join-memory eviction policy).
+
+Simplifications vs. the paper's informal description (documented in
+DESIGN.md): the simultaneous-arrival pair is not special-cased (delayed
+tuples are processed individually, so a same-tick pair is produced iff
+one partner is resident when the other is processed), and service
+capacity is counted in tuples rather than CPU cost units.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..stats.frequency import FrequencyEstimator
+from .engine import PolicySpec
+from .memory import JoinMemory, TupleRecord
+from .policies.base import EvictionPolicy
+
+QUEUE_POLICIES = ("tail", "random", "prob")
+
+
+@dataclass
+class SlowCpuConfig:
+    """Configuration of a slow-CPU run.
+
+    ``service_per_tick`` below the mean total arrival rate makes the
+    queue the binding resource; ``queue_capacity`` bounds its size.
+    """
+
+    window: int
+    memory: int
+    service_per_tick: int
+    queue_capacity: int
+    queue_policy: str = "tail"
+    variable: bool = False
+    warmup: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+        if self.memory <= 0:
+            raise ValueError(f"memory must be positive, got {self.memory}")
+        if self.service_per_tick <= 0:
+            raise ValueError("service_per_tick must be positive")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"queue_policy must be one of {QUEUE_POLICIES}, got {self.queue_policy!r}"
+            )
+        if self.warmup is None:
+            self.warmup = 2 * self.window
+
+
+@dataclass
+class SlowCpuResult:
+    """Counters of one slow-CPU run.
+
+    ``total_delay`` sums, over processed tuples, the ticks spent waiting
+    in the queue — the basis of the "average output delay" measure the
+    paper mentions alongside ArM (Section 2.2).
+    """
+
+    output_count: int
+    processed: int
+    shed_from_queue: int
+    expired_in_queue: int
+    arrived: int
+    max_queue_length: int
+    total_delay: int = 0
+    drop_counts: dict = field(default_factory=dict)
+
+    @property
+    def mean_delay(self) -> float:
+        """Average queueing delay per processed tuple (ticks)."""
+        if self.processed == 0:
+            return 0.0
+        return self.total_delay / self.processed
+
+
+class SlowCpuEngine:
+    """Modular-model simulator: bounded queue in front of the join.
+
+    Parameters
+    ----------
+    config:
+        Run configuration.
+    policy:
+        Join-memory eviction policy, as for
+        :class:`~repro.core.engine.JoinEngine` (``None`` = never evict;
+        requires sufficient memory).
+    estimators:
+        Per-stream arrival-probability estimators; required by the
+        ``"prob"`` queue policy (a queued R-tuple is scored with the S
+        estimator, as in PROB).
+    """
+
+    def __init__(
+        self,
+        config: SlowCpuConfig,
+        policy: PolicySpec = None,
+        estimators: Optional[dict] = None,
+    ) -> None:
+        if config.queue_policy == "prob" and not estimators:
+            raise ValueError("the 'prob' queue policy needs estimators")
+        self.config = config
+        self.memory = JoinMemory(config.memory, variable=config.variable)
+        self._estimators: dict[str, FrequencyEstimator] = estimators or {}
+        self._rng = np.random.default_rng(config.seed)
+
+        if policy is None:
+            self._policy_r: Optional[EvictionPolicy] = None
+            self._policy_s: Optional[EvictionPolicy] = None
+        elif isinstance(policy, EvictionPolicy):
+            if not config.variable:
+                raise ValueError("a single policy instance requires variable allocation")
+            policy.bind(self.memory)
+            self._policy_r = self._policy_s = policy
+        elif isinstance(policy, dict):
+            policy["R"].bind(self.memory)
+            policy["S"].bind(self.memory)
+            self._policy_r = policy["R"]
+            self._policy_s = policy["S"]
+        else:
+            raise TypeError(f"unsupported policy specification: {policy!r}")
+
+    # ------------------------------------------------------------------
+    def _partner_probability(self, stream: str, key) -> float:
+        other = "S" if stream == "R" else "R"
+        estimator = self._estimators.get(other)
+        return estimator.probability(key) if estimator is not None else 0.0
+
+    def _shed_from_queue(self, queue: deque, newcomer) -> Optional[tuple]:
+        """Apply the queue policy; returns the shed tuple.
+
+        ``newcomer`` is ``(arrival, stream, key)`` not yet enqueued; the
+        returned victim may be the newcomer itself.
+        """
+        policy = self.config.queue_policy
+        if policy == "tail" or not queue:
+            return newcomer
+        if policy == "random":
+            index = int(self._rng.integers(len(queue) + 1))
+            if index == len(queue):
+                return newcomer
+            victim = queue[index]
+            del queue[index]
+            return victim
+        # "prob": shed the lowest partner probability; ties drop older.
+        weakest_index = -1
+        weakest_score: tuple[float, int] = (
+            self._partner_probability(newcomer[1], newcomer[2]),
+            newcomer[0],
+        )
+        for index, (arrival, stream, key) in enumerate(queue):
+            score = (self._partner_probability(stream, key), arrival)
+            if score < weakest_score:
+                weakest_score = score
+                weakest_index = index
+        if weakest_index < 0:
+            return newcomer
+        victim = queue[weakest_index]
+        del queue[weakest_index]
+        return victim
+
+    def _process(self, arrival: int, stream: str, key, now: int) -> int:
+        """Run one tuple through the join; returns matches produced."""
+        memory = self.memory
+        matches = memory.other_side(stream).match_count(key)
+
+        record = TupleRecord(stream, arrival, key)
+        policy = self._policy_r if stream == "R" else self._policy_s
+        if not memory.needs_eviction(stream):
+            memory.admit(record)
+            if policy is not None:
+                policy.on_admit(record, now)
+        elif policy is not None:
+            victim = policy.choose_victim(record, now)
+            if victim is not None:
+                memory.remove(victim)
+                policy.on_remove(victim, now, expired=False)
+                memory.admit(record)
+                policy.on_admit(record, now)
+        else:
+            raise RuntimeError("memory overflow without an eviction policy")
+        return matches
+
+    def run(
+        self,
+        r_keys: Sequence,
+        s_keys: Sequence,
+        r_schedule: Sequence[int],
+        s_schedule: Sequence[int],
+    ) -> SlowCpuResult:
+        """Simulate the queue + join pipeline over bursty arrivals.
+
+        ``r_schedule[t]`` tuples of ``r_keys`` arrive at tick ``t`` (keys
+        are consumed in order); likewise for S.  The schedules' totals
+        must not exceed the key sequences' lengths.
+        """
+        config = self.config
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+        if sum(r_schedule) > len(r_keys) or sum(s_schedule) > len(s_keys):
+            raise ValueError("schedules deliver more tuples than keys provided")
+        if len(r_schedule) != len(s_schedule):
+            raise ValueError("schedules must cover the same number of ticks")
+
+        queues = {"R": deque(), "S": deque()}
+        next_key = {"R": 0, "S": 0}
+        keys = {"R": r_keys, "S": s_keys}
+        schedules = {"R": r_schedule, "S": s_schedule}
+
+        output = 0
+        processed = 0
+        shed = 0
+        expired_in_queue = 0
+        arrived = 0
+        max_queue = 0
+        total_delay = 0
+        drop_counts = {"R": 0, "S": 0}
+
+        for t in range(len(r_schedule)):
+            # Expired records are simply absent afterwards; PROB/ARM heaps
+            # clean up lazily via the records' alive flags.
+            self.memory.expire_until(t - window)
+
+            # Arrivals.
+            for stream in ("R", "S"):
+                for _ in range(schedules[stream][t]):
+                    key = keys[stream][next_key[stream]]
+                    next_key[stream] += 1
+                    arrived += 1
+                    for policy in {id(p): p for p in (self._policy_r, self._policy_s) if p}.values():
+                        policy.observe_arrival(stream, key, t)
+                    newcomer = (t, stream, key)
+                    queue = queues[stream]
+                    if len(queue) >= config.queue_capacity:
+                        victim = self._shed_from_queue(queue, newcomer)
+                        shed += 1
+                        drop_counts[victim[1]] += 1
+                        if victim is newcomer:
+                            continue
+                    queue.append(newcomer)
+            max_queue = max(max_queue, len(queues["R"]) + len(queues["S"]))
+
+            # Service: oldest arrival first, alternating on ties.
+            budget = config.service_per_tick
+            toggle = t % 2  # fairness: alternate which stream wins ties
+            while budget > 0:
+                head_r = queues["R"][0] if queues["R"] else None
+                head_s = queues["S"][0] if queues["S"] else None
+                if head_r is None and head_s is None:
+                    break
+                if head_s is None or (
+                    head_r is not None
+                    and (head_r[0], toggle) <= (head_s[0], 1 - toggle)
+                ):
+                    arrival, stream, key = queues["R"].popleft()
+                else:
+                    arrival, stream, key = queues["S"].popleft()
+                if arrival <= t - window:
+                    expired_in_queue += 1
+                    continue  # expired while queued; costs no service
+                matches = self._process(arrival, stream, key, t)
+                processed += 1
+                total_delay += t - arrival
+                budget -= 1
+                if t >= warmup:
+                    output += matches
+
+        return SlowCpuResult(
+            output_count=output,
+            processed=processed,
+            shed_from_queue=shed,
+            expired_in_queue=expired_in_queue,
+            arrived=arrived,
+            max_queue_length=max_queue,
+            total_delay=total_delay,
+            drop_counts=drop_counts,
+        )

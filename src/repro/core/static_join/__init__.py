@@ -1,0 +1,63 @@
+"""Static join load shedding (Section 3.1): k-truncated joins.
+
+* :func:`extract_components` — Kurotowski components of an equi-join;
+* :func:`retention_benefit` — the closed form ``C_{m,n}(p)``;
+* :func:`max_edges_retaining` / :func:`min_edges_lost_deleting` — the
+  optimal ``O(c k^2)`` dynamic programs (dual / primal);
+* :func:`max_edges_retaining_per_relation` — the ``(k_A, k_B)`` variant;
+* :mod:`repro.core.static_join.multiway` — the NP-hard m-relation case
+  and its m-approximation.
+"""
+
+from .components import (
+    KurotowskiComponent,
+    extract_components,
+    total_edges,
+    total_nodes,
+)
+from .dp import (
+    RetentionPlan,
+    greedy_min_degree_deletion,
+    max_edges_retaining,
+    max_edges_retaining_per_relation,
+    min_edges_lost_deleting,
+    random_deletion,
+)
+from .materialize import apply_plan, join_size
+from .multiway import (
+    MultiwayInstance,
+    MultiwayPlan,
+    approximation_ratio_bound,
+    brute_force_optimal,
+    independent_selection,
+)
+from .retention import (
+    benefit_table,
+    component_benefit,
+    retention_benefit,
+    retention_split,
+)
+
+__all__ = [
+    "KurotowskiComponent",
+    "MultiwayInstance",
+    "MultiwayPlan",
+    "RetentionPlan",
+    "apply_plan",
+    "approximation_ratio_bound",
+    "benefit_table",
+    "join_size",
+    "brute_force_optimal",
+    "component_benefit",
+    "extract_components",
+    "greedy_min_degree_deletion",
+    "independent_selection",
+    "max_edges_retaining",
+    "max_edges_retaining_per_relation",
+    "min_edges_lost_deleting",
+    "random_deletion",
+    "retention_benefit",
+    "retention_split",
+    "total_edges",
+    "total_nodes",
+]

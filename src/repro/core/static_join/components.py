@@ -1,0 +1,67 @@
+"""Kurotowski components of a two-relation equi-join (Section 3.1).
+
+The bipartite join graph of an equi-join is a disjoint union of fully
+connected bipartite components — one per join value — which the paper
+calls *Kurotowski components* ``K(m, n)``.  All static load-shedding
+algorithms operate on this compact representation rather than on the
+tuples themselves: a value with ``m`` tuples in A and ``n`` in B
+contributes ``m * n`` result tuples.
+
+Values appearing in only one relation yield degenerate ``K(m, 0)`` /
+``K(0, n)`` components; they matter for the *primal* (delete-k) problem
+because deleting such tuples loses nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class KurotowskiComponent:
+    """One join value's fully connected bipartite component ``K(m, n)``."""
+
+    key: Hashable
+    m: int  # tuples with this value in relation A
+    n: int  # tuples with this value in relation B
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0:
+            raise ValueError(f"counts must be non-negative, got K({self.m}, {self.n})")
+
+    @property
+    def nodes(self) -> int:
+        return self.m + self.n
+
+    @property
+    def edges(self) -> int:
+        """Join result tuples contributed by this value."""
+        return self.m * self.n
+
+
+def extract_components(
+    relation_a: Iterable[Hashable], relation_b: Iterable[Hashable]
+) -> list[KurotowskiComponent]:
+    """Group two relations' join-attribute values into components.
+
+    The result is sorted by key representation for determinism; keys
+    appearing in either relation produce a component.
+    """
+    counts_a = Counter(relation_a)
+    counts_b = Counter(relation_b)
+    keys = set(counts_a) | set(counts_b)
+    return [
+        KurotowskiComponent(key, counts_a.get(key, 0), counts_b.get(key, 0))
+        for key in sorted(keys, key=repr)
+    ]
+
+
+def total_nodes(components: Sequence[KurotowskiComponent]) -> int:
+    return sum(component.nodes for component in components)
+
+
+def total_edges(components: Sequence[KurotowskiComponent]) -> int:
+    """Size of the full (untruncated) join result."""
+    return sum(component.edges for component in components)

@@ -1,0 +1,252 @@
+"""Optimal dynamic programs for static join load shedding (Section 3.1.1).
+
+Dual problem: retain ``k`` nodes across the components maximising retained
+edges — ``T(i, j) = max_q T(i-1, j-q) + C_{m_i,n_i}(q)``, solved in
+``O(c * k * max_component)`` (the paper's ``O(c * k^2)`` bound with the
+inner maximisation capped at the component size).  The primal (delete
+``k``) problem is the dual with ``total - k`` retained.  A 3-D variant
+handles per-relation budgets ``(k_A, k_B)``.
+
+All solvers return both the optimum and a per-component retention plan so
+callers can materialise the truncated relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .components import KurotowskiComponent, total_edges, total_nodes
+from .retention import retention_benefit, retention_split
+
+_NEG_INF = float("-inf")
+
+
+@dataclass
+class RetentionPlan:
+    """Solution of a static shedding problem.
+
+    Attributes
+    ----------
+    retained_edges:
+        Join result tuples surviving the truncation (the MAX-subset
+        objective value).
+    per_component:
+        For each input component, the ``(keep_a, keep_b)`` node counts.
+    """
+
+    retained_edges: int
+    per_component: list[tuple[int, int]]
+
+    def retained_nodes(self) -> int:
+        return sum(a + b for a, b in self.per_component)
+
+    def lost_edges(self, components: Sequence[KurotowskiComponent]) -> int:
+        """Deleted output size relative to the full join."""
+        return total_edges(components) - self.retained_edges
+
+
+def max_edges_retaining(
+    components: Sequence[KurotowskiComponent], k: int
+) -> RetentionPlan:
+    """Dual problem: retain exactly ``k`` nodes, maximise retained edges.
+
+    Raises
+    ------
+    ValueError
+        If ``k`` is negative or exceeds the total node count (there is no
+        way to retain more nodes than exist).
+    """
+    n_total = total_nodes(components)
+    if not 0 <= k <= n_total:
+        raise ValueError(f"cannot retain {k} of {n_total} nodes")
+
+    # best[j] = max edges retaining exactly j nodes from components so far.
+    best: list[float] = [0] + [_NEG_INF] * k
+    # choices[i][j] = q retained from component i in the optimum for j.
+    choices: list[list[int]] = []
+
+    for component in components:
+        size = component.nodes
+        benefits = [retention_benefit(component.m, component.n, q) for q in range(size + 1)]
+        updated: list[float] = [_NEG_INF] * (k + 1)
+        choice_row = [0] * (k + 1)
+        for j in range(k + 1):
+            best_value = _NEG_INF
+            best_q = 0
+            q_max = min(size, j)
+            for q in range(q_max + 1):
+                prior = best[j - q]
+                if prior == _NEG_INF:
+                    continue
+                value = prior + benefits[q]
+                if value > best_value:
+                    best_value = value
+                    best_q = q
+            updated[j] = best_value
+            choice_row[j] = best_q
+        best = updated
+        choices.append(choice_row)
+
+    if best[k] == _NEG_INF:
+        raise AssertionError("DP failed to fill a feasible budget")  # pragma: no cover
+
+    # Trace back the per-component retention counts.
+    per_component: list[tuple[int, int]] = [(0, 0)] * len(components)
+    j = k
+    for i in range(len(components) - 1, -1, -1):
+        q = choices[i][j]
+        component = components[i]
+        per_component[i] = retention_split(component.m, component.n, q)
+        j -= q
+    assert j == 0, "traceback did not consume the whole budget"
+
+    return RetentionPlan(retained_edges=int(best[k]), per_component=per_component)
+
+
+def min_edges_lost_deleting(
+    components: Sequence[KurotowskiComponent], k: int
+) -> RetentionPlan:
+    """Primal problem: delete exactly ``k`` nodes, minimise lost edges.
+
+    Equivalent to retaining ``total_nodes - k`` (the paper's duality).
+    """
+    n_total = total_nodes(components)
+    if not 0 <= k <= n_total:
+        raise ValueError(f"cannot delete {k} of {n_total} nodes")
+    return max_edges_retaining(components, n_total - k)
+
+
+def max_edges_retaining_per_relation(
+    components: Sequence[KurotowskiComponent], k_a: int, k_b: int
+) -> RetentionPlan:
+    """The ``(k_A, k_B)`` variant: per-relation retention budgets.
+
+    Three-dimensional DP ``T(i, j_a, j_b)``; within a component the best
+    way to keep ``(a, b)`` nodes is simply the ``a x b`` biclique, so the
+    inner maximisation ranges over per-partition keeps.  Complexity
+    ``O(c * k_a * k_b * max_m * max_n)`` — intended for moderate budgets.
+    """
+    sum_a = sum(component.m for component in components)
+    sum_b = sum(component.n for component in components)
+    if not 0 <= k_a <= sum_a:
+        raise ValueError(f"cannot retain {k_a} of {sum_a} A-tuples")
+    if not 0 <= k_b <= sum_b:
+        raise ValueError(f"cannot retain {k_b} of {sum_b} B-tuples")
+
+    width = k_b + 1
+    best: list[float] = [0.0] + [_NEG_INF] * (((k_a + 1) * width) - 1)
+    choices: list[list[tuple[int, int]]] = []
+
+    for component in components:
+        m, n = component.m, component.n
+        updated: list[float] = [_NEG_INF] * ((k_a + 1) * width)
+        choice_row: list[tuple[int, int]] = [(0, 0)] * ((k_a + 1) * width)
+        for ja in range(k_a + 1):
+            a_max = min(m, ja)
+            base = ja * width
+            for jb in range(width):
+                b_max = min(n, jb)
+                best_value = _NEG_INF
+                best_pair = (0, 0)
+                for a in range(a_max + 1):
+                    prior_base = (ja - a) * width
+                    for b in range(b_max + 1):
+                        prior = best[prior_base + jb - b]
+                        if prior == _NEG_INF:
+                            continue
+                        value = prior + a * b
+                        if value > best_value:
+                            best_value = value
+                            best_pair = (a, b)
+                updated[base + jb] = best_value
+                choice_row[base + jb] = best_pair
+        best = updated
+        choices.append(choice_row)
+
+    final = best[k_a * width + k_b]
+    if final == _NEG_INF:
+        raise AssertionError("DP failed to fill a feasible budget")  # pragma: no cover
+
+    per_component: list[tuple[int, int]] = [(0, 0)] * len(components)
+    ja, jb = k_a, k_b
+    for i in range(len(components) - 1, -1, -1):
+        a, b = choices[i][ja * width + jb]
+        per_component[i] = (a, b)
+        ja -= a
+        jb -= b
+    assert (ja, jb) == (0, 0), "traceback did not consume the whole budget"
+
+    return RetentionPlan(retained_edges=int(final), per_component=per_component)
+
+
+def greedy_min_degree_deletion(
+    components: Sequence[KurotowskiComponent], k: int
+) -> RetentionPlan:
+    """Greedy baseline: repeatedly delete a currently-minimum-degree node.
+
+    Deleting an A-node of ``K(m, n)`` loses ``n`` edges (its degree), so
+    the greedy rule picks the component/side with the smallest opposite
+    count.  Not optimal in general (the DP is); used as a comparison
+    point in the static-join experiment.
+    """
+    import heapq
+
+    n_total = total_nodes(components)
+    if not 0 <= k <= n_total:
+        raise ValueError(f"cannot delete {k} of {n_total} nodes")
+
+    remaining = [[component.m, component.n] for component in components]
+    heap: list[tuple[int, int, int]] = []  # (degree = loss, component, side)
+    for i, (m, n) in enumerate(remaining):
+        if m:
+            heap.append((n, i, 0))
+        if n:
+            heap.append((m, i, 1))
+    heapq.heapify(heap)
+
+    for _ in range(k):
+        while True:
+            degree, i, side = heapq.heappop(heap)
+            current_degree = remaining[i][1 - side]
+            if remaining[i][side] == 0 or degree != current_degree:
+                continue  # stale entry
+            break
+        remaining[i][side] -= 1
+        if remaining[i][side]:
+            heapq.heappush(heap, (remaining[i][1 - side], i, side))
+        # The opposite side's degree just dropped; push a fresh entry.
+        if remaining[i][1 - side]:
+            heapq.heappush(heap, (remaining[i][side], i, 1 - side))
+
+    per_component = [(m, n) for m, n in remaining]
+    retained = sum(m * n for m, n in per_component)
+    return RetentionPlan(retained_edges=retained, per_component=per_component)
+
+
+def random_deletion(
+    components: Sequence[KurotowskiComponent], k: int, *, seed: int = 0
+) -> RetentionPlan:
+    """Uniform random deletion baseline (the RAND analogue)."""
+    import numpy as np
+
+    n_total = total_nodes(components)
+    if not 0 <= k <= n_total:
+        raise ValueError(f"cannot delete {k} of {n_total} nodes")
+
+    rng = np.random.default_rng(seed)
+    # Flatten nodes as (component, side) slots and sample without replacement.
+    slots: list[tuple[int, int]] = []
+    for i, component in enumerate(components):
+        slots.extend([(i, 0)] * component.m)
+        slots.extend([(i, 1)] * component.n)
+    doomed = rng.choice(len(slots), size=k, replace=False) if k else []
+
+    remaining = [[component.m, component.n] for component in components]
+    for index in doomed:
+        i, side = slots[int(index)]
+        remaining[i][side] -= 1
+
+    per_component = [(m, n) for m, n in remaining]
+    retained = sum(m * n for m, n in per_component)
+    return RetentionPlan(retained_edges=retained, per_component=per_component)

@@ -1,0 +1,89 @@
+"""Materialising static shedding plans against actual relations.
+
+The DP solvers work on Kurotowski component counts; deployed systems (the
+sensor proxy of Section 3.1) must translate a :class:`RetentionPlan` back
+into concrete tuples to request/keep.  Within one component all tuples
+are interchangeable for the MAX-subset measure, so the first occurrences
+of each key are kept (deterministic and order-preserving).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from .components import KurotowskiComponent
+from .dp import RetentionPlan
+
+
+def apply_plan(
+    relation_a: Iterable[Hashable],
+    relation_b: Iterable[Hashable],
+    components: Sequence[KurotowskiComponent],
+    plan: RetentionPlan,
+) -> tuple[list[Hashable], list[Hashable]]:
+    """The truncated relations a retention plan prescribes.
+
+    Parameters
+    ----------
+    relation_a / relation_b:
+        The original relations (orders are preserved in the output).
+    components:
+        The components the plan was computed for (as returned by
+        :func:`repro.core.static_join.extract_components` on the same
+        relations).
+    plan:
+        A plan whose ``per_component`` entries align with ``components``.
+
+    Raises
+    ------
+    ValueError
+        If the plan does not align with the components, or the plan keeps
+        more tuples of some key than the relation contains (a sign the
+        plan was computed for different relations).
+    """
+    if len(plan.per_component) != len(components):
+        raise ValueError(
+            f"plan covers {len(plan.per_component)} components, "
+            f"expected {len(components)}"
+        )
+    keep_a = {
+        component.key: kept_a
+        for component, (kept_a, _kept_b) in zip(components, plan.per_component)
+    }
+    keep_b = {
+        component.key: kept_b
+        for component, (_kept_a, kept_b) in zip(components, plan.per_component)
+    }
+
+    truncated_a = _keep_first(relation_a, keep_a, "A")
+    truncated_b = _keep_first(relation_b, keep_b, "B")
+    return truncated_a, truncated_b
+
+
+def _keep_first(relation: Iterable[Hashable], budgets: dict, label: str) -> list:
+    remaining = dict(budgets)
+    kept: list = []
+    for key in relation:
+        if key not in remaining:
+            raise ValueError(
+                f"relation {label} contains key {key!r} absent from the plan"
+            )
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            kept.append(key)
+    shortfall = {key: count for key, count in remaining.items() if count > 0}
+    if shortfall:
+        raise ValueError(
+            f"plan keeps more tuples than relation {label} holds for keys "
+            f"{sorted(shortfall, key=repr)[:5]}"
+        )
+    return kept
+
+
+def join_size(relation_a: Iterable[Hashable], relation_b: Iterable[Hashable]) -> int:
+    """Equi-join output size of two (static) relations."""
+    from collections import Counter
+
+    counts_a = Counter(relation_a)
+    counts_b = Counter(relation_b)
+    return sum(count * counts_b.get(key, 0) for key, count in counts_a.items())

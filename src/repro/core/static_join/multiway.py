@@ -1,0 +1,177 @@
+"""Multi-relation static join shedding (Section 3.1.2).
+
+For three or more relations the load-shedding problem is NP-hard (the
+paper reduces from balanced biclique), so this module provides:
+
+* the problem model for an m-way equi-join on a shared attribute
+  (per-key tuple counts; output per key is the product of the counts);
+* the paper's *independent-selection* m-approximation: each relation
+  independently deletes the tuples whose solo removal loses the least
+  output; the total loss is at most ``m`` times the optimal loss;
+* an exhaustive solver for tiny instances, used to validate the
+  approximation guarantee in tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import product
+from math import prod
+from typing import Hashable, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class MultiwayInstance:
+    """An m-way equi-join instance in per-key count form.
+
+    ``counts[i][key]`` is the number of tuples with join value ``key`` in
+    relation ``i``; the exact join output is
+    ``sum_key prod_i counts[i][key]``.
+    """
+
+    counts: tuple[dict, ...]
+
+    @classmethod
+    def from_relations(cls, relations: Sequence[Iterable[Hashable]]) -> "MultiwayInstance":
+        if len(relations) < 2:
+            raise ValueError("need at least two relations")
+        return cls(tuple(dict(Counter(relation)) for relation in relations))
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.counts)
+
+    def keys(self) -> set:
+        out: set = set()
+        for counts in self.counts:
+            out.update(counts)
+        return out
+
+    def output_size(self, deletions: Sequence[dict] = ()) -> int:
+        """Join size after deleting ``deletions[i][key]`` tuples per key."""
+        total = 0
+        for key in self.keys():
+            term = 1
+            for i, counts in enumerate(self.counts):
+                remaining = counts.get(key, 0)
+                if deletions:
+                    remaining -= deletions[i].get(key, 0)
+                if remaining < 0:
+                    raise ValueError(
+                        f"relation {i} deletes more {key!r}-tuples than it has"
+                    )
+                term *= remaining
+            total += term
+        return total
+
+    def relation_size(self, i: int) -> int:
+        return sum(self.counts[i].values())
+
+
+@dataclass
+class MultiwayPlan:
+    """A deletion plan: per relation, per key, how many tuples to drop."""
+
+    deletions: list[dict]
+    output_size: int
+    lost_output: int
+
+
+def _solo_unit_loss(instance: MultiwayInstance, relation: int, key: Hashable) -> int:
+    """Output lost by deleting ONE key-tuple from ``relation`` alone."""
+    return prod(
+        counts.get(key, 0)
+        for i, counts in enumerate(instance.counts)
+        if i != relation
+    )
+
+
+def independent_selection(
+    instance: MultiwayInstance, budgets: Sequence[int]
+) -> MultiwayPlan:
+    """The paper's m-approximation.
+
+    Each relation ``i`` deletes its ``budgets[i]`` cheapest tuples, where
+    a tuple's cost is the output lost if it alone were removed (the
+    product of the other relations' counts for its key).  The combined
+    loss is at most ``sum_i p_i <= m * max_i p_i <= m * OPT``.
+    """
+    if len(budgets) != instance.num_relations:
+        raise ValueError(
+            f"need one budget per relation, got {len(budgets)} for "
+            f"{instance.num_relations}"
+        )
+    deletions: list[dict] = []
+    for i, budget in enumerate(budgets):
+        size = instance.relation_size(i)
+        if not 0 <= budget <= size:
+            raise ValueError(f"relation {i}: cannot delete {budget} of {size}")
+        # Cheapest-first greedy over (unit loss, key) tuples.
+        costed: list[tuple[int, Hashable, int]] = [
+            (_solo_unit_loss(instance, i, key), key, count)
+            for key, count in instance.counts[i].items()
+        ]
+        costed.sort(key=lambda item: (item[0], repr(item[1])))
+        plan: dict = {}
+        remaining = budget
+        for unit_loss, key, count in costed:
+            if remaining == 0:
+                break
+            take = min(count, remaining)
+            plan[key] = take
+            remaining -= take
+        deletions.append(plan)
+
+    output = instance.output_size(deletions)
+    full = instance.output_size()
+    return MultiwayPlan(deletions=deletions, output_size=output, lost_output=full - output)
+
+
+def brute_force_optimal(
+    instance: MultiwayInstance, budgets: Sequence[int]
+) -> MultiwayPlan:
+    """Exhaustive optimum over per-key deletion counts (tiny instances).
+
+    Within a relation, tuples of the same key are interchangeable, so the
+    search enumerates per-key deletion *counts* summing to the budget —
+    still exponential, but fine for the test-scale instances.
+    """
+    if len(budgets) != instance.num_relations:
+        raise ValueError("need one budget per relation")
+
+    def key_allocations(counts: dict, budget: int):
+        keys = sorted(counts, key=repr)
+        limits = [counts[key] for key in keys]
+
+        def rec(index: int, left: int, acc: list[int]):
+            if index == len(keys):
+                if left == 0:
+                    yield dict(zip(keys, acc))
+                return
+            max_here = min(limits[index], left)
+            for take in range(max_here + 1):
+                yield from rec(index + 1, left - take, acc + [take])
+
+        yield from rec(0, budget, [])
+
+    full = instance.output_size()
+    best_output = -1
+    best_plan: list[dict] = []
+    spaces = [
+        list(key_allocations(instance.counts[i], budgets[i]))
+        for i in range(instance.num_relations)
+    ]
+    for combo in product(*spaces):
+        output = instance.output_size(list(combo))
+        if output > best_output:
+            best_output = output
+            best_plan = [dict(d) for d in combo]
+    return MultiwayPlan(
+        deletions=best_plan, output_size=best_output, lost_output=full - best_output
+    )
+
+
+def approximation_ratio_bound(instance: MultiwayInstance) -> int:
+    """The guaranteed worst-case loss ratio of independent selection."""
+    return instance.num_relations

@@ -1,0 +1,73 @@
+"""Closed-form retention benefit ``C_{m,n}(p)`` (Section 3.1.1).
+
+Within a single Kurotowski component ``K(m, n)``, retaining ``p`` nodes
+optimally means splitting them as evenly as possible between the two
+partitions (an ``m' x n'`` complete bipartite subgraph has ``m' * n'``
+edges, maximised when ``|m' - n'|`` is minimal subject to the partition
+sizes).  The paper's closed form (w.l.o.g. ``m >= n``):
+
+* ``p <= 2n``, ``p`` even:  ``(p/2)^2``
+* ``p <= 2n``, ``p`` odd:   ``(p^2 - 1)/4``
+* otherwise:                ``n * (p - n)``
+"""
+
+from __future__ import annotations
+
+from .components import KurotowskiComponent
+
+
+def retention_benefit(m: int, n: int, p: int) -> int:
+    """Maximum edges retained when keeping ``p`` of ``K(m, n)``'s nodes.
+
+    Raises
+    ------
+    ValueError
+        If ``p`` is negative or exceeds ``m + n``.
+    """
+    if m < 0 or n < 0:
+        raise ValueError(f"component sizes must be non-negative, got ({m}, {n})")
+    if not 0 <= p <= m + n:
+        raise ValueError(f"cannot retain {p} of {m + n} nodes")
+    if m < n:
+        m, n = n, m
+    if p <= 2 * n:
+        if p % 2 == 0:
+            return (p // 2) ** 2
+        return (p * p - 1) // 4
+    return n * (p - n)
+
+
+def retention_split(m: int, n: int, p: int) -> tuple[int, int]:
+    """The optimal ``(m', n')`` split behind :func:`retention_benefit`.
+
+    Returns how many nodes to keep from the A-partition (size ``m``) and
+    the B-partition (size ``n``); ``m' * n' == retention_benefit(m, n, p)``.
+    """
+    if m < 0 or n < 0:
+        raise ValueError(f"component sizes must be non-negative, got ({m}, {n})")
+    if not 0 <= p <= m + n:
+        raise ValueError(f"cannot retain {p} of {m + n} nodes")
+    swapped = m < n
+    big, small = (n, m) if swapped else (m, n)
+    if p <= 2 * small:
+        keep_big = (p + 1) // 2
+        keep_small = p // 2
+    else:
+        keep_small = small
+        keep_big = p - small
+    if swapped:
+        return keep_small, keep_big
+    return keep_big, keep_small
+
+
+def component_benefit(component: KurotowskiComponent, p: int) -> int:
+    """``C_{m,n}(p)`` for a component object."""
+    return retention_benefit(component.m, component.n, p)
+
+
+def benefit_table(component: KurotowskiComponent) -> list[int]:
+    """``C_{m,n}(p)`` for every ``p`` in ``0 .. m + n`` (DP inner loop)."""
+    return [
+        retention_benefit(component.m, component.n, p)
+        for p in range(component.nodes + 1)
+    ]

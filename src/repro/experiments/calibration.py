@@ -1,0 +1,92 @@
+"""Analytical workload calibration.
+
+Closed-form expectations for the synthetic workloads, used to size
+experiments without running them and to property-test the generators:
+
+* per-tick match probability of two iid streams is
+  ``rho = sum_v p_R(v) p_S(v)``;
+* the exact sliding-window join over ``N`` ticks with window ``w`` has
+  ``(2w - 1)`` pair slots per interior tick, so its expected size is
+  ``rho * ((2w - 1) N - w (w - 1))`` (the subtraction removes the pair
+  slots truncated at the stream start — and, when ``count_from`` skips a
+  warmup, the slots whose later tuple falls inside it).
+
+The measured join sizes of the generators match these predictions within
+sampling noise (see ``tests/test_calibration.py``), which pins down the
+generators' semantics independently of the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..streams.tuples import StreamPair
+
+
+def match_probability(pair: StreamPair) -> float:
+    """``rho``: probability one R draw equals one S draw.
+
+    Uses the pair's true generating distributions when present in the
+    metadata, otherwise the empirical frequencies.
+    """
+    metadata = pair.metadata
+    if "r_distribution" in metadata and "s_distribution" in metadata:
+        return metadata["r_distribution"].match_probability(metadata["s_distribution"])
+    if "r_probabilities" in metadata and "s_probabilities" in metadata:
+        import numpy as np
+
+        return float(
+            np.dot(metadata["r_probabilities"], metadata["s_probabilities"])
+        )
+    from collections import Counter
+
+    n = max(len(pair), 1)
+    counts_r = Counter(pair.r)
+    counts_s = Counter(pair.s)
+    return sum(
+        (count / n) * (counts_s.get(key, 0) / n) for key, count in counts_r.items()
+    )
+
+
+def pair_slots(length: int, window: int, *, count_from: int = 0) -> int:
+    """Number of (i, j) index pairs the window join inspects.
+
+    Pairs with ``|i - j| < w``, both in ``[0, length)``, and later index
+    ``>= count_from`` — the denominator of the expected-join-size
+    formula, computed exactly.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if length < 0 or count_from < 0:
+        raise ValueError("length and count_from must be non-negative")
+    total = 0
+    for later in range(max(count_from, 0), length):
+        # earlier in [later - w + 1, later], clipped at 0; both orders,
+        # but (earlier, later) with earlier == later counts once per
+        # stream assignment -> 2 * span - 1 ordered stream pairs.
+        span = min(window, later + 1)
+        total += 2 * span - 1
+    return total
+
+
+def expected_join_size(
+    pair_or_length,
+    window: int,
+    *,
+    count_from: int = 0,
+    rho: Optional[float] = None,
+) -> float:
+    """Expected exact-join size of an iid workload.
+
+    Pass a :class:`StreamPair` (rho inferred from its metadata) or a
+    stream length together with an explicit ``rho``.
+    """
+    if isinstance(pair_or_length, StreamPair):
+        length = len(pair_or_length)
+        if rho is None:
+            rho = match_probability(pair_or_length)
+    else:
+        length = int(pair_or_length)
+        if rho is None:
+            raise ValueError("rho is required when passing a bare length")
+    return rho * pair_slots(length, window, count_from=count_from)

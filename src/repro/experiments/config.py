@@ -1,0 +1,121 @@
+"""Experiment scales.
+
+The paper's experiments use 5600-tuple streams when comparing against
+OPT-offline (the CS2 solver's runtime bound) and ~1M-tuple streams for
+the weather dataset.  The paper itself notes the curves are shape-stable
+across stream lengths ("the graphs for larger stream lengths ... resemble
+closely the graphs obtained on stream lengths of 5600"), so the harness
+exposes three scales:
+
+* ``paper`` — the paper's parameters (slow in pure Python: minutes);
+* ``default`` — shape-preserving reduction, suitable for local runs;
+* ``ci`` — smallest scale that still shows the qualitative ordering.
+
+Select with the ``REPRO_SCALE`` environment variable or pass a
+:class:`Scale` explicitly to the figure functions.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Memory sweep of the paper's figures, as fractions of the window size.
+MEMORY_FRACTIONS = (0.1, 0.25, 0.5, 1.0, 1.5)
+
+#: Zipf parameters of the Figure 6 skew sweep.
+SKEW_SWEEP = (0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0)
+
+#: Join-attribute domain sizes of Figures 9, 10, 11.
+DOMAIN_SIZES = (10, 50, 200)
+
+#: The paper's default synthetic domain size.
+DEFAULT_DOMAIN = 50
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One coherent set of experiment sizes.
+
+    Attributes
+    ----------
+    stream_length:
+        Arrivals per stream for the OPT-comparison figures (paper: 5600,
+        chosen so >= 4000 post-warmup tuples remain at every window).
+    window:
+        Figure 3 window size (paper: 400); Figure 4 doubles it.
+    weather_length / weather_window / weather_warmup:
+        Figure 7/8 parameters (paper: ~1M / 5000 / 10000).
+    """
+
+    name: str
+    stream_length: int
+    window: int
+    weather_length: int
+    weather_window: int
+    weather_warmup: int
+
+    @property
+    def window_large(self) -> int:
+        """Figure 4's window: twice Figure 3's."""
+        return 2 * self.window
+
+
+SCALES: dict[str, Scale] = {
+    "paper": Scale(
+        name="paper",
+        stream_length=5600,
+        window=400,
+        weather_length=1_000_000,
+        weather_window=5000,
+        weather_warmup=10_000,
+    ),
+    "default": Scale(
+        name="default",
+        stream_length=2400,
+        window=160,
+        weather_length=60_000,
+        weather_window=1000,
+        weather_warmup=2000,
+    ),
+    "ci": Scale(
+        name="ci",
+        stream_length=900,
+        window=60,
+        weather_length=8000,
+        weather_window=400,
+        weather_warmup=800,
+    ),
+}
+
+
+def even_memory(window: int, fraction: float) -> int:
+    """Memory budget ``fraction * window`` rounded to a positive even int.
+
+    Fixed allocation splits memory in half, so budgets are kept even
+    (the paper's fractions of 400/800 are all even already).
+    """
+    memory = int(round(fraction * window))
+    if memory % 2:
+        memory -= 1
+    return max(memory, 2)
+
+
+def memory_sweep(window: int, fractions=MEMORY_FRACTIONS) -> list[int]:
+    """The paper's memory sweep for a window size."""
+    return [even_memory(window, fraction) for fraction in fractions]
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default: ``default``).
+
+    ``REPRO_SCALE=full`` is accepted as an alias for ``paper``.
+    """
+    name = os.environ.get("REPRO_SCALE", "default").lower()
+    if name == "full":
+        name = "paper"
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_SCALE={name!r} unknown; choose one of {sorted(SCALES)} or 'full'"
+        )
+    return SCALES[name]

@@ -1,0 +1,860 @@
+"""Generators for every figure and text-result of the paper's evaluation.
+
+Each ``figure*`` function reproduces one figure of Section 4 (or a
+result the paper reports in prose) and returns a structured
+:class:`FigureData` / :class:`TableData` holding exactly the rows/series
+the paper plots, plus the paper's qualitative expectation so benchmark
+output is self-describing.  Rendering is in
+:mod:`repro.experiments.reporting`; the benchmark suite prints every
+figure and asserts the expected shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.metrics.archive import archive_metric
+from ..core.slowcpu import SlowCpuConfig, SlowCpuEngine
+from ..core.static_join import (
+    extract_components,
+    greedy_min_degree_deletion,
+    max_edges_retaining,
+    min_edges_lost_deleting,
+    random_deletion,
+    total_edges,
+    total_nodes,
+)
+from ..core.static_join.multiway import (
+    MultiwayInstance,
+    brute_force_optimal,
+    independent_selection,
+)
+from ..streams.arrival import clip_schedule, poisson_schedule
+from ..streams.generators import uniform_pair, zipf_pair
+from ..streams.tuples import StreamPair
+from ..streams.weather import weather_pair
+from .config import (
+    DEFAULT_DOMAIN,
+    DOMAIN_SIZES,
+    MEMORY_FRACTIONS,
+    SKEW_SWEEP,
+    Scale,
+    current_scale,
+    even_memory,
+    memory_sweep,
+)
+from .runner import estimators_for, run_algorithm, run_suite
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and its (x, y) points."""
+
+    label: str
+    points: list[tuple[float, float]]
+
+    @property
+    def x(self) -> list[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def y(self) -> list[float]:
+        return [p[1] for p in self.points]
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: series over a common x-axis."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series]
+    params: dict = field(default_factory=dict)
+    expectation: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"{self.figure_id} has no series {label!r}")
+
+
+@dataclass
+class TableData:
+    """A reproduced table: named columns and value rows."""
+
+    table_id: str
+    title: str
+    columns: list[str]
+    rows: list[list]
+    params: dict = field(default_factory=dict)
+    expectation: str = ""
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# Figures 3, 4, 5: output vs. memory for one workload
+# ----------------------------------------------------------------------
+
+def _memory_sweep_figure(
+    figure_id: str,
+    title: str,
+    pair: StreamPair,
+    window: int,
+    *,
+    algorithms: Sequence[str],
+    include_exact: bool = True,
+    seed: int = 0,
+    expectation: str = "",
+) -> FigureData:
+    """Shared implementation of the output-vs-memory figures."""
+    memories = memory_sweep(window)
+    estimators = estimators_for(pair)
+
+    series: dict[str, Series] = {name: Series(name, []) for name in algorithms}
+    for memory in memories:
+        for name in algorithms:
+            result = run_algorithm(
+                name, pair, window, memory, seed=seed, estimators=estimators
+            )
+            series[name].points.append((memory, result.output_count))
+
+    all_series = [series[name] for name in algorithms]
+    if include_exact:
+        exact = run_algorithm("EXACT", pair, window, 0)
+        all_series.append(
+            Series("EXACT", [(m, exact.output_count) for m in memories])
+        )
+
+    return FigureData(
+        figure_id=figure_id,
+        title=title,
+        x_label="memory M (tuples)",
+        y_label="output tuples (post-warmup)",
+        series=all_series,
+        params={
+            "window": window,
+            "stream_length": len(pair),
+            "workload": pair.name,
+            "memories": memories,
+        },
+        expectation=expectation,
+    )
+
+
+def figure3(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    """Figure 3: Zipf(1) x Zipf(1) uncorrelated, domain 50, window w."""
+    scale = scale or current_scale()
+    window = scale.window
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=seed)
+    return _memory_sweep_figure(
+        "figure3",
+        f"Output vs. memory, Zipf(1.0), w={window}",
+        pair,
+        window,
+        algorithms=("RAND", "LIFE", "PROB", "OPT"),
+        seed=seed,
+        expectation=(
+            "PROB far outperforms RAND and LIFE and tracks OPT closely; "
+            "RAND grows roughly linearly with memory; LIFE is only "
+            "marginally better than RAND."
+        ),
+    )
+
+
+def figure4(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    """Figure 4: same workload as Figure 3 with the window doubled."""
+    scale = scale or current_scale()
+    window = scale.window_large
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=seed)
+    return _memory_sweep_figure(
+        "figure4",
+        f"Output vs. memory, Zipf(1.0), w={window}",
+        pair,
+        window,
+        algorithms=("RAND", "LIFE", "PROB", "OPT"),
+        seed=seed,
+        expectation=(
+            "Same ordering as Figure 3 — the window size does not change "
+            "the relative behaviour of the algorithms."
+        ),
+    )
+
+
+def figure5(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    """Figure 5: uniform x uniform — no semantic signal to exploit."""
+    scale = scale or current_scale()
+    window = scale.window
+    pair = uniform_pair(scale.stream_length, DEFAULT_DOMAIN, seed=seed)
+    return _memory_sweep_figure(
+        "figure5",
+        f"Output vs. memory, uniform, w={window}",
+        pair,
+        window,
+        algorithms=("RAND", "LIFE", "PROB", "OPT"),
+        seed=seed,
+        expectation=(
+            "All online algorithms (RAND, PROB, LIFE) perform equally "
+            "poorly; even OPT gains little from knowing the future."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: effect of skew
+# ----------------------------------------------------------------------
+
+def figure6(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    correlation: str = "uncorrelated",
+    skews: Sequence[float] = SKEW_SWEEP,
+) -> FigureData:
+    """Figure 6: RAND and PROB as fractions of OPT vs. Zipf skew.
+
+    Both streams share the skew parameter; window = memory = w.  The
+    paper reports near-identical curves for correlated distributions
+    (pass ``correlation="correlated"`` to check).
+    """
+    scale = scale or current_scale()
+    window = scale.window
+    memory = even_memory(window, 1.0)
+
+    rand_series = Series("RAND/OPT", [])
+    prob_series = Series("PROB/OPT", [])
+    for skew in skews:
+        pair = zipf_pair(
+            scale.stream_length,
+            DEFAULT_DOMAIN,
+            skew,
+            correlation=correlation,
+            seed=seed,
+        )
+        results = run_suite(("RAND", "PROB", "OPT"), pair, window, memory, seed=seed)
+        opt = max(results["OPT"].output_count, 1)
+        rand_series.points.append((skew, results["RAND"].output_count / opt))
+        prob_series.points.append((skew, results["PROB"].output_count / opt))
+
+    return FigureData(
+        figure_id="figure6",
+        title=f"Fraction of OPT vs. Zipf skew, w=M={window} ({correlation})",
+        x_label="Zipf parameter",
+        y_label="fraction of OPT output",
+        series=[rand_series, prob_series],
+        params={
+            "window": window,
+            "memory": memory,
+            "stream_length": scale.stream_length,
+            "correlation": correlation,
+        },
+        expectation=(
+            "At skew 0 RAND and PROB coincide; the gap widens rapidly "
+            "with skew, PROB exceeding ~96% of OPT at moderate-to-high "
+            "skew while RAND keeps falling."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 9-11: effect of domain size
+# ----------------------------------------------------------------------
+
+def figure_domain_size(
+    domain_size: int,
+    figure_id: str,
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+) -> FigureData:
+    """Shared implementation of Figures 9 (d=10), 10 (d=50), 11 (d=200)."""
+    scale = scale or current_scale()
+    window = scale.window
+    pair = zipf_pair(scale.stream_length, domain_size, 1.0, seed=seed)
+    memories = memory_sweep(window)
+    estimators = estimators_for(pair)
+
+    exact = run_algorithm("EXACT", pair, window, 0)
+    series = {name: Series(f"{name}/OPT", []) for name in ("RAND", "PROB", "EXACT")}
+    for memory in memories:
+        opt = run_algorithm("OPT", pair, window, memory).output_count
+        opt = max(opt, 1)
+        for name in ("RAND", "PROB"):
+            result = run_algorithm(
+                name, pair, window, memory, seed=seed, estimators=estimators
+            )
+            series[name].points.append((memory, result.output_count / opt))
+        series["EXACT"].points.append((memory, exact.output_count / opt))
+
+    return FigureData(
+        figure_id=figure_id,
+        title=f"Fraction of OPT vs. memory, Zipf(1.0), domain {domain_size}, w={window}",
+        x_label="memory M (tuples)",
+        y_label="fraction of OPT output",
+        series=[series["RAND"], series["PROB"], series["EXACT"]],
+        params={
+            "window": window,
+            "domain_size": domain_size,
+            "stream_length": scale.stream_length,
+            "memories": memories,
+        },
+        expectation=(
+            "Growing the domain separates PROB from OPT while pulling "
+            "EXACT/OPT towards 1 (OPT approaches the exact result; at "
+            "domain 200 they meet near M = w)."
+        ),
+    )
+
+
+def figure9(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    return figure_domain_size(DOMAIN_SIZES[0], "figure9", scale, seed=seed)
+
+
+def figure10(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    return figure_domain_size(DOMAIN_SIZES[1], "figure10", scale, seed=seed)
+
+
+def figure11(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    return figure_domain_size(DOMAIN_SIZES[2], "figure11", scale, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Figures 7-8: the weather workload
+# ----------------------------------------------------------------------
+
+def figure7(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    """Figure 7: output vs. memory on the (synthetic) weather dataset.
+
+    The paper omits OPT here (the flow solver exceeded their resources);
+    we follow suit at this scale and plot RAND, PROB, PROBV, EXACT.
+    """
+    scale = scale or current_scale()
+    window = scale.weather_window
+    warmup = scale.weather_warmup
+    pair = weather_pair(scale.weather_length, seed=seed)
+    memories = memory_sweep(window)
+    estimators = estimators_for(pair)
+
+    series = {name: Series(name, []) for name in ("RAND", "PROB", "PROBV")}
+    for memory in memories:
+        for name in series:
+            result = run_algorithm(
+                name,
+                pair,
+                window,
+                memory,
+                seed=seed,
+                warmup=warmup,
+                estimators=estimators,
+            )
+            series[name].points.append((memory, result.output_count))
+    exact = run_algorithm("EXACT", pair, window, 0, warmup=warmup)
+    exact_series = Series("EXACT", [(m, exact.output_count) for m in memories])
+
+    return FigureData(
+        figure_id="figure7",
+        title=f"Weather data: output vs. memory, w={window}, warmup={warmup}",
+        x_label="memory M (tuples)",
+        y_label="output tuples (post-warmup)",
+        series=[series["RAND"], series["PROB"], series["PROBV"], exact_series],
+        params={
+            "window": window,
+            "warmup": warmup,
+            "stream_length": scale.weather_length,
+            "memories": memories,
+        },
+        expectation=(
+            "Closely resembles the synthetic figures: PROB and PROBV are "
+            "nearly identical (similar year-to-year distributions) and "
+            "reach ~90% of EXACT with 50% of the memory; RAND trails."
+        ),
+    )
+
+
+def figure8(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+    """Figure 8: PROBV's memory split between R and S over time."""
+    scale = scale or current_scale()
+    window = scale.weather_window
+    warmup = scale.weather_warmup
+    memory = even_memory(window, 1.0)
+    pair = weather_pair(scale.weather_length, seed=seed)
+
+    result = run_algorithm(
+        "PROBV",
+        pair,
+        window,
+        memory,
+        seed=seed,
+        warmup=warmup,
+        track_shares=True,
+        share_sample_every=max(1, len(pair) // 400),
+    )
+    assert result.shares is not None
+    r_series = Series(
+        "R share of memory",
+        [(t, r / max(r + s, 1)) for t, r, s in result.shares],
+    )
+
+    return FigureData(
+        figure_id="figure8",
+        title=f"Weather data: PROBV memory allocation over time, M={memory}",
+        x_label="time",
+        y_label="fraction of memory holding R-tuples",
+        series=[r_series],
+        params={
+            "window": window,
+            "memory": memory,
+            "stream_length": scale.weather_length,
+        },
+        expectation=(
+            "The allocation stays near 50/50 for the whole run because "
+            "the two years' distributions are almost identical."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.3 (text): variable memory allocation under skew disparity
+# ----------------------------------------------------------------------
+
+def variable_memory_study(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    skew_pairs: Sequence[tuple[float, float]] = ((0.5, 0.5), (1.0, 0.5), (1.5, 0.5), (2.0, 0.5)),
+) -> TableData:
+    """PROB vs. PROBV (and OPT vs. OPTV) for streams of differing skew.
+
+    Reproduces the prose of Section 4.3: the variable-allocation versions
+    win when the skews differ, by at most ~10% output, with the more
+    skewed stream receiving up to ~75% of the memory.
+    """
+    scale = scale or current_scale()
+    window = scale.window
+    memory = even_memory(window, 0.5)
+
+    rows: list[list] = []
+    for z_r, z_s in skew_pairs:
+        pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, z_r, skew_s=z_s, seed=seed)
+        estimators = estimators_for(pair)
+        prob = run_algorithm(
+            "PROB", pair, window, memory, seed=seed, estimators=estimators
+        ).output_count
+        probv_result = run_algorithm(
+            "PROBV",
+            pair,
+            window,
+            memory,
+            seed=seed,
+            estimators=estimators,
+            track_shares=True,
+            share_sample_every=max(1, len(pair) // 200),
+        )
+        probv = probv_result.output_count
+        assert probv_result.shares is not None
+        post_warmup = [
+            (r, s) for t, r, s in probv_result.shares if t >= 2 * window
+        ]
+        r_share = (
+            sum(r / max(r + s, 1) for r, s in post_warmup) / max(len(post_warmup), 1)
+        )
+        opt = run_algorithm("OPT", pair, window, memory).output_count
+        optv = run_algorithm("OPTV", pair, window, memory).output_count
+        gain = (probv - prob) / max(prob, 1)
+        rows.append([z_r, z_s, prob, probv, round(gain * 100, 2), round(r_share, 3), opt, optv])
+
+    return TableData(
+        table_id="variable_memory",
+        title=f"Fixed vs. variable allocation, w={window}, M={memory}",
+        columns=["z_R", "z_S", "PROB", "PROBV", "PROBV gain %", "R mem share", "OPT", "OPTV"],
+        rows=rows,
+        params={"window": window, "memory": memory, "stream_length": scale.stream_length},
+        expectation=(
+            "OPTV >= OPT always; PROBV matches or beats PROB (up to small "
+            "run-to-run noise), with gains bounded by ~10%; the skewed "
+            "stream takes a clearly larger memory share (the paper "
+            "observed up to ~75%)."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 3.1: static join load shedding
+# ----------------------------------------------------------------------
+
+def static_join_study(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    delete_fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+) -> TableData:
+    """Optimal DP vs. greedy vs. random deletion on Zipf relations.
+
+    The sensor-proxy scenario of Section 3.1: two relations are truncated
+    by ``k`` tuples total; the DP is provably optimal, greedy and random
+    deletion are baselines.
+    """
+    scale = scale or current_scale()
+    size = max(scale.stream_length // 4, 50)
+    pair = zipf_pair(size, DEFAULT_DOMAIN, 1.0, seed=seed)
+    components = extract_components(pair.r, pair.s)
+    nodes = total_nodes(components)
+    full = total_edges(components)
+
+    rows: list[list] = []
+    for fraction in delete_fractions:
+        k = int(round(fraction * nodes))
+        optimal = min_edges_lost_deleting(components, k).retained_edges
+        greedy = greedy_min_degree_deletion(components, k).retained_edges
+        random_plan = random_deletion(components, k, seed=seed).retained_edges
+        rows.append([k, full, optimal, greedy, random_plan])
+
+    return TableData(
+        table_id="static_join",
+        title=f"k-truncated static join, |A|=|B|={size}, Zipf(1.0)",
+        columns=["k deleted", "full join", "optimal DP", "greedy", "random"],
+        rows=rows,
+        params={"relation_size": size, "nodes": nodes},
+        expectation=(
+            "optimal DP >= greedy >= random at every k; random deletion "
+            "degrades roughly quadratically (both join sides shrink)."
+        ),
+    )
+
+
+def multiway_join_study(*, seed: int = 0) -> TableData:
+    """3-relation shedding: m-approximation vs. exhaustive optimum.
+
+    The problem is NP-hard (Theorem 1), so the instance is kept tiny
+    enough for brute force; the approximation's loss must be within the
+    factor-3 guarantee.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    rows: list[list] = []
+    for trial in range(5):
+        relations = [rng.integers(0, 4, size=6).tolist() for _ in range(3)]
+        instance = MultiwayInstance.from_relations(relations)
+        budgets = [2, 2, 2]
+        approx = independent_selection(instance, budgets)
+        optimal = brute_force_optimal(instance, budgets)
+        rows.append(
+            [
+                trial,
+                instance.output_size(),
+                optimal.output_size,
+                approx.output_size,
+                optimal.lost_output,
+                approx.lost_output,
+            ]
+        )
+
+    return TableData(
+        table_id="multiway_join",
+        title="3-relation shedding: independent-selection approximation",
+        columns=[
+            "trial",
+            "full join",
+            "optimal output",
+            "approx output",
+            "optimal loss",
+            "approx loss",
+        ],
+        rows=rows,
+        params={"relations": 3, "budget_each": 2},
+        expectation="approx loss <= 3 x optimal loss on every instance.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Archive-metric experiment (extension; paper future work)
+# ----------------------------------------------------------------------
+
+def arm_study(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    algorithms: Sequence[str] = ("RAND", "PROB", "LIFE", "ARM"),
+) -> TableData:
+    """Archive-metric and output of each policy across the memory sweep."""
+    scale = scale or current_scale()
+    window = scale.window
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=seed)
+    estimators = estimators_for(pair)
+    warmup = 2 * window
+
+    rows: list[list] = []
+    for memory in memory_sweep(window):
+        row: list = [memory]
+        for name in algorithms:
+            result = run_algorithm(
+                name,
+                pair,
+                window,
+                memory,
+                seed=seed,
+                estimators=estimators,
+                track_survival=True,
+            )
+            report = archive_metric(
+                pair,
+                result.r_departures,
+                result.s_departures,
+                window,
+                count_from=warmup,
+            )
+            row.extend([result.output_count, report.arm])
+        rows.append(row)
+
+    columns = ["memory"]
+    for name in algorithms:
+        columns.extend([f"{name} out", f"{name} ArM"])
+    return TableData(
+        table_id="arm_study",
+        title=f"Archive-metric vs. memory, Zipf(1.0), w={window}",
+        columns=columns,
+        rows=rows,
+        params={"window": window, "stream_length": scale.stream_length},
+        expectation=(
+            "ArM falls as memory grows; the semantic policies (PROB, ARM) "
+            "leave far fewer incomplete tuples than RAND.  Negative "
+            "finding for the future-work heuristic: on iid workloads PROB "
+            "is already near-optimal for ArM — expected-damage scoring "
+            "(ARM) does not improve on it."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Slow-CPU experiment (extension; paper future work)
+# ----------------------------------------------------------------------
+
+def slow_cpu_study(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    queue_policies: Sequence[str] = ("tail", "random", "prob"),
+) -> TableData:
+    """Queue-shedding policies under CPU overload.
+
+    Arrivals are Poisson(1) per stream per tick but the join serves only
+    one tuple per tick, so roughly half the input must be shed from the
+    queue; semantic queue shedding should retain the valuable tuples.
+    """
+    scale = scale or current_scale()
+    window = scale.window
+    length = scale.stream_length
+    pair = zipf_pair(length, DEFAULT_DOMAIN, 1.0, seed=seed)
+    estimators = estimators_for(pair)
+    r_schedule = clip_schedule(poisson_schedule(length, 1.0, seed=seed + 10), length)
+    s_schedule = clip_schedule(poisson_schedule(length, 1.0, seed=seed + 11), length)
+
+    rows: list[list] = []
+    for queue_policy in queue_policies:
+        from ..core.policies import ProbPolicy
+
+        config = SlowCpuConfig(
+            window=window,
+            memory=even_memory(window, 0.5),
+            service_per_tick=1,
+            queue_capacity=max(window // 4, 4),
+            queue_policy=queue_policy,
+            seed=seed,
+        )
+        engine = SlowCpuEngine(
+            config,
+            policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)},
+            estimators=estimators,
+        )
+        result = engine.run(pair.r, pair.s, r_schedule, s_schedule)
+        rows.append(
+            [
+                queue_policy,
+                result.output_count,
+                result.processed,
+                result.shed_from_queue,
+                result.expired_in_queue,
+                result.max_queue_length,
+            ]
+        )
+
+    return TableData(
+        table_id="slow_cpu",
+        title=f"Slow-CPU queue shedding, w={window}, service=1/tick",
+        columns=["queue policy", "output", "processed", "shed", "expired in queue", "max queue"],
+        rows=rows,
+        params={"window": window, "stream_length": length},
+        expectation=(
+            "Semantic ('prob') queue shedding produces the most output; "
+            "value-oblivious tail/random drops trail it."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Varying memory budget (Section 3.3: "PROB can also easily deal with
+# varying memory and window sizes")
+# ----------------------------------------------------------------------
+
+def varying_memory_study(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    low_fraction: float = 0.25,
+    high_fraction: float = 1.0,
+) -> TableData:
+    """Policies under a square-wave memory budget.
+
+    The budget alternates between ``low_fraction * w`` and
+    ``high_fraction * w`` every window — the "availability of resources
+    ... might vary over time" scenario of the paper's introduction.  Each
+    policy's output under the varying budget is bracketed by its outputs
+    under the constant low/high budgets, landing near the constant budget
+    of the same *mean* — graceful adaptation, no cliff.
+    """
+    scale = scale or current_scale()
+    window = scale.window
+    low = even_memory(window, low_fraction)
+    high = even_memory(window, high_fraction)
+    mean = even_memory(window, (low_fraction + high_fraction) / 2)
+    pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=seed)
+    estimators = estimators_for(pair)
+
+    def square_wave(t: int) -> int:
+        return high if (t // window) % 2 == 0 else low
+
+    from ..core.engine import EngineConfig, JoinEngine
+    from .runner import _policy_for
+
+    rows: list[list] = []
+    for name in ("RAND", "PROB", "LIFE"):
+        outputs = {}
+        for label, memory, schedule in (
+            ("low", low, None),
+            ("mean", mean, None),
+            ("high", high, None),
+            ("varying", high, square_wave),
+        ):
+            config = EngineConfig(
+                window=window, memory=memory, memory_schedule=schedule
+            )
+            policy = _policy_for(name, estimators, window, seed)
+            outputs[label] = JoinEngine(config, policy=policy).run(pair).output_count
+        rows.append(
+            [name, outputs["low"], outputs["varying"], outputs["mean"], outputs["high"]]
+        )
+
+    return TableData(
+        table_id="varying_memory",
+        title=(
+            f"Square-wave memory budget {low}<->{high} (period {window}), "
+            f"Zipf(1.0), w={window}"
+        ),
+        columns=["policy", f"const M={low}", "varying", f"const M={mean}", f"const M={high}"],
+        rows=rows,
+        params={"window": window, "low": low, "high": high, "mean": mean},
+        expectation=(
+            "Every policy's varying-budget output lies between its "
+            "constant low and high outputs (graceful adaptation); PROB "
+            "stays well above RAND throughout."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Multi-query resource sharing (Section 6 future work)
+# ----------------------------------------------------------------------
+
+def multi_query_study(
+    scale: Optional[Scale] = None,
+    *,
+    seed: int = 0,
+    shed_rules: Sequence[str] = ("tail", "random", "max", "sum"),
+) -> TableData:
+    """Two joins over shared streams under queue-shedding rules.
+
+    The queries join on *different* attributes (so they value different
+    tuples), share both input queues, and the service budget covers only
+    half the arrival rate.  Semantic shedding that aggregates both
+    queries' statistics ("max"/"sum") should beat value-oblivious drops.
+    """
+    from ..core.multiquery import QuerySpec, SharedQueueSystem
+    from ..streams.generators import multi_attribute_pair
+
+    scale = scale or current_scale()
+    window = scale.window
+    length = scale.stream_length
+    pair = multi_attribute_pair(length, [DEFAULT_DOMAIN, 20], [1.2, 0.8], seed=seed)
+    queries = [
+        QuerySpec("skewed-join", attribute=0, window=window,
+                  memory=even_memory(window, 0.5)),
+        QuerySpec("mild-join", attribute=1, window=2 * window,
+                  memory=even_memory(window, 1.0)),
+    ]
+
+    rows: list[list] = []
+    for rule in shed_rules:
+        system = SharedQueueSystem(
+            pair,
+            queries,
+            service_per_tick=len(queries),  # half of the 2*K units needed
+            queue_capacity=max(window // 4, 4),
+            shed_rule=rule,
+            warmup=2 * window,
+            seed=seed,
+        )
+        result = system.run()
+        rows.append(
+            [
+                rule,
+                result.outputs["skewed-join"],
+                result.outputs["mild-join"],
+                result.total_output,
+                result.shed_from_queue,
+            ]
+        )
+
+    return TableData(
+        table_id="multi_query",
+        title=f"Two joins sharing queues under overload, w={window}/{2 * window}",
+        columns=["shed rule", "skewed-join out", "mild-join out", "total", "shed"],
+        rows=rows,
+        params={"window": window, "stream_length": length, "queries": 2},
+        expectation=(
+            "Aggregated semantic shedding ('max'/'sum') produces more "
+            "total output than tail/random drops, without starving "
+            "either query."
+        ),
+    )
+
+
+#: Every figure generator keyed by figure id, for the benchmark driver.
+FIGURE_GENERATORS = {
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+}
+
+#: Every table generator keyed by table id.
+TABLE_GENERATORS = {
+    "variable_memory": variable_memory_study,
+    "varying_memory": varying_memory_study,
+    "multi_query": multi_query_study,
+    "static_join": static_join_study,
+    "multiway_join": multiway_join_study,
+    "arm_study": arm_study,
+    "slow_cpu": slow_cpu_study,
+}

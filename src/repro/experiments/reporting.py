@@ -1,0 +1,153 @@
+"""Plain-text rendering of reproduced figures and tables.
+
+The benchmark harness prints each figure as an aligned column table (the
+x-axis plus one column per series) so terminal output is directly
+comparable with the paper's plots; the paper's qualitative expectation is
+printed alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .figures import FigureData, TableData
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _render_grid(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    cells = [list(map(_format_value, header))] + [
+        list(map(_format_value, row)) for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureData, *, max_rows: int = 40) -> str:
+    """Render a figure's series as an aligned table.
+
+    Series are joined on their x-values; long traces (e.g. Figure 8's
+    time series) are down-sampled to ``max_rows`` evenly spaced rows.
+    """
+    xs: list = []
+    for series in figure.series:
+        for x in series.x:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+
+    if len(xs) > max_rows:
+        step = (len(xs) - 1) / (max_rows - 1)
+        xs = [xs[round(i * step)] for i in range(max_rows)]
+
+    lookup = [{x: y for x, y in series.points} for series in figure.series]
+    header = [figure.x_label] + [series.label for series in figure.series]
+    rows = [
+        [x] + [table.get(x, "") for table in lookup]
+        for x in xs
+    ]
+
+    parts = [
+        f"== {figure.figure_id}: {figure.title} ==",
+        _render_grid(header, rows),
+    ]
+    if figure.expectation:
+        parts.append(f"paper expectation: {figure.expectation}")
+    return "\n".join(parts)
+
+
+def format_table(table: TableData) -> str:
+    """Render a reproduced table."""
+    parts = [
+        f"== {table.table_id}: {table.title} ==",
+        _render_grid(table.columns, table.rows),
+    ]
+    if table.expectation:
+        parts.append(f"paper expectation: {table.expectation}")
+    return "\n".join(parts)
+
+
+def print_figure(figure: FigureData, **kwargs) -> None:
+    print()
+    print(format_figure(figure, **kwargs))
+
+
+def print_table(table: TableData) -> None:
+    print()
+    print(format_table(table))
+
+
+# ----------------------------------------------------------------------
+# machine-readable exports
+# ----------------------------------------------------------------------
+
+def figure_to_dict(figure: FigureData) -> dict:
+    """JSON-serialisable representation of a figure."""
+    return {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "series": [
+            {"label": series.label, "points": [list(p) for p in series.points]}
+            for series in figure.series
+        ],
+        "params": dict(figure.params),
+        "expectation": figure.expectation,
+    }
+
+
+def table_to_dict(table: TableData) -> dict:
+    """JSON-serialisable representation of a table."""
+    return {
+        "table_id": table.table_id,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "params": dict(table.params),
+        "expectation": table.expectation,
+    }
+
+
+def save_figure_csv(figure: FigureData, path) -> None:
+    """Write a figure as CSV: the x column plus one column per series."""
+    import csv
+    from pathlib import Path
+
+    xs: list = []
+    for series in figure.series:
+        for x in series.x:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    lookup = [{x: y for x, y in series.points} for series in figure.series]
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([figure.x_label] + [series.label for series in figure.series])
+        for x in xs:
+            writer.writerow([x] + [table.get(x, "") for table in lookup])
+
+
+def save_table_csv(table: TableData, path) -> None:
+    """Write a table's columns and rows as CSV."""
+    import csv
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)

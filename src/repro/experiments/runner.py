@@ -1,0 +1,178 @@
+"""Uniform runner for every algorithm of the evaluation.
+
+Maps the paper's algorithm names (EXACT, RAND, PROB, LIFE, their
+variable-allocation ``...V`` versions, OPT/OPTV, and the ARM extension)
+onto engine/policy/solver configurations, wiring the statistics module
+exactly as the paper does: the true generating distribution for synthetic
+data, the offline frequency table for recorded/real data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.engine import EngineConfig, JoinEngine, RunResult
+from ..core.offline.opt import OptResult, solve_opt
+from ..core.policies import (
+    ArmAwarePolicy,
+    FifoPolicy,
+    LifePolicy,
+    ProbPolicy,
+    RandomEvictionPolicy,
+)
+from ..stats.frequency import StaticFrequencyTable
+from ..streams.tuples import StreamPair
+
+#: Algorithms with a fixed / variable allocation pair.
+FIXED_ALGORITHMS = ("RAND", "PROB", "LIFE", "ARM", "FIFO")
+VARIABLE_ALGORITHMS = tuple(f"{name}V" for name in FIXED_ALGORITHMS)
+ALL_ALGORITHMS = ("EXACT", "OPT", "OPTV") + FIXED_ALGORITHMS + VARIABLE_ALGORITHMS
+
+AnyResult = Union[RunResult, OptResult]
+
+
+def estimators_for(pair: StreamPair) -> dict[str, StaticFrequencyTable]:
+    """The statistics module for a stream pair, as the paper built it.
+
+    Synthetic pairs carry their true generating distributions in
+    ``metadata`` (``r_distribution``/``s_distribution`` objects or
+    ``r_probabilities``/``s_probabilities`` arrays); otherwise an offline
+    frequency scan of the streams is used — the paper's procedure for the
+    real-life dataset ("the frequency table of the data values in the
+    dataset was used", not updated during the run).
+    """
+    metadata = pair.metadata
+    if "r_distribution" in metadata and "s_distribution" in metadata:
+        return {
+            "R": StaticFrequencyTable.from_array(
+                metadata["r_distribution"].probabilities()
+            ),
+            "S": StaticFrequencyTable.from_array(
+                metadata["s_distribution"].probabilities()
+            ),
+        }
+    if "r_probabilities" in metadata and "s_probabilities" in metadata:
+        return {
+            "R": StaticFrequencyTable.from_array(metadata["r_probabilities"]),
+            "S": StaticFrequencyTable.from_array(metadata["s_probabilities"]),
+        }
+    return {
+        "R": StaticFrequencyTable.from_stream(pair.r),
+        "S": StaticFrequencyTable.from_stream(pair.s),
+    }
+
+
+def _policy_for(
+    name: str,
+    estimators: dict[str, StaticFrequencyTable],
+    window: int,
+    seed: int,
+):
+    """Build the policy spec (single instance or per-side dict)."""
+    base = name[:-1] if name.endswith("V") else name
+    variable = name.endswith("V")
+
+    def make(offset: int):
+        if base == "RAND":
+            return RandomEvictionPolicy(seed=seed + offset)
+        if base == "PROB":
+            return ProbPolicy(estimators)
+        if base == "LIFE":
+            return LifePolicy(estimators, window)
+        if base == "ARM":
+            return ArmAwarePolicy(estimators, window)
+        if base == "FIFO":
+            return FifoPolicy()
+        raise ValueError(f"unknown algorithm {name!r}")
+
+    if variable:
+        return make(0)
+    return {"R": make(0), "S": make(1)}
+
+
+def run_algorithm(
+    name: str,
+    pair: StreamPair,
+    window: int,
+    memory: int,
+    *,
+    seed: int = 0,
+    warmup: Optional[int] = None,
+    estimators: Optional[dict] = None,
+    materialize: bool = False,
+    track_shares: bool = False,
+    share_sample_every: int = 1,
+    track_survival: bool = False,
+) -> AnyResult:
+    """Run one named algorithm and return its result.
+
+    ``name`` is one of :data:`ALL_ALGORITHMS`.  ``memory`` is ignored for
+    EXACT (which always gets ``2 * window``).
+    """
+    if name == "EXACT":
+        config = EngineConfig(
+            window=window,
+            memory=2 * window,
+            warmup=warmup,
+            materialize=materialize,
+            track_shares=track_shares,
+            share_sample_every=share_sample_every,
+            track_survival=track_survival,
+        )
+        return JoinEngine(config, policy=None).run(pair)
+
+    if name in ("OPT", "OPTV"):
+        count_from = warmup if warmup is not None else 2 * window
+        return solve_opt(
+            pair, window, memory, variable=name.endswith("V"), count_from=count_from
+        )
+
+    if name not in FIXED_ALGORITHMS + VARIABLE_ALGORITHMS:
+        raise ValueError(f"unknown algorithm {name!r}; choose from {ALL_ALGORITHMS}")
+
+    if estimators is None:
+        estimators = estimators_for(pair)
+    config = EngineConfig(
+        window=window,
+        memory=memory,
+        variable=name.endswith("V"),
+        warmup=warmup,
+        materialize=materialize,
+        track_shares=track_shares,
+        share_sample_every=share_sample_every,
+        track_survival=track_survival,
+    )
+    policy = _policy_for(name, estimators, window, seed)
+    return JoinEngine(config, policy=policy).run(pair)
+
+
+def run_suite(
+    algorithms,
+    pair: StreamPair,
+    window: int,
+    memory: int,
+    *,
+    seed: int = 0,
+    warmup: Optional[int] = None,
+    **kwargs,
+) -> dict[str, AnyResult]:
+    """Run several algorithms on identical inputs; estimators are shared."""
+    estimators = estimators_for(pair)
+    results: dict[str, AnyResult] = {}
+    for name in algorithms:
+        results[name] = run_algorithm(
+            name,
+            pair,
+            window,
+            memory,
+            seed=seed,
+            warmup=warmup,
+            estimators=estimators,
+            **kwargs,
+        )
+    return results
+
+
+def output_counts(results: dict[str, AnyResult]) -> dict[str, int]:
+    """Extract the headline metric from a suite's results."""
+    return {name: result.output_count for name, result in results.items()}

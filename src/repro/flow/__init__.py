@@ -1,0 +1,50 @@
+"""Min-cost network flow substrate.
+
+The paper solves its OPT-offline join approximation with Goldberg's CS2
+min-cost flow solver; this package provides an equivalent self-contained
+implementation:
+
+* :class:`FlowNetwork` / :class:`FlowResult` — problem & solution model;
+* :func:`solve_min_cost_flow` — successive shortest paths with potentials
+  (handles the negative-cost DAGs produced by the OPT-offline builder);
+* :mod:`repro.flow.validation` — feasibility and optimality certificates;
+* :func:`repro.flow.simple.solve_lp` — LP-backed reference solver for
+  cross-checking in tests.
+"""
+
+from .bellman_ford import NegativeCycleError, has_negative_cycle, shortest_paths
+from .cost_scaling import InfeasibleFlowError, solve_cost_scaling
+from .dag import shortest_distances_from, topological_order
+from .maxflow import max_flow
+from .network import Arc, FlowNetwork, FlowResult
+from .residual import ResidualGraph
+from .ssp import UnbalancedNetworkError, solve_min_cost_flow
+from .validation import assert_valid, check_feasible, check_optimal, recompute_cost
+
+#: Named min-cost flow solvers (both exact; see their modules).
+SOLVERS = {
+    "ssp": solve_min_cost_flow,
+    "cost_scaling": solve_cost_scaling,
+}
+
+__all__ = [
+    "Arc",
+    "FlowNetwork",
+    "FlowResult",
+    "InfeasibleFlowError",
+    "NegativeCycleError",
+    "ResidualGraph",
+    "SOLVERS",
+    "UnbalancedNetworkError",
+    "assert_valid",
+    "check_feasible",
+    "check_optimal",
+    "has_negative_cycle",
+    "max_flow",
+    "recompute_cost",
+    "shortest_distances_from",
+    "shortest_paths",
+    "solve_cost_scaling",
+    "solve_min_cost_flow",
+    "topological_order",
+]

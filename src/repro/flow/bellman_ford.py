@@ -1,0 +1,140 @@
+"""Bellman-Ford shortest paths over residual graphs.
+
+Used to (a) initialise node potentials when the cost graph contains
+negative arcs and is not known to be a DAG, and (b) assert the absence of
+negative residual cycles, which certifies optimality of a min-cost flow
+(see :mod:`repro.flow.validation`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .residual import ResidualGraph
+
+#: Sentinel distance for unreachable nodes.
+INFINITY = float("inf")
+
+
+class NegativeCycleError(RuntimeError):
+    """Raised when a negative-cost cycle is reachable from the source."""
+
+
+def shortest_paths(
+    graph: ResidualGraph,
+    source: int,
+    *,
+    raise_on_negative_cycle: bool = True,
+) -> tuple[list[float], list[int]]:
+    """SPFA-style Bellman-Ford over arcs with positive residual capacity.
+
+    Parameters
+    ----------
+    graph:
+        Residual graph; only arcs with ``residual > 0`` are traversed.
+    source:
+        Start node.
+    raise_on_negative_cycle:
+        When True (default) a :class:`NegativeCycleError` is raised if a
+        negative cycle is reachable; when False the function returns after
+        detection with whatever labels it has (useful for probing).
+
+    Returns
+    -------
+    (dist, parent_arc):
+        ``dist[v]`` is the least cost from ``source`` to ``v`` (``inf`` if
+        unreachable); ``parent_arc[v]`` is the residual arc id used to
+        enter ``v`` on a shortest path, or ``-1``.
+    """
+    n = graph.num_nodes
+    dist: list[float] = [INFINITY] * n
+    parent_arc = [-1] * n
+    relaxations = [0] * n
+    in_queue = [False] * n
+
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    in_queue[source] = True
+
+    head = graph.head
+    cost = graph.cost
+    residual = graph.residual
+    adjacency = graph.adjacency
+
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        du = dist[u]
+        for arc in adjacency[u]:
+            if residual[arc] <= 0:
+                continue
+            v = head[arc]
+            candidate = du + cost[arc]
+            if candidate < dist[v]:
+                dist[v] = candidate
+                parent_arc[v] = arc
+                if not in_queue[v]:
+                    relaxations[v] += 1
+                    if relaxations[v] > n:
+                        if raise_on_negative_cycle:
+                            raise NegativeCycleError(
+                                f"negative cycle reachable from node {source}"
+                            )
+                        return dist, parent_arc
+                    queue.append(v)
+                    in_queue[v] = True
+    return dist, parent_arc
+
+
+def has_negative_cycle(graph: ResidualGraph) -> bool:
+    """True if any negative-cost cycle exists among residual arcs.
+
+    Runs Bellman-Ford from a virtual source connected to every node with a
+    zero-cost arc, so cycles in any component are found.
+    """
+    n = graph.num_nodes
+    dist = [0.0] * n
+    parent_arc: list[int] = [-1] * n
+    relaxations = [0] * n
+    in_queue = [True] * n
+    queue: deque[int] = deque(range(n))
+
+    head = graph.head
+    cost = graph.cost
+    residual = graph.residual
+    adjacency = graph.adjacency
+
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        du = dist[u]
+        for arc in adjacency[u]:
+            if residual[arc] <= 0:
+                continue
+            v = head[arc]
+            candidate = du + cost[arc]
+            if candidate < dist[v]:
+                dist[v] = candidate
+                parent_arc[v] = arc
+                if not in_queue[v]:
+                    relaxations[v] += 1
+                    if relaxations[v] > n:
+                        return True
+                    queue.append(v)
+                    in_queue[v] = True
+    return False
+
+
+def extract_path(parent_arc: list[int], graph: ResidualGraph, sink: int) -> Optional[list[int]]:
+    """Rebuild the residual-arc path reaching ``sink``, or None."""
+    if parent_arc[sink] == -1:
+        return None
+    path: list[int] = []
+    node = sink
+    while parent_arc[node] != -1:
+        arc = parent_arc[node]
+        path.append(arc)
+        node = graph.head[arc ^ 1]
+    path.reverse()
+    return path

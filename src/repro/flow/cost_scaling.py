@@ -1,0 +1,154 @@
+"""Cost-scaling push-relabel min-cost flow (Goldberg-Tarjan).
+
+This is the algorithm family of Goldberg's CS2 — the solver the paper
+used for OPT-offline.  It complements the successive-shortest-paths
+solver: SSP is fast when the flow value is small, cost scaling when arc
+counts dominate.  Both are cross-checked against each other (and an LP)
+in the test-suite; ``solve_opt`` can be pointed at either.
+
+Outline
+-------
+1. Route the supplies with a max-flow (Dinic) — min-cost flow needs a
+   *feasible* flow to start from; infeasible instances are rejected.
+2. Scale integer costs by ``n + 1`` and run ε-phases: each ``refine(ε)``
+   saturates negative-reduced-cost arcs and restores conservation with
+   push/relabel, producing an ε-optimal flow; once ``ε < 1`` the flow is
+   ``1/(n+1)``-optimal in the original costs, hence optimal (a unit of
+   scaled cost cannot be split among fewer than ``n + 1`` arcs of a
+   cycle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .maxflow import max_flow
+from .network import FlowNetwork, FlowResult
+from .residual import ResidualGraph
+from .ssp import UnbalancedNetworkError, _augmented_residual
+
+#: ε divisor between phases (CS2 uses values around 8-16).
+SCALE_FACTOR = 8
+
+
+class InfeasibleFlowError(RuntimeError):
+    """Raised when the supplies cannot be routed at all."""
+
+
+def solve_cost_scaling(network: FlowNetwork) -> FlowResult:
+    """Route the network's full supply at minimum cost via cost scaling.
+
+    Same contract as :func:`repro.flow.ssp.solve_min_cost_flow` except
+    that capacity-infeasible instances raise
+    :class:`InfeasibleFlowError` instead of returning a partial flow.
+    """
+    if not network.is_balanced():
+        raise UnbalancedNetworkError(
+            f"supplies sum to {sum(network.supplies())}, expected 0"
+        )
+    demand = network.total_supply()
+    num_original_arcs = network.num_arcs
+    if demand == 0:
+        return FlowResult(flow=[0] * num_original_arcs, cost=0, value=0, feasible=True)
+
+    graph, super_source, super_sink, _ = _augmented_residual(network)
+
+    routed = max_flow(graph, super_source, super_sink)
+    if routed < demand:
+        raise InfeasibleFlowError(
+            f"only {routed} of {demand} supply units are routable"
+        )
+
+    _optimise(graph)
+
+    flow = graph.flows(num_original_arcs)
+    cost = sum(f * network.arc(a).cost for a, f in enumerate(flow) if f)
+    return FlowResult(flow=flow, cost=cost, value=demand, feasible=True)
+
+
+def _optimise(graph: ResidualGraph) -> None:
+    """Turn a feasible flow into a min-cost flow by ε-scaling phases."""
+    n = graph.num_nodes
+    scale = n + 1
+    cost = [c * scale for c in graph.cost]
+    max_cost = max((abs(c) for c in cost), default=0)
+    if max_cost == 0:
+        return
+
+    prices = [0] * n
+    epsilon = max_cost
+    while True:
+        _refine(graph, cost, prices, epsilon)
+        if epsilon <= 1:
+            # 1-optimal on costs scaled by (n+1) means 1/(n+1)-optimal on
+            # the originals — below the 1/n optimality threshold.
+            break
+        epsilon = max(epsilon // SCALE_FACTOR, 1)
+
+
+def _refine(
+    graph: ResidualGraph, cost: list[int], prices: list[int], epsilon: int
+) -> None:
+    """Make the current flow ε-optimal with push/relabel."""
+    head = graph.head
+    residual = graph.residual
+    adjacency = graph.adjacency
+    n = graph.num_nodes
+
+    # Saturate every residual arc with negative reduced cost.  This makes
+    # the pseudo-flow ε-optimal but creates excesses and deficits.
+    excess = [0] * n
+    for u in range(n):
+        pu = prices[u]
+        for arc in adjacency[u]:
+            if residual[arc] <= 0:
+                continue
+            if cost[arc] + pu - prices[head[arc]] < 0:
+                amount = residual[arc]
+                residual[arc] = 0
+                residual[arc ^ 1] += amount
+                excess[u] -= amount
+                excess[head[arc]] += amount
+
+    active: deque[int] = deque(u for u in range(n) if excess[u] > 0)
+    in_queue = [False] * n
+    for u in active:
+        in_queue[u] = True
+    pointer = [0] * n
+
+    while active:
+        u = active.popleft()
+        in_queue[u] = False
+        while excess[u] > 0:
+            arcs = adjacency[u]
+            if pointer[u] >= len(arcs):
+                # Relabel: lower u's price just enough to create an
+                # admissible arc (guaranteed to exist for a feasible
+                # instance), then rescan.
+                best = None
+                pu = prices[u]
+                for arc in arcs:
+                    if residual[arc] <= 0:
+                        continue
+                    candidate = prices[head[arc]] - cost[arc] - epsilon
+                    if best is None or candidate > best:
+                        best = candidate
+                if best is None:  # pragma: no cover - guarded by max_flow
+                    raise InfeasibleFlowError("active node with no residual arcs")
+                prices[u] = best
+                pointer[u] = 0
+                continue
+            arc = arcs[pointer[u]]
+            v = head[arc]
+            if residual[arc] > 0 and cost[arc] + prices[u] - prices[v] < 0:
+                delta = min(excess[u], residual[arc])
+                residual[arc] -= delta
+                residual[arc ^ 1] += delta
+                excess[u] -= delta
+                excess[v] += delta
+                if excess[v] > 0 and not in_queue[v]:
+                    active.append(v)
+                    in_queue[v] = True
+            else:
+                pointer[u] += 1
+        # Deficit nodes (excess < 0) absorb pushes passively.

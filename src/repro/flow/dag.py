@@ -1,0 +1,78 @@
+"""Shortest paths on DAG-structured cost graphs.
+
+The OPT-offline flow networks are built in time order, so every arc goes
+from a lower to a higher node id.  A single forward sweep then yields exact
+shortest-path distances even with negative arc costs, which gives the
+successive-shortest-paths solver valid initial potentials in O(V + E)
+instead of a Bellman-Ford pass.
+"""
+
+from __future__ import annotations
+
+from .network import FlowNetwork
+
+INFINITY = float("inf")
+
+
+def topological_order(network: FlowNetwork) -> list[int]:
+    """Kahn topological order of the network's nodes.
+
+    Raises
+    ------
+    ValueError
+        If the network contains a directed cycle.
+    """
+    n = network.num_nodes
+    indegree = [0] * n
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    for arc in network.arcs:
+        adjacency[arc.tail].append(arc.head)
+        indegree[arc.head] += 1
+
+    order: list[int] = [v for v in range(n) if indegree[v] == 0]
+    cursor = 0
+    while cursor < len(order):
+        u = order[cursor]
+        cursor += 1
+        for v in adjacency[u]:
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                order.append(v)
+    if len(order) != n:
+        raise ValueError("network contains a directed cycle")
+    return order
+
+
+def shortest_distances_from(network: FlowNetwork, source: int) -> list[float]:
+    """Exact shortest distances from ``source`` over original arcs.
+
+    Works for arbitrary (also negative) costs as long as the network is a
+    DAG.  Unreachable nodes get ``inf``.
+    """
+    order = topological_order(network)
+    dist: list[float] = [INFINITY] * network.num_nodes
+    dist[source] = 0
+
+    out = network.out_arcs()
+    arcs = network.arcs
+    for u in order:
+        du = dist[u]
+        if du == INFINITY:
+            continue
+        for arc_id in out[u]:
+            arc = arcs[arc_id]
+            candidate = du + arc.cost
+            if candidate < dist[arc.head]:
+                dist[arc.head] = candidate
+    return dist
+
+
+def initial_potentials(network: FlowNetwork, source: int) -> list[float]:
+    """Johnson potentials for a DAG network: shortest distances from source.
+
+    Nodes unreachable from the source keep potential 0; they can never lie
+    on an augmenting path, so their value is irrelevant as long as it is
+    finite.
+    """
+    dist = shortest_distances_from(network, source)
+    return [d if d != INFINITY else 0.0 for d in dist]

@@ -1,0 +1,100 @@
+"""Dinic's maximum-flow algorithm over residual graphs.
+
+Used by the cost-scaling solver to establish a feasible flow before
+optimising cost, and available standalone for capacity-feasibility
+questions.  Operates in place on a :class:`ResidualGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .residual import ResidualGraph
+
+
+def max_flow(graph: ResidualGraph, source: int, sink: int) -> int:
+    """Push the maximum flow from ``source`` to ``sink``; return its value.
+
+    Standard Dinic: repeat { BFS level graph; DFS blocking flow } until
+    the sink becomes unreachable.  O(V^2 E) worst case, far faster on the
+    sparse unit-ish graphs this library builds.
+    """
+    if source == sink:
+        raise ValueError("source and sink must differ")
+
+    head = graph.head
+    residual = graph.residual
+    adjacency = graph.adjacency
+    n = graph.num_nodes
+
+    total = 0
+    while True:
+        # BFS: build level labels over arcs with residual capacity.
+        level = [-1] * n
+        level[source] = 0
+        queue: deque[int] = deque([source])
+        while queue:
+            u = queue.popleft()
+            for arc in adjacency[u]:
+                v = head[arc]
+                if residual[arc] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        if level[sink] < 0:
+            return total
+
+        # DFS blocking flow with current-arc pointers (iterative).
+        pointer = [0] * n
+        while True:
+            pushed = _dfs_push(
+                graph, source, sink, float("inf"), level, pointer
+            )
+            if pushed == 0:
+                break
+            total += int(pushed)
+
+
+def _dfs_push(
+    graph: ResidualGraph,
+    source: int,
+    sink: int,
+    limit: float,
+    level: list[int],
+    pointer: list[int],
+) -> float:
+    """One augmenting path in the level graph (iterative DFS)."""
+    head = graph.head
+    residual = graph.residual
+    adjacency = graph.adjacency
+
+    path: list[int] = []  # residual arc ids along the current path
+    node = source
+    while True:
+        if node == sink:
+            bottleneck = min(limit, min(residual[arc] for arc in path))
+            for arc in path:
+                residual[arc] -= bottleneck
+                residual[arc ^ 1] += bottleneck
+            return bottleneck
+
+        advanced = False
+        arcs = adjacency[node]
+        while pointer[node] < len(arcs):
+            arc = arcs[pointer[node]]
+            v = head[arc]
+            if residual[arc] > 0 and level[v] == level[node] + 1:
+                path.append(arc)
+                node = v
+                advanced = True
+                break
+            pointer[node] += 1
+        if advanced:
+            continue
+
+        # Dead end: retreat (or give up at the source).
+        level[node] = -1  # prune from this phase
+        if not path:
+            return 0
+        arc = path.pop()
+        node = head[arc ^ 1]
+        pointer[node] += 1

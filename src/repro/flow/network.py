@@ -1,0 +1,185 @@
+"""Directed flow network with capacities, costs, and node supplies.
+
+This module provides the problem description shared by every min-cost flow
+solver in :mod:`repro.flow`.  The paper solves its OPT-offline formulation
+with Goldberg's CS2 solver; since no external solver is available we build
+the substrate from scratch.
+
+A :class:`FlowNetwork` is a multigraph: parallel arcs between the same node
+pair are allowed (the OPT-offline construction uses one arc per candidate
+drop time of a tuple, several of which may share endpoints).
+
+Conventions
+-----------
+* Nodes are dense integer ids ``0 .. num_nodes - 1`` created through
+  :meth:`FlowNetwork.add_node`; an optional label aids debugging.
+* Arc capacities are non-negative integers; costs are integers (possibly
+  negative).  Integral data guarantees an integral optimal flow exists
+  (Theorem 2 of the paper, citing Rockafellar).
+* ``supply[v] > 0`` means ``v`` is a source of that many units,
+  ``supply[v] < 0`` a sink.  A balanced network has supplies summing to 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A single directed arc of a :class:`FlowNetwork`.
+
+    Attributes
+    ----------
+    tail, head:
+        Endpoint node ids (flow travels tail -> head).
+    capacity:
+        Maximum units of flow, a non-negative integer.
+    cost:
+        Cost per unit of flow, an integer (negative = profit).
+    """
+
+    tail: int
+    head: int
+    capacity: int
+    cost: int
+
+
+class FlowNetwork:
+    """Mutable builder for min-cost flow problem instances."""
+
+    def __init__(self) -> None:
+        self._arcs: list[Arc] = []
+        self._supply: list[int] = []
+        self._labels: list[Optional[str]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, label: Optional[str] = None, supply: int = 0) -> int:
+        """Create a node and return its dense integer id."""
+        self._supply.append(int(supply))
+        self._labels.append(label)
+        return len(self._supply) - 1
+
+    def add_nodes(self, count: int) -> range:
+        """Create ``count`` unlabeled nodes; return the range of new ids."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        start = len(self._supply)
+        self._supply.extend([0] * count)
+        self._labels.extend([None] * count)
+        return range(start, start + count)
+
+    def add_arc(self, tail: int, head: int, capacity: int, cost: int = 0) -> int:
+        """Add a directed arc and return its arc id.
+
+        Raises
+        ------
+        ValueError
+            If an endpoint does not exist, the capacity is negative, or the
+            arc is a self-loop (self-loops never carry useful flow and are
+            rejected to surface construction bugs early).
+        """
+        n = len(self._supply)
+        if not (0 <= tail < n and 0 <= head < n):
+            raise ValueError(f"arc ({tail}, {head}) references unknown node; have {n} nodes")
+        if tail == head:
+            raise ValueError(f"self-loop arcs are not allowed (node {tail})")
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._arcs.append(Arc(tail, head, int(capacity), int(cost)))
+        return len(self._arcs) - 1
+
+    def set_supply(self, node: int, supply: int) -> None:
+        """Set the supply (positive) or demand (negative) of ``node``."""
+        self._supply[node] = int(supply)
+
+    def add_supply(self, node: int, delta: int) -> None:
+        """Increment the supply of ``node`` by ``delta``."""
+        self._supply[node] += int(delta)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._supply)
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self._arcs)
+
+    @property
+    def arcs(self) -> Sequence[Arc]:
+        return self._arcs
+
+    def arc(self, arc_id: int) -> Arc:
+        return self._arcs[arc_id]
+
+    def supply(self, node: int) -> int:
+        return self._supply[node]
+
+    def supplies(self) -> Sequence[int]:
+        return self._supply
+
+    def label(self, node: int) -> Optional[str]:
+        return self._labels[node]
+
+    def total_supply(self) -> int:
+        """Sum of positive supplies (the amount of flow to be routed)."""
+        return sum(s for s in self._supply if s > 0)
+
+    def is_balanced(self) -> bool:
+        """True if supplies and demands cancel exactly."""
+        return sum(self._supply) == 0
+
+    def out_arcs(self) -> list[list[int]]:
+        """Adjacency: for each node, the list of outgoing arc ids."""
+        adjacency: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for arc_id, arc in enumerate(self._arcs):
+            adjacency[arc.tail].append(arc_id)
+        return adjacency
+
+    def is_topologically_ordered(self) -> bool:
+        """True when every arc goes from a lower to a higher node id.
+
+        Networks built in time order (such as the OPT-offline graphs)
+        satisfy this, which lets solvers skip Bellman-Ford initialisation.
+        """
+        return all(arc.tail < arc.head for arc in self._arcs)
+
+    def __iter__(self) -> Iterator[Arc]:
+        return iter(self._arcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowNetwork(nodes={self.num_nodes}, arcs={self.num_arcs}, "
+            f"supply={self.total_supply()})"
+        )
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a min-cost flow solve.
+
+    Attributes
+    ----------
+    flow:
+        Per-arc flow, indexed by arc id of the original network.
+    cost:
+        Total cost ``sum(flow[a] * cost[a])``.
+    value:
+        Units of flow actually routed from sources to sinks.
+    feasible:
+        True when every unit of supply reached a demand node.
+    """
+
+    flow: list[int]
+    cost: int
+    value: int
+    feasible: bool
+
+    def flow_on(self, arc_id: int) -> int:
+        return self.flow[arc_id]

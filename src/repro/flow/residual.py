@@ -1,0 +1,54 @@
+"""Residual-graph representation shared by the flow solvers.
+
+The residual graph stores each original arc together with its reverse arc
+in a flat arc array where arc ``i`` and arc ``i ^ 1`` are partners.  This
+is the standard trick that makes pushing and retracting flow an O(1)
+operation and keeps the Dijkstra inner loop allocation-free.
+"""
+
+from __future__ import annotations
+
+from .network import FlowNetwork
+
+
+class ResidualGraph:
+    """Flat-array residual graph over a :class:`FlowNetwork`.
+
+    Arc ``2 * a`` is original arc ``a`` of the network; arc ``2 * a + 1``
+    is its residual reverse.  ``residual[i]`` is the remaining capacity of
+    residual arc ``i``; the flow on original arc ``a`` is therefore
+    ``residual[2 * a + 1]``.
+    """
+
+    def __init__(self, network: FlowNetwork) -> None:
+        num_arcs = network.num_arcs
+        self.num_nodes = network.num_nodes
+        self.head = [0] * (2 * num_arcs)
+        self.cost = [0] * (2 * num_arcs)
+        self.residual = [0] * (2 * num_arcs)
+        self.adjacency: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for arc_id, arc in enumerate(network.arcs):
+            fwd = 2 * arc_id
+            rev = fwd + 1
+            self.head[fwd] = arc.head
+            self.head[rev] = arc.tail
+            self.cost[fwd] = arc.cost
+            self.cost[rev] = -arc.cost
+            self.residual[fwd] = arc.capacity
+            self.residual[rev] = 0
+            self.adjacency[arc.tail].append(fwd)
+            self.adjacency[arc.head].append(rev)
+
+    def push(self, residual_arc: int, amount: int) -> None:
+        """Send ``amount`` units through residual arc ``residual_arc``."""
+        self.residual[residual_arc] -= amount
+        self.residual[residual_arc ^ 1] += amount
+
+    def flow_on(self, original_arc: int) -> int:
+        """Current flow on original arc ``original_arc``."""
+        return self.residual[2 * original_arc + 1]
+
+    def flows(self, num_original_arcs: int) -> list[int]:
+        """Per-arc flows for the first ``num_original_arcs`` original arcs."""
+        residual = self.residual
+        return [residual[2 * a + 1] for a in range(num_original_arcs)]

@@ -1,0 +1,60 @@
+"""Reference min-cost flow solver backed by linear programming.
+
+Used only in tests and validation: min-cost flow LPs over networks with
+integral data have integral optimal vertices, so the LP optimum equals the
+combinatorial optimum.  The production solver is
+:func:`repro.flow.ssp.solve_min_cost_flow`; this module exists to
+cross-check it on arbitrary (small) instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import FlowNetwork, FlowResult
+
+
+def solve_lp(network: FlowNetwork) -> FlowResult:
+    """Solve the min-cost flow LP with scipy's HiGHS backend.
+
+    Only suitable for small instances (dense constraint matrix).  Flows in
+    the result are rounded to the nearest integer; for integral instances
+    the LP vertex optimum is integral so this is exact.
+
+    Raises
+    ------
+    RuntimeError
+        If the LP is infeasible or the solver fails.
+    """
+    from scipy.optimize import linprog  # local import: test-only dependency
+
+    num_nodes = network.num_nodes
+    num_arcs = network.num_arcs
+    if num_arcs == 0:
+        if any(network.supplies()):
+            raise RuntimeError("no arcs but non-zero supplies: infeasible")
+        return FlowResult(flow=[], cost=0, value=0, feasible=True)
+
+    costs = np.array([arc.cost for arc in network.arcs], dtype=float)
+    capacities = np.array([arc.capacity for arc in network.arcs], dtype=float)
+
+    # Conservation: outflow - inflow = supply at every node.
+    incidence = np.zeros((num_nodes, num_arcs))
+    for arc_id, arc in enumerate(network.arcs):
+        incidence[arc.tail, arc_id] += 1.0
+        incidence[arc.head, arc_id] -= 1.0
+    supplies = np.array(network.supplies(), dtype=float)
+
+    outcome = linprog(
+        c=costs,
+        A_eq=incidence,
+        b_eq=supplies,
+        bounds=list(zip([0.0] * num_arcs, capacities)),
+        method="highs",
+    )
+    if not outcome.success:
+        raise RuntimeError(f"LP solve failed: {outcome.message}")
+
+    flow = [int(round(x)) for x in outcome.x]
+    cost = sum(f * arc.cost for f, arc in zip(flow, network.arcs))
+    return FlowResult(flow=flow, cost=cost, value=network.total_supply(), feasible=True)

@@ -1,0 +1,193 @@
+"""Successive-shortest-paths min-cost flow with Johnson potentials.
+
+This is the workhorse solver of :mod:`repro.flow`.  It routes the full
+supply of a balanced :class:`~repro.flow.network.FlowNetwork` at minimum
+total cost:
+
+* a super source / super sink pair absorbs multiple supplies and demands;
+* initial node potentials come from a single DAG sweep when the network is
+  built in topological id order (true for all OPT-offline graphs), and
+  from Bellman-Ford otherwise, so negative arc costs are supported;
+* each augmentation runs Dijkstra on reduced costs (non-negative by the
+  potential invariant) and pushes the bottleneck amount.
+
+All capacities and supplies are integers, so the solution is integral
+(Theorem 2 of the paper).  Complexity is ``O(F · E log V)`` where ``F`` is
+the number of augmentations (bounded by the total supply).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from .bellman_ford import shortest_paths
+from .network import FlowNetwork, FlowResult
+from .residual import ResidualGraph
+
+INFINITY = float("inf")
+
+
+class UnbalancedNetworkError(ValueError):
+    """Raised when supplies and demands do not cancel."""
+
+
+def _augmented_residual(network: FlowNetwork) -> tuple[ResidualGraph, int, int, int]:
+    """Clone the network, add super source/sink, build the residual.
+
+    Returns ``(residual, super_source, super_sink, num_original_arcs)``.
+    """
+    clone = FlowNetwork()
+    clone.add_nodes(network.num_nodes)
+    for arc in network.arcs:
+        clone.add_arc(arc.tail, arc.head, arc.capacity, arc.cost)
+    super_source = clone.add_node("super-source")
+    super_sink = clone.add_node("super-sink")
+    for node in range(network.num_nodes):
+        supply = network.supply(node)
+        if supply > 0:
+            clone.add_arc(super_source, node, supply, 0)
+        elif supply < 0:
+            clone.add_arc(node, super_sink, -supply, 0)
+    return ResidualGraph(clone), super_source, super_sink, network.num_arcs
+
+
+def _dag_potentials(network: FlowNetwork, super_source: int, super_sink: int) -> list[float]:
+    """Initial potentials via one forward sweep in node-id order.
+
+    Valid when every original arc satisfies ``tail < head``.  Supply nodes
+    start at distance 0 (they hang off the zero-cost super source).
+    """
+    n = network.num_nodes
+    dist: list[float] = [INFINITY] * n
+    for node in range(n):
+        if network.supply(node) > 0:
+            dist[node] = 0.0
+
+    out = network.out_arcs()
+    arcs = network.arcs
+    for u in range(n):
+        du = dist[u]
+        if du == INFINITY:
+            continue
+        for arc_id in out[u]:
+            arc = arcs[arc_id]
+            candidate = du + arc.cost
+            if candidate < dist[arc.head]:
+                dist[arc.head] = candidate
+
+    potentials = [d if d != INFINITY else 0.0 for d in dist]
+    sink_potential = min(
+        (potentials[v] for v in range(n) if network.supply(v) < 0 and dist[v] != INFINITY),
+        default=0.0,
+    )
+    return potentials + [0.0, sink_potential]  # super source, super sink
+
+
+def solve_min_cost_flow(network: FlowNetwork) -> FlowResult:
+    """Route the network's full supply at minimum cost.
+
+    Parameters
+    ----------
+    network:
+        A balanced network (supplies sum to zero).  Costs may be negative
+        as long as no negative-cost *cycle* of positive-capacity arcs
+        exists (the OPT-offline graphs are DAGs, so this always holds).
+
+    Returns
+    -------
+    FlowResult
+        ``feasible`` is False when the arc capacities cannot carry the
+        whole supply; the returned flow then routes as much as possible
+        (at minimum cost for that value).
+
+    Raises
+    ------
+    UnbalancedNetworkError
+        If supplies do not sum to zero.
+    """
+    if not network.is_balanced():
+        raise UnbalancedNetworkError(
+            f"supplies sum to {sum(network.supplies())}, expected 0"
+        )
+
+    demand = network.total_supply()
+    num_original_arcs = network.num_arcs
+    if demand == 0:
+        return FlowResult(flow=[0] * num_original_arcs, cost=0, value=0, feasible=True)
+
+    graph, super_source, super_sink, _ = _augmented_residual(network)
+
+    has_negative_cost = any(arc.cost < 0 for arc in network.arcs)
+    if not has_negative_cost:
+        potentials: list[float] = [0.0] * graph.num_nodes
+    elif network.is_topologically_ordered():
+        potentials = _dag_potentials(network, super_source, super_sink)
+    else:
+        dist, _parents = shortest_paths(graph, super_source)
+        potentials = [d if d != INFINITY else 0.0 for d in dist]
+
+    head = graph.head
+    cost = graph.cost
+    residual = graph.residual
+    adjacency = graph.adjacency
+    n = graph.num_nodes
+
+    routed = 0
+    while routed < demand:
+        # Dijkstra on reduced costs from the super source.
+        dist = [INFINITY] * n
+        parent_arc = [-1] * n
+        done = [False] * n
+        dist[super_source] = 0.0
+        heap: list[tuple[float, int]] = [(0.0, super_source)]
+        while heap:
+            d, u = heappop(heap)
+            if done[u]:
+                continue
+            done[u] = True
+            if u == super_sink:
+                break
+            base = d + potentials[u]
+            for arc in adjacency[u]:
+                if residual[arc] <= 0:
+                    continue
+                v = head[arc]
+                if done[v]:
+                    continue
+                candidate = base + cost[arc] - potentials[v]
+                if candidate < dist[v]:
+                    dist[v] = candidate
+                    parent_arc[v] = arc
+                    heappush(heap, (candidate, v))
+
+        if not done[super_sink]:
+            break  # no augmenting path: capacity-infeasible supply
+
+        # Update potentials so reduced costs stay non-negative.
+        sink_dist = dist[super_sink]
+        for v in range(n):
+            dv = dist[v]
+            potentials[v] += dv if dv < sink_dist else sink_dist
+
+        # Bottleneck along the path, capped by the remaining demand.
+        bottleneck = demand - routed
+        node = super_sink
+        while node != super_source:
+            arc = parent_arc[node]
+            if residual[arc] < bottleneck:
+                bottleneck = residual[arc]
+            node = head[arc ^ 1]
+
+        node = super_sink
+        while node != super_source:
+            arc = parent_arc[node]
+            residual[arc] -= bottleneck
+            residual[arc ^ 1] += bottleneck
+            node = head[arc ^ 1]
+        routed += bottleneck
+
+    flow = graph.flows(num_original_arcs)
+    total_cost = sum(
+        f * network.arc(arc_id).cost for arc_id, f in enumerate(flow) if f
+    )
+    return FlowResult(flow=flow, cost=total_cost, value=routed, feasible=routed == demand)

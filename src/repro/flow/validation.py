@@ -1,0 +1,69 @@
+"""Certificates for min-cost flow solutions.
+
+A claimed solution is *feasible* when it respects capacities and node
+conservation, and *optimal* when the residual graph it induces contains no
+negative-cost cycle (the classical optimality criterion).  These checks
+are used by the test-suite and can be enabled on production solves for
+paranoid verification of OPT-offline results.
+"""
+
+from __future__ import annotations
+
+from .bellman_ford import has_negative_cycle
+from .network import FlowNetwork, FlowResult
+from .residual import ResidualGraph
+
+
+def check_feasible(network: FlowNetwork, result: FlowResult) -> list[str]:
+    """Return a list of human-readable violations (empty = feasible)."""
+    problems: list[str] = []
+    if len(result.flow) != network.num_arcs:
+        return [
+            f"flow vector has {len(result.flow)} entries, network has "
+            f"{network.num_arcs} arcs"
+        ]
+
+    balance = [0] * network.num_nodes
+    for arc_id, arc in enumerate(network.arcs):
+        f = result.flow[arc_id]
+        if f < 0:
+            problems.append(f"arc {arc_id}: negative flow {f}")
+        if f > arc.capacity:
+            problems.append(f"arc {arc_id}: flow {f} exceeds capacity {arc.capacity}")
+        balance[arc.tail] += f
+        balance[arc.head] -= f
+
+    for node in range(network.num_nodes):
+        expected = network.supply(node)
+        if result.feasible and balance[node] != expected:
+            problems.append(
+                f"node {node}: net outflow {balance[node]} != supply {expected}"
+            )
+    return problems
+
+
+def check_optimal(network: FlowNetwork, result: FlowResult) -> bool:
+    """True when the flow admits no improving residual cycle.
+
+    Only meaningful for feasible flows of the full supply value; a partial
+    flow can often be improved by routing more.
+    """
+    residual = ResidualGraph(network)
+    for arc_id, f in enumerate(result.flow):
+        if f:
+            residual.push(2 * arc_id, f)
+    return not has_negative_cycle(residual)
+
+
+def assert_valid(network: FlowNetwork, result: FlowResult, *, optimal: bool = True) -> None:
+    """Raise AssertionError when the result is infeasible (or sub-optimal)."""
+    problems = check_feasible(network, result)
+    if problems:
+        raise AssertionError("infeasible flow: " + "; ".join(problems[:5]))
+    if optimal and result.feasible and not check_optimal(network, result):
+        raise AssertionError("flow admits a negative residual cycle (not optimal)")
+
+
+def recompute_cost(network: FlowNetwork, result: FlowResult) -> int:
+    """Independent recomputation of the flow's total cost."""
+    return sum(f * arc.cost for f, arc in zip(result.flow, network.arcs))

@@ -1,0 +1,99 @@
+"""Count-Min sketch frequency estimation.
+
+The paper notes that when the history statistics cannot be kept exactly,
+"any of the previously proposed data stream histograms or wavelets" can
+feed the heuristics.  The Count-Min sketch is the standard bounded-memory
+choice: estimates overcount by at most ``eps * N`` with probability
+``1 - delta`` using ``ceil(e / eps) * ceil(ln(1 / delta))`` counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+_PRIME = (1 << 61) - 1  # Mersenne prime for universal hashing
+
+
+class CountMinSketch:
+    """Count-Min sketch with optional conservative update.
+
+    Parameters
+    ----------
+    width:
+        Counters per row (error scales as total/width).
+    depth:
+        Number of hash rows (failure probability scales as exp(-depth)).
+    seed:
+        Seeds the pairwise-independent hash functions.
+    conservative:
+        When True, uses conservative update (only raise the minimal
+        counters), which tightens estimates at no asymptotic cost.
+    """
+
+    def __init__(
+        self, width: int, depth: int, *, seed: int = 0, conservative: bool = False
+    ) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError(f"width and depth must be positive, got {width}, {depth}")
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self._table = [[0] * width for _ in range(depth)]
+        self._total = 0
+
+        import random
+
+        gen = random.Random(seed)
+        self._hash_a = [gen.randrange(1, _PRIME) for _ in range(depth)]
+        self._hash_b = [gen.randrange(0, _PRIME) for _ in range(depth)]
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, *, seed: int = 0, conservative: bool = False
+    ) -> "CountMinSketch":
+        """Size the sketch for additive error ``epsilon * N`` w.p. 1-delta."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width, depth, seed=seed, conservative=conservative)
+
+    def _buckets(self, key: Hashable) -> list[int]:
+        h = hash(key) & ((1 << 61) - 1)
+        return [
+            ((a * h + b) % _PRIME) % self.width
+            for a, b in zip(self._hash_a, self._hash_b)
+        ]
+
+    def observe(self, key: Hashable) -> None:
+        buckets = self._buckets(key)
+        self._total += 1
+        if self.conservative:
+            current = min(self._table[row][col] for row, col in enumerate(buckets))
+            target = current + 1
+            for row, col in enumerate(buckets):
+                if self._table[row][col] < target:
+                    self._table[row][col] = target
+        else:
+            for row, col in enumerate(buckets):
+                self._table[row][col] += 1
+
+    def estimate(self, key: Hashable) -> int:
+        """Estimated count of ``key`` (never an undercount)."""
+        if self._total == 0:
+            return 0
+        return min(self._table[row][col] for row, col in enumerate(self._buckets(key)))
+
+    def probability(self, key: Hashable) -> float:
+        if self._total == 0:
+            return 0.0
+        return self.estimate(key) / self._total
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def memory_counters(self) -> int:
+        """Number of counters held (the sketch's space budget)."""
+        return self.width * self.depth

@@ -1,0 +1,69 @@
+"""Exponentially decayed frequency estimation.
+
+Tracks arrival probabilities under distribution shift: each observation
+multiplies all existing weights by ``1 - alpha`` and adds ``alpha`` to the
+observed key, so the estimate is an exponentially weighted moving average
+of the key's indicator sequence.  Decay is applied lazily per key, making
+``observe`` and ``probability`` O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class EwmaFrequencyEstimator:
+    """EWMA of per-key arrival indicators.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; larger adapts faster.  The effective
+        history length is about ``1 / alpha`` arrivals.
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._log_keep = None if alpha == 1.0 else (1.0 - alpha)
+        # key -> (weight at time of last update, update step)
+        self._weights: dict[Hashable, tuple[float, int]] = {}
+        self._step = 0
+
+    def _current_weight(self, key: Hashable) -> float:
+        entry = self._weights.get(key)
+        if entry is None:
+            return 0.0
+        weight, updated_at = entry
+        if self._log_keep is None:
+            return weight if updated_at == self._step else 0.0
+        return weight * (self._log_keep ** (self._step - updated_at))
+
+    def observe(self, key: Hashable) -> None:
+        self._step += 1
+        decayed = self._current_weight(key)
+        self._weights[key] = (decayed + self._alpha, self._step)
+
+    def probability(self, key: Hashable) -> float:
+        """EWMA estimate of the key's arrival probability.
+
+        Weights sum to ``1 - (1 - alpha)^step`` across all keys, so the
+        estimate is normalised by that closed form instead of a scan.
+        """
+        if self._step == 0:
+            return 0.0
+        if self._log_keep is None:
+            total = 1.0
+        else:
+            total = 1.0 - self._log_keep**self._step
+        if total <= 0.0:
+            return 0.0
+        return self._current_weight(key) / total
+
+    @property
+    def steps(self) -> int:
+        return self._step
+
+    def __len__(self) -> int:
+        return len(self._weights)

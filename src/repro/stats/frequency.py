@@ -1,0 +1,117 @@
+"""Frequency estimators driving the semantic shedding heuristics.
+
+The PROB and LIFE policies rank tuples by the probability that a matching
+partner arrives on the *other* stream.  The paper computes these
+probabilities from a frequency table of the data values ("the frequency
+tables were not updated as the relations were streaming by"), and notes
+that any online histogram/sketch could substitute.  This module provides
+the estimator interface plus the two exact estimators; sketch-based
+implementations live in :mod:`repro.stats.countmin` and
+:mod:`repro.stats.spacesaving`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class FrequencyEstimator(Protocol):
+    """Estimates the arrival probability of join-attribute values.
+
+    ``observe`` feeds one arrival; ``probability`` returns the estimated
+    chance that the *next* arrival carries the given key.  Estimators that
+    are static (built offline, like the paper's) implement ``observe`` as
+    a no-op.
+    """
+
+    def observe(self, key: Hashable) -> None:  # pragma: no cover - protocol
+        ...
+
+    def probability(self, key: Hashable) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class StaticFrequencyTable:
+    """Fixed value-probability table (the paper's estimator).
+
+    Built from the true generating distribution (synthetic workloads) or
+    from an offline frequency scan of the dataset (the weather workload);
+    never updated while the streams flow, exactly as in Section 4.5.
+    """
+
+    def __init__(self, probabilities: Mapping[Hashable, float]) -> None:
+        total = float(sum(probabilities.values()))
+        if total <= 0:
+            raise ValueError("probability table must have positive total mass")
+        bad = [k for k, p in probabilities.items() if p < 0]
+        if bad:
+            raise ValueError(f"negative probabilities for keys {bad[:5]}")
+        self._probabilities = {k: p / total for k, p in probabilities.items()}
+
+    @classmethod
+    def from_stream(cls, keys: Iterable[Hashable]) -> "StaticFrequencyTable":
+        """Build from a full pass over a finite stream."""
+        counts: dict[Hashable, int] = {}
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+        if not counts:
+            raise ValueError("cannot build a frequency table from an empty stream")
+        return cls(counts)
+
+    @classmethod
+    def from_array(cls, probabilities) -> "StaticFrequencyTable":
+        """Build from a dense array where index = key."""
+        return cls({key: float(p) for key, p in enumerate(probabilities)})
+
+    def observe(self, key: Hashable) -> None:
+        """No-op: the table is static by design."""
+
+    def probability(self, key: Hashable) -> float:
+        return self._probabilities.get(key, 0.0)
+
+    def as_dict(self) -> dict[Hashable, float]:
+        return dict(self._probabilities)
+
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+
+class OnlineFrequencyCounter:
+    """Exact incremental frequency counter with Laplace smoothing.
+
+    Suitable when the history fits in memory and the distribution is
+    stationary; for shifting distributions prefer
+    :class:`repro.stats.ewma.EwmaFrequencyEstimator`.
+
+    ``smoothing`` adds a pseudo-count to every queried key so unseen keys
+    get a small non-zero probability (relevant early in the stream).
+    """
+
+    def __init__(self, *, smoothing: float = 0.0) -> None:
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+        self._counts: dict[Hashable, int] = {}
+        self._total = 0
+        self._smoothing = smoothing
+
+    def observe(self, key: Hashable) -> None:
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._total += 1
+
+    def probability(self, key: Hashable) -> float:
+        if self._total == 0:
+            return 0.0
+        numerator = self._counts.get(key, 0) + self._smoothing
+        denominator = self._total + self._smoothing * max(len(self._counts), 1)
+        return numerator / denominator
+
+    def count(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._counts)

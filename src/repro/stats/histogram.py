@@ -1,0 +1,123 @@
+"""Histograms over numeric join-attribute domains.
+
+The modular architecture of Figure 1 exchanges *compact* distribution
+summaries between queue and join memory (e.g. "just a histogram about the
+frequencies of join attribute values in memory").  Equi-width histograms
+serve streaming maintenance; equi-depth histograms summarise a relation
+offline (as a sensor would transmit to its proxy in the static-join
+scenario of Section 3.1).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+
+class EquiWidthHistogram:
+    """Fixed-bucket histogram over ``[low, high)`` supporting removal.
+
+    Removal support matters because the join memory's histogram must track
+    evictions and expirations, not only insertions.
+    """
+
+    def __init__(self, low: float, high: float, buckets: int) -> None:
+        if buckets <= 0:
+            raise ValueError(f"buckets must be positive, got {buckets}")
+        if not low < high:
+            raise ValueError(f"need low < high, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+        self.buckets = buckets
+        self._width = (self.high - self.low) / buckets
+        self._counts = [0] * buckets
+        self._total = 0
+
+    def bucket_of(self, value: float) -> int:
+        """Bucket index of a value (values are clamped to the range)."""
+        if value < self.low:
+            return 0
+        if value >= self.high:
+            return self.buckets - 1
+        return min(int((value - self.low) / self._width), self.buckets - 1)
+
+    def add(self, value: float) -> None:
+        self._counts[self.bucket_of(value)] += 1
+        self._total += 1
+
+    def remove(self, value: float) -> None:
+        bucket = self.bucket_of(value)
+        if self._counts[bucket] <= 0:
+            raise ValueError(f"remove from empty bucket {bucket} (value {value})")
+        self._counts[bucket] -= 1
+        self._total -= 1
+
+    def observe(self, value: float) -> None:
+        """Estimator-protocol alias for :meth:`add`."""
+        self.add(value)
+
+    def probability(self, value: float) -> float:
+        """Estimated probability of the value's bucket, spread uniformly."""
+        if self._total == 0:
+            return 0.0
+        return self._counts[self.bucket_of(value)] / self._total
+
+    def counts(self) -> list[int]:
+        return list(self._counts)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+
+class EquiDepthHistogram:
+    """Quantile histogram built offline from a data sample.
+
+    Bucket boundaries are chosen so each bucket holds (approximately) the
+    same number of sample points; frequency estimates within a bucket are
+    uniform.  This is the compact summary a power-constrained sensor can
+    ship to its proxy in the static-join scenario.
+    """
+
+    def __init__(self, sample: Iterable[float], buckets: int) -> None:
+        data = sorted(sample)
+        if not data:
+            raise ValueError("cannot build a histogram from an empty sample")
+        if buckets <= 0:
+            raise ValueError(f"buckets must be positive, got {buckets}")
+        self.buckets = min(buckets, len(data))
+        self._size = len(data)
+
+        # Right boundaries of each bucket (the last is +inf conceptually).
+        self._boundaries: list[float] = []
+        self._counts: list[int] = []
+        per_bucket = self._size / self.buckets
+        start = 0
+        for b in range(self.buckets):
+            end = self._size if b == self.buckets - 1 else int(round((b + 1) * per_bucket))
+            end = max(end, start + 1)
+            end = min(end, self._size)
+            self._boundaries.append(data[end - 1])
+            self._counts.append(end - start)
+            start = end
+        self._low = data[0]
+
+    def bucket_of(self, value: float) -> int:
+        index = bisect_right(self._boundaries, value)
+        return min(index, self.buckets - 1)
+
+    def probability(self, value: float) -> float:
+        """Estimated probability mass of the value's bucket."""
+        if value < self._low or value > self._boundaries[-1]:
+            return 0.0
+        return self._counts[self.bucket_of(value)] / self._size
+
+    def boundaries(self) -> Sequence[float]:
+        return list(self._boundaries)
+
+    def counts(self) -> Sequence[int]:
+        return list(self._counts)
+
+    @property
+    def size(self) -> int:
+        return self._size

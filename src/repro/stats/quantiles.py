@@ -1,0 +1,145 @@
+"""Greenwald-Khanna ε-approximate quantile summary.
+
+The paper's related work (Section 5, [14] Greenwald & Khanna) lists
+space-efficient online quantile computation among the stream statistics
+a join-approximation system can maintain.  This structure answers any
+quantile query over the stream seen so far with rank error at most
+``epsilon * n`` using ``O((1/epsilon) log(epsilon n))`` tuples of state.
+
+Within this library it backs equi-depth summaries of numeric join
+attributes when the data cannot be buffered (the sensor scenario of
+Section 3.1 with numeric keys).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass
+class _Tuple:
+    """One GK summary entry ``(v, g, delta)``.
+
+    ``g`` is the gap in minimum rank to the previous entry; ``delta`` the
+    uncertainty of this entry's rank.
+    """
+
+    value: float
+    g: int
+    delta: int
+
+
+class GKQuantileSummary:
+    """Greenwald-Khanna summary with ε rank guarantees.
+
+    Parameters
+    ----------
+    epsilon:
+        Target rank accuracy in (0, 1): a query for quantile ``q``
+        returns a value whose rank is within ``epsilon * n`` of
+        ``q * n``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._entries: list[_Tuple] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Insert one observation (O(log s) search + amortised compress)."""
+        self._count += 1
+        entries = self._entries
+        threshold = self._threshold()
+
+        index = bisect_right([e.value for e in entries], value)
+        if index == 0 or index == len(entries):
+            # New minimum or maximum is always exact.
+            entries.insert(index, _Tuple(value, 1, 0))
+        else:
+            delta = max(0, int(threshold) - 1)
+            entries.insert(index, _Tuple(value, 1, delta))
+
+        # Compress periodically (every 1/(2 epsilon) inserts suffices).
+        if self._count % max(int(1.0 / (2.0 * self.epsilon)), 1) == 0:
+            self._compress()
+
+    def _threshold(self) -> float:
+        return 2.0 * self.epsilon * self._count
+
+    def _compress(self) -> None:
+        """Merge adjacent entries whose combined band fits the threshold."""
+        entries = self._entries
+        if len(entries) < 3:
+            return
+        threshold = self._threshold()
+        merged: list[_Tuple] = [entries[0]]
+        for entry in entries[1:-1]:
+            last = merged[-1]
+            if last is not entries[0] and last.g + entry.g + entry.delta <= threshold:
+                # Absorb `last` into `entry` (standard GK merge direction).
+                entry.g += last.g
+                merged[-1] = entry
+            else:
+                merged.append(entry)
+        merged.append(entries[-1])
+        self._entries = merged
+
+    # ------------------------------------------------------------------
+    def query(self, quantile: float) -> float:
+        """A value whose rank is within ``epsilon * n`` of the quantile.
+
+        Raises
+        ------
+        ValueError
+            For an empty summary or a quantile outside [0, 1].
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        if not self._entries:
+            raise ValueError("summary is empty")
+
+        target = max(1, math.ceil(quantile * self._count))
+        allowed = self.epsilon * self._count
+        min_rank = 0
+        for entry in self._entries:
+            min_rank += entry.g
+            max_rank = min_rank + entry.delta
+            if target - allowed <= min_rank and max_rank <= target + allowed:
+                return entry.value
+        return self._entries[-1].value  # pragma: no cover - invariant guard
+
+    def rank_bounds(self, value: float) -> tuple[int, int]:
+        """(lowest, highest) possible rank of ``value`` in the stream."""
+        min_rank = 0
+        low, high = 0, 0
+        for entry in self._entries:
+            min_rank += entry.g
+            if entry.value <= value:
+                low = min_rank
+                high = min_rank + entry.delta
+        return low, high
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def __len__(self) -> int:
+        """Entries held — the summary's space usage."""
+        return len(self._entries)
+
+    def space_bound(self) -> int:
+        """The theoretical O((1/eps) log(eps n)) size, for monitoring."""
+        if self._count == 0:
+            return 1
+        return max(
+            1,
+            math.ceil(
+                (11.0 / (2.0 * self.epsilon))
+                * math.log(max(2.0 * self.epsilon * self._count, math.e))
+            ),
+        )

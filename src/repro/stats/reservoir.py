@@ -1,0 +1,73 @@
+"""Reservoir-sampling frequency estimation.
+
+Keeps a uniform random sample of the stream in O(k) memory (Vitter's
+algorithm R) and estimates key probabilities from sample frequencies.
+Unlike Count-Min / Space-Saving, the reservoir is a *unbiased* snapshot
+of the whole history, making it the natural bounded-memory estimator
+when the distribution is stationary but the key universe is unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+
+class ReservoirSample:
+    """Uniform sample of a stream with frequency estimates.
+
+    Parameters
+    ----------
+    capacity:
+        Sample size ``k``; estimates have standard error about
+        ``sqrt(p (1-p) / k)``.
+    seed:
+        RNG seed (reproducible runs).
+    """
+
+    def __init__(self, capacity: int, *, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._sample: list[Hashable] = []
+        self._counts: dict[Hashable, int] = {}
+        self._seen = 0
+
+    def _replace(self, index: int, key: Hashable) -> None:
+        old = self._sample[index]
+        remaining = self._counts[old] - 1
+        if remaining:
+            self._counts[old] = remaining
+        else:
+            del self._counts[old]
+        self._sample[index] = key
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def observe(self, key: Hashable) -> None:
+        self._seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(key)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            return
+        # Algorithm R: the new item displaces a uniform slot w.p. k/seen.
+        slot = int(self._rng.integers(self._seen))
+        if slot < self.capacity:
+            self._replace(slot, key)
+
+    def probability(self, key: Hashable) -> float:
+        if not self._sample:
+            return 0.0
+        return self._counts.get(key, 0) / len(self._sample)
+
+    def sample_count(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    @property
+    def seen(self) -> int:
+        """Stream length observed so far."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._sample)

@@ -1,0 +1,75 @@
+"""Space-Saving heavy-hitter frequency estimation.
+
+Keeps at most ``capacity`` counters; every key with true frequency above
+``total / capacity`` is guaranteed to be tracked, and estimates overcount
+by at most the smallest tracked count.  Because PROB only needs to *rank*
+keys by frequency — and only frequent keys are worth retaining — a small
+Space-Saving summary is an effective bounded-memory statistics module.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class SpaceSaving:
+    """Metwally et al.'s Space-Saving algorithm (a Misra-Gries variant)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._counts: dict[Hashable, int] = {}
+        self._errors: dict[Hashable, int] = {}
+        self._total = 0
+
+    def observe(self, key: Hashable) -> None:
+        self._total += 1
+        if key in self._counts:
+            self._counts[key] += 1
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = 1
+            self._errors[key] = 0
+            return
+        # Evict the minimum counter and inherit its count as error bound.
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + 1
+        self._errors[key] = floor
+
+    def estimate(self, key: Hashable) -> int:
+        """Estimated count (an overcount by at most ``error(key)``)."""
+        return self._counts.get(key, 0)
+
+    def error(self, key: Hashable) -> int:
+        """Upper bound on the overcount of ``estimate(key)``."""
+        return self._errors.get(key, 0)
+
+    def guaranteed_count(self, key: Hashable) -> int:
+        """Lower bound on the true count."""
+        return self.estimate(key) - self.error(key)
+
+    def probability(self, key: Hashable) -> float:
+        if self._total == 0:
+            return 0.0
+        return self.estimate(key) / self._total
+
+    def heavy_hitters(self, threshold: float) -> dict[Hashable, int]:
+        """Keys whose *guaranteed* frequency exceeds ``threshold``."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        floor = threshold * self._total
+        return {
+            key: count
+            for key, count in self._counts.items()
+            if count - self._errors[key] > floor
+        }
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,78 @@
+"""Stream model and workload generators.
+
+Provides the tuple/stream abstractions shared by the whole library plus
+every workload of the paper's evaluation: Zipf/uniform synthetic pairs
+(Figures 3-6, 9-11) and the synthetic weather-dataset substitute
+(Figures 7-8, see DESIGN.md section 5 for the substitution rationale).
+"""
+
+from .arrival import (
+    clip_schedule,
+    day_night_schedule,
+    is_day,
+    poisson_schedule,
+    synchronous_schedule,
+    total_arrivals,
+)
+from .generators import (
+    CORRELATION_MODES,
+    drifting_zipf_pair,
+    empirical_probabilities,
+    multi_attribute_pair,
+    uniform_pair,
+    zipf_pair,
+)
+from .replay import load_pair, save_pair
+from .tuples import (
+    STREAM_R,
+    STREAM_S,
+    JoinResultTuple,
+    StreamPair,
+    StreamTuple,
+    exact_join_size,
+    iterate_exact_join,
+)
+from .weather import (
+    GRID_COLS,
+    GRID_ROWS,
+    NUM_CELLS,
+    GridCell,
+    cell_id_for,
+    weather_pair,
+    weather_records,
+)
+from .zipf import AliasSampler, ZipfDistribution, zipf_probabilities
+
+__all__ = [
+    "AliasSampler",
+    "CORRELATION_MODES",
+    "GRID_COLS",
+    "GRID_ROWS",
+    "GridCell",
+    "JoinResultTuple",
+    "NUM_CELLS",
+    "STREAM_R",
+    "STREAM_S",
+    "StreamPair",
+    "StreamTuple",
+    "ZipfDistribution",
+    "cell_id_for",
+    "clip_schedule",
+    "day_night_schedule",
+    "drifting_zipf_pair",
+    "empirical_probabilities",
+    "exact_join_size",
+    "is_day",
+    "iterate_exact_join",
+    "load_pair",
+    "multi_attribute_pair",
+    "poisson_schedule",
+    "save_pair",
+    "synchronous_schedule",
+    "total_arrivals",
+    "uniform_pair",
+    "weather_pair",
+    "weather_records",
+    "zipf_pair",
+    "zipf_probabilities",
+]

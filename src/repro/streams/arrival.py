@@ -1,0 +1,86 @@
+"""Arrival processes.
+
+The paper's main model is synchronous: exactly one tuple per stream per
+time unit.  The slow-CPU extension (Section 2.1, examined as future work
+in Section 6) needs bursty arrivals so the input queue actually fills;
+this module provides the schedules used there and by the archive
+("day/night") load-smoothing example.
+
+A *schedule* is a list of per-tick arrival counts for one stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def synchronous_schedule(length: int) -> list[int]:
+    """One arrival per tick — the paper's default model."""
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    return [1] * length
+
+
+def poisson_schedule(length: int, rate: float, *, seed: int = 0) -> list[int]:
+    """Poisson(rate) arrivals per tick."""
+    if rate < 0:
+        raise ValueError(f"rate must be non-negative, got {rate}")
+    rng = np.random.default_rng(seed)
+    return rng.poisson(rate, size=length).astype(int).tolist()
+
+
+def day_night_schedule(
+    length: int,
+    *,
+    day_rate: float,
+    night_rate: float,
+    period: int,
+    day_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[int]:
+    """Alternating peak/off-peak Poisson arrivals.
+
+    Models the paper's retail scenario: high daytime activity, low
+    nighttime activity during which the archive is consulted to refine
+    earlier approximate answers ("semantic load smoothing").
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0.0 <= day_fraction <= 1.0:
+        raise ValueError(f"day_fraction must be in [0, 1], got {day_fraction}")
+    rng = np.random.default_rng(seed)
+    day_ticks = int(period * day_fraction)
+    schedule: list[int] = []
+    for tick in range(length):
+        rate = day_rate if (tick % period) < day_ticks else night_rate
+        schedule.append(int(rng.poisson(rate)))
+    return schedule
+
+
+def is_day(tick: int, *, period: int, day_fraction: float = 0.5) -> bool:
+    """Whether ``tick`` falls in the peak-load phase of the cycle."""
+    return (tick % period) < int(period * day_fraction)
+
+
+def total_arrivals(schedule: Sequence[int]) -> int:
+    """Total number of tuples delivered by a schedule."""
+    return int(sum(schedule))
+
+
+def clip_schedule(schedule: Sequence[int], max_total: int) -> list[int]:
+    """Truncate a schedule so it delivers at most ``max_total`` tuples.
+
+    Random schedules (Poisson) can overshoot the finite key sequence they
+    are paired with; clipping keeps the pairing well-defined.
+    """
+    if max_total < 0:
+        raise ValueError(f"max_total must be non-negative, got {max_total}")
+    remaining = max_total
+    clipped: list[int] = []
+    for count in schedule:
+        take = min(int(count), remaining)
+        clipped.append(take)
+        remaining -= take
+    return clipped

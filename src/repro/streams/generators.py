@@ -1,0 +1,226 @@
+"""Synthetic workload generators for the paper's experiments.
+
+All of Section 4's synthetic workloads are iid draws from Zipfian (or
+uniform) distributions over a small domain, with one tuple arriving per
+stream per time unit.  "Correlation" between the streams refers to whether
+the *same values* are frequent on both: the rank-to-value permutations are
+shared (correlated), independent (uncorrelated, the paper's default), or
+reversed (anti-correlated).
+
+Every generator returns a :class:`~repro.streams.tuples.StreamPair` whose
+``metadata`` carries the true per-stream value distributions, which the
+experiments hand to the PROB/LIFE statistics module exactly as the paper
+does ("the frequency table of the data values in the dataset was used to
+estimate the probabilities").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tuples import StreamPair
+from .zipf import ZipfDistribution
+
+#: Valid stream-correlation modes.
+CORRELATION_MODES = ("correlated", "uncorrelated", "anticorrelated")
+
+
+def _permutations_for(
+    mode: str, domain_size: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rank-to-value permutations for the two streams under ``mode``."""
+    if mode not in CORRELATION_MODES:
+        raise ValueError(f"correlation must be one of {CORRELATION_MODES}, got {mode!r}")
+    base = rng.permutation(domain_size)
+    if mode == "correlated":
+        return base, base.copy()
+    if mode == "anticorrelated":
+        return base, base[::-1].copy()
+    return base, rng.permutation(domain_size)
+
+
+def zipf_pair(
+    length: int,
+    domain_size: int,
+    skew: float,
+    *,
+    skew_s: Optional[float] = None,
+    correlation: str = "uncorrelated",
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> StreamPair:
+    """Two iid Zipf streams, the workload of Figures 3-6 and 9-11.
+
+    Parameters
+    ----------
+    length:
+        Number of arrivals per stream (the paper uses 5600 when comparing
+        against OPT-offline).
+    domain_size:
+        Join-attribute domain size (paper: 10, 50, 200).
+    skew:
+        Zipf parameter of stream R; 0 means uniform.
+    skew_s:
+        Zipf parameter of stream S; defaults to ``skew`` (the paper's
+        variable-memory study in Section 4.3 uses differing skews).
+    correlation:
+        ``"uncorrelated"`` (default, as in the paper's main experiments),
+        ``"correlated"``, or ``"anticorrelated"``.
+    seed:
+        Seed for a dedicated :class:`numpy.random.Generator`; runs are
+        fully reproducible.
+    """
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+    if skew_s is None:
+        skew_s = skew
+
+    rng = np.random.default_rng(seed)
+    perm_r, perm_s = _permutations_for(correlation, domain_size, rng)
+    dist_r = ZipfDistribution(domain_size, skew, value_permutation=perm_r)
+    dist_s = ZipfDistribution(domain_size, skew_s, value_permutation=perm_s)
+
+    r_keys = dist_r.sample(length, rng).tolist()
+    s_keys = dist_s.sample(length, rng).tolist()
+    return StreamPair(
+        r=r_keys,
+        s=s_keys,
+        name=name or f"zipf(z_r={skew}, z_s={skew_s}, d={domain_size}, {correlation})",
+        metadata={
+            "r_distribution": dist_r,
+            "s_distribution": dist_s,
+            "domain_size": domain_size,
+            "correlation": correlation,
+            "seed": seed,
+        },
+    )
+
+
+def uniform_pair(
+    length: int, domain_size: int, *, seed: int = 0, name: Optional[str] = None
+) -> StreamPair:
+    """Two uniform iid streams (Figure 5's workload)."""
+    return zipf_pair(
+        length,
+        domain_size,
+        skew=0.0,
+        seed=seed,
+        name=name or f"uniform(d={domain_size})",
+    )
+
+
+def drifting_zipf_pair(
+    length: int,
+    domain_size: int,
+    skew: float,
+    *,
+    phases: int = 2,
+    seed: int = 0,
+) -> StreamPair:
+    """Zipf streams whose frequent values change between phases.
+
+    Not part of the paper's evaluation; used by robustness tests and the
+    online-statistics example to show how decaying frequency estimators
+    track distribution shift while the static frequency table does not.
+    """
+    if phases <= 0:
+        raise ValueError(f"phases must be positive, got {phases}")
+    rng = np.random.default_rng(seed)
+    boundaries = np.linspace(0, length, phases + 1).astype(int)
+
+    r_keys: list[int] = []
+    s_keys: list[int] = []
+    distributions = []
+    for p in range(phases):
+        span = int(boundaries[p + 1] - boundaries[p])
+        perm_r, perm_s = _permutations_for("uncorrelated", domain_size, rng)
+        dist_r = ZipfDistribution(domain_size, skew, value_permutation=perm_r)
+        dist_s = ZipfDistribution(domain_size, skew, value_permutation=perm_s)
+        distributions.append((dist_r, dist_s))
+        r_keys.extend(dist_r.sample(span, rng).tolist())
+        s_keys.extend(dist_s.sample(span, rng).tolist())
+
+    return StreamPair(
+        r=r_keys,
+        s=s_keys,
+        name=f"drifting-zipf(z={skew}, d={domain_size}, phases={phases})",
+        metadata={
+            "domain_size": domain_size,
+            "phase_boundaries": boundaries.tolist(),
+            "phase_distributions": distributions,
+            "seed": seed,
+        },
+    )
+
+
+def multi_attribute_pair(
+    length: int,
+    domain_sizes,
+    skews,
+    *,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> StreamPair:
+    """Streams whose tuples carry several join attributes.
+
+    Used by the multi-query extension (several window joins over the
+    same streams, each joining on a different attribute — the paper's
+    Section 6 "multiple queries ... share resources").  Keys are tuples;
+    attribute ``a`` of both streams is iid Zipf(``skews[a]``) over
+    ``domain_sizes[a]`` values with uncorrelated value assignments.
+
+    ``metadata['attribute_distributions']`` holds, per attribute, the
+    ``(r_distribution, s_distribution)`` pair.
+    """
+    if len(domain_sizes) != len(skews) or not domain_sizes:
+        raise ValueError("need matching, non-empty domain_sizes and skews")
+    if length < 0:
+        raise ValueError(f"length must be non-negative, got {length}")
+
+    rng = np.random.default_rng(seed)
+    r_columns = []
+    s_columns = []
+    distributions = []
+    for domain_size, skew in zip(domain_sizes, skews):
+        perm_r, perm_s = _permutations_for("uncorrelated", domain_size, rng)
+        dist_r = ZipfDistribution(domain_size, skew, value_permutation=perm_r)
+        dist_s = ZipfDistribution(domain_size, skew, value_permutation=perm_s)
+        distributions.append((dist_r, dist_s))
+        r_columns.append(dist_r.sample(length, rng))
+        s_columns.append(dist_s.sample(length, rng))
+
+    r_keys = [tuple(int(col[i]) for col in r_columns) for i in range(length)]
+    s_keys = [tuple(int(col[i]) for col in s_columns) for i in range(length)]
+    return StreamPair(
+        r=r_keys,
+        s=s_keys,
+        name=name or f"multi-attribute({len(domain_sizes)} attrs)",
+        metadata={
+            "attribute_distributions": distributions,
+            "domain_sizes": list(domain_sizes),
+            "skews": list(skews),
+            "seed": seed,
+        },
+    )
+
+
+def empirical_probabilities(keys, domain_size: Optional[int] = None) -> dict:
+    """Relative frequency of every key in a finite stream.
+
+    This is the "frequency table of the data values" the paper feeds to
+    the online heuristics for the real-life dataset (Section 4.5); for
+    synthetic data the true distribution is available instead.
+    """
+    counts: dict = {}
+    for key in keys:
+        counts[key] = counts.get(key, 0) + 1
+    total = len(keys)
+    if total == 0:
+        return {}
+    frequencies = {key: count / total for key, count in counts.items()}
+    if domain_size is not None:
+        for value in range(domain_size):
+            frequencies.setdefault(value, 0.0)
+    return frequencies

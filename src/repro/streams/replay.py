@@ -1,0 +1,63 @@
+"""Persisting and replaying recorded stream pairs.
+
+Experiments are reproducible from seeds alone, but saving the concrete
+streams makes runs auditable and lets users replay external datasets
+(e.g. the real weather data, if they obtain it) through the engine.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .tuples import StreamPair
+
+_HEADER = ("time", "r_key", "s_key")
+
+
+def save_pair(pair: StreamPair, path: Union[str, Path]) -> None:
+    """Write a stream pair to CSV with columns ``time, r_key, s_key``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for t, (r_key, s_key) in enumerate(zip(pair.r, pair.s)):
+            writer.writerow((t, r_key, s_key))
+
+
+def load_pair(path: Union[str, Path], *, key_type=int, name: str = "") -> StreamPair:
+    """Read a stream pair previously written by :func:`save_pair`.
+
+    Parameters
+    ----------
+    key_type:
+        Constructor applied to each key column (``int`` by default; pass
+        ``str`` for non-numeric join attributes).
+
+    Raises
+    ------
+    ValueError
+        On a malformed header or non-contiguous time column, which would
+        silently corrupt window semantics if accepted.
+    """
+    path = Path(path)
+    r_keys = []
+    s_keys = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _HEADER:
+            raise ValueError(f"{path}: expected header {_HEADER}, got {header}")
+        for expected_time, row in enumerate(reader):
+            if len(row) != 3:
+                raise ValueError(f"{path}: malformed row {row!r}")
+            if int(row[0]) != expected_time:
+                raise ValueError(
+                    f"{path}: time column must be contiguous from 0, "
+                    f"got {row[0]} at position {expected_time}"
+                )
+            r_keys.append(key_type(row[1]))
+            s_keys.append(key_type(row[2]))
+    return StreamPair(r=r_keys, s=s_keys, name=name or path.stem)

@@ -1,0 +1,152 @@
+"""Zipfian distributions over a finite domain.
+
+The paper's synthetic workloads draw join-attribute values iid from
+Zipf(z) distributions over domains of 10-200 values (Section 4).  This
+module provides the exact pmf, moments used for analysis, and two exact
+samplers (inverse-CDF via binary search, and Walker's alias method for
+O(1) draws on large domains).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class ZipfDistribution:
+    """Zipf distribution with pmf ``p(rank) ∝ 1 / rank^skew``.
+
+    Ranks run ``1 .. domain_size``; the emitted *values* are
+    ``0 .. domain_size - 1``, optionally shuffled through a value
+    permutation so that two streams with the same skew can have
+    uncorrelated (or anti-correlated) frequency assignments.
+
+    ``skew = 0`` degenerates to the uniform distribution, matching the
+    paper's usage ("Zipf with parameter 0").
+    """
+
+    def __init__(
+        self,
+        domain_size: int,
+        skew: float,
+        *,
+        value_permutation: Optional[Sequence[int]] = None,
+    ) -> None:
+        if domain_size <= 0:
+            raise ValueError(f"domain_size must be positive, got {domain_size}")
+        if skew < 0:
+            raise ValueError(f"skew must be non-negative, got {skew}")
+        self.domain_size = domain_size
+        self.skew = float(skew)
+
+        ranks = np.arange(1, domain_size + 1, dtype=float)
+        weights = ranks ** (-self.skew)
+        self._rank_probabilities = weights / weights.sum()
+        self._cdf = np.cumsum(self._rank_probabilities)
+        self._cdf[-1] = 1.0  # guard against rounding drift
+
+        if value_permutation is None:
+            self._values = np.arange(domain_size)
+        else:
+            permutation = np.asarray(value_permutation)
+            if sorted(permutation.tolist()) != list(range(domain_size)):
+                raise ValueError("value_permutation must permute 0..domain_size-1")
+            self._values = permutation
+
+        self._probabilities = np.zeros(domain_size)
+        self._probabilities[self._values] = self._rank_probabilities
+
+    # ------------------------------------------------------------------
+    # probabilities
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """``p[v]`` = probability of emitting value ``v`` (a copy)."""
+        return self._probabilities.copy()
+
+    def probability_of(self, value: int) -> float:
+        """Probability of a single value (0 for out-of-domain values)."""
+        if not 0 <= value < self.domain_size:
+            return 0.0
+        return float(self._probabilities[value])
+
+    def match_probability(self, other: "ZipfDistribution") -> float:
+        """Probability that one draw from each distribution is equal.
+
+        ``sum_v p_self(v) * p_other(v)`` — the expected per-tick match
+        rate of two independent streams, used for workload sizing.
+        """
+        if other.domain_size != self.domain_size:
+            raise ValueError("distributions must share a domain")
+        return float(np.dot(self._probabilities, other._probabilities))
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` iid values via inverse-CDF (exact)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        uniforms = rng.random(count)
+        ranks = np.searchsorted(self._cdf, uniforms, side="right")
+        return self._values[ranks]
+
+    def alias_sampler(self, rng: np.random.Generator) -> "AliasSampler":
+        """O(1)-per-draw sampler for this distribution."""
+        return AliasSampler(self._probabilities, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZipfDistribution(domain_size={self.domain_size}, skew={self.skew})"
+
+
+class AliasSampler:
+    """Walker's alias method for sampling a finite discrete distribution.
+
+    Setup is O(n); each draw is O(1).  Used when the domain is large
+    (e.g. the synthetic weather grid) and many samples are needed.
+    """
+
+    def __init__(self, probabilities: Sequence[float], rng: np.random.Generator) -> None:
+        p = np.asarray(probabilities, dtype=float)
+        if p.ndim != 1 or len(p) == 0:
+            raise ValueError("probabilities must be a non-empty 1-D sequence")
+        if np.any(p < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = p.sum()
+        if total <= 0:
+            raise ValueError("probabilities must not all be zero")
+        p = p / total
+
+        n = len(p)
+        self._n = n
+        self._rng = rng
+        self._prob = np.zeros(n)
+        self._alias = np.zeros(n, dtype=np.int64)
+
+        scaled = p * n
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            g = large.pop()
+            self._prob[s] = scaled[s]
+            self._alias[s] = g
+            scaled[g] = scaled[g] + scaled[s] - 1.0
+            (small if scaled[g] < 1.0 else large).append(g)
+        for i in large + small:
+            self._prob[i] = 1.0
+            self._alias[i] = i
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` iid values (indices into the input pmf)."""
+        columns = self._rng.integers(0, self._n, size=count)
+        coins = self._rng.random(count)
+        take_alias = coins >= self._prob[columns]
+        out = columns.copy()
+        out[take_alias] = self._alias[columns[take_alias]]
+        return out
+
+
+def zipf_probabilities(domain_size: int, skew: float) -> np.ndarray:
+    """Convenience: the rank-ordered Zipf pmf as an array."""
+    return ZipfDistribution(domain_size, skew).probabilities()

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale
+from repro.streams.generators import uniform_pair, zipf_pair
+
+
+@pytest.fixture
+def small_zipf_pair():
+    """A short, skewed stream pair used across engine/policy tests."""
+    return zipf_pair(length=300, domain_size=10, skew=1.0, seed=42)
+
+
+@pytest.fixture
+def small_uniform_pair():
+    return uniform_pair(length=300, domain_size=10, seed=42)
+
+
+@pytest.fixture
+def tiny_scale():
+    """A miniature experiment scale for end-to-end figure tests."""
+    return Scale(
+        name="tiny",
+        stream_length=400,
+        window=30,
+        weather_length=2500,
+        weather_window=150,
+        weather_warmup=300,
+    )

@@ -1,0 +1,159 @@
+"""Naive reference implementation of the fast-CPU model (tests only).
+
+A deliberately simple O(n · M) simulation with plain lists and linear
+scans — no heaps, buckets, or slot arrays — used to fuzz the production
+engine's bookkeeping.  Mirrors the engine's semantics exactly: expiry →
+probe both arrivals → admit R then S, with the paper's tie rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.streams.tuples import StreamPair
+
+
+@dataclass(frozen=True)
+class _Resident:
+    stream: str
+    arrival: int
+    key: object
+
+
+def naive_run(
+    pair: StreamPair,
+    window: int,
+    memory: int,
+    policy_kind: str,
+    estimators: Optional[dict] = None,
+    *,
+    variable: bool = False,
+    warmup: Optional[int] = None,
+) -> int:
+    """Post-warmup output of PROB / LIFE / EXACT via brute-force scans."""
+    if warmup is None:
+        warmup = 2 * window
+    if policy_kind not in ("PROB", "LIFE", "EXACT"):
+        raise ValueError(policy_kind)
+    if policy_kind != "EXACT" and estimators is None:
+        raise ValueError("PROB/LIFE need estimators")
+
+    def partner_probability(resident_stream: str, key) -> float:
+        other = "S" if resident_stream == "R" else "R"
+        return estimators[other].probability(key)
+
+    residents: list[_Resident] = []
+    output = 0
+
+    for t in range(len(pair)):
+        residents = [r for r in residents if r.arrival > t - window]
+        r_key, s_key = pair.r[t], pair.s[t]
+
+        matches = sum(1 for r in residents if r.stream == "S" and r.key == r_key)
+        matches += sum(1 for r in residents if r.stream == "R" and r.key == s_key)
+        if r_key == s_key:
+            matches += 1
+        if t >= warmup:
+            output += matches
+
+        for stream, key in (("R", r_key), ("S", s_key)):
+            if variable:
+                pool = residents
+                capacity = memory
+            else:
+                pool = [r for r in residents if r.stream == stream]
+                capacity = memory // 2 if policy_kind != "EXACT" else window
+
+            newcomer = _Resident(stream, t, key)
+            if len(pool) < capacity:
+                residents.append(newcomer)
+                continue
+            if policy_kind == "EXACT":
+                raise AssertionError("EXACT must never overflow")
+
+            if policy_kind == "PROB":
+                def prob_rank(r: _Resident):
+                    return (partner_probability(r.stream, r.key), r.arrival)
+
+                weakest = min(pool, key=prob_rank)
+                if prob_rank(weakest) < (partner_probability(stream, key), t):
+                    residents.remove(weakest)
+                    residents.append(newcomer)
+            else:  # LIFE
+                def life_priority(r: _Resident) -> float:
+                    return (r.arrival + window - t) * partner_probability(
+                        r.stream, r.key
+                    )
+
+                weakest = min(pool, key=lambda r: (life_priority(r), r.arrival))
+                weakest_priority = life_priority(weakest)
+                candidate_priority = window * partner_probability(stream, key)
+                evict = weakest_priority < candidate_priority or (
+                    weakest_priority == candidate_priority and weakest.arrival < t
+                )
+                if evict:
+                    residents.remove(weakest)
+                    residents.append(newcomer)
+
+    return output
+
+
+def naive_async_run(
+    r_batches,
+    s_batches,
+    window: int,
+    memory: int,
+    estimators: dict,
+    *,
+    variable: bool = False,
+    warmup: int = 0,
+) -> int:
+    """Naive mirror of the asynchronous engine (time windows, PROB).
+
+    Async semantics differ from the synchronous engine: each arrival
+    probes when *processed* (R batch first, then S), so a tuple sees
+    same-tick partners already admitted.
+    """
+
+    def partner_probability(resident_stream: str, key) -> float:
+        other = "S" if resident_stream == "R" else "R"
+        return estimators[other].probability(key)
+
+    residents: list[_Resident] = []
+    output = 0
+
+    for t in range(len(r_batches)):
+        residents = [r for r in residents if r.arrival > t - window]
+        for stream, batch in (("R", r_batches[t]), ("S", s_batches[t])):
+            for key in batch:
+                other = "S" if stream == "R" else "R"
+                matches = sum(
+                    1 for r in residents if r.stream == other and r.key == key
+                )
+                if t >= warmup:
+                    output += matches
+
+                if variable:
+                    pool = residents
+                    capacity = memory
+                else:
+                    pool = [r for r in residents if r.stream == stream]
+                    capacity = memory // 2
+
+                newcomer = _Resident(stream, t, key)
+                if len(pool) < capacity:
+                    residents.append(newcomer)
+                    continue
+                if not pool:
+                    continue  # zero-capacity pool: always reject
+
+                def prob_rank(r: _Resident):
+                    return (partner_probability(r.stream, r.key), r.arrival)
+
+                weakest = min(pool, key=prob_rank)
+                if prob_rank(weakest) < (partner_probability(stream, key), t):
+                    residents.remove(weakest)
+                    residents.append(newcomer)
+
+    return output

@@ -1,0 +1,131 @@
+"""Tests for workload calibration and OPT memory-sensitivity analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offline.sensitivity import memory_value_curve
+from repro.experiments.calibration import (
+    expected_join_size,
+    match_probability,
+    pair_slots,
+)
+from repro.streams import (
+    StreamPair,
+    exact_join_size,
+    uniform_pair,
+    weather_pair,
+    zipf_pair,
+)
+
+
+class TestMatchProbability:
+    def test_uniform(self):
+        pair = uniform_pair(10, 10, seed=0)
+        assert match_probability(pair) == pytest.approx(0.1)
+
+    def test_weather_pair_uses_probability_arrays(self):
+        pair = weather_pair(100, seed=0)
+        rho = match_probability(pair)
+        assert 0.0 < rho < 1.0
+
+    def test_empirical_fallback(self):
+        pair = StreamPair(r=[1, 1, 2, 2], s=[1, 1, 1, 1])
+        # p_R(1) = 0.5, p_S(1) = 1.0 -> rho = 0.5.
+        assert match_probability(pair) == pytest.approx(0.5)
+
+
+class TestPairSlots:
+    def naive(self, length, window, count_from=0):
+        return sum(
+            1
+            for i in range(length)
+            for j in range(length)
+            if abs(i - j) < window and max(i, j) >= count_from
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        length=st.integers(0, 40),
+        window=st.integers(1, 12),
+        count_from=st.integers(0, 20),
+    )
+    def test_matches_naive_enumeration(self, length, window, count_from):
+        assert pair_slots(length, window, count_from=count_from) == self.naive(
+            length, window, count_from
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pair_slots(10, 0)
+        with pytest.raises(ValueError):
+            pair_slots(-1, 2)
+
+
+class TestExpectedJoinSize:
+    @pytest.mark.parametrize("skew,domain", [(0.0, 20), (1.0, 50), (2.0, 10)])
+    def test_prediction_matches_measurement(self, skew, domain):
+        """Measured join sizes track the closed form within noise."""
+        window = 30
+        measurements = []
+        predictions = []
+        for seed in range(5):
+            pair = zipf_pair(3000, domain, skew, seed=seed)
+            measurements.append(exact_join_size(pair, window))
+            predictions.append(expected_join_size(pair, window))
+        mean_measured = sum(measurements) / len(measurements)
+        mean_predicted = sum(predictions) / len(predictions)
+        assert mean_measured == pytest.approx(mean_predicted, rel=0.1)
+
+    def test_bare_length_needs_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            expected_join_size(100, 10)
+        assert expected_join_size(100, 10, rho=0.1) == pytest.approx(
+            0.1 * pair_slots(100, 10)
+        )
+
+
+class TestMemoryValueCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        pair = zipf_pair(400, 8, 1.0, seed=3)
+        return memory_value_curve(pair, 20, [2, 6, 10, 20, 40])
+
+    def test_monotone_and_bounded(self, curve):
+        outputs = [p.output for p in curve.points]
+        assert outputs == sorted(outputs)
+        assert all(p.output <= curve.exact for p in curve.points)
+        assert curve.points[-1].memory == 2 * curve.window
+        assert curve.points[-1].output == curve.exact
+
+    def test_marginal_values_non_increasing(self, curve):
+        """Concavity of the parametric flow optimum in the budget."""
+        marginals = curve.marginal_values()
+        for earlier, later in zip(marginals, marginals[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_knee_query(self, curve):
+        budget = curve.smallest_budget_reaching(0.5)
+        assert budget is not None
+        for point in curve.points:
+            if point.memory < budget:
+                assert point.fraction_of_exact < 0.5
+        assert curve.smallest_budget_reaching(1.0) == 2 * curve.window
+        with pytest.raises(ValueError):
+            curve.smallest_budget_reaching(1.5)
+
+    def test_validation(self):
+        pair = zipf_pair(50, 4, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            memory_value_curve(pair, 5, [])
+        with pytest.raises(ValueError):
+            memory_value_curve(pair, 5, [4, 2])
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_concavity_property(self, seed):
+        pair = zipf_pair(120, 4, 1.0, seed=seed)
+        curve = memory_value_curve(pair, 8, [2, 4, 6, 8, 10], count_from=0)
+        marginals = curve.marginal_values()
+        for earlier, later in zip(marginals, marginals[1:]):
+            assert later <= earlier + 1e-9

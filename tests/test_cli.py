@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "PROB"
+        assert args.window == 100
+
+    def test_algorithm_upper_cased(self):
+        args = build_parser().parse_args(["run", "--algorithm", "prob"])
+        assert args.algorithm == "PROB"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("PROB", "figure3", "static_join", "ablation_drift", "ci"):
+            assert token in out
+
+    def test_run(self, capsys):
+        code = main(
+            ["run", "--algorithm", "RAND", "--length", "300",
+             "--window", "20", "--memory", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RAND:" in out
+        assert "% of exact" in out
+
+    def test_run_uniform_workload(self, capsys):
+        code = main(
+            ["run", "--workload", "uniform", "--length", "200",
+             "--window", "15", "--memory", "8", "--algorithm", "PROBV"]
+        )
+        assert code == 0
+        assert "uniform" in capsys.readouterr().out
+
+    def test_run_weather_workload(self, capsys):
+        code = main(
+            ["run", "--workload", "weather", "--length", "1500",
+             "--window", "100", "--memory", "50"]
+        )
+        assert code == 0
+        assert "weather" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--algorithms", "RAND,PROB", "--length", "300",
+             "--window", "20", "--memory", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RAND" in out and "PROB" in out and "EXACT" in out
+
+    def test_compare_unknown_algorithm(self, capsys):
+        assert main(["compare", "--algorithms", "RAND,NOPE"]) == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+    def test_figure(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert main(["figure", "figure8"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8" in out
+        assert "R share of memory" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "figure99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_table(self, capsys):
+        assert main(["table", "multiway_join"]) == 0
+        assert "multiway_join" in capsys.readouterr().out
+
+    def test_table_with_scale(self, capsys):
+        assert main(["table", "static_join", "--scale", "ci"]) == 0
+        assert "static_join" in capsys.readouterr().out
+
+    def test_table_unknown(self, capsys):
+        assert main(["table", "bogus"]) == 2
+        assert "unknown table" in capsys.readouterr().err

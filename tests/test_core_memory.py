@@ -1,0 +1,233 @@
+"""Tests for window semantics and the join-memory data structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import JoinMemory, TupleRecord, WindowSpec
+from repro.core.memory import StreamMemory
+
+
+class TestWindowSpec:
+    def test_contains_boundaries(self):
+        window = WindowSpec(3)
+        # At t=5 the window holds arrivals 3, 4, 5.
+        assert not window.contains(2, 5)
+        assert window.contains(3, 5)
+        assert window.contains(5, 5)
+        assert not window.contains(6, 5)
+
+    def test_expiry_and_last_event(self):
+        window = WindowSpec(4)
+        assert window.expiry_time(10) == 14
+        assert window.last_event_seen(10) == 13
+
+    def test_joins_with(self):
+        window = WindowSpec(3)
+        assert window.joins_with(5, 7)
+        assert not window.joins_with(5, 8)
+        assert window.joins_with(7, 5)
+
+    def test_exact_memory_and_warmup(self):
+        window = WindowSpec(400)
+        assert window.exact_memory_requirement() == 800
+        assert window.default_warmup() == 800
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0)
+
+
+def _record(arrival: int, key, stream: str = "R") -> TupleRecord:
+    return TupleRecord(stream, arrival, key)
+
+
+class TestStreamMemory:
+    def test_add_and_match_count(self):
+        memory = StreamMemory("R")
+        memory.add(_record(0, "a"))
+        memory.add(_record(1, "a"))
+        memory.add(_record(2, "b"))
+        assert memory.size == 3
+        assert memory.match_count("a") == 2
+        assert memory.match_count("b") == 1
+        assert memory.match_count("zzz") == 0
+
+    def test_remove_updates_counts_and_slots(self):
+        memory = StreamMemory("R")
+        records = [_record(i, "a") for i in range(3)]
+        for record in records:
+            memory.add(record)
+        memory.remove(records[0])
+        assert memory.size == 2
+        assert memory.match_count("a") == 2
+        # Slot array stays dense and consistent.
+        assert {memory.record_at_slot(i).arrival for i in range(2)} == {1, 2}
+
+    def test_double_add_and_double_remove_rejected(self):
+        memory = StreamMemory("R")
+        record = _record(0, "a")
+        memory.add(record)
+        with pytest.raises(ValueError):
+            memory.add(record)
+        memory.remove(record)
+        with pytest.raises(ValueError):
+            memory.remove(record)
+
+    def test_oldest_alive_skips_dead(self):
+        memory = StreamMemory("R")
+        first = _record(0, "a")
+        second = _record(5, "a")
+        memory.add(first)
+        memory.add(second)
+        assert memory.oldest_alive("a") is first
+        memory.remove(first)
+        assert memory.oldest_alive("a") is second
+        memory.remove(second)
+        assert memory.oldest_alive("a") is None
+        assert memory.oldest_alive("never") is None
+
+    def test_expire_until(self):
+        memory = StreamMemory("R")
+        for i in range(5):
+            memory.add(_record(i, i))
+        expired = memory.expire_until(2)
+        assert sorted(r.arrival for r in expired) == [0, 1, 2]
+        assert memory.size == 2
+
+    def test_expire_skips_already_evicted(self):
+        memory = StreamMemory("R")
+        a, b = _record(0, "x"), _record(1, "y")
+        memory.add(a)
+        memory.add(b)
+        memory.remove(a)
+        expired = memory.expire_until(1)
+        assert expired == [b]
+
+    def test_matches_iterates_alive_records(self):
+        memory = StreamMemory("R")
+        a, b = _record(0, "k"), _record(1, "k")
+        memory.add(a)
+        memory.add(b)
+        memory.remove(a)
+        assert [r.arrival for r in memory.matches("k")] == [1]
+        assert list(memory.matches("other")) == []
+
+
+class TestJoinMemory:
+    def test_fixed_allocation_split(self):
+        memory = JoinMemory(4, variable=False)
+        assert memory.side_capacity("R") == 2
+        memory.admit(_record(0, "a", "R"))
+        memory.admit(_record(1, "b", "R"))
+        assert memory.needs_eviction("R")
+        assert not memory.needs_eviction("S")
+        with pytest.raises(RuntimeError):
+            memory.admit(_record(2, "c", "R"))
+
+    def test_fixed_requires_even_capacity(self):
+        with pytest.raises(ValueError, match="even"):
+            JoinMemory(3, variable=False)
+
+    def test_variable_pool_shared(self):
+        memory = JoinMemory(3, variable=True)
+        memory.admit(_record(0, "a", "R"))
+        memory.admit(_record(1, "b", "R"))
+        memory.admit(_record(2, "c", "S"))
+        assert memory.needs_eviction("R")
+        assert memory.needs_eviction("S")
+        assert memory.total_size == 3
+
+    def test_eviction_candidates(self):
+        fixed = JoinMemory(4, variable=False)
+        assert [m.stream for m in fixed.eviction_candidates("R")] == ["R"]
+        pooled = JoinMemory(4, variable=True)
+        assert [m.stream for m in pooled.eviction_candidates("R")] == ["R", "S"]
+
+    def test_side_lookup(self):
+        memory = JoinMemory(2)
+        assert memory.side("R") is memory.r
+        assert memory.other_side("R") is memory.s
+        with pytest.raises(ValueError):
+            memory.side("Q")
+
+    def test_expire_both_sides(self):
+        memory = JoinMemory(4)
+        memory.admit(_record(0, "a", "R"))
+        memory.admit(_record(0, "b", "S"))
+        expired = memory.expire_until(0)
+        assert {r.stream for r in expired} == {"R", "S"}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            JoinMemory(0)
+
+
+class TestJoinMemoryVariablePoolProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        capacity=st.integers(1, 6),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["R", "S"]),
+                st.integers(0, 3),
+                st.booleans(),  # evict-random-resident before admitting
+            ),
+            max_size=40,
+        ),
+    )
+    def test_shared_pool_never_overflows(self, capacity, ops):
+        """Admissions guarded by needs_eviction keep the pool in budget."""
+        memory = JoinMemory(capacity, variable=True)
+        alive: list[TupleRecord] = []
+        for clock, (stream, key, evict_first) in enumerate(ops):
+            if memory.needs_eviction(stream):
+                if not evict_first or not alive:
+                    continue  # reject the newcomer
+                victim = alive.pop(key % len(alive))
+                memory.remove(victim)
+            record = TupleRecord(stream, clock, key)
+            memory.admit(record)
+            alive.append(record)
+            assert memory.total_size <= capacity
+            assert memory.total_size == len(alive)
+            assert memory.r.size == sum(1 for r in alive if r.stream == "R")
+
+
+class TestMemoryInvariantsProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "remove", "expire"]), st.integers(0, 5)),
+            max_size=60,
+        )
+    )
+    def test_random_operation_sequences(self, ops):
+        """Counts, slots and buckets stay mutually consistent."""
+        memory = StreamMemory("R")
+        alive: list[TupleRecord] = []
+        clock = 0
+        for op, value in ops:
+            if op == "add":
+                record = _record(clock, value)
+                memory.add(record)
+                alive.append(record)
+                clock += 1
+            elif op == "remove" and alive:
+                victim = alive.pop(value % len(alive))
+                memory.remove(victim)
+            elif op == "expire":
+                horizon = clock - value
+                expired = memory.expire_until(horizon)
+                alive = [r for r in alive if r.arrival > horizon]
+                assert all(r.arrival <= horizon for r in expired)
+
+            assert memory.size == len(alive)
+            from collections import Counter
+
+            expected = Counter(r.key for r in alive)
+            for key in range(6):
+                assert memory.match_count(key) == expected.get(key, 0)
+            assert {id(memory.record_at_slot(i)) for i in range(memory.size)} == {
+                id(r) for r in alive
+            }

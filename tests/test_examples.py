@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each example is executed as a subprocess with small arguments, exactly
+as a user would run it, asserting a clean exit and sane output markers.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": (
+        ["--length", "400", "--window", "30"],
+        ["EXACT", "semantic shedding (PROB)"],
+    ),
+    "sensor_proxy.py": (
+        ["--readings", "120"],
+        ["optimal DP (paper)", "per-value transmission plan"],
+    ),
+    "weather_join.py": (
+        ["--length", "2500", "--window", "120"],
+        ["PROBV memory split", "EXACT"],
+    ),
+    "archive_smoothing.py": (
+        ["--length", "600", "--window", "40"],
+        ["exact result recovered", "Archive-metric"],
+    ),
+    "slow_cpu_shedding.py": (
+        ["--length", "600", "--window", "40"],
+        ["queue policy", "prob"],
+    ),
+    "multi_query_sharing.py": (
+        ["--length", "800", "--window", "50"],
+        ["shed rule", "max"],
+    ),
+    "memory_provisioning.py": (
+        ["--length", "500", "--window", "40"],
+        ["OPT output", "smallest measured budget"],
+    ),
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(CASES), "update CASES when adding/removing examples"
+
+
+@pytest.mark.parametrize("script,case", sorted(CASES.items()))
+def test_example_runs(script, case):
+    arguments, expected_markers = case
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for marker in expected_markers:
+        assert marker in completed.stdout, (
+            f"{script}: missing {marker!r} in output:\n{completed.stdout[-1500:]}"
+        )

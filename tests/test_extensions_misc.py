@@ -1,0 +1,139 @@
+"""Tests for the reservoir estimator, plan materialisation, and exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.static_join import (
+    apply_plan,
+    extract_components,
+    join_size,
+    max_edges_retaining,
+    total_nodes,
+)
+from repro.experiments.figures import FigureData, Series, TableData
+from repro.experiments.reporting import (
+    figure_to_dict,
+    save_figure_csv,
+    save_table_csv,
+    table_to_dict,
+)
+from repro.stats import ReservoirSample
+
+
+class TestReservoirSample:
+    def test_fills_then_samples(self):
+        reservoir = ReservoirSample(5, seed=0)
+        for key in range(5):
+            reservoir.observe(key)
+        assert len(reservoir) == 5
+        assert reservoir.seen == 5
+        for key in range(5):
+            assert reservoir.probability(key) == pytest.approx(0.2)
+
+    def test_bounded_size(self):
+        reservoir = ReservoirSample(10, seed=1)
+        for key in range(1000):
+            reservoir.observe(key % 7)
+        assert len(reservoir) == 10
+        assert reservoir.seen == 1000
+
+    def test_estimates_converge(self):
+        rng = np.random.default_rng(2)
+        reservoir = ReservoirSample(500, seed=2)
+        stream = rng.choice([0, 1, 2], p=[0.6, 0.3, 0.1], size=20_000)
+        for key in stream:
+            reservoir.observe(int(key))
+        assert reservoir.probability(0) == pytest.approx(0.6, abs=0.08)
+        assert reservoir.probability(1) == pytest.approx(0.3, abs=0.08)
+        assert reservoir.probability(2) == pytest.approx(0.1, abs=0.06)
+
+    def test_counts_consistent_with_sample(self):
+        reservoir = ReservoirSample(16, seed=3)
+        for key in range(200):
+            reservoir.observe(key % 5)
+        assert sum(reservoir.sample_count(k) for k in range(5)) == len(reservoir)
+
+    def test_empty_and_validation(self):
+        assert ReservoirSample(3).probability("x") == 0.0
+        with pytest.raises(ValueError):
+            ReservoirSample(0)
+
+
+class TestApplyPlan:
+    def test_truncated_join_matches_plan(self):
+        a = [1, 1, 2, 2, 2, 3]
+        b = [1, 2, 2, 4]
+        components = extract_components(a, b)
+        plan = max_edges_retaining(components, 6)
+        kept_a, kept_b = apply_plan(a, b, components, plan)
+        assert len(kept_a) + len(kept_b) == 6
+        assert join_size(kept_a, kept_b) == plan.retained_edges
+
+    def test_order_preserved(self):
+        a = [3, 1, 3, 2]
+        b = [3, 2]
+        components = extract_components(a, b)
+        plan = max_edges_retaining(components, total_nodes(components))
+        kept_a, _ = apply_plan(a, b, components, plan)
+        assert kept_a == a  # keeping everything preserves the input order
+
+    def test_misaligned_plan_rejected(self):
+        a, b = [1], [1]
+        components = extract_components(a, b)
+        plan = max_edges_retaining(components, 1)
+        other = extract_components([1, 2], [1, 2])  # two components
+        with pytest.raises(ValueError, match="components"):
+            apply_plan([1, 2], [1, 2], other, plan)
+
+    def test_foreign_key_rejected(self):
+        a, b = [1], [1]
+        components = extract_components(a, b)
+        plan = max_edges_retaining(components, 2)
+        with pytest.raises(ValueError, match="absent"):
+            apply_plan([1, 9], [1], components, plan)
+
+    def test_overcommitted_plan_rejected(self):
+        a, b = [1, 1], [1]
+        components = extract_components(a, b)
+        plan = max_edges_retaining(components, 3)
+        with pytest.raises(ValueError, match="more tuples"):
+            apply_plan([1], [1], components, plan)
+
+    def test_join_size_helper(self):
+        assert join_size([1, 1, 2], [1, 2, 2]) == 2 + 2
+
+
+class TestExports:
+    def _figure(self):
+        return FigureData(
+            "f1", "title", "x", "y",
+            [Series("a", [(1, 2), (3, 4)]), Series("b", [(1, 5)])],
+            params={"p": 1},
+            expectation="a < b",
+        )
+
+    def test_figure_to_dict_roundtrips_json(self):
+        payload = figure_to_dict(self._figure())
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["figure_id"] == "f1"
+        assert decoded["series"][0]["points"] == [[1, 2], [3, 4]]
+
+    def test_table_to_dict(self):
+        table = TableData("t1", "title", ["a"], [[1], [2]])
+        payload = json.loads(json.dumps(table_to_dict(table)))
+        assert payload["rows"] == [[1], [2]]
+
+    def test_save_figure_csv(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        save_figure_csv(self._figure(), path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1,2,5"
+        assert lines[2] == "3,4,"
+
+    def test_save_table_csv(self, tmp_path):
+        path = tmp_path / "tbl.csv"
+        save_table_csv(TableData("t", "t", ["c1", "c2"], [[1, "x"]]), path)
+        assert path.read_text().splitlines() == ["c1,c2", "1,x"]

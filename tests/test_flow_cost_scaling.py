@@ -1,0 +1,170 @@
+"""Tests for Dinic max-flow and the cost-scaling min-cost flow solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import (
+    FlowNetwork,
+    InfeasibleFlowError,
+    ResidualGraph,
+    UnbalancedNetworkError,
+    assert_valid,
+    max_flow,
+    solve_cost_scaling,
+    solve_min_cost_flow,
+)
+
+
+class TestMaxFlow:
+    def test_classic_diamond(self):
+        network = FlowNetwork()
+        network.add_nodes(4)
+        network.add_arc(0, 1, 3, 0)
+        network.add_arc(0, 2, 2, 0)
+        network.add_arc(1, 3, 2, 0)
+        network.add_arc(2, 3, 3, 0)
+        network.add_arc(1, 2, 5, 0)
+        graph = ResidualGraph(network)
+        assert max_flow(graph, 0, 3) == 5
+
+    def test_disconnected(self):
+        network = FlowNetwork()
+        network.add_nodes(3)
+        network.add_arc(0, 1, 4, 0)
+        graph = ResidualGraph(network)
+        assert max_flow(graph, 0, 2) == 0
+
+    def test_multiple_phases_needed(self):
+        """A zig-zag graph where Dinic needs more than one level phase."""
+        network = FlowNetwork()
+        network.add_nodes(6)
+        network.add_arc(0, 1, 1, 0)
+        network.add_arc(0, 2, 1, 0)
+        network.add_arc(1, 3, 1, 0)
+        network.add_arc(2, 3, 1, 0)
+        network.add_arc(3, 4, 1, 0)  # bottleneck
+        network.add_arc(1, 4, 1, 0)
+        network.add_arc(4, 5, 2, 0)
+        graph = ResidualGraph(network)
+        assert max_flow(graph, 0, 5) == 2
+
+    def test_same_source_sink_rejected(self):
+        network = FlowNetwork()
+        network.add_nodes(1)
+        graph = ResidualGraph(network)
+        with pytest.raises(ValueError):
+            max_flow(graph, 0, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_matches_networkx(self, seed):
+        networkx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 9))
+        network = FlowNetwork()
+        network.add_nodes(n)
+        graph_nx = networkx.DiGraph()
+        graph_nx.add_nodes_from(range(n))
+        for _ in range(2 * n):
+            u, v = rng.choice(n, size=2, replace=False)
+            capacity = int(rng.integers(1, 6))
+            network.add_arc(int(u), int(v), capacity, 0)
+            if graph_nx.has_edge(int(u), int(v)):
+                graph_nx[int(u)][int(v)]["capacity"] += capacity
+            else:
+                graph_nx.add_edge(int(u), int(v), capacity=capacity)
+        ours = max_flow(ResidualGraph(network), 0, n - 1)
+        theirs = networkx.maximum_flow_value(graph_nx, 0, n - 1)
+        assert ours == theirs
+
+
+class TestCostScaling:
+    def test_simple_transport(self):
+        network = FlowNetwork()
+        network.add_node(supply=3)
+        network.add_node(supply=-3)
+        network.add_arc(0, 1, 2, 1)
+        network.add_arc(0, 1, 2, 5)
+        result = solve_cost_scaling(network)
+        assert result.cost == 2 * 1 + 1 * 5
+        assert_valid(network, result)
+
+    def test_negative_costs(self):
+        network = FlowNetwork()
+        network.add_node(supply=1)
+        network.add_nodes(2)
+        network.add_node(supply=-1)
+        network.add_arc(0, 1, 1, 0)
+        network.add_arc(1, 3, 1, 0)
+        network.add_arc(0, 2, 1, 0)
+        network.add_arc(2, 3, 1, -5)
+        result = solve_cost_scaling(network)
+        assert result.cost == -5
+
+    def test_zero_supply(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        network.add_arc(0, 1, 1, -1)
+        result = solve_cost_scaling(network)
+        assert result.cost == 0 and result.feasible
+
+    def test_infeasible_raises(self):
+        network = FlowNetwork()
+        network.add_node(supply=5)
+        network.add_node(supply=-5)
+        network.add_arc(0, 1, 3, 1)
+        with pytest.raises(InfeasibleFlowError):
+            solve_cost_scaling(network)
+
+    def test_unbalanced_rejected(self):
+        network = FlowNetwork()
+        network.add_node(supply=1)
+        network.add_node()
+        network.add_arc(0, 1, 1, 0)
+        with pytest.raises(UnbalancedNetworkError):
+            solve_cost_scaling(network)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 20_000), dag=st.booleans())
+    def test_matches_ssp(self, seed, dag):
+        """The two exact solvers agree on random instances."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 10))
+        network = FlowNetwork()
+        network.add_nodes(n)
+        for _ in range(int(rng.integers(n, 3 * n))):
+            u, v = rng.choice(n, size=2, replace=False)
+            u, v = int(u), int(v)
+            if dag and u > v:
+                u, v = v, u
+            cost = int(rng.integers(-5, 6)) if dag else int(rng.integers(0, 8))
+            network.add_arc(u, v, int(rng.integers(1, 6)), cost)
+        u, v = rng.choice(n, size=2, replace=False)
+        amount = int(rng.integers(1, 4))
+        network.set_supply(int(u), amount)
+        network.set_supply(int(v), -amount)
+
+        ssp = solve_min_cost_flow(network)
+        if not ssp.feasible:
+            with pytest.raises(InfeasibleFlowError):
+                solve_cost_scaling(network)
+            return
+        scaling = solve_cost_scaling(network)
+        assert scaling.cost == ssp.cost
+        assert_valid(network, scaling)
+
+
+class TestOptWithCostScaling:
+    def test_solver_parameter(self):
+        from repro.core.offline import solve_opt
+        from repro.streams import zipf_pair
+
+        pair = zipf_pair(150, 6, 1.0, seed=3)
+        ssp = solve_opt(pair, 12, 6, count_from=0)
+        scaling = solve_opt(pair, 12, 6, count_from=0, solver="cost_scaling")
+        assert ssp.output_count == scaling.output_count
+
+        with pytest.raises(ValueError, match="solver"):
+            solve_opt(pair, 12, 6, solver="magic")

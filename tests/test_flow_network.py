@@ -1,0 +1,99 @@
+"""Unit tests for the flow-network problem model."""
+
+import pytest
+
+from repro.flow import Arc, FlowNetwork
+
+
+class TestFlowNetworkConstruction:
+    def test_add_node_returns_dense_ids(self):
+        network = FlowNetwork()
+        assert network.add_node() == 0
+        assert network.add_node("labelled") == 1
+        assert network.num_nodes == 2
+        assert network.label(1) == "labelled"
+
+    def test_add_nodes_bulk(self):
+        network = FlowNetwork()
+        ids = network.add_nodes(5)
+        assert list(ids) == [0, 1, 2, 3, 4]
+        assert network.num_nodes == 5
+
+    def test_add_nodes_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FlowNetwork().add_nodes(-1)
+
+    def test_add_arc_basic(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        arc_id = network.add_arc(0, 1, capacity=3, cost=-2)
+        assert arc_id == 0
+        assert network.arc(0) == Arc(0, 1, 3, -2)
+        assert network.num_arcs == 1
+
+    def test_parallel_arcs_allowed(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        network.add_arc(0, 1, 1, 0)
+        network.add_arc(0, 1, 1, -5)
+        assert network.num_arcs == 2
+
+    def test_self_loop_rejected(self):
+        network = FlowNetwork()
+        network.add_nodes(1)
+        with pytest.raises(ValueError, match="self-loop"):
+            network.add_arc(0, 0, 1, 0)
+
+    def test_unknown_endpoint_rejected(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        with pytest.raises(ValueError, match="unknown node"):
+            network.add_arc(0, 7, 1, 0)
+
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        with pytest.raises(ValueError, match="non-negative"):
+            network.add_arc(0, 1, -1, 0)
+
+
+class TestSupplies:
+    def test_supply_bookkeeping(self):
+        network = FlowNetwork()
+        network.add_node(supply=5)
+        network.add_node()
+        network.set_supply(1, -3)
+        network.add_supply(1, -2)
+        assert network.supply(0) == 5
+        assert network.supply(1) == -5
+        assert network.total_supply() == 5
+        assert network.is_balanced()
+
+    def test_unbalanced_detected(self):
+        network = FlowNetwork()
+        network.add_node(supply=2)
+        network.add_node(supply=-1)
+        assert not network.is_balanced()
+
+
+class TestTopologicalOrderCheck:
+    def test_forward_arcs_are_ordered(self):
+        network = FlowNetwork()
+        network.add_nodes(3)
+        network.add_arc(0, 1, 1, 0)
+        network.add_arc(1, 2, 1, 0)
+        assert network.is_topologically_ordered()
+
+    def test_backward_arc_breaks_order(self):
+        network = FlowNetwork()
+        network.add_nodes(3)
+        network.add_arc(2, 1, 1, 0)
+        assert not network.is_topologically_ordered()
+
+    def test_out_arcs_adjacency(self):
+        network = FlowNetwork()
+        network.add_nodes(3)
+        a = network.add_arc(0, 1, 1, 0)
+        b = network.add_arc(0, 2, 1, 0)
+        c = network.add_arc(1, 2, 1, 0)
+        assert network.out_arcs() == [[a, b], [c], []]

@@ -1,0 +1,160 @@
+"""Tests for Bellman-Ford, DAG shortest paths, and flow validation."""
+
+import pytest
+
+from repro.flow import (
+    FlowNetwork,
+    FlowResult,
+    NegativeCycleError,
+    ResidualGraph,
+    check_feasible,
+    check_optimal,
+    has_negative_cycle,
+    recompute_cost,
+    shortest_distances_from,
+    shortest_paths,
+    solve_min_cost_flow,
+    topological_order,
+)
+from repro.flow.bellman_ford import extract_path
+
+
+def _residual(network: FlowNetwork) -> ResidualGraph:
+    return ResidualGraph(network)
+
+
+class TestBellmanFord:
+    def test_shortest_paths_with_negative_arcs(self):
+        network = FlowNetwork()
+        network.add_nodes(4)
+        network.add_arc(0, 1, 1, 4)
+        network.add_arc(0, 2, 1, 1)
+        network.add_arc(2, 1, 1, -3)  # 0->2->1 is cheaper: cost -2
+        network.add_arc(1, 3, 1, 2)
+        dist, parents = shortest_paths(_residual(network), 0)
+        assert dist[1] == -2
+        assert dist[3] == 0
+        path = extract_path(parents, _residual(network), 3)
+        assert path is not None and len(path) == 3
+
+    def test_unreachable_nodes_are_infinite(self):
+        network = FlowNetwork()
+        network.add_nodes(3)
+        network.add_arc(0, 1, 1, 1)
+        dist, _ = shortest_paths(_residual(network), 0)
+        assert dist[2] == float("inf")
+
+    def test_negative_cycle_raises(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        network.add_arc(0, 1, 1, -2)
+        network.add_arc(1, 0, 1, 1)
+        with pytest.raises(NegativeCycleError):
+            shortest_paths(_residual(network), 0)
+
+    def test_zero_capacity_arcs_ignored(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        network.add_arc(0, 1, 0, -100)
+        dist, _ = shortest_paths(_residual(network), 0)
+        assert dist[1] == float("inf")
+
+    def test_has_negative_cycle_detects_disconnected_cycle(self):
+        network = FlowNetwork()
+        network.add_nodes(4)
+        network.add_arc(0, 1, 1, 1)  # component without cycle
+        network.add_arc(2, 3, 1, -5)
+        network.add_arc(3, 2, 1, 2)
+        assert has_negative_cycle(_residual(network))
+
+    def test_no_negative_cycle(self):
+        network = FlowNetwork()
+        network.add_nodes(3)
+        network.add_arc(0, 1, 1, -1)
+        network.add_arc(1, 2, 1, -1)
+        assert not has_negative_cycle(_residual(network))
+
+
+class TestDagUtilities:
+    def test_topological_order_valid(self):
+        network = FlowNetwork()
+        network.add_nodes(4)
+        network.add_arc(0, 2, 1, 0)
+        network.add_arc(2, 1, 1, 0)
+        network.add_arc(1, 3, 1, 0)
+        order = topological_order(network)
+        position = {node: i for i, node in enumerate(order)}
+        for arc in network.arcs:
+            assert position[arc.tail] < position[arc.head]
+
+    def test_cycle_detected(self):
+        network = FlowNetwork()
+        network.add_nodes(2)
+        network.add_arc(0, 1, 1, 0)
+        network.add_arc(1, 0, 1, 0)
+        with pytest.raises(ValueError, match="cycle"):
+            topological_order(network)
+
+    def test_dag_distances_with_negative_costs(self):
+        network = FlowNetwork()
+        network.add_nodes(4)
+        network.add_arc(0, 1, 1, 5)
+        network.add_arc(0, 2, 1, 1)
+        network.add_arc(2, 1, 1, -4)
+        network.add_arc(1, 3, 1, 1)
+        dist = shortest_distances_from(network, 0)
+        assert dist == [0, -3, 1, -2]
+
+
+class TestValidation:
+    def _network(self) -> FlowNetwork:
+        network = FlowNetwork()
+        network.add_node(supply=2)
+        network.add_node(supply=-2)
+        network.add_arc(0, 1, 2, 3)
+        return network
+
+    def test_valid_flow_passes(self):
+        network = self._network()
+        result = solve_min_cost_flow(network)
+        assert check_feasible(network, result) == []
+        assert check_optimal(network, result)
+        assert recompute_cost(network, result) == result.cost
+
+    def test_overflow_detected(self):
+        network = self._network()
+        bad = FlowResult(flow=[5], cost=15, value=2, feasible=True)
+        problems = check_feasible(network, bad)
+        assert any("exceeds capacity" in p for p in problems)
+
+    def test_conservation_violation_detected(self):
+        network = self._network()
+        bad = FlowResult(flow=[1], cost=3, value=2, feasible=True)
+        problems = check_feasible(network, bad)
+        assert any("net outflow" in p for p in problems)
+
+    def test_negative_flow_detected(self):
+        network = self._network()
+        bad = FlowResult(flow=[-1], cost=-3, value=2, feasible=True)
+        assert any("negative flow" in p for p in check_feasible(network, bad))
+
+    def test_wrong_length_detected(self):
+        network = self._network()
+        bad = FlowResult(flow=[], cost=0, value=0, feasible=True)
+        assert check_feasible(network, bad)
+
+    def test_suboptimal_flow_flagged(self):
+        """A feasible flow ignoring a profitable arc admits a cycle."""
+        network = FlowNetwork()
+        network.add_node(supply=1)
+        network.add_nodes(1)
+        network.add_node(supply=-1)
+        direct = network.add_arc(0, 2, 1, 0)
+        network.add_arc(0, 1, 1, 0)
+        network.add_arc(1, 2, 1, -3)
+        lazy = FlowResult(flow=[1, 0, 0], cost=0, value=1, feasible=True)
+        assert check_feasible(network, lazy) == []
+        assert not check_optimal(network, lazy)
+        best = solve_min_cost_flow(network)
+        assert best.cost == -3
+        assert best.flow[direct] == 0

@@ -1,0 +1,186 @@
+"""Tests for the error-measure design space (Section 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    MaxSubsetReport,
+    cosine_coefficient,
+    dice_coefficient,
+    emd,
+    emd_sorted,
+    fraction_of,
+    is_multisubset,
+    jaccard_coefficient,
+    mac_distance,
+    matching_coefficient,
+    max_subset_report,
+    missing_tuples,
+    multiset_intersection_size,
+    multiset_union_size,
+    overlap_coefficient,
+    symmetric_difference_size,
+    verify_subset,
+)
+
+multisets = st.lists(st.integers(0, 5), max_size=15)
+
+
+class TestMultisetPrimitives:
+    def test_intersection_uses_min_multiplicity(self):
+        assert multiset_intersection_size([1, 1, 2], [1, 2, 2]) == 2
+
+    def test_union_uses_max_multiplicity(self):
+        assert multiset_union_size([1, 1, 2], [1, 2, 2]) == 4
+
+    def test_symmetric_difference(self):
+        assert symmetric_difference_size([1, 1, 2], [1, 2, 2]) == 2
+        assert symmetric_difference_size([], [1]) == 1
+        assert symmetric_difference_size([1], [1]) == 0
+
+    def test_subset_detection(self):
+        assert is_multisubset([1, 1], [1, 1, 2])
+        assert not is_multisubset([1, 1, 1], [1, 1])
+
+
+class TestCoefficients:
+    def test_identical_sets(self):
+        x = [1, 2, 2, 3]
+        assert matching_coefficient(x, x) == 4
+        assert dice_coefficient(x, x) == pytest.approx(1.0)
+        assert jaccard_coefficient(x, x) == pytest.approx(1.0)
+        assert cosine_coefficient(x, x) == pytest.approx(1.0)
+        assert overlap_coefficient(x, x) == pytest.approx(1.0)
+
+    def test_disjoint_sets(self):
+        x, y = [1, 2], [3, 4]
+        assert matching_coefficient(x, y) == 0
+        assert dice_coefficient(x, y) == 0.0
+        assert jaccard_coefficient(x, y) == 0.0
+        assert cosine_coefficient(x, y) == 0.0
+        assert overlap_coefficient(x, y) == 0.0
+
+    def test_empty_conventions(self):
+        assert dice_coefficient([], []) == 1.0
+        assert jaccard_coefficient([], []) == 1.0
+        assert cosine_coefficient([], []) == 1.0
+        assert cosine_coefficient([], [1]) == 0.0
+        assert overlap_coefficient([], [1]) == 1.0
+
+    def test_overlap_is_one_for_subsets(self):
+        """The paper: overlap degenerates to 1 whenever X is a subset."""
+        assert overlap_coefficient([1, 2], [1, 2, 3, 4]) == pytest.approx(1.0)
+
+    def test_subset_measures_reduce_to_max_subset(self):
+        """For X ⊆ Y, all coefficients are monotone in |X| (paper claim)."""
+        y = [1, 1, 2, 2, 3, 3]
+        small = [1, 2]
+        large = [1, 1, 2, 3]
+        for measure in (
+            matching_coefficient,
+            dice_coefficient,
+            jaccard_coefficient,
+            cosine_coefficient,
+        ):
+            assert measure(large, y) > measure(small, y)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=multisets, y=multisets)
+    def test_symmetry_and_bounds(self, x, y):
+        for measure in (dice_coefficient, jaccard_coefficient, cosine_coefficient):
+            value = measure(x, y)
+            assert 0.0 <= value <= 1.0 + 1e-9
+            assert value == pytest.approx(measure(y, x))
+        assert symmetric_difference_size(x, y) == symmetric_difference_size(y, x)
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=multisets, y=multisets)
+    def test_symmetric_difference_identity(self, x, y):
+        assert (symmetric_difference_size(x, y) == 0) == (sorted(x) == sorted(y))
+
+
+class TestMaxSubset:
+    def test_report_basics(self):
+        report = max_subset_report(100, 80)
+        assert report.missing == 20
+        assert report.fraction == pytest.approx(0.8)
+        assert missing_tuples(100, 80) == 20
+
+    def test_zero_exact(self):
+        assert max_subset_report(0, 0).fraction == 1.0
+
+    def test_superset_rejected(self):
+        with pytest.raises(ValueError, match="not a subset"):
+            MaxSubsetReport(exact_size=5, produced_size=6)
+
+    def test_verify_subset(self):
+        report = verify_subset([1, 2], [1, 2, 3])
+        assert report.missing == 1
+        with pytest.raises(ValueError):
+            verify_subset([1, 1], [1, 2])
+
+    def test_fraction_of_allows_exceeding(self):
+        assert fraction_of(10, 15) == pytest.approx(1.5)
+        assert fraction_of(0, 5) == 1.0
+        with pytest.raises(ValueError):
+            fraction_of(-1, 2)
+
+
+class TestEmd:
+    def test_sorted_closed_form(self):
+        assert emd_sorted([0, 4], [1, 3]) == 2
+        assert emd_sorted([], []) == 0
+        with pytest.raises(ValueError):
+            emd_sorted([1], [1, 2])
+
+    def test_flow_matches_sorted_on_equal_mass(self):
+        for x, y in ([[0, 4], [1, 3]], [[1, 1, 5], [2, 3, 3]], [[7], [7]]):
+            assert emd(x, y) == emd_sorted(x, y)
+
+    def test_subset_is_zero(self):
+        """The paper: EMD trivially evaluates to 0 when X ⊆ Y."""
+        assert emd([1, 3], [1, 2, 3, 4]) == 0
+
+    def test_unequal_mass_partial_transport(self):
+        # One unit of mass at 0 must reach {5} or {6}: distance 5.
+        assert emd([0], [5, 6]) == 5
+
+    def test_mass_order_enforced(self):
+        with pytest.raises(ValueError, match="swap"):
+            emd([1, 2, 3], [1])
+
+    def test_empty_x(self):
+        assert emd([], [1, 2]) == 0
+
+    def test_custom_distance(self):
+        assert emd(["a"], ["a", "b"], distance=lambda a, b: 0 if a == b else 9) == 0
+
+    def test_non_integer_distance_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            emd([0], [1], distance=lambda a, b: 0.5)
+
+
+class TestMac:
+    def test_identical_multisets_zero(self):
+        assert mac_distance([1, 2, 2], [2, 1, 2]) == 0
+
+    def test_subset_pays_only_penalty(self):
+        assert mac_distance([1, 2], [1, 2, 3, 4], unmatched_penalty=7) == 14
+
+    def test_symmetry(self):
+        a, b = [1, 5], [2, 2, 9]
+        assert mac_distance(a, b) == mac_distance(b, a)
+
+    def test_matching_cost(self):
+        # Best matching: 1-2 (1) + 10-9 (1); one element of the larger side
+        # unmatched (penalty 3).
+        assert mac_distance([1, 10], [2, 9, 100], unmatched_penalty=3) == 2 + 3
+
+    def test_empty_sides(self):
+        assert mac_distance([], [1, 2], unmatched_penalty=2) == 4
+        assert mac_distance([], []) == 0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            mac_distance([1], [1], unmatched_penalty=-1)

@@ -1,0 +1,163 @@
+"""Tests for multi-query resource sharing and its workload generator."""
+
+import pytest
+
+from repro.core.multiquery import QuerySpec, SharedQueueSystem
+from repro.experiments import multi_query_study
+from repro.streams import exact_join_size, multi_attribute_pair
+from repro.streams.tuples import StreamPair
+
+
+def _single_attribute_view(pair, attribute: int) -> StreamPair:
+    """Project a multi-attribute pair onto one join attribute."""
+    return StreamPair(
+        r=[keys[attribute] for keys in pair.r],
+        s=[keys[attribute] for keys in pair.s],
+    )
+
+
+class TestMultiAttributePair:
+    def test_shape(self):
+        pair = multi_attribute_pair(100, [10, 5], [1.0, 0.0], seed=1)
+        assert len(pair) == 100
+        assert all(len(keys) == 2 for keys in pair.r)
+        assert all(0 <= keys[0] < 10 and 0 <= keys[1] < 5 for keys in pair.s)
+        assert len(pair.metadata["attribute_distributions"]) == 2
+
+    def test_determinism(self):
+        a = multi_attribute_pair(50, [5], [1.0], seed=2)
+        b = multi_attribute_pair(50, [5], [1.0], seed=2)
+        assert list(a.r) == list(b.r)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_attribute_pair(10, [5], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            multi_attribute_pair(10, [], [])
+        with pytest.raises(ValueError):
+            multi_attribute_pair(-1, [5], [1.0])
+
+
+class TestQuerySpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuerySpec("q", attribute=0, window=0, memory=4)
+        with pytest.raises(ValueError):
+            QuerySpec("q", attribute=0, window=5, memory=3)
+        with pytest.raises(ValueError):
+            QuerySpec("q", attribute=-1, window=5, memory=4)
+
+
+class TestSharedQueueSystem:
+    def _pair(self, length=400, seed=3):
+        return multi_attribute_pair(length, [10, 8], [1.2, 0.8], seed=seed)
+
+    def _queries(self, window=20):
+        return [
+            QuerySpec("alpha", attribute=0, window=window, memory=2 * window),
+            QuerySpec("beta", attribute=1, window=window, memory=2 * window),
+        ]
+
+    def test_configuration_validation(self):
+        pair = self._pair()
+        queries = self._queries()
+        with pytest.raises(ValueError, match="at least one"):
+            SharedQueueSystem(pair, [], service_per_tick=2, queue_capacity=4)
+        with pytest.raises(ValueError, match="unique"):
+            SharedQueueSystem(
+                pair, [queries[0], queries[0]], service_per_tick=2, queue_capacity=4
+            )
+        with pytest.raises(ValueError, match="shed_rule"):
+            SharedQueueSystem(
+                pair, queries, service_per_tick=2, queue_capacity=4, shed_rule="x"
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            SharedQueueSystem(
+                pair,
+                [QuerySpec("q", attribute=7, window=5, memory=10)],
+                service_per_tick=2,
+                queue_capacity=4,
+            )
+        plain = StreamPair(r=[1], s=[1])
+        with pytest.raises(ValueError, match="multi_attribute_pair"):
+            SharedQueueSystem(plain, queries, service_per_tick=2, queue_capacity=4)
+
+    def test_ample_resources_give_each_query_its_exact_join(self):
+        """With enough service/queue/memory each query sees its full join."""
+        pair = self._pair()
+        window = 20
+        queries = self._queries(window)
+        system = SharedQueueSystem(
+            pair,
+            queries,
+            service_per_tick=2 * len(queries),
+            queue_capacity=8,
+            warmup=0,
+        )
+        result = system.run()
+        assert result.shed_from_queue == 0
+        for query in queries:
+            view = _single_attribute_view(pair, query.attribute)
+            assert result.outputs[query.name] == exact_join_size(view, window)
+
+    def test_overload_sheds(self):
+        pair = self._pair()
+        system = SharedQueueSystem(
+            pair,
+            self._queries(),
+            service_per_tick=2,  # half of what two queries need
+            queue_capacity=6,
+        )
+        result = system.run()
+        assert result.shed_from_queue > 0
+        assert result.processed < result.arrived
+
+    @pytest.mark.parametrize("rule", ["max", "sum"])
+    def test_semantic_sharing_beats_random(self, rule):
+        pair = multi_attribute_pair(800, [30, 15], [1.5, 1.0], seed=4)
+        queries = [
+            QuerySpec("alpha", attribute=0, window=30, memory=16),
+            QuerySpec("beta", attribute=1, window=30, memory=16),
+        ]
+
+        def total(shed_rule):
+            system = SharedQueueSystem(
+                pair,
+                queries,
+                service_per_tick=2,
+                queue_capacity=10,
+                shed_rule=shed_rule,
+                warmup=60,
+                seed=5,
+            )
+            return system.run().total_output
+
+        assert total(rule) > total("random")
+
+    def test_determinism(self):
+        pair = self._pair()
+
+        def run_once():
+            system = SharedQueueSystem(
+                pair,
+                self._queries(),
+                service_per_tick=2,
+                queue_capacity=6,
+                shed_rule="random",
+                seed=9,
+            )
+            return system.run().outputs
+
+        assert run_once() == run_once()
+
+
+class TestMultiQueryStudy:
+    def test_expected_shape(self, tiny_scale):
+        table = multi_query_study(tiny_scale, seed=0)
+        totals = dict(zip(table.column("shed rule"), table.column("total")))
+        assert totals["max"] > totals["random"]
+        assert totals["sum"] > totals["random"]
+        # Neither query is starved under semantic sharing.
+        for rule_row in table.rows:
+            if rule_row[0] in ("max", "sum"):
+                assert rule_row[1] > 0 and rule_row[2] > 0

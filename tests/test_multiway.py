@@ -1,0 +1,128 @@
+"""Tests for m-relation static join shedding and its approximation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.static_join.multiway import (
+    MultiwayInstance,
+    approximation_ratio_bound,
+    brute_force_optimal,
+    independent_selection,
+)
+
+
+class TestInstance:
+    def test_output_size(self):
+        instance = MultiwayInstance.from_relations(
+            [[1, 1, 2], [1, 2, 2], [1, 2]]
+        )
+        # key 1: 2*1*1 = 2; key 2: 1*2*1 = 2.
+        assert instance.output_size() == 4
+
+    def test_output_after_deletions(self):
+        instance = MultiwayInstance.from_relations([[1, 1], [1]])
+        assert instance.output_size([{1: 1}, {}]) == 1
+        assert instance.output_size([{1: 2}, {}]) == 0
+
+    def test_over_deletion_rejected(self):
+        instance = MultiwayInstance.from_relations([[1], [1]])
+        with pytest.raises(ValueError):
+            instance.output_size([{1: 2}, {}])
+
+    def test_requires_two_relations(self):
+        with pytest.raises(ValueError):
+            MultiwayInstance.from_relations([[1]])
+
+    def test_relation_size_and_keys(self):
+        instance = MultiwayInstance.from_relations([[1, 2, 2], [3]])
+        assert instance.relation_size(0) == 3
+        assert instance.keys() == {1, 2, 3}
+
+
+class TestIndependentSelection:
+    def test_deletes_cheapest_tuples(self):
+        # Key 9 has no partners in B: deleting it from A is free.
+        instance = MultiwayInstance.from_relations([[1, 1, 9], [1, 1]])
+        plan = independent_selection(instance, [1, 0])
+        assert plan.deletions[0] == {9: 1}
+        assert plan.lost_output == 0
+
+    def test_budget_validation(self):
+        instance = MultiwayInstance.from_relations([[1], [1]])
+        with pytest.raises(ValueError):
+            independent_selection(instance, [2, 0])
+        with pytest.raises(ValueError):
+            independent_selection(instance, [1])
+
+    def test_respects_budgets_exactly(self):
+        instance = MultiwayInstance.from_relations([[1, 1, 2, 3], [1, 2], [2, 3]])
+        plan = independent_selection(instance, [2, 1, 1])
+        for i, deletions in enumerate(plan.deletions):
+            assert sum(deletions.values()) == [2, 1, 1][i]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 5000),
+        budget=st.integers(0, 2),
+    )
+    def test_approximation_guarantee(self, seed, budget):
+        """approx loss <= m * optimal loss (the paper's bound)."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        relations = [rng.integers(0, 3, size=5).tolist() for _ in range(3)]
+        instance = MultiwayInstance.from_relations(relations)
+        budgets = [budget] * 3
+        approx = independent_selection(instance, budgets)
+        optimal = brute_force_optimal(instance, budgets)
+        assert approx.output_size <= optimal.output_size
+        bound = approximation_ratio_bound(instance)
+        assert approx.lost_output <= bound * max(optimal.lost_output, 0) or (
+            optimal.lost_output == 0 and approx.lost_output == 0
+        )
+
+
+class TestFourRelations:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_approximation_guarantee_m4(self, seed):
+        """The factor-m bound also holds for m = 4 relations."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        relations = [rng.integers(0, 2, size=4).tolist() for _ in range(4)]
+        instance = MultiwayInstance.from_relations(relations)
+        budgets = [1] * 4
+        approx = independent_selection(instance, budgets)
+        optimal = brute_force_optimal(instance, budgets)
+        assert approx.lost_output <= 4 * optimal.lost_output or (
+            optimal.lost_output == 0 and approx.lost_output == 0
+        )
+        assert approx.output_size <= optimal.output_size
+
+
+class TestBruteForce:
+    def test_two_relation_optimal_matches_dp_objective(self):
+        """2-way brute force agrees with the (optimal) Kurotowski DP."""
+        from repro.core.static_join import (
+            extract_components,
+            max_edges_retaining_per_relation,
+        )
+
+        a = [1, 1, 2, 3]
+        b = [1, 2, 2, 3]
+        instance = MultiwayInstance.from_relations([a, b])
+        budgets = [1, 1]
+        brute = brute_force_optimal(instance, budgets)
+        components = extract_components(a, b)
+        dp = max_edges_retaining_per_relation(
+            components, len(a) - budgets[0], len(b) - budgets[1]
+        )
+        assert brute.output_size == dp.retained_edges
+
+    def test_zero_budgets_are_identity(self):
+        instance = MultiwayInstance.from_relations([[1, 2], [1, 2], [2]])
+        plan = brute_force_optimal(instance, [0, 0, 0])
+        assert plan.output_size == instance.output_size()
+        assert plan.lost_output == 0

@@ -1,0 +1,104 @@
+"""Cross-validation of the paper's literal flow graph (Section 3.2.1).
+
+The literal Θ(wN) construction, the compact Θ(N) formulation, and the
+exhaustive scheduler must all agree — this validates the compaction
+argument of DESIGN.md §3 from a third, independently-built direction.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offline import brute_force_opt, solve_opt
+from repro.core.offline.literal import build_literal_graph, solve_opt_literal
+from repro.streams import StreamPair, zipf_pair
+
+
+class TestConstruction:
+    def test_node_count_is_theta_wn(self):
+        pair = zipf_pair(12, 3, 1.0, seed=0)
+        graph = build_literal_graph(pair, window=4, memory=2)
+        # Every tuple gets one node per residence tick: about 2 * N * w,
+        # truncated at the stream end; plus source and sink.
+        expected_tuple_nodes = sum(
+            min(window_left, 12 - arrival)
+            for arrival in range(12)
+            for window_left in (4,)
+        ) * 2
+        assert graph.network.num_nodes == expected_tuple_nodes + 2
+
+    def test_source_feeds_first_half_memory_tuples(self):
+        pair = zipf_pair(10, 3, 1.0, seed=1)
+        graph = build_literal_graph(pair, window=3, memory=4)
+        source_arcs = [arc for arc in graph.network.arcs if arc.tail == 0]
+        assert len(source_arcs) == 4  # M/2 per stream
+
+    def test_variable_adds_cross_arcs(self):
+        pair = zipf_pair(10, 3, 1.0, seed=1)
+        fixed = build_literal_graph(pair, window=3, memory=4)
+        pooled = build_literal_graph(pair, window=3, memory=4, variable=True)
+        assert pooled.network.num_arcs > fixed.network.num_arcs
+
+    def test_topologically_ordered(self):
+        pair = zipf_pair(10, 3, 1.0, seed=2)
+        graph = build_literal_graph(pair, window=3, memory=2)
+        # Source is node 0 and tuple-time nodes are created time-major, so
+        # all arcs except those into the sink go forward in id order.
+        sink = graph.network.num_nodes - 1
+        for arc in graph.network.arcs:
+            assert arc.tail < arc.head or arc.head == sink
+
+    def test_validation(self):
+        pair = zipf_pair(10, 3, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            build_literal_graph(pair, window=0, memory=2)
+        with pytest.raises(ValueError):
+            build_literal_graph(pair, window=3, memory=0)
+        with pytest.raises(ValueError):
+            build_literal_graph(pair, window=3, memory=3)
+
+
+class TestEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 5000),
+        window=st.integers(2, 5),
+        half=st.integers(1, 2),
+        length=st.integers(4, 14),
+    )
+    def test_literal_equals_compact_fixed(self, seed, window, half, length):
+        pair = zipf_pair(length, 3, 1.0, seed=seed)
+        memory = 2 * half
+        literal = solve_opt_literal(pair, window, memory, count_from=0)
+        compact = solve_opt(pair, window, memory, count_from=0).output_count
+        assert literal == compact
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 5000),
+        window=st.integers(2, 4),
+        length=st.integers(4, 12),
+    )
+    def test_literal_equals_brute_force_variable(self, seed, window, length):
+        pair = zipf_pair(length, 3, 1.0, seed=seed)
+        memory = 2
+        literal = solve_opt_literal(pair, window, memory, variable=True, count_from=0)
+        brute = brute_force_opt(pair, window, memory, variable=True, count_from=0)
+        assert literal == brute
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000), count_from=st.integers(0, 6))
+    def test_warmup_respected(self, seed, count_from):
+        pair = zipf_pair(10, 3, 1.0, seed=seed)
+        literal = solve_opt_literal(pair, 3, 2, count_from=count_from)
+        compact = solve_opt(pair, 3, 2, count_from=count_from).output_count
+        assert literal == compact
+
+    def test_paper_example_misses_two_tuples(self):
+        """Figure 2's instance: M=2, w=3 misses exactly two output pairs."""
+        pair = StreamPair(r=[1, 1, 1, 3, 2], s=[2, 3, 1, 1, 3])
+        exact = brute_force_opt(pair, 3, 14, count_from=0)  # ample memory
+        constrained = solve_opt_literal(pair, 3, 2, count_from=0)
+        # The paper's text: "because of insufficient memory two output
+        # tuples are missed ((r(1), s(2)) and (r(1), s(3)))".
+        assert exact - constrained == 2

@@ -1,0 +1,105 @@
+"""Tests for the Greenwald-Khanna quantile summary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import GKQuantileSummary
+
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def worst_rank_error(summary: GKQuantileSummary, data: np.ndarray) -> float:
+    data_sorted = np.sort(data)
+    worst = 0.0
+    for quantile in QUANTILES:
+        estimate = summary.query(quantile)
+        rank = float(np.searchsorted(data_sorted, estimate, side="right"))
+        worst = max(worst, abs(rank - quantile * len(data)) / len(data))
+    return worst
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.01])
+    def test_uniform_stream(self, epsilon):
+        rng = np.random.default_rng(1)
+        data = rng.random(10_000)
+        summary = GKQuantileSummary(epsilon)
+        for value in data:
+            summary.observe(float(value))
+        # A small slack accommodates the +1 rounding in query().
+        assert worst_rank_error(summary, data) <= epsilon + 2.0 / len(data)
+
+    def test_adversarial_orders(self):
+        for data in (np.arange(5000.0), np.arange(5000.0)[::-1]):
+            summary = GKQuantileSummary(0.02)
+            for value in data:
+                summary.observe(float(value))
+            assert worst_rank_error(summary, data) <= 0.021
+
+    def test_duplicates(self):
+        summary = GKQuantileSummary(0.05)
+        data = np.array([3.0] * 500 + [7.0] * 500)
+        rng = np.random.default_rng(2)
+        rng.shuffle(data)
+        for value in data:
+            summary.observe(float(value))
+        assert summary.query(0.25) == 3.0
+        assert summary.query(0.9) == 7.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), size=st.integers(50, 800))
+    def test_random_streams_within_bound(self, seed, size):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=size)
+        summary = GKQuantileSummary(0.05)
+        for value in data:
+            summary.observe(float(value))
+        assert worst_rank_error(summary, data) <= 0.05 + 2.0 / size
+
+
+class TestSpace:
+    def test_sublinear_state(self):
+        summary = GKQuantileSummary(0.01)
+        rng = np.random.default_rng(3)
+        for value in rng.random(20_000):
+            summary.observe(float(value))
+        assert len(summary) < 200  # vs 20 000 raw observations
+        assert summary.count == 20_000
+
+    def test_extremes_are_exact(self):
+        summary = GKQuantileSummary(0.1)
+        data = [5.0, 1.0, 9.0, 3.0]
+        for value in data:
+            summary.observe(value)
+        assert summary.query(0.0) == 1.0
+        assert summary.query(1.0) == 9.0
+
+
+class TestApi:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GKQuantileSummary(0.0)
+        with pytest.raises(ValueError):
+            GKQuantileSummary(1.0)
+        summary = GKQuantileSummary(0.1)
+        with pytest.raises(ValueError, match="empty"):
+            summary.query(0.5)
+        summary.observe(1.0)
+        with pytest.raises(ValueError):
+            summary.query(1.5)
+
+    def test_rank_bounds_bracket_truth(self):
+        summary = GKQuantileSummary(0.05)
+        data = list(range(1000))
+        for value in data:
+            summary.observe(float(value))
+        low, high = summary.rank_bounds(500.0)
+        assert low <= 501 <= high + 0.05 * 1000 + 1
+
+    def test_space_bound_reported(self):
+        summary = GKQuantileSummary(0.05)
+        for value in range(1000):
+            summary.observe(float(value))
+        assert summary.space_bound() >= 1

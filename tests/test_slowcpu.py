@@ -1,0 +1,155 @@
+"""Tests for the slow-CPU modular model (queue + load shedding)."""
+
+import pytest
+
+from repro.core.slowcpu import SlowCpuConfig, SlowCpuEngine
+from repro.experiments.runner import estimators_for
+from repro.streams import exact_join_size, synchronous_schedule, zipf_pair
+
+
+def _pair(length=300, seed=1):
+    return zipf_pair(length, 8, 1.0, seed=seed)
+
+
+def _prob_policies(pair, window):
+    from repro.core.policies import ProbPolicy
+
+    estimators = estimators_for(pair)
+    return {"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)}, estimators
+
+
+class TestConfigValidation:
+    def test_defaults_and_bounds(self):
+        config = SlowCpuConfig(window=10, memory=4, service_per_tick=1, queue_capacity=5)
+        assert config.warmup == 20
+        for kwargs in (
+            dict(window=0, memory=4, service_per_tick=1, queue_capacity=5),
+            dict(window=10, memory=0, service_per_tick=1, queue_capacity=5),
+            dict(window=10, memory=4, service_per_tick=0, queue_capacity=5),
+            dict(window=10, memory=4, service_per_tick=1, queue_capacity=0),
+            dict(window=10, memory=4, service_per_tick=1, queue_capacity=5,
+                 queue_policy="bogus"),
+        ):
+            with pytest.raises(ValueError):
+                SlowCpuConfig(**kwargs)
+
+    def test_prob_queue_policy_needs_estimators(self):
+        config = SlowCpuConfig(
+            window=10, memory=4, service_per_tick=1, queue_capacity=5,
+            queue_policy="prob",
+        )
+        with pytest.raises(ValueError, match="estimators"):
+            SlowCpuEngine(config)
+
+
+class TestFastEnoughCpuRecoversExactJoin:
+    def test_ample_resources_give_exact_output(self):
+        """With service >= arrivals and no memory pressure, the modular
+        pipeline produces the exact sliding-window join (R processed
+        before S each tick, so same-tick pairs are found via memory)."""
+        pair = _pair()
+        window = 12
+        config = SlowCpuConfig(
+            window=window,
+            memory=4 * window,
+            service_per_tick=2,
+            queue_capacity=10,
+        )
+        engine = SlowCpuEngine(config)
+        schedule = synchronous_schedule(len(pair))
+        result = engine.run(pair.r, pair.s, schedule, schedule)
+        assert result.output_count == exact_join_size(
+            pair, window, count_from=config.warmup
+        )
+        assert result.shed_from_queue == 0
+        assert result.expired_in_queue == 0
+        assert result.processed == 2 * len(pair)
+
+
+class TestOverload:
+    def _run(self, queue_policy, seed=2):
+        pair = _pair(seed=seed)
+        window = 12
+        policies, estimators = _prob_policies(pair, window)
+        config = SlowCpuConfig(
+            window=window,
+            memory=window,
+            service_per_tick=1,  # half the arrival rate
+            queue_capacity=6,
+            queue_policy=queue_policy,
+            seed=seed,
+        )
+        engine = SlowCpuEngine(config, policy=policies, estimators=estimators)
+        schedule = synchronous_schedule(len(pair))
+        return engine.run(pair.r, pair.s, schedule, schedule)
+
+    @pytest.mark.parametrize("queue_policy", ["tail", "random", "prob"])
+    def test_overload_sheds_and_bounds_queue(self, queue_policy):
+        result = self._run(queue_policy)
+        assert result.shed_from_queue > 0
+        assert result.max_queue_length <= 12  # 2 x queue_capacity
+        assert result.processed + result.shed_from_queue + result.expired_in_queue \
+            <= result.arrived
+
+    def test_semantic_shedding_beats_random(self):
+        prob = self._run("prob").output_count
+        random_drop = self._run("random").output_count
+        assert prob > random_drop
+
+    def test_determinism(self):
+        a = self._run("random", seed=5)
+        b = self._run("random", seed=5)
+        assert a.output_count == b.output_count
+        assert a.drop_counts == b.drop_counts
+
+    def test_opt_offline_upper_bounds_slow_cpu(self):
+        """Paper §3.2: 'in the slow CPU case even more tuples have to be
+        dropped, [so] OPT-offline also constitutes an upper bound for any
+        technique for the slow CPU case'."""
+        from repro.core.offline import solve_opt
+
+        for queue_policy in ("tail", "random", "prob"):
+            result = self._run(queue_policy)
+            pair = _pair(seed=2)
+            bound = solve_opt(pair, 12, 12, count_from=24).output_count
+            assert result.output_count <= bound
+
+    def test_delay_accounting(self):
+        """Overload builds queueing delay; ample service does not."""
+        overloaded = self._run("tail")
+        assert overloaded.total_delay > 0
+        assert overloaded.mean_delay > 0.5
+
+        pair = _pair()
+        config = SlowCpuConfig(
+            window=12, memory=48, service_per_tick=2, queue_capacity=10
+        )
+        engine = SlowCpuEngine(config)
+        schedule = synchronous_schedule(len(pair))
+        fast = engine.run(pair.r, pair.s, schedule, schedule)
+        assert fast.total_delay == 0
+        assert fast.mean_delay == 0.0
+
+
+class TestInputValidation:
+    def test_schedule_overrun_rejected(self):
+        pair = _pair(length=10)
+        config = SlowCpuConfig(window=5, memory=4, service_per_tick=1, queue_capacity=3)
+        engine = SlowCpuEngine(config)
+        with pytest.raises(ValueError, match="more tuples"):
+            engine.run(pair.r, pair.s, [2] * 10, [1] * 10)
+
+    def test_mismatched_schedules_rejected(self):
+        pair = _pair(length=10)
+        config = SlowCpuConfig(window=5, memory=4, service_per_tick=1, queue_capacity=3)
+        engine = SlowCpuEngine(config)
+        with pytest.raises(ValueError, match="same number"):
+            engine.run(pair.r, pair.s, [1] * 10, [1] * 9)
+
+    def test_memory_overflow_without_policy(self):
+        pair = _pair(length=100)
+        config = SlowCpuConfig(window=20, memory=4, service_per_tick=2, queue_capacity=5)
+        engine = SlowCpuEngine(config)
+        schedule = synchronous_schedule(len(pair))
+        with pytest.raises(RuntimeError, match="overflow"):
+            engine.run(pair.r, pair.s, schedule, schedule)

@@ -1,0 +1,227 @@
+"""Tests for static join load shedding (components, closed form, DPs)."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.static_join import (
+    KurotowskiComponent,
+    extract_components,
+    greedy_min_degree_deletion,
+    max_edges_retaining,
+    max_edges_retaining_per_relation,
+    min_edges_lost_deleting,
+    random_deletion,
+    retention_benefit,
+    retention_split,
+    total_edges,
+    total_nodes,
+)
+
+
+def brute_force_retention(components, k) -> int:
+    """Enumerate every way to retain k nodes; return max edges."""
+    # Node = (component index, side); edges = product of retained counts.
+    nodes = []
+    for i, component in enumerate(components):
+        nodes.extend([(i, 0)] * component.m)
+        nodes.extend([(i, 1)] * component.n)
+    best = 0
+    for kept in combinations(range(len(nodes)), k):
+        counts = {}
+        for index in kept:
+            key = nodes[index]
+            counts[key] = counts.get(key, 0) + 1
+        edges = sum(
+            counts.get((i, 0), 0) * counts.get((i, 1), 0)
+            for i in range(len(components))
+        )
+        best = max(best, edges)
+    return best
+
+
+class TestComponents:
+    def test_extraction(self):
+        components = extract_components([1, 1, 2, 3], [1, 2, 2, 4])
+        by_key = {c.key: c for c in components}
+        assert (by_key[1].m, by_key[1].n) == (2, 1)
+        assert (by_key[2].m, by_key[2].n) == (1, 2)
+        assert (by_key[3].m, by_key[3].n) == (1, 0)  # only in A
+        assert (by_key[4].m, by_key[4].n) == (0, 1)  # only in B
+
+    def test_totals(self):
+        components = extract_components([1, 1, 2], [1, 2, 2])
+        assert total_nodes(components) == 6
+        assert total_edges(components) == 2 * 1 + 1 * 2
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            KurotowskiComponent("x", -1, 2)
+
+
+class TestRetentionClosedForm:
+    @pytest.mark.parametrize("m,n", [(1, 1), (3, 2), (5, 5), (4, 0), (7, 3)])
+    def test_matches_enumeration(self, m, n):
+        """C_{m,n}(p) equals the best over all explicit (m', n') splits."""
+        for p in range(m + n + 1):
+            best = max(
+                a * (p - a)
+                for a in range(max(0, p - n), min(m, p) + 1)
+            )
+            assert retention_benefit(m, n, p) == best
+
+    def test_split_consistency(self):
+        for m in range(6):
+            for n in range(6):
+                for p in range(m + n + 1):
+                    keep_a, keep_b = retention_split(m, n, p)
+                    assert 0 <= keep_a <= m
+                    assert 0 <= keep_b <= n
+                    assert keep_a + keep_b == p
+                    assert keep_a * keep_b == retention_benefit(m, n, p)
+
+    def test_paper_cases(self):
+        assert retention_benefit(5, 5, 6) == 9  # even: (6/2)^2
+        assert retention_benefit(5, 5, 7) == 12  # odd: (49-1)/4
+        assert retention_benefit(10, 2, 8) == 2 * 6  # p > 2n: n(p-n)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            retention_benefit(2, 2, 5)
+        with pytest.raises(ValueError):
+            retention_benefit(-1, 2, 0)
+        with pytest.raises(ValueError):
+            retention_split(2, 2, -1)
+
+
+class TestOptimalDP:
+    def _components(self, pairs):
+        return [KurotowskiComponent(i, m, n) for i, (m, n) in enumerate(pairs)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        shape=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=4
+        ),
+        k=st.integers(0, 8),
+    )
+    def test_matches_brute_force(self, shape, k):
+        components = self._components(shape)
+        k = min(k, total_nodes(components))
+        plan = max_edges_retaining(components, k)
+        assert plan.retained_edges == brute_force_retention(components, k)
+        assert plan.retained_nodes() == k
+
+    def test_primal_dual_duality(self):
+        components = self._components([(3, 2), (1, 4), (2, 2)])
+        n = total_nodes(components)
+        for k in range(n + 1):
+            primal = min_edges_lost_deleting(components, k)
+            dual = max_edges_retaining(components, n - k)
+            assert primal.retained_edges == dual.retained_edges
+
+    def test_plan_is_materialisable(self):
+        components = self._components([(3, 2), (2, 5)])
+        plan = max_edges_retaining(components, 7)
+        assert sum(a * b for a, b in plan.per_component) == plan.retained_edges
+        for (a, b), component in zip(plan.per_component, components):
+            assert 0 <= a <= component.m
+            assert 0 <= b <= component.n
+
+    def test_retain_all_keeps_everything(self):
+        components = self._components([(2, 2), (1, 3)])
+        plan = max_edges_retaining(components, total_nodes(components))
+        assert plan.retained_edges == total_edges(components)
+        assert plan.lost_edges(components) == 0
+
+    def test_invalid_budget(self):
+        components = self._components([(1, 1)])
+        with pytest.raises(ValueError):
+            max_edges_retaining(components, 3)
+        with pytest.raises(ValueError):
+            min_edges_lost_deleting(components, -1)
+
+
+class TestPerRelationDP:
+    def _brute(self, components, k_a, k_b) -> int:
+        best = 0
+
+        def rec(index, left_a, left_b, edges):
+            nonlocal best
+            if index == len(components):
+                if left_a == 0 and left_b == 0:
+                    best = max(best, edges)
+                return
+            component = components[index]
+            for a in range(min(component.m, left_a) + 1):
+                for b in range(min(component.n, left_b) + 1):
+                    rec(index + 1, left_a - a, left_b - b, edges + a * b)
+
+        rec(0, k_a, k_b, 0)
+        return best
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        shape=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=3
+        ),
+        k_a=st.integers(0, 5),
+        k_b=st.integers(0, 5),
+    )
+    def test_matches_brute_force(self, shape, k_a, k_b):
+        components = [KurotowskiComponent(i, m, n) for i, (m, n) in enumerate(shape)]
+        k_a = min(k_a, sum(c.m for c in components))
+        k_b = min(k_b, sum(c.n for c in components))
+        plan = max_edges_retaining_per_relation(components, k_a, k_b)
+        assert plan.retained_edges == self._brute(components, k_a, k_b)
+        assert sum(a for a, _ in plan.per_component) == k_a
+        assert sum(b for _, b in plan.per_component) == k_b
+
+    def test_budget_validation(self):
+        components = [KurotowskiComponent(0, 2, 2)]
+        with pytest.raises(ValueError):
+            max_edges_retaining_per_relation(components, 3, 0)
+        with pytest.raises(ValueError):
+            max_edges_retaining_per_relation(components, 0, 3)
+
+
+class TestBaselines:
+    def _components(self):
+        return [
+            KurotowskiComponent(0, 5, 4),
+            KurotowskiComponent(1, 3, 1),
+            KurotowskiComponent(2, 2, 0),
+        ]
+
+    def test_greedy_never_beats_optimal(self):
+        components = self._components()
+        for k in range(total_nodes(components) + 1):
+            optimal = min_edges_lost_deleting(components, k).retained_edges
+            greedy = greedy_min_degree_deletion(components, k).retained_edges
+            assert greedy <= optimal
+
+    def test_greedy_deletes_free_nodes_first(self):
+        components = self._components()
+        plan = greedy_min_degree_deletion(components, 2)
+        # Component 2 has n=0: its A-nodes have degree 0 and go first.
+        assert plan.per_component[2] == (0, 0)
+        assert plan.retained_edges == total_edges(components)
+
+    def test_random_deletion_valid_and_deterministic(self):
+        components = self._components()
+        a = random_deletion(components, 5, seed=3)
+        b = random_deletion(components, 5, seed=3)
+        assert a.retained_edges == b.retained_edges
+        assert a.retained_nodes() == total_nodes(components) - 5
+        for k in range(total_nodes(components) + 1):
+            plan = random_deletion(components, k, seed=1)
+            optimal = min_edges_lost_deleting(components, k).retained_edges
+            assert plan.retained_edges <= optimal
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            greedy_min_degree_deletion(self._components(), 99)
+        with pytest.raises(ValueError):
+            random_deletion(self._components(), -1)

@@ -1,0 +1,100 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    drifting_zipf_pair,
+    empirical_probabilities,
+    uniform_pair,
+    zipf_pair,
+)
+
+
+class TestZipfPair:
+    def test_basic_shape_and_metadata(self):
+        pair = zipf_pair(500, 20, 1.0, seed=1)
+        assert len(pair) == 500
+        assert pair.metadata["domain_size"] == 20
+        assert set(pair.r) <= set(range(20))
+        assert set(pair.s) <= set(range(20))
+
+    def test_seed_determinism(self):
+        a = zipf_pair(200, 10, 1.0, seed=5)
+        b = zipf_pair(200, 10, 1.0, seed=5)
+        assert list(a.r) == list(b.r)
+        assert list(a.s) == list(b.s)
+
+    def test_different_seeds_differ(self):
+        a = zipf_pair(200, 10, 1.0, seed=5)
+        b = zipf_pair(200, 10, 1.0, seed=6)
+        assert list(a.r) != list(b.r)
+
+    def test_correlated_streams_share_frequent_values(self):
+        pair = zipf_pair(6000, 20, 1.5, correlation="correlated", seed=2)
+        top_r = max(set(pair.r), key=list(pair.r).count)
+        top_s = max(set(pair.s), key=list(pair.s).count)
+        assert top_r == top_s
+
+    def test_anticorrelated_streams_disagree_on_frequent_values(self):
+        pair = zipf_pair(6000, 20, 1.5, correlation="anticorrelated", seed=2)
+        dist_r = pair.metadata["r_distribution"].probabilities()
+        dist_s = pair.metadata["s_distribution"].probabilities()
+        assert np.argmax(dist_r) != np.argmax(dist_s)
+        # The most frequent value on one side is the least frequent on the other.
+        assert np.argmax(dist_r) == np.argmin(dist_s)
+
+    def test_unknown_correlation_rejected(self):
+        with pytest.raises(ValueError, match="correlation"):
+            zipf_pair(10, 5, 1.0, correlation="sideways")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            zipf_pair(-1, 5, 1.0)
+
+    def test_differing_skews(self):
+        pair = zipf_pair(100, 10, 2.0, skew_s=0.0, seed=0)
+        assert pair.metadata["r_distribution"].skew == 2.0
+        assert pair.metadata["s_distribution"].skew == 0.0
+
+
+class TestUniformPair:
+    def test_uniformity(self):
+        pair = uniform_pair(20_000, 10, seed=3)
+        counts = np.bincount(np.asarray(pair.r), minlength=10) / len(pair)
+        assert np.allclose(counts, 0.1, atol=0.02)
+
+    def test_is_zipf_zero(self):
+        pair = uniform_pair(10, 5, seed=0)
+        assert pair.metadata["r_distribution"].skew == 0.0
+
+
+class TestDriftingPair:
+    def test_phases_partition_stream(self):
+        pair = drifting_zipf_pair(100, 10, 1.0, phases=4, seed=1)
+        assert len(pair) == 100
+        assert len(pair.metadata["phase_distributions"]) == 4
+
+    def test_invalid_phases(self):
+        with pytest.raises(ValueError, match="positive"):
+            drifting_zipf_pair(100, 10, 1.0, phases=0)
+
+    def test_distribution_changes_between_phases(self):
+        pair = drifting_zipf_pair(20_000, 10, 2.0, phases=2, seed=5)
+        half = len(pair) // 2
+        first = max(set(pair.r[:half]), key=list(pair.r[:half]).count)
+        second = max(set(pair.r[half:]), key=list(pair.r[half:]).count)
+        assert first != second  # seeds chosen so permutations differ
+
+
+class TestEmpiricalProbabilities:
+    def test_frequencies(self):
+        freq = empirical_probabilities([1, 1, 2, 3])
+        assert freq == {1: 0.5, 2: 0.25, 3: 0.25}
+
+    def test_domain_padding(self):
+        freq = empirical_probabilities([0, 0], domain_size=3)
+        assert freq[1] == 0.0 and freq[2] == 0.0
+
+    def test_empty_stream(self):
+        assert empirical_probabilities([]) == {}

@@ -1,0 +1,86 @@
+"""Tests for stream persistence and arrival schedules."""
+
+import pytest
+
+from repro.streams import (
+    StreamPair,
+    clip_schedule,
+    day_night_schedule,
+    is_day,
+    load_pair,
+    poisson_schedule,
+    save_pair,
+    synchronous_schedule,
+    total_arrivals,
+    zipf_pair,
+)
+
+
+class TestReplay:
+    def test_roundtrip(self, tmp_path):
+        pair = zipf_pair(50, 8, 1.0, seed=1)
+        path = tmp_path / "streams.csv"
+        save_pair(pair, path)
+        loaded = load_pair(path)
+        assert list(loaded.r) == list(pair.r)
+        assert list(loaded.s) == list(pair.s)
+        assert loaded.name == "streams"
+
+    def test_string_keys(self, tmp_path):
+        pair = StreamPair(r=["a", "b"], s=["b", "a"])
+        path = tmp_path / "strings.csv"
+        save_pair(pair, path)
+        loaded = load_pair(path, key_type=str)
+        assert list(loaded.r) == ["a", "b"]
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n0,1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            load_pair(path)
+
+    def test_non_contiguous_time_rejected(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("time,r_key,s_key\n0,1,1\n2,2,2\n")
+        with pytest.raises(ValueError, match="contiguous"):
+            load_pair(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("time,r_key,s_key\n0,1\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_pair(path)
+
+
+class TestSchedules:
+    def test_synchronous(self):
+        assert synchronous_schedule(4) == [1, 1, 1, 1]
+        with pytest.raises(ValueError):
+            synchronous_schedule(-1)
+
+    def test_poisson_mean(self):
+        schedule = poisson_schedule(20_000, 2.0, seed=1)
+        assert total_arrivals(schedule) == pytest.approx(40_000, rel=0.05)
+        with pytest.raises(ValueError):
+            poisson_schedule(10, -1.0)
+
+    def test_day_night_contrast(self):
+        schedule = day_night_schedule(
+            2000, day_rate=4.0, night_rate=0.2, period=100, seed=2
+        )
+        day_total = sum(c for t, c in enumerate(schedule) if is_day(t, period=100))
+        night_total = sum(c for t, c in enumerate(schedule) if not is_day(t, period=100))
+        assert day_total > 5 * night_total
+
+    def test_day_night_validation(self):
+        with pytest.raises(ValueError):
+            day_night_schedule(10, day_rate=1, night_rate=1, period=0)
+        with pytest.raises(ValueError):
+            day_night_schedule(10, day_rate=1, night_rate=1, period=10, day_fraction=2)
+
+    def test_clip_schedule(self):
+        assert clip_schedule([3, 3, 3], 5) == [3, 2, 0]
+        assert clip_schedule([1, 1], 5) == [1, 1]
+        assert clip_schedule([], 5) == []
+        with pytest.raises(ValueError):
+            clip_schedule([1], -1)

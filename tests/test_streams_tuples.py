@@ -1,0 +1,117 @@
+"""Tests for the stream/tuple model and the direct exact-join computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    JoinResultTuple,
+    StreamPair,
+    StreamTuple,
+    exact_join_size,
+    iterate_exact_join,
+    zipf_pair,
+)
+
+
+def naive_exact_join(pair: StreamPair, window: int, count_from: int = 0) -> int:
+    """O(n * w) reference: enumerate all pairs directly."""
+    count = 0
+    n = len(pair)
+    for i in range(n):
+        for j in range(n):
+            if abs(i - j) < window and pair.r[i] == pair.s[j]:
+                if max(i, j) >= count_from:
+                    count += 1
+    return count
+
+
+class TestStreamTuple:
+    def test_expiry_boundary(self):
+        tup = StreamTuple("R", arrival=10, key=3)
+        assert tup.expires_at(window=5) == 15
+
+    def test_result_tuple_emission_time(self):
+        pair = JoinResultTuple(r_arrival=3, s_arrival=7, key=1)
+        assert pair.emitted_at == 7
+
+
+class TestStreamPair:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            StreamPair(r=[1, 2], s=[1])
+
+    def test_domain_and_prefix(self):
+        pair = StreamPair(r=[1, 2, 3], s=[3, 4, 5])
+        assert pair.domain() == {1, 2, 3, 4, 5}
+        assert list(pair.prefix(2).r) == [1, 2]
+        assert len(pair.prefix(2)) == 2
+
+    def test_swapped(self):
+        pair = StreamPair(r=[1, 2], s=[3, 4])
+        swapped = pair.swapped()
+        assert list(swapped.r) == [3, 4]
+        assert list(swapped.s) == [1, 2]
+
+    def test_tuples_iteration(self):
+        pair = StreamPair(r=[5], s=[6])
+        (r, s), = list(pair.tuples())
+        assert (r.stream, r.arrival, r.key) == ("R", 0, 5)
+        assert (s.stream, s.arrival, s.key) == ("S", 0, 6)
+
+
+class TestExactJoin:
+    def test_hand_example(self):
+        # The paper's running example: R = 1,1,1,3,2; S = 2,3,1,1,3; w=3.
+        pair = StreamPair(r=[1, 1, 1, 3, 2], s=[2, 3, 1, 1, 3])
+        # Pairs (i, j) with |i-j| < 3 and r[i] == s[j]:
+        # r0=1 with s2; r1=1 with s2, s3; r2=1 with s2(=same time), s3, s4? s4=3 no
+        # -> (0,2),(1,2),(1,3),(2,2),(2,3); r3=3 with s1,s4 -> (3,1),(3,4);
+        # r4=2 with s? s0=2 too far (|4-0|=4); others no. Total 7.
+        assert exact_join_size(pair, window=3) == 7
+
+    def test_simultaneous_only(self):
+        pair = StreamPair(r=[1, 2, 3], s=[1, 2, 3])
+        assert exact_join_size(pair, window=1) == 3
+
+    def test_window_one_excludes_neighbours(self):
+        pair = StreamPair(r=[1, 1], s=[9, 1])
+        # (r0, s1): |0-1| = 1, not < 1 -> excluded; (r1, s1) included.
+        assert exact_join_size(pair, window=1) == 1
+
+    def test_count_from_skips_warmup(self):
+        pair = StreamPair(r=[1, 1, 1], s=[1, 1, 1])
+        total = exact_join_size(pair, window=3)
+        late = exact_join_size(pair, window=3, count_from=2)
+        assert total == 9
+        assert late == naive_exact_join(pair, 3, count_from=2) == 5
+
+    def test_invalid_window(self):
+        pair = StreamPair(r=[1], s=[1])
+        with pytest.raises(ValueError, match="positive"):
+            exact_join_size(pair, window=0)
+
+    def test_iterate_yields_valid_pairs(self):
+        pair = zipf_pair(80, 5, 1.0, seed=3)
+        window = 7
+        for result in iterate_exact_join(pair, window):
+            assert abs(result.r_arrival - result.s_arrival) < window
+            assert pair.r[result.r_arrival] == pair.s[result.s_arrival] == result.key
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        window=st.integers(1, 12),
+        count_from=st.integers(0, 20),
+    )
+    def test_matches_naive_reference(self, seed, window, count_from):
+        pair = zipf_pair(60, 4, 0.8, seed=seed)
+        assert exact_join_size(pair, window, count_from=count_from) == naive_exact_join(
+            pair, window, count_from
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000), window=st.integers(1, 10))
+    def test_symmetric_in_stream_swap(self, seed, window):
+        pair = zipf_pair(50, 5, 1.0, seed=seed)
+        assert exact_join_size(pair, window) == exact_join_size(pair.swapped(), window)

@@ -1,0 +1,97 @@
+"""Tests for the synthetic weather-dataset substitute."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    GRID_COLS,
+    GRID_ROWS,
+    NUM_CELLS,
+    GridCell,
+    cell_id_for,
+    weather_pair,
+    weather_records,
+)
+
+
+class TestGrid:
+    def test_grid_dimensions_match_paper(self):
+        assert GRID_ROWS == 18
+        assert GRID_COLS == 36
+        assert NUM_CELLS == 648  # "about 650 distinct location values"
+
+    def test_cell_centres(self):
+        cell = GridCell(0)
+        assert cell.latitude == -85.0
+        assert cell.longitude == -175.0
+        last = GridCell(NUM_CELLS - 1)
+        assert last.latitude == 85.0
+        assert last.longitude == 175.0
+
+    def test_cell_id_roundtrip(self):
+        for cell_id in (0, 100, 359, 647):
+            cell = GridCell(cell_id)
+            assert cell_id_for(cell.latitude, cell.longitude) == cell_id
+
+    def test_boundary_snapping(self):
+        assert cell_id_for(90.0, 180.0) == NUM_CELLS - 1
+        assert cell_id_for(-90.0, -180.0) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            cell_id_for(91.0, 0.0)
+        with pytest.raises(ValueError):
+            cell_id_for(0.0, 200.0)
+
+
+class TestWeatherPair:
+    def test_keys_are_grid_cells(self):
+        pair = weather_pair(3000, seed=1)
+        assert all(0 <= key < NUM_CELLS for key in pair.r)
+        assert all(0 <= key < NUM_CELLS for key in pair.s)
+
+    def test_years_have_similar_distributions(self):
+        """The paper's dataset property driving PROB == PROBV / 50-50 split."""
+        pair = weather_pair(1000, seed=2)
+        p1 = pair.metadata["r_probabilities"]
+        p2 = pair.metadata["s_probabilities"]
+        overlap = np.minimum(p1, p2).sum()  # total variation overlap
+        assert overlap > 0.9
+
+    def test_distribution_is_skewed(self):
+        pair = weather_pair(1000, seed=3)
+        p1 = np.sort(pair.metadata["r_probabilities"])[::-1]
+        # Top 10% of cells carry far more than 10% of the mass.
+        assert p1[: NUM_CELLS // 10].sum() > 0.3
+
+    def test_determinism(self):
+        a = weather_pair(500, seed=9)
+        b = weather_pair(500, seed=9)
+        assert list(a.r) == list(b.r)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            weather_pair(-1)
+
+    def test_uses_most_of_the_grid(self):
+        pair = weather_pair(50_000, seed=4)
+        assert len(pair.domain()) > 500  # paper: ~650 distinct values
+
+
+class TestWeatherRecords:
+    def test_record_fields(self):
+        pair = weather_pair(10, seed=0)
+        records = list(weather_records(pair.r, seed=0))
+        assert len(records) == 10
+        record = records[0]
+        assert set(record) == {
+            "time",
+            "cell_id",
+            "latitude",
+            "longitude",
+            "sky_brightness",
+            "cloud_cover_octas",
+            "solar_altitude_deg",
+        }
+        assert 0 <= record["cloud_cover_octas"] <= 8
+        assert -90 <= record["latitude"] <= 90

@@ -1,0 +1,116 @@
+"""Tests for Zipf distributions and samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import AliasSampler, ZipfDistribution, zipf_probabilities
+
+
+class TestZipfPmf:
+    def test_probabilities_sum_to_one(self):
+        for skew in (0.0, 0.5, 1.0, 2.0):
+            p = zipf_probabilities(50, skew)
+            assert p.sum() == pytest.approx(1.0)
+            assert (p >= 0).all()
+
+    def test_skew_zero_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_higher_skew_concentrates_mass(self):
+        top_mild = zipf_probabilities(50, 0.5).max()
+        top_heavy = zipf_probabilities(50, 2.0).max()
+        assert top_heavy > top_mild
+
+    def test_rank_monotonicity_without_permutation(self):
+        dist = ZipfDistribution(20, 1.0)
+        p = dist.probabilities()
+        assert all(p[i] >= p[i + 1] for i in range(19))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, -0.5)
+
+    def test_permutation_reassigns_values(self):
+        perm = [2, 0, 1]
+        dist = ZipfDistribution(3, 1.0, value_permutation=perm)
+        p = dist.probabilities()
+        base = ZipfDistribution(3, 1.0).probabilities()
+        # Rank 1 (most frequent) maps to value 2 under the permutation.
+        assert p[2] == pytest.approx(base[0])
+        assert p[0] == pytest.approx(base[1])
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(ValueError, match="permute"):
+            ZipfDistribution(3, 1.0, value_permutation=[0, 0, 1])
+
+    def test_probability_of_out_of_domain(self):
+        dist = ZipfDistribution(5, 1.0)
+        assert dist.probability_of(-1) == 0.0
+        assert dist.probability_of(5) == 0.0
+        assert dist.probability_of(0) > 0
+
+    def test_match_probability(self):
+        a = ZipfDistribution(10, 0.0)
+        b = ZipfDistribution(10, 0.0)
+        assert a.match_probability(b) == pytest.approx(0.1)
+        with pytest.raises(ValueError, match="share a domain"):
+            a.match_probability(ZipfDistribution(5, 0.0))
+
+
+class TestSampling:
+    def test_inverse_cdf_empirical_distribution(self):
+        dist = ZipfDistribution(10, 1.0)
+        rng = np.random.default_rng(0)
+        sample = dist.sample(50_000, rng)
+        counts = np.bincount(sample, minlength=10) / len(sample)
+        assert np.allclose(counts, dist.probabilities(), atol=0.01)
+
+    def test_sample_determinism(self):
+        dist = ZipfDistribution(10, 1.0)
+        a = dist.sample(100, np.random.default_rng(7))
+        b = dist.sample(100, np.random.default_rng(7))
+        assert (a == b).all()
+
+    def test_negative_count_rejected(self):
+        dist = ZipfDistribution(5, 1.0)
+        with pytest.raises(ValueError):
+            dist.sample(-1, np.random.default_rng(0))
+
+    def test_alias_sampler_matches_pmf(self):
+        probabilities = [0.5, 0.2, 0.2, 0.1]
+        sampler = AliasSampler(probabilities, np.random.default_rng(1))
+        sample = sampler.sample(50_000)
+        counts = np.bincount(sample, minlength=4) / len(sample)
+        assert np.allclose(counts, probabilities, atol=0.01)
+
+    def test_alias_sampler_via_distribution(self):
+        dist = ZipfDistribution(6, 1.5)
+        sampler = dist.alias_sampler(np.random.default_rng(2))
+        sample = sampler.sample(50_000)
+        counts = np.bincount(sample, minlength=6) / len(sample)
+        assert np.allclose(counts, dist.probabilities(), atol=0.01)
+
+    def test_alias_sampler_input_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            AliasSampler([], rng)
+        with pytest.raises(ValueError):
+            AliasSampler([-0.1, 1.1], rng)
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0], rng)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        domain=st.integers(1, 40),
+        skew=st.floats(0, 3, allow_nan=False),
+    )
+    def test_pmf_always_valid(self, domain, skew):
+        p = zipf_probabilities(domain, skew)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+        assert len(p) == domain
