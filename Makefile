@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci figures clean
+.PHONY: install test bench bench-ci bench-smoke check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,15 @@ bench:
 
 bench-ci:
 	REPRO_SCALE=ci $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Throughput snapshot at ci scale -> BENCH_engine.json (committed).
+bench-smoke:
+	$(PYTHON) benchmarks/snapshot.py --scale ci
+
+# Tier-1 gate: the full test-suite plus the benchmark snapshot.
+check:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(MAKE) bench-smoke
 
 # Regenerate every figure/table via the CLI at the chosen scale.
 figures:

@@ -1,0 +1,140 @@
+"""Write BENCH_engine.json: an engine-throughput snapshot at a fixed scale.
+
+Runs the fast-CPU engine once per policy on the ``ci``-scale workload
+(the same kernel ``bench_engine_throughput.py`` times under
+pytest-benchmark), records throughput with instrumentation disabled,
+repeats the run with a :class:`~repro.obs.MetricsRegistry` attached to
+measure the observability overhead, and dumps everything — including a
+trimmed metrics snapshot of the PROB run — as one JSON document.
+
+The committed ``BENCH_engine.json`` at the repository root is the
+reference point: regenerate it with ``make bench-smoke`` and diff the
+throughput/overhead numbers when touching the engine hot path.
+
+Run:  python benchmarks/snapshot.py [--scale ci] [--out BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `make install`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import estimators_for, run_algorithm
+from repro.experiments.config import DEFAULT_DOMAIN, SCALES, even_memory
+from repro.obs import MetricsRegistry
+from repro.streams import zipf_pair
+
+POLICIES = ("EXACT", "RAND", "PROB", "PROBV", "LIFE", "ARM")
+
+
+def _best_of(repeats: int, func, *args, **kwargs):
+    """(best elapsed seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _trim_snapshot(snapshot: dict) -> dict:
+    """Counters, gauges, and phases only — series are too bulky to commit."""
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "phases": [
+            {**entry, "seconds": round(entry["seconds"], 6)}
+            for entry in snapshot["phases"]
+        ],
+    }
+
+
+def build_snapshot(scale_name: str, repeats: int, seed: int) -> dict:
+    scale = SCALES[scale_name]
+    length = max(scale.stream_length, 2000)
+    window = max(scale.window, 100)
+    memory = even_memory(window, 0.5)
+    pair = zipf_pair(length, DEFAULT_DOMAIN, 1.0, seed=seed)
+    estimators = estimators_for(pair)
+
+    policies = []
+    for name in POLICIES:
+        plain_seconds, result = _best_of(
+            repeats, run_algorithm, name, pair, window, memory,
+            estimators=estimators, seed=seed,
+        )
+        timed_seconds, timed_result = _best_of(
+            repeats, run_algorithm, name, pair, window, memory,
+            estimators=estimators, seed=seed, metrics=MetricsRegistry(),
+        )
+        entry = {
+            "policy": name,
+            "output_count": result.output_count,
+            "ktuples_per_second": round(length / plain_seconds / 1000, 2),
+            "seconds": round(plain_seconds, 4),
+            "metrics_overhead_pct": round(
+                100 * (timed_seconds - plain_seconds) / plain_seconds, 1
+            ),
+        }
+        if name == "PROB":
+            entry["metrics"] = _trim_snapshot(timed_result.metrics)
+        policies.append(entry)
+
+    return {
+        "benchmark": "engine_throughput",
+        "scale": scale_name,
+        "workload": {
+            "generator": "zipf",
+            "length": length,
+            "domain": DEFAULT_DOMAIN,
+            "skew": 1.0,
+            "seed": seed,
+        },
+        "parameters": {"window": window, "memory": memory, "repeats": repeats},
+        "python": sys.version.split()[0],
+        "policies": policies,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="ci", choices=sorted(SCALES))
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="where to write the snapshot",
+    )
+    args = parser.parse_args()
+
+    snapshot = build_snapshot(args.scale, args.repeats, args.seed)
+    path = Path(args.out)
+    path.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+    width = max(len(p["policy"]) for p in snapshot["policies"])
+    print(f"engine throughput @ scale={args.scale} "
+          f"(n={snapshot['workload']['length']}, "
+          f"w={snapshot['parameters']['window']}, "
+          f"M={snapshot['parameters']['memory']})")
+    for entry in snapshot["policies"]:
+        print(f"  {entry['policy']:<{width}}  "
+              f"{entry['ktuples_per_second']:>8.2f} k-tuples/s  "
+              f"output={entry['output_count']:<8} "
+              f"metrics overhead {entry['metrics_overhead_pct']:+.1f}%")
+    print(f"written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

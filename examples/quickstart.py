@@ -3,7 +3,10 @@
 Generates two skewed streams, runs the exact join, random shedding
 (RAND), semantic shedding (PROB), and the optimal offline schedule (OPT)
 with only a quarter of the memory an exact join needs, and compares their
-output sizes — the paper's headline experiment in miniature.
+output sizes — the paper's headline experiment in miniature.  Everything
+goes through the unified :mod:`repro.api` surface: one
+:class:`~repro.api.RunSpec`, :func:`~repro.api.compare`, and the
+per-result :meth:`~repro.core.results.BaseRunResult.summary`.
 
 Run:  python examples/quickstart.py [--length N] [--window W]
 """
@@ -12,7 +15,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import exact_join_size, run_algorithm, zipf_pair
+from repro import RunSpec, build_pair, compare, exact_join_size
 
 
 def main() -> None:
@@ -25,16 +28,22 @@ def main() -> None:
 
     window = args.window
     memory = max(2, (window // 2) & ~1)  # ~25% of the 2w an exact join needs
-    pair = zipf_pair(args.length, domain_size=50, skew=args.skew, seed=args.seed)
+    spec = RunSpec(
+        algorithm="RAND",
+        window=window,
+        memory=memory,
+        length=args.length,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    pair = build_pair(spec)
 
     print(f"workload : {pair.name}, {len(pair)} tuples/stream")
     print(f"window   : {window} (exact join needs M = {2 * window})")
     print(f"memory   : {memory} tuples\n")
 
     exact = exact_join_size(pair, window, count_from=2 * window)
-    results = {}
-    for name in ("RAND", "LIFE", "PROB", "OPT"):
-        results[name] = run_algorithm(name, pair, window, memory, seed=args.seed)
+    results = compare([spec, "LIFE", "PROB", "OPT"], pair=pair)
 
     print(f"{'algorithm':<10} {'output':>8} {'% of exact':>11}")
     print("-" * 31)

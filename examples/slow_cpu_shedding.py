@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro import SlowCpuConfig, SlowCpuEngine, zipf_pair
-from repro.core.policies import ProbPolicy
+from repro import SlowCpuConfig, SlowCpuEngine, make_policy_spec, zipf_pair
 from repro.experiments import estimators_for
 from repro.streams import clip_schedule, poisson_schedule
 
@@ -55,7 +54,9 @@ def main() -> None:
         )
         engine = SlowCpuEngine(
             config,
-            policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)},
+            policy=make_policy_spec(
+                "PROB", estimators=estimators, window=args.window, seed=args.seed
+            ),
             estimators=estimators,
         )
         result = engine.run(pair.r, pair.s, r_schedule, s_schedule)

@@ -16,24 +16,31 @@ including
 
 Quick start::
 
-    from repro import zipf_pair, run_algorithm
+    from repro import RunSpec, run_join, optimal_offline
 
-    pair = zipf_pair(length=2000, domain_size=50, skew=1.0, seed=7)
-    prob = run_algorithm("PROB", pair, window=100, memory=50)
-    opt = run_algorithm("OPT", pair, window=100, memory=50)
+    spec = RunSpec(algorithm="PROB", window=100, memory=50,
+                   length=2000, skew=1.0, seed=7)
+    prob = run_join(spec)
+    opt = optimal_offline(spec)
     print(prob.output_count, opt.output_count)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from .api import RunSpec, build_pair, compare, optimal_offline, run_join
 from .core import (
+    DropBreakdown,
     EngineConfig,
     JoinEngine,
     RunResult,
+    RunSummary,
+    SidePolicies,
     SlowCpuConfig,
     SlowCpuEngine,
     WindowSpec,
+    make_policy,
+    make_policy_spec,
     run_exact,
 )
 from .core.archive import ArchiveStore, RefinementReport, refine_from_archive
@@ -53,6 +60,16 @@ from .core.static_join import (
     retention_benefit,
 )
 from .experiments import run_algorithm, run_suite
+from .obs import (
+    MetricsRegistry,
+    NullRecorder,
+    Timer,
+    load_metrics_json,
+    metrics_to_csv,
+    metrics_to_json,
+    save_metrics_csv,
+    save_metrics_json,
+)
 from .streams import (
     StreamPair,
     StreamTuple,
@@ -67,31 +84,49 @@ __version__ = "1.0.0"
 __all__ = [
     "ArchiveStore",
     "ArmAwarePolicy",
+    "DropBreakdown",
     "EngineConfig",
     "EvictionPolicy",
     "JoinEngine",
     "LifePolicy",
+    "MetricsRegistry",
+    "NullRecorder",
     "OptResult",
     "ProbPolicy",
     "RandomEvictionPolicy",
     "RefinementReport",
     "RunResult",
+    "RunSpec",
+    "RunSummary",
+    "SidePolicies",
     "SlowCpuConfig",
     "SlowCpuEngine",
     "StreamPair",
     "StreamTuple",
+    "Timer",
     "WindowSpec",
     "archive_metric",
+    "build_pair",
+    "compare",
     "exact_join_size",
     "extract_components",
+    "load_metrics_json",
+    "make_policy",
+    "make_policy_spec",
     "max_edges_retaining",
     "max_subset_report",
+    "metrics_to_csv",
+    "metrics_to_json",
     "min_edges_lost_deleting",
+    "optimal_offline",
     "refine_from_archive",
     "retention_benefit",
     "run_algorithm",
     "run_exact",
+    "run_join",
     "run_suite",
+    "save_metrics_csv",
+    "save_metrics_json",
     "solve_opt",
     "uniform_pair",
     "weather_pair",

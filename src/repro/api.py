@@ -1,0 +1,258 @@
+"""Unified public run API.
+
+One :class:`RunSpec` describes a complete experiment — workload, join
+parameters, which engine simulates it, and whether to collect metrics —
+and three functions consume it:
+
+* :func:`run_join` — run the spec's algorithm on its workload and return
+  the engine's result (all engines share the unified result surface:
+  ``output_count``, :meth:`~repro.core.results.BaseRunResult.drop_breakdown`,
+  :meth:`~repro.core.results.BaseRunResult.summary`, and an attached
+  ``metrics`` snapshot when requested);
+* :func:`compare` — run several specs on one shared workload;
+* :func:`optimal_offline` — the OPT/OPTV offline bound for the spec.
+
+Example::
+
+    from repro.api import RunSpec, run_join, optimal_offline
+
+    spec = RunSpec(algorithm="PROB", window=100, memory=50, length=2000)
+    result = run_join(spec)
+    bound = optimal_offline(spec)
+    print(result.output_count / bound.output_count)
+
+The CLI (``repro run`` / ``repro compare``) and the example scripts are
+thin layers over these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Union
+
+from .core.async_engine import AsyncEngineConfig, AsyncJoinEngine, batches_from_pair
+from .core.engine import EngineConfig, JoinEngine
+from .core.offline.opt import OptResult, solve_opt
+from .core.policies import make_policy_spec
+from .core.slowcpu import SlowCpuConfig, SlowCpuEngine
+from .experiments.runner import ALL_ALGORITHMS, estimators_for
+from .obs import MetricsRegistry
+from .streams import StreamPair, uniform_pair, weather_pair, zipf_pair
+
+ENGINES = ("fast", "async", "slowcpu")
+WORKLOADS = ("zipf", "uniform", "weather")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything one run needs, in one place.
+
+    Workload fields (``workload`` .. ``correlation``) describe the input
+    streams; join fields (``window`` .. ``warmup``) the operator; the
+    ``engine`` field selects the simulator (``"fast"`` — the paper's
+    integrated fast-CPU model, ``"async"`` — bursty per-tick batches,
+    ``"slowcpu"`` — the modular queue-fronted model, which also uses the
+    ``service_per_tick`` / ``queue_capacity`` / ``queue_policy`` knobs).
+    ``metrics=True`` collects an observability snapshot into the result.
+    """
+
+    algorithm: str = "PROB"
+    window: int = 100
+    memory: int = 50
+    warmup: Optional[int] = None
+    variable: Optional[bool] = None  # default: inferred from a trailing "V"
+    seed: int = 0
+
+    workload: str = "zipf"
+    length: int = 2000
+    domain: int = 50
+    skew: float = 1.0
+    skew_s: Optional[float] = None
+    correlation: str = "uncorrelated"
+
+    engine: str = "fast"
+    service_per_tick: int = 2
+    queue_capacity: int = 64
+    queue_policy: str = "tail"
+
+    metrics: bool = False
+
+    def __post_init__(self) -> None:
+        name = self.algorithm.upper()
+        if name != self.algorithm:
+            object.__setattr__(self, "algorithm", name)
+        if name not in ALL_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; choose from {ALL_ALGORITHMS}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"workload must be one of {WORKLOADS}, got {self.workload!r}"
+            )
+        if self.variable is None:
+            object.__setattr__(self, "variable", name.endswith("V") and name != "V")
+
+    @property
+    def effective_warmup(self) -> int:
+        return self.warmup if self.warmup is not None else 2 * self.window
+
+    @property
+    def effective_memory(self) -> int:
+        """EXACT always gets the lossless budget of ``2 * window``."""
+        return 2 * self.window if self.algorithm == "EXACT" else self.memory
+
+
+def build_pair(spec: RunSpec) -> StreamPair:
+    """Generate the spec's input streams."""
+    if spec.workload == "weather":
+        return weather_pair(spec.length, seed=spec.seed)
+    if spec.workload == "uniform":
+        return uniform_pair(spec.length, spec.domain, seed=spec.seed)
+    return zipf_pair(
+        spec.length,
+        spec.domain,
+        spec.skew,
+        skew_s=spec.skew_s,
+        correlation=spec.correlation,
+        seed=spec.seed,
+    )
+
+
+def _registry_for(spec: RunSpec) -> Optional[MetricsRegistry]:
+    return MetricsRegistry() if spec.metrics else None
+
+
+def _policy_for(spec: RunSpec, pair: StreamPair, estimators: Optional[dict]):
+    if spec.algorithm == "EXACT":
+        return None
+    if estimators is None:
+        estimators = estimators_for(pair)
+    return make_policy_spec(
+        spec.algorithm,
+        variable=spec.variable,
+        estimators=estimators,
+        window=spec.window,
+        seed=spec.seed,
+    )
+
+
+def run_join(
+    spec: RunSpec,
+    *,
+    pair: Optional[StreamPair] = None,
+    estimators: Optional[dict] = None,
+):
+    """Run the spec end to end and return the engine's result.
+
+    ``pair`` overrides the generated workload (so several specs can share
+    one input); ``estimators`` overrides the statistics module.  OPT and
+    OPTV delegate to :func:`optimal_offline` — the offline bound has no
+    engine to speak of, but sharing the entry point keeps comparison
+    loops uniform.
+    """
+    if spec.algorithm in ("OPT", "OPTV"):
+        return optimal_offline(spec, pair=pair)
+
+    if pair is None:
+        pair = build_pair(spec)
+    registry = _registry_for(spec)
+    policy = _policy_for(spec, pair, estimators)
+
+    if spec.engine == "fast":
+        config = EngineConfig(
+            window=spec.window,
+            memory=spec.effective_memory,
+            variable=spec.variable,
+            warmup=spec.warmup,
+        )
+        return JoinEngine(config, policy=policy, metrics=registry).run(pair)
+
+    if spec.engine == "async":
+        config = AsyncEngineConfig(
+            window=spec.window,
+            memory=spec.effective_memory,
+            variable=spec.variable,
+            warmup=spec.warmup,
+        )
+        r_batches, s_batches = batches_from_pair(pair)
+        return AsyncJoinEngine(config, policy=policy, metrics=registry).run(
+            r_batches, s_batches
+        )
+
+    config = SlowCpuConfig(
+        window=spec.window,
+        memory=spec.effective_memory,
+        service_per_tick=spec.service_per_tick,
+        queue_capacity=spec.queue_capacity,
+        queue_policy=spec.queue_policy,
+        variable=spec.variable,
+        warmup=spec.warmup,
+        seed=spec.seed,
+    )
+    if estimators is None and spec.queue_policy == "prob":
+        estimators = estimators_for(pair)
+    engine = SlowCpuEngine(
+        config, policy=policy, estimators=estimators, metrics=registry
+    )
+    ticks = len(pair)
+    schedule = [1] * ticks
+    return engine.run(pair.r, pair.s, schedule, list(schedule))
+
+
+def optimal_offline(spec: RunSpec, *, pair: Optional[StreamPair] = None) -> OptResult:
+    """The spec's OPT/OPTV offline bound (Section 3.2 min-cost flow).
+
+    ``spec.algorithm`` need not be "OPT" — any spec can ask for its
+    offline bound; ``spec.variable`` picks OPT vs OPTV.
+    """
+    if pair is None:
+        pair = build_pair(spec)
+    return solve_opt(
+        pair,
+        spec.window,
+        spec.memory,
+        variable=bool(spec.variable),
+        count_from=spec.effective_warmup,
+        metrics=_registry_for(spec),
+    )
+
+
+def compare(
+    specs: Sequence[Union[RunSpec, str]],
+    *,
+    pair: Optional[StreamPair] = None,
+) -> dict:
+    """Run several specs against one shared workload.
+
+    ``specs`` may mix :class:`RunSpec` instances and plain algorithm
+    names; names inherit every other field from the first full spec in
+    the sequence (or the defaults).  The shared input is ``pair`` if
+    given, else the first spec's workload.  Returns ``{label: result}``
+    in input order; duplicate algorithms get ``#2``, ``#3``, ... labels.
+    """
+    if not specs:
+        raise ValueError("compare() needs at least one spec")
+    template = next(
+        (spec for spec in specs if isinstance(spec, RunSpec)), RunSpec()
+    )
+    resolved = [
+        spec
+        if isinstance(spec, RunSpec)
+        else replace(template, algorithm=spec, variable=None)
+        for spec in specs
+    ]
+    if pair is None:
+        pair = build_pair(resolved[0])
+    estimators = estimators_for(pair)
+
+    results: dict = {}
+    for spec in resolved:
+        label = spec.algorithm
+        suffix = 2
+        while label in results:
+            label = f"{spec.algorithm}#{suffix}"
+            suffix += 1
+        results[label] = run_join(spec, pair=pair, estimators=estimators)
+    return results

@@ -8,11 +8,16 @@ Four verbs, all printing plain text:
 * ``repro figure`` / ``repro table`` — regenerate one of the paper's
   figures/tables (or an ablation) at a chosen scale.
 
+``run`` and ``compare`` are thin layers over :mod:`repro.api`; with
+``--metrics json|csv`` they also emit the observability snapshot (see
+EXPERIMENTS.md for the schema), either to stdout or to ``--metrics-out``.
+
 Examples
 --------
 ::
 
     repro run --algorithm PROB --length 2000 --window 100 --memory 50
+    repro run --algorithm PROB --metrics json --metrics-out prob.json
     repro compare --algorithms RAND,PROB,OPT --skew 1.5
     repro figure figure3 --scale ci
     repro table ablation_drift --scale ci
@@ -22,8 +27,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
+from .api import RunSpec, build_pair, compare as compare_specs, run_join
 from .experiments import (
     ABLATION_GENERATORS,
     ALL_ALGORITHMS,
@@ -32,26 +39,56 @@ from .experiments import (
     TABLE_GENERATORS,
     format_figure,
     format_table,
-    run_algorithm,
-    run_suite,
 )
-from .streams import exact_join_size, uniform_pair, weather_pair, zipf_pair
+from .obs import metrics_to_csv, metrics_to_json
+from .streams import exact_join_size
 
 
-def _build_pair(args: argparse.Namespace):
-    """The workload a ``run``/``compare`` invocation asks for."""
-    if args.workload == "weather":
-        return weather_pair(args.length, seed=args.seed)
-    if args.workload == "uniform":
-        return uniform_pair(args.length, args.domain, seed=args.seed)
-    return zipf_pair(
-        args.length,
-        args.domain,
-        args.skew,
+def _spec_from_args(args: argparse.Namespace, algorithm: str) -> RunSpec:
+    """The :class:`~repro.api.RunSpec` a ``run``/``compare`` asks for."""
+    return RunSpec(
+        algorithm=algorithm,
+        window=args.window,
+        memory=args.memory,
+        warmup=args.warmup,
+        seed=args.seed,
+        workload=args.workload,
+        length=args.length,
+        domain=args.domain,
+        skew=args.skew,
         skew_s=args.skew_s,
         correlation=args.correlation,
-        seed=args.seed,
+        metrics=args.metrics is not None,
     )
+
+
+def _emit_metrics(args: argparse.Namespace, snapshots: dict) -> None:
+    """Render collected snapshots as the requested format.
+
+    ``snapshots`` maps algorithm label to snapshot dict; a single run
+    emits the bare snapshot, a comparison an object keyed by label.
+    """
+    payload = next(iter(snapshots.values())) if len(snapshots) == 1 else snapshots
+    if args.metrics == "csv":
+        if len(snapshots) == 1:
+            text = metrics_to_csv(payload)
+        else:
+            parts = []
+            for label, snapshot in snapshots.items():
+                parts.append(f"# {label}")
+                parts.append(metrics_to_csv(snapshot).rstrip("\n"))
+            text = "\n".join(parts) + "\n"
+    else:
+        text = metrics_to_json(payload) + "\n"
+    if args.metrics_out:
+        from pathlib import Path
+
+        path = Path(args.metrics_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"metrics  : written to {path}")
+    else:
+        sys.stdout.write(text)
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -78,6 +115,14 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--warmup", type=int, default=None,
         help="output-counting start (default: 2 * window)",
+    )
+    parser.add_argument(
+        "--metrics", choices=("json", "csv"), default=None,
+        help="collect and emit an observability snapshot",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, dest="metrics_out",
+        help="write the metrics report to this file instead of stdout",
     )
 
 
@@ -108,17 +153,18 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    pair = _build_pair(args)
-    result = run_algorithm(
-        args.algorithm, pair, args.window, args.memory,
-        seed=args.seed, warmup=args.warmup,
-    )
-    warmup = args.warmup if args.warmup is not None else 2 * args.window
+    spec = _spec_from_args(args, args.algorithm)
+    pair = build_pair(spec)
+    result = run_join(spec, pair=pair)
+    warmup = spec.effective_warmup
     exact = exact_join_size(pair, args.window, count_from=warmup)
     print(f"workload : {pair.name}")
     print(f"window   : {args.window}   memory: {args.memory}   warmup: {warmup}")
     print(f"{args.algorithm}: {result.output_count} output tuples "
           f"({100 * result.output_count / max(exact, 1):.1f}% of exact {exact})")
+    if args.metrics is not None:
+        snapshot = getattr(result, "metrics", None)
+        _emit_metrics(args, {args.algorithm: snapshot or {}})
     return 0
 
 
@@ -129,11 +175,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"unknown algorithms: {', '.join(unknown)}", file=sys.stderr)
         print(f"choose from: {', '.join(ALL_ALGORITHMS)}", file=sys.stderr)
         return 2
-    pair = _build_pair(args)
-    results = run_suite(
-        names, pair, args.window, args.memory, seed=args.seed, warmup=args.warmup
+    template = _spec_from_args(args, names[0])
+    pair = build_pair(template)
+    results = compare_specs(
+        [replace(template, algorithm=name, variable=None) for name in names],
+        pair=pair,
     )
-    warmup = args.warmup if args.warmup is not None else 2 * args.window
+    warmup = template.effective_warmup
     exact = exact_join_size(pair, args.window, count_from=warmup)
     print(f"workload : {pair.name}   w={args.window}  M={args.memory}")
     print(f"{'algorithm':<10} {'output':>10} {'% of exact':>11}")
@@ -142,6 +190,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         count = results[name].output_count
         print(f"{name:<10} {count:>10} {100 * count / max(exact, 1):>10.1f}%")
     print(f"{'EXACT':<10} {exact:>10} {100.0:>10.1f}%")
+    if args.metrics is not None:
+        _emit_metrics(
+            args,
+            {
+                name: getattr(result, "metrics", None) or {}
+                for name, result in results.items()
+            },
+        )
     return 0
 
 

@@ -23,6 +23,14 @@ from .engine import (
 )
 from .exact import run_exact
 from .memory import JoinMemory, StreamMemory, TupleRecord
+from .policies import (
+    POLICY_NAMES,
+    SidePolicies,
+    make_policy,
+    make_policy_spec,
+    register_policy,
+)
+from .results import DropBreakdown, RunSummary
 from .slowcpu import SlowCpuConfig, SlowCpuEngine, SlowCpuResult
 from .window import WindowSpec
 
@@ -32,15 +40,22 @@ __all__ = [
     "AsyncRunResult",
     "CapacityExceededError",
     "batches_from_pair",
+    "DropBreakdown",
     "EngineConfig",
     "JoinEngine",
     "JoinMemory",
+    "POLICY_NAMES",
     "RunResult",
+    "RunSummary",
+    "SidePolicies",
     "SlowCpuConfig",
     "SlowCpuEngine",
     "SlowCpuResult",
     "StreamMemory",
     "TupleRecord",
     "WindowSpec",
+    "make_policy",
+    "make_policy_spec",
+    "register_policy",
     "run_exact",
 ]

@@ -33,11 +33,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..obs import Timer, active_or_none
 from ..streams.tuples import StreamPair
-from .engine import DROP_EVICTED, DROP_EXPIRED, DROP_REJECTED, PolicySpec
+from .engine import PolicySpec
 from .memory import JoinMemory, TupleRecord
+from .policies import resolve_policy_spec
 from .policies.base import EvictionPolicy
 from .policies.life import LifePolicy
+from .results import (
+    DROP_EVICTED,
+    DROP_EXPIRED,
+    DROP_REJECTED,
+    BaseRunResult,
+    DropBreakdown,
+    empty_side_drop_counts,
+)
 
 WINDOW_MODES = ("time", "count", "landmark")
 
@@ -80,7 +90,7 @@ class AsyncEngineConfig:
 
 
 @dataclass
-class AsyncRunResult:
+class AsyncRunResult(BaseRunResult):
     """Counters of one asynchronous run."""
 
     output_count: int
@@ -89,6 +99,12 @@ class AsyncRunResult:
     arrivals: int
     policy_name: str
     drop_counts: dict = field(default_factory=dict)
+    metrics: Optional[dict] = None
+
+    engine_kind = "async"
+
+    def drop_breakdown(self) -> DropBreakdown:
+        return DropBreakdown.from_side_counts(self.drop_counts)
 
 
 class AsyncJoinEngine:
@@ -99,34 +115,22 @@ class AsyncJoinEngine:
     per-side dict).
     """
 
-    def __init__(self, config: AsyncEngineConfig, policy: PolicySpec = None) -> None:
+    def __init__(
+        self,
+        config: AsyncEngineConfig,
+        policy: PolicySpec = None,
+        *,
+        metrics=None,
+    ) -> None:
         self.config = config
         self.memory = JoinMemory(config.memory, variable=config.variable)
+        self.metrics = metrics
 
-        if policy is None:
-            self._policy_r: Optional[EvictionPolicy] = None
-            self._policy_s: Optional[EvictionPolicy] = None
-            self._policies: tuple[EvictionPolicy, ...] = ()
-            self.policy_name = "NONE"
-        elif isinstance(policy, EvictionPolicy):
-            if not config.variable:
-                raise ValueError("a single policy instance requires variable allocation")
-            policy.bind(self.memory)
-            self._policy_r = self._policy_s = policy
-            self._policies = (policy,)
-            self.policy_name = f"{policy.name}V"
-        elif isinstance(policy, dict):
-            missing = {"R", "S"} - set(policy)
-            if missing:
-                raise ValueError(f"policy dict missing sides: {sorted(missing)}")
-            policy["R"].bind(self.memory)
-            policy["S"].bind(self.memory)
-            self._policy_r = policy["R"]
-            self._policy_s = policy["S"]
-            self._policies = (policy["R"], policy["S"])
-            self.policy_name = policy["R"].name
-        else:
-            raise TypeError(f"unsupported policy specification: {policy!r}")
+        resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
+        self._policy_r = resolved.r
+        self._policy_s = resolved.s
+        self._policies = resolved.instances
+        self.policy_name = resolved.name
 
         if config.window_mode in ("count", "landmark"):
             from .policies.arm import ArmAwarePolicy
@@ -165,10 +169,16 @@ class AsyncJoinEngine:
         total_output = 0
         arrivals = 0
         sequence = {"R": 0, "S": 0}  # per-stream tuple counters (count mode)
-        drop_counts = {
-            "R": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
-            "S": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
-        }
+        drop_counts = empty_side_drop_counts()
+
+        obs = active_or_none(self.metrics)
+        timed = obs is not None
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            occupancy_r = obs.series("engine.occupancy", side="R")
+            occupancy_s = obs.series("engine.occupancy", side="S")
+            batch_size = obs.histogram("async.batch_size")
 
         for t in range(len(r_batches)):
             if landmark_mode:
@@ -206,8 +216,25 @@ class AsyncJoinEngine:
                         record = TupleRecord(stream, t, key)
                     self._admit(record, t, drop_counts)
 
+            if timed:
+                batch_size.observe(len(r_batches[t]) + len(s_batches[t]))
+                occupancy_r.append(t, memory.r.size)
+                occupancy_s.append(t, memory.s.size)
+
             if config.validate:
                 self._check_invariants(t)
+
+        snapshot = None
+        if obs is not None:
+            run_timer.stop()
+            obs.counter("engine.matches").inc(total_output)
+            obs.counter("engine.output").inc(output)
+            obs.counter("async.arrivals").inc(arrivals)
+            for side in ("R", "S"):
+                for reason, count in drop_counts[side].items():
+                    obs.counter("engine.drops", side=side, reason=reason).inc(count)
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
 
         return AsyncRunResult(
             output_count=output,
@@ -216,6 +243,7 @@ class AsyncJoinEngine:
             arrivals=arrivals,
             policy_name=self.policy_name,
             drop_counts=drop_counts,
+            metrics=snapshot,
         )
 
     # ------------------------------------------------------------------

@@ -28,15 +28,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Optional, Union
 
+from ..obs import Timer, active_or_none
 from ..streams.tuples import JoinResultTuple, StreamPair
 from .memory import JoinMemory, TupleRecord
+from .policies import resolve_policy_spec
 from .policies.base import EvictionPolicy
+from .results import (
+    DROP_EVICTED,
+    DROP_EXPIRED,
+    DROP_REJECTED,
+    BaseRunResult,
+    DropBreakdown,
+    empty_side_drop_counts,
+)
 
-#: How a tuple left the join memory.
-DROP_REJECTED = "rejected"
-DROP_EVICTED = "evicted"
-DROP_EXPIRED = "expired"
-
+#: Deprecated loose union; prefer ``None`` / ``EvictionPolicy`` /
+#: :class:`~repro.core.policies.SidePolicies` (dict specs still work but
+#: warn — see :func:`repro.core.policies.resolve_policy_spec`).
 PolicySpec = Union[None, EvictionPolicy, dict]
 
 
@@ -123,13 +131,15 @@ class EngineConfig:
 
 
 @dataclass
-class RunResult:
+class RunResult(BaseRunResult):
     """Everything one engine run produces.
 
     ``output_count`` is the post-warmup output size — the quantity every
     figure of the paper plots.  ``r_departures[i]`` / ``s_departures[i]``
     give the last probe-event time the tuple arriving at ``i`` was present
     for (see module docstring); ``None`` when survival tracking is off.
+    ``metrics`` is the attached observability snapshot when the engine
+    ran with a :class:`~repro.obs.MetricsRegistry`.
     """
 
     output_count: int
@@ -144,6 +154,12 @@ class RunResult:
     s_departures: Optional[list[int]] = None
     shares: Optional[list[tuple[int, int, int]]] = None
     drop_counts: dict = field(default_factory=dict)
+    metrics: Optional[dict] = None
+
+    engine_kind = "fast"
+
+    def drop_breakdown(self) -> DropBreakdown:
+        return DropBreakdown.from_side_counts(self.drop_counts)
 
     def share_fraction_r(self) -> list[tuple[int, float]]:
         """Fraction of resident tuples belonging to R over time."""
@@ -165,49 +181,37 @@ class JoinEngine:
         * ``None`` — no shedding; the memory must never overflow (use
           ``memory >= 2 * window`` — the EXACT reference);
         * a single :class:`EvictionPolicy` — governs the shared pool
-          (requires ``config.variable``) ;
-        * ``{"R": policy, "S": policy}`` — one independent policy per
-          side (requires fixed allocation).
+          (requires ``config.variable``);
+        * :class:`~repro.core.policies.SidePolicies` — one independent
+          policy per side (requires fixed allocation; the legacy
+          ``{"R": ..., "S": ...}`` dict still works but is deprecated).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; when given, the
+        run records probe/admission/drop counters, per-tick occupancy
+        and memory-share series, and hot-loop phase timings, and the
+        snapshot is attached to the result.  ``None`` (the default)
+        keeps the hot path uninstrumented.
     """
 
-    def __init__(self, config: EngineConfig, policy: PolicySpec = None) -> None:
+    def __init__(
+        self,
+        config: EngineConfig,
+        policy: PolicySpec = None,
+        *,
+        metrics=None,
+    ) -> None:
         self.config = config
         self.memory = JoinMemory(config.memory, variable=config.variable)
+        self.metrics = metrics
 
-        if policy is None:
-            self._policy_r: Optional[EvictionPolicy] = None
-            self._policy_s: Optional[EvictionPolicy] = None
-            self._policies: tuple[EvictionPolicy, ...] = ()
+        resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
+        self._policy_r = resolved.r
+        self._policy_s = resolved.s
+        self._policies = resolved.instances
+        if resolved.name == "NONE":
             self.policy_name = "EXACT" if config.memory >= 2 * config.window else "NONE"
-        elif isinstance(policy, EvictionPolicy):
-            if not config.variable:
-                raise ValueError(
-                    "a single policy instance requires variable allocation; "
-                    "pass {'R': ..., 'S': ...} for fixed allocation"
-                )
-            policy.bind(self.memory)
-            self._policy_r = self._policy_s = policy
-            self._policies = (policy,)
-            self.policy_name = f"{policy.name}V"
-        elif isinstance(policy, dict):
-            if config.variable:
-                raise ValueError(
-                    "per-side policies require fixed allocation; "
-                    "pass a single policy for a variable pool"
-                )
-            missing = {"R", "S"} - set(policy)
-            if missing:
-                raise ValueError(f"policy dict missing sides: {sorted(missing)}")
-            if policy["R"] is policy["S"]:
-                raise ValueError("fixed allocation needs two independent policy instances")
-            policy["R"].bind(self.memory)
-            policy["S"].bind(self.memory)
-            self._policy_r = policy["R"]
-            self._policy_s = policy["S"]
-            self._policies = (policy["R"], policy["S"])
-            self.policy_name = policy["R"].name
         else:
-            raise TypeError(f"unsupported policy specification: {policy!r}")
+            self.policy_name = resolved.name
 
     # ------------------------------------------------------------------
     def run(self, pair: StreamPair) -> RunResult:
@@ -231,10 +235,22 @@ class JoinEngine:
 
         output = 0
         total_output = 0
-        drop_counts = {
-            "R": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
-            "S": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
-        }
+        simultaneous_total = 0
+        drop_counts = empty_side_drop_counts()
+
+        # Observability: `obs` is None on the uninstrumented path, so the
+        # hot loop pays only a handful of local-boolean branches per tick.
+        obs = active_or_none(self.metrics)
+        timed = obs is not None
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            expire_timer = Timer()
+            probe_timer = Timer()
+            admit_timer = Timer()
+            occupancy_r = obs.series("engine.occupancy", side="R")
+            occupancy_s = obs.series("engine.occupancy", side="S")
+            share_series = obs.series("engine.memory_share", side="R")
 
         schedule = config.memory_schedule
         if schedule is not None and not callable(schedule):
@@ -258,6 +274,8 @@ class JoinEngine:
                     raise ValueError(f"window schedule produced {window} at t={t}")
 
             # 1. expiry ------------------------------------------------
+            if timed:
+                expire_timer.start()
             for record in memory.expire_until(t - window):
                 policy = self._policy_for(record.stream)
                 if policy is not None:
@@ -268,6 +286,9 @@ class JoinEngine:
                         r_departures, s_departures, record, record.arrival + window - 1
                     )
 
+            if timed:
+                expire_timer.stop()
+
             r_key = r_keys[t]
             s_key = s_keys[t]
 
@@ -277,9 +298,12 @@ class JoinEngine:
                 policy.observe_arrival("S", s_key, t)
 
             # 3. probes -------------------------------------------------
+            if timed:
+                probe_timer.start()
             matches = memory.s.match_count(r_key) + memory.r.match_count(s_key)
             simultaneous = 1 if (config.count_simultaneous and r_key == s_key) else 0
             total_output += matches + simultaneous
+            simultaneous_total += simultaneous
             if t >= warmup:
                 output += matches + simultaneous
                 if pairs is not None:
@@ -291,11 +315,24 @@ class JoinEngine:
                         pairs.append(JoinResultTuple(t, t, r_key))
 
             # 4. admissions ---------------------------------------------
+            if timed:
+                probe_timer.stop()
+                admit_timer.start()
             self._admit(TupleRecord("R", t, r_key), t, drop_counts, r_departures, s_departures)
             self._admit(TupleRecord("S", t, s_key), t, drop_counts, r_departures, s_departures)
+            if timed:
+                admit_timer.stop()
 
             if shares is not None and t % config.share_sample_every == 0:
                 shares.append((t, memory.r.size, memory.s.size))
+
+            if timed and t % config.share_sample_every == 0:
+                r_size = memory.r.size
+                s_size = memory.s.size
+                occupancy_r.append(t, r_size)
+                occupancy_s.append(t, s_size)
+                total = r_size + s_size
+                share_series.append(t, (r_size / total) if total else 0.5)
 
             if config.validate:
                 self._check_invariants(t)
@@ -308,6 +345,29 @@ class JoinEngine:
                     self._set_departure(
                         r_departures, s_departures, record, record.arrival + window - 1
                     )
+
+        snapshot = None
+        if obs is not None:
+            run_timer.stop()
+            obs.counter("engine.probes").inc(2 * length)
+            obs.counter("engine.matches").inc(total_output)
+            obs.counter("engine.simultaneous").inc(simultaneous_total)
+            obs.counter("engine.output").inc(output)
+            for side in ("R", "S"):
+                obs.counter("engine.arrivals", side=side).inc(length)
+                obs.counter("engine.admissions", side=side).inc(
+                    length - drop_counts[side][DROP_REJECTED]
+                )
+                for reason, count in drop_counts[side].items():
+                    obs.counter("engine.drops", side=side, reason=reason).inc(count)
+                obs.gauge("engine.final_occupancy", side=side).set(
+                    memory.side(side).size
+                )
+            expire_timer.flush(obs, "engine/expire")
+            probe_timer.flush(obs, "engine/probe")
+            admit_timer.flush(obs, "engine/admit")
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
 
         return RunResult(
             output_count=output,
@@ -322,6 +382,7 @@ class JoinEngine:
             s_departures=s_departures,
             shares=shares,
             drop_counts=drop_counts,
+            metrics=snapshot,
         )
 
     # ------------------------------------------------------------------

@@ -31,10 +31,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..obs import Timer, active_or_none
 from ..stats.frequency import StaticFrequencyTable
 from ..streams.tuples import StreamPair
 from .memory import JoinMemory, TupleRecord
 from .policies.prob import ProbPolicy
+from .results import BaseRunResult, DropBreakdown
 
 SHED_RULES = ("tail", "random", "max", "sum")
 
@@ -68,7 +70,7 @@ class QuerySpec:
 
 
 @dataclass
-class MultiQueryResult:
+class MultiQueryResult(BaseRunResult):
     """Per-query outputs plus shared-queue counters."""
 
     outputs: dict[str, int]
@@ -76,10 +78,27 @@ class MultiQueryResult:
     shed_from_queue: int
     expired_in_queue: int
     arrived: int
+    evicted_from_memory: int = 0
+    policy_name: str = "PROB"
+    metrics: Optional[dict] = None
+
+    engine_kind = "multiquery"
 
     @property
     def total_output(self) -> int:
         return sum(self.outputs.values())
+
+    @property
+    def output_count(self) -> int:
+        """Unified-result alias: total output across the queries."""
+        return self.total_output
+
+    def drop_breakdown(self) -> DropBreakdown:
+        return DropBreakdown(
+            rejected=self.shed_from_queue,
+            evicted=self.evicted_from_memory,
+            expired=self.expired_in_queue,
+        )
 
 
 class _QueryOperator:
@@ -95,6 +114,7 @@ class _QueryOperator:
         self.policies["R"].bind(self.memory)
         self.policies["S"].bind(self.memory)
         self.output = 0
+        self.evictions = 0
 
     def process(self, stream: str, arrival: int, keys: tuple, now: int, counted: bool) -> None:
         if arrival <= now - self.spec.window:
@@ -117,6 +137,7 @@ class _QueryOperator:
             return
         self.memory.remove(victim)
         policy.on_remove(victim, now, expired=False)
+        self.evictions += 1
         self.memory.admit(record)
         policy.on_admit(record, now)
 
@@ -153,6 +174,7 @@ class SharedQueueSystem:
         shed_rule: str = "tail",
         warmup: int = 0,
         seed: int = 0,
+        metrics=None,
     ) -> None:
         if not queries:
             raise ValueError("need at least one query")
@@ -187,6 +209,7 @@ class SharedQueueSystem:
         self.queue_capacity = queue_capacity
         self.shed_rule = shed_rule
         self.warmup = warmup
+        self.metrics = metrics
         self._rng = np.random.default_rng(seed)
 
         self._estimators_per_attribute = [
@@ -249,6 +272,14 @@ class SharedQueueSystem:
         expired = 0
         arrived = 0
 
+        obs = active_or_none(self.metrics)
+        timed = obs is not None
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            depth_r = obs.series("queue.depth", side="R")
+            depth_s = obs.series("queue.depth", side="S")
+
         for t in range(len(self.pair)):
             for stream, keys in (("R", self.pair.r[t]), ("S", self.pair.s[t])):
                 arrived += 1
@@ -280,10 +311,33 @@ class SharedQueueSystem:
                 processed += 1
                 budget -= cost_per_tuple
 
+            if timed:
+                depth_r.append(t, len(queues["R"]))
+                depth_s.append(t, len(queues["S"]))
+
+        snapshot = None
+        if obs is not None:
+            run_timer.stop()
+            obs.counter("queue.arrived").inc(arrived)
+            obs.counter("queue.processed").inc(processed)
+            obs.counter("queue.shed").inc(shed)
+            obs.counter("queue.expired").inc(expired)
+            for operator in self.operators:
+                obs.counter("multiquery.output", query=operator.spec.name).inc(
+                    operator.output
+                )
+                obs.counter("multiquery.evictions", query=operator.spec.name).inc(
+                    operator.evictions
+                )
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
+
         return MultiQueryResult(
             outputs={op.spec.name: op.output for op in self.operators},
             processed=processed,
             shed_from_queue=shed,
             expired_in_queue=expired,
             arrived=arrived,
+            evicted_from_memory=sum(op.evictions for op in self.operators),
+            metrics=snapshot,
         )

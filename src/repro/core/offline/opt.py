@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...flow import SOLVERS
+from ...obs import active_or_none
 from ...streams.tuples import StreamPair
 from .flowgraph import build_schedule_network, decode_departures
 from .intervals import TupleJob, extract_jobs
@@ -55,16 +56,17 @@ class OptResult:
     variable: bool
     count_from: int
     policy_name: str = "OPT"
+    metrics: Optional[dict] = None
 
 
 def _solve_pool(
-    jobs: list[TupleJob], length: int, capacity: int, solver: str
+    jobs: list[TupleJob], length: int, capacity: int, solver: str, metrics=None
 ) -> tuple[int, dict[tuple[str, int], int]]:
     """Optimal profit and schedule for one slot pool."""
     if capacity == 0 or not jobs:
         return 0, {}
     schedule = build_schedule_network(jobs, length, capacity)
-    result = SOLVERS[solver](schedule.network)
+    result = SOLVERS[solver](schedule.network, metrics=metrics)
     if not result.feasible:
         raise RuntimeError(
             "schedule network infeasible — the chain should always carry "
@@ -121,6 +123,7 @@ def solve_opt(
     count_from: Optional[int] = None,
     verify: bool = True,
     solver: str = "ssp",
+    metrics=None,
 ) -> OptResult:
     """Compute the optimal offline schedule for a stream pair.
 
@@ -146,6 +149,9 @@ def solve_opt(
         paths, the default — fastest here because the flow value is the
         memory size) or ``"cost_scaling"`` (the CS2 algorithm family the
         paper used).  Both are exact.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` passed down to the
+        flow solver (augmentations, relabels, phase timings).
     """
     if solver not in SOLVERS:
         raise ValueError(f"solver must be one of {sorted(SOLVERS)}, got {solver!r}")
@@ -162,11 +168,11 @@ def solve_opt(
     r_jobs, s_jobs, simultaneous = extract_jobs(pair, window, count_from=count_from)
 
     if variable:
-        profit, departures = _solve_pool(r_jobs + s_jobs, length, memory, solver)
+        profit, departures = _solve_pool(r_jobs + s_jobs, length, memory, solver, metrics)
     else:
         half = memory // 2
-        profit_r, departures_r = _solve_pool(r_jobs, length, half, solver)
-        profit_s, departures_s = _solve_pool(s_jobs, length, half, solver)
+        profit_r, departures_r = _solve_pool(r_jobs, length, half, solver, metrics)
+        profit_s, departures_s = _solve_pool(s_jobs, length, half, solver, metrics)
         profit = profit_r + profit_s
         departures = {**departures_r, **departures_s}
 
@@ -178,6 +184,7 @@ def solve_opt(
                 f"replay produced {replayed}"
             )
 
+    obs = active_or_none(metrics)
     r_departures = [departures.get(("R", t), t) for t in range(length)]
     s_departures = [departures.get(("S", t), t) for t in range(length)]
     return OptResult(
@@ -191,4 +198,5 @@ def solve_opt(
         variable=variable,
         count_from=count_from,
         policy_name="OPTV" if variable else "OPT",
+        metrics=obs.snapshot() if obs is not None else None,
     )

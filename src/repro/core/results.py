@@ -1,0 +1,122 @@
+"""Common run-result contract shared by every engine.
+
+The four execution models (fast-CPU :class:`~repro.core.engine.JoinEngine`,
+:class:`~repro.core.async_engine.AsyncJoinEngine`, the modular
+:class:`~repro.core.slowcpu.SlowCpuEngine`, and the shared-queue
+:class:`~repro.core.multiquery.SharedQueueSystem`) produce results with
+engine-specific detail, but all of them now agree on a minimal surface:
+
+* ``output_count`` — the counted (post-warmup) output size;
+* ``drop_breakdown()`` — a :class:`DropBreakdown` of how many tuples were
+  lost and why (rejected on arrival / evicted from state / expired);
+* ``metrics`` — the attached metrics snapshot (a dict produced by
+  :meth:`repro.obs.MetricsRegistry.snapshot`) when the run was
+  instrumented, else ``None``.
+
+:class:`BaseRunResult` is the mixin providing the shared helpers; the
+facade's :meth:`BaseRunResult.summary` flattens any result into one
+engine-agnostic :class:`RunSummary` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: How a tuple left the join state.
+DROP_REJECTED = "rejected"
+DROP_EVICTED = "evicted"
+DROP_EXPIRED = "expired"
+
+DROP_REASONS = (DROP_REJECTED, DROP_EVICTED, DROP_EXPIRED)
+
+
+def empty_side_drop_counts() -> dict:
+    """The per-side drop ledger the engines count into."""
+    return {
+        "R": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
+        "S": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
+    }
+
+
+@dataclass(frozen=True)
+class DropBreakdown:
+    """How many tuples were lost, by cause.
+
+    ``rejected`` — dropped on arrival (admission refusal or queue shed);
+    ``evicted`` — displaced from join state before natural death;
+    ``expired`` — aged out of the window (not a loss of result quality
+    by itself, reported for completeness).
+    """
+
+    rejected: int = 0
+    evicted: int = 0
+    expired: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.rejected + self.evicted + self.expired
+
+    @property
+    def shed(self) -> int:
+        """Tuples lost to load shedding (everything but natural expiry)."""
+        return self.rejected + self.evicted
+
+    def as_dict(self) -> dict:
+        return {
+            DROP_REJECTED: self.rejected,
+            DROP_EVICTED: self.evicted,
+            DROP_EXPIRED: self.expired,
+        }
+
+    @classmethod
+    def from_side_counts(cls, drop_counts: dict) -> "DropBreakdown":
+        """Collapse a per-side ledger (``{"R": {...}, "S": {...}}``)."""
+        sides = drop_counts.values()
+        return cls(
+            rejected=sum(side.get(DROP_REJECTED, 0) for side in sides),
+            evicted=sum(side.get(DROP_EVICTED, 0) for side in sides),
+            expired=sum(side.get(DROP_EXPIRED, 0) for side in sides),
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Engine-agnostic view of one run, as returned by ``summary()``."""
+
+    engine: str
+    policy_name: str
+    output_count: int
+    drops: DropBreakdown
+    metrics: Optional[dict] = None
+
+
+class BaseRunResult:
+    """Mixin giving every engine result the unified surface.
+
+    Subclasses are dataclasses that provide ``output_count`` and a
+    ``metrics`` field, and override :meth:`drop_breakdown` (and
+    ``engine_kind`` / ``policy_label`` where the legacy field names
+    differ).
+    """
+
+    #: Engine family for reporting ("fast", "async", "slowcpu", "multiquery").
+    engine_kind: str = "?"
+
+    def drop_breakdown(self) -> DropBreakdown:
+        """Total tuples lost, by cause (see :class:`DropBreakdown`)."""
+        raise NotImplementedError
+
+    @property
+    def policy_label(self) -> str:
+        return getattr(self, "policy_name", "?")
+
+    def summary(self) -> RunSummary:
+        """Flatten into the engine-agnostic :class:`RunSummary`."""
+        return RunSummary(
+            engine=self.engine_kind,
+            policy_name=self.policy_label,
+            output_count=self.output_count,  # type: ignore[attr-defined]
+            drops=self.drop_breakdown(),
+            metrics=getattr(self, "metrics", None),
+        )

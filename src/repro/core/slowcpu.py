@@ -32,10 +32,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..obs import Timer, active_or_none
 from ..stats.frequency import FrequencyEstimator
 from .engine import PolicySpec
 from .memory import JoinMemory, TupleRecord
+from .policies import resolve_policy_spec
 from .policies.base import EvictionPolicy
+from .results import BaseRunResult, DropBreakdown
 
 QUEUE_POLICIES = ("tail", "random", "prob")
 
@@ -75,12 +78,13 @@ class SlowCpuConfig:
 
 
 @dataclass
-class SlowCpuResult:
+class SlowCpuResult(BaseRunResult):
     """Counters of one slow-CPU run.
 
     ``total_delay`` sums, over processed tuples, the ticks spent waiting
     in the queue — the basis of the "average output delay" measure the
-    paper mentions alongside ArM (Section 2.2).
+    paper mentions alongside ArM (Section 2.2).  ``drop_counts`` keeps
+    its historical meaning here: queue sheds per stream side.
     """
 
     output_count: int
@@ -91,6 +95,20 @@ class SlowCpuResult:
     max_queue_length: int
     total_delay: int = 0
     drop_counts: dict = field(default_factory=dict)
+    evicted_from_memory: int = 0
+    rejected_from_memory: int = 0
+    expired_resident: int = 0
+    policy_name: str = "NONE"
+    metrics: Optional[dict] = None
+
+    engine_kind = "slowcpu"
+
+    def drop_breakdown(self) -> DropBreakdown:
+        return DropBreakdown(
+            rejected=self.shed_from_queue + self.rejected_from_memory,
+            evicted=self.evicted_from_memory,
+            expired=self.expired_in_queue + self.expired_resident,
+        )
 
     @property
     def mean_delay(self) -> float:
@@ -122,29 +140,23 @@ class SlowCpuEngine:
         config: SlowCpuConfig,
         policy: PolicySpec = None,
         estimators: Optional[dict] = None,
+        *,
+        metrics=None,
     ) -> None:
         if config.queue_policy == "prob" and not estimators:
             raise ValueError("the 'prob' queue policy needs estimators")
         self.config = config
         self.memory = JoinMemory(config.memory, variable=config.variable)
+        self.metrics = metrics
         self._estimators: dict[str, FrequencyEstimator] = estimators or {}
         self._rng = np.random.default_rng(config.seed)
+        self._evictions = 0
+        self._memory_rejections = 0
 
-        if policy is None:
-            self._policy_r: Optional[EvictionPolicy] = None
-            self._policy_s: Optional[EvictionPolicy] = None
-        elif isinstance(policy, EvictionPolicy):
-            if not config.variable:
-                raise ValueError("a single policy instance requires variable allocation")
-            policy.bind(self.memory)
-            self._policy_r = self._policy_s = policy
-        elif isinstance(policy, dict):
-            policy["R"].bind(self.memory)
-            policy["S"].bind(self.memory)
-            self._policy_r = policy["R"]
-            self._policy_s = policy["S"]
-        else:
-            raise TypeError(f"unsupported policy specification: {policy!r}")
+        resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
+        self._policy_r = resolved.r
+        self._policy_s = resolved.s
+        self.policy_name = resolved.name
 
     # ------------------------------------------------------------------
     def _partner_probability(self, stream: str, key) -> float:
@@ -198,9 +210,12 @@ class SlowCpuEngine:
                 policy.on_admit(record, now)
         elif policy is not None:
             victim = policy.choose_victim(record, now)
-            if victim is not None:
+            if victim is None:
+                self._memory_rejections += 1
+            else:
                 memory.remove(victim)
                 policy.on_remove(victim, now, expired=False)
+                self._evictions += 1
                 memory.admit(record)
                 policy.on_admit(record, now)
         else:
@@ -238,15 +253,26 @@ class SlowCpuEngine:
         processed = 0
         shed = 0
         expired_in_queue = 0
+        expired_resident = 0
         arrived = 0
         max_queue = 0
         total_delay = 0
         drop_counts = {"R": 0, "S": 0}
+        self._evictions = 0
+        self._memory_rejections = 0
+
+        obs = active_or_none(self.metrics)
+        timed = obs is not None
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            depth_r = obs.series("queue.depth", side="R")
+            depth_s = obs.series("queue.depth", side="S")
 
         for t in range(len(r_schedule)):
             # Expired records are simply absent afterwards; PROB/ARM heaps
             # clean up lazily via the records' alive flags.
-            self.memory.expire_until(t - window)
+            expired_resident += len(self.memory.expire_until(t - window))
 
             # Arrivals.
             for stream in ("R", "S"):
@@ -266,6 +292,9 @@ class SlowCpuEngine:
                             continue
                     queue.append(newcomer)
             max_queue = max(max_queue, len(queues["R"]) + len(queues["S"]))
+            if timed:
+                depth_r.append(t, len(queues["R"]))
+                depth_s.append(t, len(queues["S"]))
 
             # Service: oldest arrival first, alternating on ties.
             budget = config.service_per_tick
@@ -292,6 +321,22 @@ class SlowCpuEngine:
                 if t >= warmup:
                     output += matches
 
+        snapshot = None
+        if obs is not None:
+            run_timer.stop()
+            obs.counter("queue.arrived").inc(arrived)
+            obs.counter("queue.processed").inc(processed)
+            obs.counter("queue.expired").inc(expired_in_queue)
+            for side in ("R", "S"):
+                obs.counter("queue.shed", side=side).inc(drop_counts[side])
+            obs.gauge("queue.max_depth").set(max_queue)
+            obs.counter("engine.output").inc(output)
+            obs.counter("engine.drops", reason="evicted").inc(self._evictions)
+            obs.counter("engine.drops", reason="rejected").inc(self._memory_rejections)
+            obs.counter("engine.drops", reason="expired").inc(expired_resident)
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
+
         return SlowCpuResult(
             output_count=output,
             processed=processed,
@@ -301,4 +346,9 @@ class SlowCpuEngine:
             max_queue_length=max_queue,
             total_delay=total_delay,
             drop_counts=drop_counts,
+            evicted_from_memory=self._evictions,
+            rejected_from_memory=self._memory_rejections,
+            expired_resident=expired_resident,
+            policy_name=self.policy_name,
+            metrics=snapshot,
         )

@@ -10,7 +10,32 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..obs import (
+    format_metrics,
+    load_metrics_json,
+    metrics_to_csv,
+    metrics_to_json,
+    save_metrics_csv,
+    save_metrics_json,
+)
 from .figures import FigureData, TableData
+
+__all__ = [
+    "figure_to_dict",
+    "format_figure",
+    "format_metrics",
+    "format_table",
+    "load_metrics_json",
+    "metrics_to_csv",
+    "metrics_to_json",
+    "print_figure",
+    "print_table",
+    "save_figure_csv",
+    "save_metrics_csv",
+    "save_metrics_json",
+    "save_table_csv",
+    "table_to_dict",
+]
 
 
 def _format_value(value) -> str:

@@ -13,13 +13,7 @@ from typing import Optional, Union
 
 from ..core.engine import EngineConfig, JoinEngine, RunResult
 from ..core.offline.opt import OptResult, solve_opt
-from ..core.policies import (
-    ArmAwarePolicy,
-    FifoPolicy,
-    LifePolicy,
-    ProbPolicy,
-    RandomEvictionPolicy,
-)
+from ..core.policies import make_policy_spec
 from ..stats.frequency import StaticFrequencyTable
 from ..streams.tuples import StreamPair
 
@@ -68,26 +62,12 @@ def _policy_for(
     window: int,
     seed: int,
 ):
-    """Build the policy spec (single instance or per-side dict)."""
-    base = name[:-1] if name.endswith("V") else name
-    variable = name.endswith("V")
+    """Back-compat alias for :func:`repro.core.policies.make_policy_spec`.
 
-    def make(offset: int):
-        if base == "RAND":
-            return RandomEvictionPolicy(seed=seed + offset)
-        if base == "PROB":
-            return ProbPolicy(estimators)
-        if base == "LIFE":
-            return LifePolicy(estimators, window)
-        if base == "ARM":
-            return ArmAwarePolicy(estimators, window)
-        if base == "FIFO":
-            return FifoPolicy()
-        raise ValueError(f"unknown algorithm {name!r}")
-
-    if variable:
-        return make(0)
-    return {"R": make(0), "S": make(1)}
+    Kept because figure generators and older call sites build policy
+    specs through it; new code should use ``make_policy_spec`` directly.
+    """
+    return make_policy_spec(name, estimators=estimators, window=window, seed=seed)
 
 
 def run_algorithm(
@@ -103,11 +83,14 @@ def run_algorithm(
     track_shares: bool = False,
     share_sample_every: int = 1,
     track_survival: bool = False,
+    metrics=None,
 ) -> AnyResult:
     """Run one named algorithm and return its result.
 
     ``name`` is one of :data:`ALL_ALGORITHMS`.  ``memory`` is ignored for
-    EXACT (which always gets ``2 * window``).
+    EXACT (which always gets ``2 * window``).  ``metrics`` is an optional
+    :class:`~repro.obs.MetricsRegistry`; engine runs attach its snapshot
+    to the result, OPT solves feed the flow-solver counters.
     """
     if name == "EXACT":
         config = EngineConfig(
@@ -119,12 +102,17 @@ def run_algorithm(
             share_sample_every=share_sample_every,
             track_survival=track_survival,
         )
-        return JoinEngine(config, policy=None).run(pair)
+        return JoinEngine(config, policy=None, metrics=metrics).run(pair)
 
     if name in ("OPT", "OPTV"):
         count_from = warmup if warmup is not None else 2 * window
         return solve_opt(
-            pair, window, memory, variable=name.endswith("V"), count_from=count_from
+            pair,
+            window,
+            memory,
+            variable=name.endswith("V"),
+            count_from=count_from,
+            metrics=metrics,
         )
 
     if name not in FIXED_ALGORITHMS + VARIABLE_ALGORITHMS:
@@ -142,8 +130,8 @@ def run_algorithm(
         share_sample_every=share_sample_every,
         track_survival=track_survival,
     )
-    policy = _policy_for(name, estimators, window, seed)
-    return JoinEngine(config, policy=policy).run(pair)
+    policy = make_policy_spec(name, estimators=estimators, window=window, seed=seed)
+    return JoinEngine(config, policy=policy, metrics=metrics).run(pair)
 
 
 def run_suite(

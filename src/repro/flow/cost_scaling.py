@@ -21,7 +21,9 @@ Outline
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 
+from ..obs import active_or_none
 from .maxflow import max_flow
 from .network import FlowNetwork, FlowResult
 from .residual import ResidualGraph
@@ -35,12 +37,14 @@ class InfeasibleFlowError(RuntimeError):
     """Raised when the supplies cannot be routed at all."""
 
 
-def solve_cost_scaling(network: FlowNetwork) -> FlowResult:
+def solve_cost_scaling(network: FlowNetwork, *, metrics=None) -> FlowResult:
     """Route the network's full supply at minimum cost via cost scaling.
 
     Same contract as :func:`repro.flow.ssp.solve_min_cost_flow` except
     that capacity-infeasible instances raise
     :class:`InfeasibleFlowError` instead of returning a partial flow.
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) records ε-phase,
+    push, and relabel counts plus the ``flow/cost_scaling`` phase time.
     """
     if not network.is_balanced():
         raise UnbalancedNetworkError(
@@ -51,6 +55,9 @@ def solve_cost_scaling(network: FlowNetwork) -> FlowResult:
     if demand == 0:
         return FlowResult(flow=[0] * num_original_arcs, cost=0, value=0, feasible=True)
 
+    obs = active_or_none(metrics)
+    start_time = perf_counter() if obs is not None else 0.0
+
     graph, super_source, super_sink, _ = _augmented_residual(network)
 
     routed = max_flow(graph, super_source, super_sink)
@@ -59,14 +66,18 @@ def solve_cost_scaling(network: FlowNetwork) -> FlowResult:
             f"only {routed} of {demand} supply units are routable"
         )
 
-    _optimise(graph)
+    _optimise(graph, obs)
+
+    if obs is not None:
+        obs.gauge("flow.cost_scaling.routed").set(routed)
+        obs.record_phase("flow/cost_scaling", perf_counter() - start_time)
 
     flow = graph.flows(num_original_arcs)
     cost = sum(f * network.arc(a).cost for a, f in enumerate(flow) if f)
     return FlowResult(flow=flow, cost=cost, value=demand, feasible=True)
 
 
-def _optimise(graph: ResidualGraph) -> None:
+def _optimise(graph: ResidualGraph, obs=None) -> None:
     """Turn a feasible flow into a min-cost flow by ε-scaling phases."""
     n = graph.num_nodes
     scale = n + 1
@@ -78,7 +89,9 @@ def _optimise(graph: ResidualGraph) -> None:
     prices = [0] * n
     epsilon = max_cost
     while True:
-        _refine(graph, cost, prices, epsilon)
+        _refine(graph, cost, prices, epsilon, obs)
+        if obs is not None:
+            obs.counter("flow.cost_scaling.phases").inc()
         if epsilon <= 1:
             # 1-optimal on costs scaled by (n+1) means 1/(n+1)-optimal on
             # the originals — below the 1/n optimality threshold.
@@ -87,7 +100,7 @@ def _optimise(graph: ResidualGraph) -> None:
 
 
 def _refine(
-    graph: ResidualGraph, cost: list[int], prices: list[int], epsilon: int
+    graph: ResidualGraph, cost: list[int], prices: list[int], epsilon: int, obs=None
 ) -> None:
     """Make the current flow ε-optimal with push/relabel."""
     head = graph.head
@@ -115,6 +128,8 @@ def _refine(
     for u in active:
         in_queue[u] = True
     pointer = [0] * n
+    pushes = 0
+    relabels = 0
 
     while active:
         u = active.popleft()
@@ -137,6 +152,7 @@ def _refine(
                     raise InfeasibleFlowError("active node with no residual arcs")
                 prices[u] = best
                 pointer[u] = 0
+                relabels += 1
                 continue
             arc = arcs[pointer[u]]
             v = head[arc]
@@ -146,9 +162,14 @@ def _refine(
                 residual[arc ^ 1] += delta
                 excess[u] -= delta
                 excess[v] += delta
+                pushes += 1
                 if excess[v] > 0 and not in_queue[v]:
                     active.append(v)
                     in_queue[v] = True
             else:
                 pointer[u] += 1
         # Deficit nodes (excess < 0) absorb pushes passively.
+
+    if obs is not None:
+        obs.counter("flow.cost_scaling.pushes").inc(pushes)
+        obs.counter("flow.cost_scaling.relabels").inc(relabels)

@@ -19,7 +19,9 @@ the number of augmentations (bounded by the total supply).
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import perf_counter
 
+from ..obs import active_or_none
 from .bellman_ford import shortest_paths
 from .network import FlowNetwork, FlowResult
 from .residual import ResidualGraph
@@ -83,7 +85,7 @@ def _dag_potentials(network: FlowNetwork, super_source: int, super_sink: int) ->
     return potentials + [0.0, sink_potential]  # super source, super sink
 
 
-def solve_min_cost_flow(network: FlowNetwork) -> FlowResult:
+def solve_min_cost_flow(network: FlowNetwork, *, metrics=None) -> FlowResult:
     """Route the network's full supply at minimum cost.
 
     Parameters
@@ -92,6 +94,10 @@ def solve_min_cost_flow(network: FlowNetwork) -> FlowResult:
         A balanced network (supplies sum to zero).  Costs may be negative
         as long as no negative-cost *cycle* of positive-capacity arcs
         exists (the OPT-offline graphs are DAGs, so this always holds).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; records the number
+        of augmentations, each augmenting path's length, and the solve's
+        wall-clock phase under ``flow/ssp``.
 
     Returns
     -------
@@ -115,6 +121,9 @@ def solve_min_cost_flow(network: FlowNetwork) -> FlowResult:
     if demand == 0:
         return FlowResult(flow=[0] * num_original_arcs, cost=0, value=0, feasible=True)
 
+    obs = active_or_none(metrics)
+    start_time = perf_counter() if obs is not None else 0.0
+
     graph, super_source, super_sink, _ = _augmented_residual(network)
 
     has_negative_cost = any(arc.cost < 0 for arc in network.arcs)
@@ -133,6 +142,8 @@ def solve_min_cost_flow(network: FlowNetwork) -> FlowResult:
     n = graph.num_nodes
 
     routed = 0
+    augmentations = 0
+    path_lengths = obs.histogram("flow.ssp.path_length") if obs is not None else None
     while routed < demand:
         # Dijkstra on reduced costs from the super source.
         dist = [INFINITY] * n
@@ -179,12 +190,22 @@ def solve_min_cost_flow(network: FlowNetwork) -> FlowResult:
             node = head[arc ^ 1]
 
         node = super_sink
+        path_arcs = 0
         while node != super_source:
             arc = parent_arc[node]
             residual[arc] -= bottleneck
             residual[arc ^ 1] += bottleneck
             node = head[arc ^ 1]
+            path_arcs += 1
         routed += bottleneck
+        augmentations += 1
+        if path_lengths is not None:
+            path_lengths.observe(path_arcs)
+
+    if obs is not None:
+        obs.counter("flow.ssp.augmentations").inc(augmentations)
+        obs.gauge("flow.ssp.routed").set(routed)
+        obs.record_phase("flow/ssp", perf_counter() - start_time)
 
     flow = graph.flows(num_original_arcs)
     total_cost = sum(

@@ -1,0 +1,58 @@
+"""Observability: metrics registry, phase timers, exporters.
+
+Every run of the join engines (and the flow solvers beneath OPT) can
+carry a :class:`MetricsRegistry` that collects counters, gauges,
+histograms, per-tick series, and nested phase timings.  Passing
+``metrics=None`` (the default everywhere) disables instrumentation at
+near-zero cost; :data:`NULL_RECORDER` offers the same interface as
+explicit no-ops.
+
+Quick use::
+
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    with metrics.span("run_join"):
+        result = engine.run(pair)            # engine records into it
+    print(metrics.snapshot()["counters"])    # machine-readable
+"""
+
+from .export import (
+    format_metrics,
+    load_metrics_json,
+    metrics_to_csv,
+    metrics_to_json,
+    save_metrics_csv,
+    save_metrics_json,
+)
+from .registry import (
+    NULL_RECORDER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRecorder,
+    PhaseStat,
+    Series,
+    active_or_none,
+)
+from .timer import Timer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PhaseStat",
+    "Series",
+    "Timer",
+    "active_or_none",
+    "format_metrics",
+    "load_metrics_json",
+    "metrics_to_csv",
+    "metrics_to_json",
+    "save_metrics_csv",
+    "save_metrics_json",
+]

@@ -1,0 +1,130 @@
+"""Serialise metric snapshots: JSON (round-trip), flat CSV, plain text.
+
+The canonical machine-readable form is the registry snapshot dict (see
+:meth:`repro.obs.registry.MetricsRegistry.snapshot`); JSON export/import
+round-trips it exactly.  The CSV form flattens every instrument into
+``kind,name,labels,x,value`` rows — one row per counter/gauge, one per
+histogram summary field, one per series point, one per phase — for
+spreadsheet-style consumption.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import io
+from pathlib import Path
+
+from .registry import MetricsRegistry
+
+
+def _as_snapshot(metrics) -> dict:
+    """Accept a registry, a recorder, or an already-built snapshot."""
+    if isinstance(metrics, dict):
+        return metrics
+    return metrics.snapshot()
+
+
+def _format_labels(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def metrics_to_json(metrics, *, indent: int = 2) -> str:
+    """Render a registry (or snapshot) as a JSON document."""
+    return json.dumps(_as_snapshot(metrics), indent=indent, sort_keys=False)
+
+
+def save_metrics_json(metrics, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(metrics_to_json(metrics) + "\n")
+    return path
+
+
+def load_metrics_json(path) -> MetricsRegistry:
+    """Rebuild a registry from a JSON export (snapshot round-trip)."""
+    return MetricsRegistry.from_snapshot(json.loads(Path(path).read_text()))
+
+
+def metrics_to_csv(metrics) -> str:
+    """Flatten a registry (or snapshot) into CSV text."""
+    snapshot = _as_snapshot(metrics)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["kind", "name", "labels", "x", "value"])
+    for entry in snapshot.get("counters", ()):
+        writer.writerow(
+            ["counter", entry["name"], _format_labels(entry["labels"]), "", entry["value"]]
+        )
+    for entry in snapshot.get("gauges", ()):
+        writer.writerow(
+            ["gauge", entry["name"], _format_labels(entry["labels"]), "", entry["value"]]
+        )
+    for entry in snapshot.get("histograms", ()):
+        labels = _format_labels(entry["labels"])
+        for field in ("count", "sum", "min", "max"):
+            writer.writerow(["histogram", entry["name"], labels, field, entry[field]])
+    for entry in snapshot.get("series", ()):
+        labels = _format_labels(entry["labels"])
+        for point in entry["points"]:
+            x, *values = point
+            value = values[0] if len(values) == 1 else values
+            writer.writerow(["series", entry["name"], labels, x, value])
+    for entry in snapshot.get("phases", ()):
+        writer.writerow(["phase", entry["path"], "", entry["count"], entry["seconds"]])
+    return buffer.getvalue()
+
+
+def save_metrics_csv(metrics, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(metrics_to_csv(metrics))
+    return path
+
+
+def format_metrics(metrics) -> str:
+    """Human-readable summary of a registry (or snapshot)."""
+    snapshot = _as_snapshot(metrics)
+    lines = []
+
+    def label_suffix(entry):
+        rendered = _format_labels(entry["labels"])
+        return f"{{{rendered}}}" if rendered else ""
+
+    counters = snapshot.get("counters", ())
+    if counters:
+        lines.append("counters:")
+        for entry in counters:
+            lines.append(f"  {entry['name']}{label_suffix(entry)} = {entry['value']}")
+    gauges = snapshot.get("gauges", ())
+    if gauges:
+        lines.append("gauges:")
+        for entry in gauges:
+            lines.append(f"  {entry['name']}{label_suffix(entry)} = {entry['value']:g}")
+    histograms = snapshot.get("histograms", ())
+    if histograms:
+        lines.append("histograms:")
+        for entry in histograms:
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            lines.append(
+                f"  {entry['name']}{label_suffix(entry)}: n={entry['count']} "
+                f"mean={mean:.4g} min={entry['min']} max={entry['max']}"
+            )
+    series = snapshot.get("series", ())
+    if series:
+        lines.append("series:")
+        for entry in series:
+            points = entry["points"]
+            span = f"t={points[0][0]}..{points[-1][0]}" if points else "empty"
+            lines.append(
+                f"  {entry['name']}{label_suffix(entry)}: {len(points)} points ({span})"
+            )
+    phases = snapshot.get("phases", ())
+    if phases:
+        lines.append("phases:")
+        for entry in phases:
+            lines.append(
+                f"  {entry['path']}: {entry['seconds'] * 1000:.3f} ms "
+                f"over {entry['count']} section(s)"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,54 @@
+"""Wall-clock timing helpers for phase instrumentation.
+
+Two granularities:
+
+* ``registry.span(name)`` (see :mod:`repro.obs.registry`) — nested
+  context-manager spans for coarse phases (workload generation, an
+  engine run, report export); paths join with ``/``.
+* :class:`Timer` — an explicit start/stop accumulator for hot-loop
+  sections that fire thousands of times per run.  The engines create one
+  per section only when metrics are enabled, accumulate into plain
+  floats, and flush the totals to the registry once at the end — the
+  disabled path never touches a clock.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Accumulating section timer: ``timer.start() ... timer.stop()``.
+
+    Also usable as a context manager for one-shot measurements.  The
+    accumulated total is attached to a registry phase path via
+    :meth:`flush`.
+    """
+
+    __slots__ = ("seconds", "count", "_start")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.count = 0
+        self._start = 0.0
+
+    def start(self) -> None:
+        self._start = perf_counter()
+
+    def stop(self) -> None:
+        self.seconds += perf_counter() - self._start
+        self.count += 1
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def flush(self, registry, path: str) -> None:
+        """Record the accumulated time as a phase on ``registry``."""
+        if self.count:
+            registry.record_phase(path, self.seconds, self.count)

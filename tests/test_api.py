@@ -1,0 +1,199 @@
+"""Tests for the unified public run API (repro.api)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import RunSpec, build_pair, compare, optimal_offline, run_join
+from repro.core.policies import POLICY_NAMES
+from repro.obs import MetricsRegistry
+
+SMALL = dict(window=20, memory=10, length=300, seed=3)
+
+
+def small_spec(algorithm: str, **overrides) -> RunSpec:
+    params = {**SMALL, **overrides}
+    return RunSpec(algorithm=algorithm, **params)
+
+
+class TestRunSpec:
+    def test_algorithm_upper_cased_and_validated(self):
+        assert RunSpec(algorithm="prob").algorithm == "PROB"
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            RunSpec(algorithm="NOPE")
+
+    def test_variable_inferred_from_suffix(self):
+        assert RunSpec(algorithm="PROB").variable is False
+        assert RunSpec(algorithm="PROBV").variable is True
+        assert RunSpec(algorithm="OPTV").variable is True
+
+    def test_engine_and_workload_validated(self):
+        with pytest.raises(ValueError, match="engine"):
+            RunSpec(engine="gpu")
+        with pytest.raises(ValueError, match="workload"):
+            RunSpec(workload="pareto")
+
+    def test_exact_gets_lossless_memory(self):
+        spec = RunSpec(algorithm="EXACT", window=50, memory=10)
+        assert spec.effective_memory == 100
+        assert RunSpec(algorithm="PROB", memory=10).effective_memory == 10
+
+
+class TestFacadeRoundTrip:
+    """Every registered policy runs through the facade, both allocations."""
+
+    @pytest.mark.parametrize("base", POLICY_NAMES)
+    @pytest.mark.parametrize("variable", [False, True])
+    def test_policy_times_allocation(self, base, variable):
+        name = f"{base}V" if variable else base
+        result = run_join(small_spec(name))
+        assert result.engine_kind == "fast"
+        assert result.policy_name == name
+        assert result.output_count >= 0
+        summary = result.summary()
+        assert summary.engine == "fast"
+        assert summary.policy_name == name
+        assert summary.drops.total == result.drop_breakdown().total
+
+    def test_exact_matches_run_exact(self):
+        spec = small_spec("EXACT")
+        result = run_join(spec)
+        assert result.policy_name == "EXACT"
+        assert result.drop_breakdown().shed == 0
+
+    def test_opt_delegates_to_offline(self):
+        spec = small_spec("OPT")
+        via_run = run_join(spec)
+        direct = optimal_offline(spec)
+        assert via_run.output_count == direct.output_count
+        assert via_run.policy_name == "OPT"
+
+    def test_async_engine(self):
+        result = run_join(small_spec("PROB", engine="async"))
+        assert result.engine_kind == "async"
+        assert result.output_count >= 0
+
+    def test_slowcpu_engine(self):
+        result = run_join(
+            small_spec("PROB", engine="slowcpu", service_per_tick=1,
+                       queue_capacity=8)
+        )
+        assert result.engine_kind == "slowcpu"
+        assert result.drop_breakdown().total > 0
+
+    def test_explicit_pair_overrides_workload(self):
+        spec = small_spec("RAND")
+        pair = build_pair(spec)
+        assert run_join(spec, pair=pair).output_count == run_join(spec).output_count
+
+    def test_deterministic_given_seed(self):
+        spec = small_spec("RAND")
+        assert run_join(spec).output_count == run_join(spec).output_count
+
+
+class TestCompare:
+    def test_shares_one_workload(self):
+        results = compare([small_spec("RAND"), "PROB", "OPT"])
+        assert list(results) == ["RAND", "PROB", "OPT"]
+        assert results["PROB"].output_count <= results["OPT"].output_count
+
+    def test_duplicate_labels_are_suffixed(self):
+        results = compare([small_spec("RAND"), "RAND"])
+        assert list(results) == ["RAND", "RAND#2"]
+        assert results["RAND"].output_count == results["RAND#2"].output_count
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compare([])
+
+
+class TestMetricsAttachment:
+    def test_disabled_by_default(self):
+        assert run_join(small_spec("PROB")).metrics is None
+
+    def test_snapshot_attached_when_requested(self):
+        result = run_join(small_spec("PROB", metrics=True))
+        snapshot = result.metrics
+        assert snapshot is not None
+        registry = MetricsRegistry.from_snapshot(snapshot)
+        assert registry.counter_value("engine.output") == result.output_count
+        assert registry.counter_value("engine.probes") > 0
+        series = {s.name for s in registry.all_series()}
+        assert "engine.occupancy" in series
+        assert any(p.path == "engine/run" for p in registry.phases())
+
+    def test_opt_metrics_cover_the_flow_solver(self):
+        result = optimal_offline(small_spec("OPT", metrics=True, memory=8))
+        registry = MetricsRegistry.from_snapshot(result.metrics)
+        assert registry.counter_total("flow.ssp.augmentations") > 0
+
+
+class TestCounterReconciliation:
+    """Counters and the drop breakdown describe the same run."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        memory_slots=st.integers(min_value=2, max_value=20),
+        base=st.sampled_from(["RAND", "PROB", "LIFE", "FIFO"]),
+        variable=st.booleans(),
+    )
+    def test_fast_engine_counters_reconcile(self, seed, memory_slots, base, variable):
+        name = f"{base}V" if variable else base
+        spec = RunSpec(
+            algorithm=name,
+            window=15,
+            memory=2 * memory_slots,
+            length=200,
+            seed=seed,
+            metrics=True,
+        )
+        result = run_join(spec)
+        registry = MetricsRegistry.from_snapshot(result.metrics)
+        drops = result.drop_breakdown()
+
+        assert registry.counter_total("engine.drops") == drops.total
+        for reason in ("rejected", "evicted", "expired"):
+            total = sum(
+                registry.counter_value("engine.drops", side=side, reason=reason)
+                for side in ("R", "S")
+            )
+            assert total == getattr(drops, reason)
+
+        arrivals = registry.counter_total("engine.arrivals")
+        admissions = registry.counter_total("engine.admissions")
+        assert arrivals == 2 * spec.length
+        # Every arrival is either admitted or rejected on arrival.
+        assert admissions + drops.rejected == arrivals
+        # Admitted tuples eventually leave by eviction or expiry, or are
+        # still resident at the end of the run.
+        resident = sum(g.value for g in registry.gauges()
+                       if g.name == "engine.final_occupancy")
+        assert admissions == drops.evicted + drops.expired + resident
+        assert registry.counter_value("engine.output") == result.output_count
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_slowcpu_counters_reconcile(self, seed):
+        spec = RunSpec(
+            algorithm="PROB",
+            window=15,
+            memory=10,
+            length=200,
+            seed=seed,
+            engine="slowcpu",
+            service_per_tick=1,
+            queue_capacity=6,
+            metrics=True,
+        )
+        result = run_join(spec)
+        registry = MetricsRegistry.from_snapshot(result.metrics)
+        drops = result.drop_breakdown()
+        assert registry.counter_total("queue.shed") == result.shed_from_queue
+        assert registry.counter_value("queue.expired") == result.expired_in_queue
+        assert (
+            registry.counter_value("engine.drops", reason="evicted")
+            == result.evicted_from_memory
+        )
+        assert drops.rejected == result.shed_from_queue + result.rejected_from_memory
+        assert drops.expired == result.expired_in_queue + result.expired_resident

@@ -1,0 +1,201 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    NullRecorder,
+    Timer,
+    active_or_none,
+    format_metrics,
+    load_metrics_json,
+    metrics_to_csv,
+    metrics_to_json,
+    save_metrics_json,
+)
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events", side="R")
+        b = registry.counter("events", side="R")
+        assert a is b
+        a.inc()
+        b.inc(4)
+        assert registry.counter_value("events", side="R") == 5
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("events", side="R").inc(2)
+        registry.counter("events", side="S").inc(3)
+        registry.counter("events").inc(1)
+        assert registry.counter_value("events", side="R") == 2
+        assert registry.counter_value("events", side="S") == 3
+        assert registry.counter_value("events") == 1
+        assert registry.counter_total("events") == 6
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("drops", side="R", reason="evicted")
+        b = registry.counter("drops", reason="evicted", side="R")
+        assert a is b
+
+    def test_missing_counter_reads_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("never") == 0
+        assert registry.counter_total("never") == 0
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lengths")
+        for value in (4, 1, 7):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 12
+        assert histogram.min == 1
+        assert histogram.max == 7
+        assert histogram.mean == 4
+
+    def test_empty_histogram_mean(self):
+        assert MetricsRegistry().histogram("empty").mean == 0.0
+
+    def test_series_appends_points(self):
+        registry = MetricsRegistry()
+        series = registry.series("occupancy", side="R")
+        series.append(0, 5)
+        series.append(1, 6)
+        assert series.points == [(0, 5), (1, 6)]
+
+
+class TestPhases:
+    def test_record_phase_aggregates(self):
+        registry = MetricsRegistry()
+        registry.record_phase("engine/probe", 0.5)
+        registry.record_phase("engine/probe", 0.25, count=2)
+        (stat,) = registry.phases()
+        assert stat.path == "engine/probe"
+        assert stat.count == 3
+        assert stat.seconds == pytest.approx(0.75)
+
+    def test_nested_spans_build_paths(self):
+        registry = MetricsRegistry()
+        with registry.span("run"):
+            with registry.span("solve"):
+                pass
+            with registry.span("solve"):
+                pass
+        paths = {stat.path: stat for stat in registry.phases()}
+        assert set(paths) == {"run", "run/solve"}
+        assert paths["run/solve"].count == 2
+        assert paths["run"].seconds >= paths["run/solve"].seconds
+
+    def test_timer_accumulates_and_flushes(self):
+        timer = Timer()
+        for _ in range(3):
+            with timer:
+                pass
+        assert timer.count == 3
+        assert timer.seconds >= 0.0
+        registry = MetricsRegistry()
+        timer.flush(registry, "engine/probe")
+        (stat,) = registry.phases()
+        assert stat.count == 3
+        assert stat.seconds == pytest.approx(timer.seconds)
+
+    def test_unused_timer_flushes_nothing(self):
+        registry = MetricsRegistry()
+        Timer().flush(registry, "never")
+        assert list(registry.phases()) == []
+
+
+class TestNullRecorder:
+    def test_disabled_flag(self):
+        assert NullRecorder.enabled is False
+        assert MetricsRegistry.enabled is True
+
+    def test_all_operations_are_noops(self):
+        recorder = NullRecorder()
+        recorder.counter("a", side="R").inc(5)
+        recorder.gauge("b").set(1.0)
+        recorder.histogram("c").observe(2)
+        recorder.series("d").append(0, 1)
+        recorder.record_phase("e", 1.0)
+        with recorder.span("f"):
+            pass
+        snapshot = recorder.snapshot()
+        assert snapshot == {
+            "counters": [], "gauges": [], "histograms": [],
+            "series": [], "phases": [],
+        }
+
+    def test_active_or_none(self):
+        registry = MetricsRegistry()
+        assert active_or_none(None) is None
+        assert active_or_none(NULL_RECORDER) is None
+        assert active_or_none(registry) is registry
+
+
+class TestSnapshotRoundTrip:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("engine.probes").inc(10)
+        registry.counter("engine.drops", side="R", reason="evicted").inc(3)
+        registry.gauge("engine.final_occupancy", side="S").set(17)
+        histogram = registry.histogram("flow.ssp.path_length")
+        histogram.observe(3)
+        histogram.observe(9)
+        series = registry.series("engine.occupancy", side="R")
+        series.append(0, 1)
+        series.append(5, 4)
+        registry.record_phase("engine/run", 0.125, count=1)
+        return registry
+
+    def test_snapshot_round_trips(self):
+        original = self._populated()
+        rebuilt = MetricsRegistry.from_snapshot(original.snapshot())
+        assert rebuilt.snapshot() == original.snapshot()
+
+    def test_snapshot_is_json_serialisable(self):
+        snapshot = self._populated().snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_snapshot_is_deterministically_ordered(self):
+        a = MetricsRegistry()
+        a.counter("z").inc()
+        a.counter("a").inc()
+        names = [entry["name"] for entry in a.snapshot()["counters"]]
+        assert names == ["a", "z"]
+
+    def test_json_file_round_trip(self, tmp_path):
+        original = self._populated()
+        path = save_metrics_json(original, tmp_path / "metrics.json")
+        rebuilt = load_metrics_json(path)
+        assert rebuilt.snapshot() == original.snapshot()
+
+    def test_json_text_matches_snapshot(self):
+        registry = self._populated()
+        assert json.loads(metrics_to_json(registry)) == registry.snapshot()
+
+    def test_csv_flattens_every_instrument(self):
+        text = metrics_to_csv(self._populated())
+        lines = text.strip().splitlines()
+        assert lines[0] == "kind,name,labels,x,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "gauge", "histogram", "series", "phase"}
+
+    def test_format_metrics_mentions_instruments(self):
+        text = format_metrics(self._populated())
+        for token in ("engine.probes", "flow.ssp.path_length", "engine/run"):
+            assert token in text
+        assert format_metrics(MetricsRegistry()) == "(no metrics recorded)"
