@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,12 @@ bench-ci:
 # Throughput snapshot at ci scale -> BENCH_engine.json (committed).
 bench-smoke:
 	$(PYTHON) benchmarks/snapshot.py --scale ci
+
+# Perf-regression gate: fresh snapshot vs the committed BENCH_engine.json.
+# Fails on >20% throughput drops, output-count drift, or instrumentation
+# overhead growth; see benchmarks/regression.py for the tolerance knobs.
+bench-gate:
+	$(PYTHON) benchmarks/regression.py
 
 # Tier-1 gate: the full test-suite plus the benchmark snapshot.
 check:

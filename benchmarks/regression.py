@@ -1,0 +1,198 @@
+"""Perf-regression gate: fresh snapshot vs. the committed baseline.
+
+Rebuilds the engine-throughput snapshot (``benchmarks/snapshot.py``)
+at the baseline's own scale/seed and compares per policy:
+
+* ``output_count`` must match **exactly** — the engines are
+  deterministic, so any drift is a semantics change, not noise;
+* ``ktuples_per_second`` may not fall more than ``--tolerance``
+  (default 20%) below the baseline;
+* ``metrics_overhead_pct`` / ``trace_overhead_pct`` may not grow more
+  than ``--overhead-slack`` percentage points (default 20) over the
+  baseline, widened to the baseline's own value for already-large
+  overheads — i.e. the gate trips when instrumentation cost roughly
+  doubles, since the ratio of two noisy timings spreads with its
+  magnitude and a tighter band would flake.
+
+Timings are taken with instrumentation *disabled* (the overhead columns
+time it separately), so the gate measures the null path the paper's
+throughput claims depend on.  Throughput gains and overhead drops never
+fail the gate; only regressions do.  Exit status: 0 pass, 1 fail,
+2 bad invocation.
+
+Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
+                                      [--tolerance 0.2] [--repeats N]
+Or:   make bench-gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `make install`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from snapshot import build_snapshot  # noqa: E402 - sibling module
+
+#: throughput may drop at most this fraction below baseline
+DEFAULT_TOLERANCE = 0.20
+#: overhead columns may grow at most this many percentage points
+DEFAULT_OVERHEAD_SLACK = 20.0
+
+OVERHEAD_FIELDS = ("metrics_overhead_pct", "trace_overhead_pct")
+
+
+def compare_snapshots(
+    baseline: dict,
+    fresh: dict,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    overhead_slack: float = DEFAULT_OVERHEAD_SLACK,
+) -> list[str]:
+    """Failure messages (empty list == gate passes).
+
+    Policies present only on one side fail loudly — a silently dropped
+    policy is exactly the kind of regression a gate exists to catch.
+    Overhead fields missing from the *baseline* are skipped (older
+    snapshots predate ``trace_overhead_pct``), not treated as growth.
+    """
+    failures: list[str] = []
+    base_policies = {entry["policy"]: entry for entry in baseline.get("policies", [])}
+    fresh_policies = {entry["policy"]: entry for entry in fresh.get("policies", [])}
+
+    for name in base_policies:
+        if name not in fresh_policies:
+            failures.append(f"{name}: missing from fresh snapshot")
+    for name in fresh_policies:
+        if name not in base_policies:
+            failures.append(f"{name}: missing from baseline (regenerate it)")
+
+    for name, base in base_policies.items():
+        current = fresh_policies.get(name)
+        if current is None:
+            continue
+        if current["output_count"] != base["output_count"]:
+            failures.append(
+                f"{name}: output_count changed "
+                f"{base['output_count']} -> {current['output_count']} "
+                "(engines are deterministic; this is a semantics change)"
+            )
+        floor = base["ktuples_per_second"] * (1.0 - tolerance)
+        if current["ktuples_per_second"] < floor:
+            drop = 100 * (
+                1 - current["ktuples_per_second"] / base["ktuples_per_second"]
+            )
+            failures.append(
+                f"{name}: throughput {current['ktuples_per_second']:.2f} "
+                f"k-tuples/s is {drop:.1f}% below baseline "
+                f"{base['ktuples_per_second']:.2f} "
+                f"(tolerance {100 * tolerance:.0f}%)"
+            )
+        for field in OVERHEAD_FIELDS:
+            if field not in base or field not in current:
+                continue
+            # Overhead is a ratio of two noisy timings, so its run-to-run
+            # spread grows with its magnitude; flag only when overhead
+            # roughly doubles (plus the flat slack for small baselines) —
+            # the gate is for pathologies, not timer jitter.
+            slack = max(overhead_slack, abs(base[field]))
+            ceiling = base[field] + slack
+            if current[field] > ceiling:
+                failures.append(
+                    f"{name}: {field} grew {base[field]:+.1f}% -> "
+                    f"{current[field]:+.1f}% "
+                    f"(slack {slack:.0f} points)"
+                )
+    return failures
+
+
+def format_comparison(baseline: dict, fresh: dict) -> str:
+    """Side-by-side table of the gated quantities."""
+    lines = [
+        f"{'policy':<7} {'base kt/s':>10} {'fresh kt/s':>11} {'delta':>8} "
+        f"{'base out':>9} {'fresh out':>10}",
+        "-" * 60,
+    ]
+    fresh_policies = {entry["policy"]: entry for entry in fresh.get("policies", [])}
+    for base in baseline.get("policies", []):
+        current = fresh_policies.get(base["policy"])
+        if current is None:
+            lines.append(f"{base['policy']:<7} {'(missing from fresh snapshot)':>50}")
+            continue
+        delta = 100 * (
+            current["ktuples_per_second"] / base["ktuples_per_second"] - 1
+        )
+        lines.append(
+            f"{base['policy']:<7} {base['ktuples_per_second']:>10.2f} "
+            f"{current['ktuples_per_second']:>11.2f} {delta:>+7.1f}% "
+            f"{base['output_count']:>9} {current['output_count']:>10}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="committed snapshot to gate against",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="max fractional throughput drop (default 0.20)",
+    )
+    parser.add_argument(
+        "--overhead-slack", type=float, default=DEFAULT_OVERHEAD_SLACK,
+        dest="overhead_slack",
+        help="max overhead growth in percentage points (default 20)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats (default: the baseline's own setting)",
+    )
+    args = parser.parse_args()
+
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except OSError as error:
+        print(f"cannot read baseline {baseline_path}: {error}", file=sys.stderr)
+        print("generate one with `make bench-smoke` first", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"baseline {baseline_path} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+
+    scale = baseline.get("scale", "ci")
+    seed = baseline.get("workload", {}).get("seed", 0)
+    repeats = (
+        args.repeats
+        if args.repeats is not None
+        else baseline.get("parameters", {}).get("repeats", 3)
+    )
+    print(f"bench-gate: rebuilding snapshot (scale={scale}, repeats={repeats}) ...")
+    fresh = build_snapshot(scale, repeats, seed)
+
+    print(format_comparison(baseline, fresh))
+    failures = compare_snapshots(
+        baseline, fresh,
+        tolerance=args.tolerance, overhead_slack=args.overhead_slack,
+    )
+    if failures:
+        print(f"\nbench-gate FAILED ({len(failures)} issue(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbench-gate OK (tolerance {100 * args.tolerance:.0f}%, "
+          f"overhead slack {args.overhead_slack:.0f} points)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,13 +3,16 @@
 Runs the fast-CPU engine once per policy on the ``ci``-scale workload
 (the same kernel ``bench_engine_throughput.py`` times under
 pytest-benchmark), records throughput with instrumentation disabled,
-repeats the run with a :class:`~repro.obs.MetricsRegistry` attached to
-measure the observability overhead, and dumps everything — including a
-trimmed metrics snapshot of the PROB run — as one JSON document.
+repeats the run with a :class:`~repro.obs.MetricsRegistry` attached and
+again with a :class:`~repro.obs.Tracer` to measure both observability
+overheads, and dumps everything — including a trimmed metrics snapshot
+of the PROB run — as one JSON document.
 
 The committed ``BENCH_engine.json`` at the repository root is the
 reference point: regenerate it with ``make bench-smoke`` and diff the
-throughput/overhead numbers when touching the engine hot path.
+throughput/overhead numbers when touching the engine hot path;
+``make bench-gate`` (see ``benchmarks/regression.py``) does the diff
+automatically with tolerance bands.
 
 Run:  python benchmarks/snapshot.py [--scale ci] [--out BENCH_engine.json]
 """
@@ -31,7 +34,7 @@ except ImportError:  # running from a checkout without `make install`
 
 from repro.experiments import estimators_for, run_algorithm
 from repro.experiments.config import DEFAULT_DOMAIN, SCALES, even_memory
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, RingBufferSink, Tracer
 from repro.streams import zipf_pair
 
 POLICIES = ("EXACT", "RAND", "PROB", "PROBV", "LIFE", "ARM")
@@ -78,6 +81,14 @@ def build_snapshot(scale_name: str, repeats: int, seed: int) -> dict:
             repeats, run_algorithm, name, pair, window, memory,
             estimators=estimators, seed=seed, metrics=MetricsRegistry(),
         )
+        traced_seconds, _ = _best_of(
+            repeats,
+            lambda: run_algorithm(
+                name, pair, window, memory,
+                estimators=estimators, seed=seed,
+                trace=Tracer(RingBufferSink(1 << 20)),
+            ),
+        )
         entry = {
             "policy": name,
             "output_count": result.output_count,
@@ -85,6 +96,9 @@ def build_snapshot(scale_name: str, repeats: int, seed: int) -> dict:
             "seconds": round(plain_seconds, 4),
             "metrics_overhead_pct": round(
                 100 * (timed_seconds - plain_seconds) / plain_seconds, 1
+            ),
+            "trace_overhead_pct": round(
+                100 * (traced_seconds - plain_seconds) / plain_seconds, 1
             ),
         }
         if name == "PROB":
@@ -131,7 +145,8 @@ def main() -> int:
         print(f"  {entry['policy']:<{width}}  "
               f"{entry['ktuples_per_second']:>8.2f} k-tuples/s  "
               f"output={entry['output_count']:<8} "
-              f"metrics overhead {entry['metrics_overhead_pct']:+.1f}%")
+              f"metrics overhead {entry['metrics_overhead_pct']:+.1f}%  "
+              f"trace overhead {entry['trace_overhead_pct']:+.1f}%")
     print(f"written to {path}")
     return 0
 

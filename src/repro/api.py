@@ -36,7 +36,7 @@ from .core.offline.opt import OptResult, solve_opt
 from .core.policies import make_policy_spec
 from .core.slowcpu import SlowCpuConfig, SlowCpuEngine
 from .experiments.runner import ALL_ALGORITHMS, estimators_for
-from .obs import MetricsRegistry
+from .obs import MetricsRegistry, RingBufferSink, Tracer
 from .streams import StreamPair, uniform_pair, weather_pair, zipf_pair
 
 ENGINES = ("fast", "async", "slowcpu")
@@ -53,7 +53,11 @@ class RunSpec:
     integrated fast-CPU model, ``"async"`` — bursty per-tick batches,
     ``"slowcpu"`` — the modular queue-fronted model, which also uses the
     ``service_per_tick`` / ``queue_capacity`` / ``queue_policy`` knobs).
-    ``metrics=True`` collects an observability snapshot into the result.
+    ``metrics=True`` collects an observability snapshot into the result;
+    ``trace=True`` records the full tuple lifecycle (arrive / admit /
+    evict / expire / join_output / drop) into ``result.trace`` via a
+    bounded ring buffer of ``trace_capacity`` events.  Both default off
+    and cost nothing when off (the engines collapse them to ``None``).
     """
 
     algorithm: str = "PROB"
@@ -76,6 +80,8 @@ class RunSpec:
     queue_policy: str = "tail"
 
     metrics: bool = False
+    trace: bool = False
+    trace_capacity: int = 1 << 20
 
     def __post_init__(self) -> None:
         name = self.algorithm.upper()
@@ -124,6 +130,10 @@ def _registry_for(spec: RunSpec) -> Optional[MetricsRegistry]:
     return MetricsRegistry() if spec.metrics else None
 
 
+def _tracer_for(spec: RunSpec) -> Optional[Tracer]:
+    return Tracer(RingBufferSink(spec.trace_capacity)) if spec.trace else None
+
+
 def _policy_for(spec: RunSpec, pair: StreamPair, estimators: Optional[dict]):
     if spec.algorithm == "EXACT":
         return None
@@ -158,6 +168,7 @@ def run_join(
     if pair is None:
         pair = build_pair(spec)
     registry = _registry_for(spec)
+    tracer = _tracer_for(spec)
     policy = _policy_for(spec, pair, estimators)
 
     if spec.engine == "fast":
@@ -167,7 +178,7 @@ def run_join(
             variable=spec.variable,
             warmup=spec.warmup,
         )
-        return JoinEngine(config, policy=policy, metrics=registry).run(pair)
+        return JoinEngine(config, policy=policy, metrics=registry, trace=tracer).run(pair)
 
     if spec.engine == "async":
         config = AsyncEngineConfig(
@@ -177,7 +188,7 @@ def run_join(
             warmup=spec.warmup,
         )
         r_batches, s_batches = batches_from_pair(pair)
-        return AsyncJoinEngine(config, policy=policy, metrics=registry).run(
+        return AsyncJoinEngine(config, policy=policy, metrics=registry, trace=tracer).run(
             r_batches, s_batches
         )
 
@@ -194,7 +205,7 @@ def run_join(
     if estimators is None and spec.queue_policy == "prob":
         estimators = estimators_for(pair)
     engine = SlowCpuEngine(
-        config, policy=policy, estimators=estimators, metrics=registry
+        config, policy=policy, estimators=estimators, metrics=registry, trace=tracer
     )
     ticks = len(pair)
     schedule = [1] * ticks
@@ -256,3 +267,38 @@ def compare(
             suffix += 1
         results[label] = run_join(spec, pair=pair, estimators=estimators)
     return results
+
+
+def attribute_run(spec: RunSpec, *, pair: Optional[StreamPair] = None):
+    """Run the spec with tracing on and attribute every lost output.
+
+    Returns an :class:`~repro.obs.AttributionReport` whose ledger
+    reconciles exactly with ``EXACT − observed`` output counts — the
+    fast-CPU engine's shedding semantics make the decomposition exact,
+    so only ``engine="fast"`` specs are accepted (the queue-fronted
+    engines shed at the queue, outside the exact-replay model).
+    """
+    from .obs import attribute_trace
+    from .streams.tuples import exact_join_size
+
+    if spec.engine != "fast":
+        raise ValueError(
+            "attribute_run needs the fast-CPU engine (exact attribution "
+            f"semantics); got engine={spec.engine!r}"
+        )
+    if spec.algorithm in ("OPT", "OPTV"):
+        raise ValueError("attribute_run cannot trace the offline OPT bound")
+    if pair is None:
+        pair = build_pair(spec)
+    traced = replace(spec, trace=True) if not spec.trace else spec
+    result = run_join(traced, pair=pair)
+    exact = exact_join_size(pair, spec.window, count_from=spec.effective_warmup)
+    return attribute_trace(
+        result.trace,
+        pair,
+        spec.window,
+        warmup=spec.effective_warmup,
+        policy=spec.algorithm,
+        exact_output=exact,
+        observed_output=result.output_count,
+    )

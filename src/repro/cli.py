@@ -1,12 +1,16 @@
 """Command-line interface.
 
-Four verbs, all printing plain text:
+Six verbs, all printing plain text:
 
 * ``repro list`` — available algorithms, figures, tables, and scales;
 * ``repro run`` — run one algorithm on a generated workload;
 * ``repro compare`` — run several algorithms on the same workload;
 * ``repro figure`` / ``repro table`` — regenerate one of the paper's
-  figures/tables (or an ablation) at a chosen scale.
+  figures/tables (or an ablation) at a chosen scale;
+* ``repro trace record|inspect|attribute`` — capture a tuple-lifecycle
+  trace, summarise one, or replay runs against the exact partner sets
+  and print the per-policy lost-output (regret) table;
+* ``repro dash`` — animate a traced run as a live text dashboard.
 
 ``run`` and ``compare`` are thin layers over :mod:`repro.api`; with
 ``--metrics json|csv`` they also emit the observability snapshot (see
@@ -21,6 +25,9 @@ Examples
     repro compare --algorithms RAND,PROB,OPT --skew 1.5
     repro figure figure3 --scale ci
     repro table ablation_drift --scale ci
+    repro trace record --algorithm PROB --out prob.trace.jsonl
+    repro trace attribute --algorithms PROB,RAND --scale ci
+    repro dash --algorithm PROB --once
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from .experiments import (
     format_figure,
     format_table,
 )
-from .obs import metrics_to_csv, metrics_to_json
+from .obs import metrics_to_csv, metrics_to_csv_multi, metrics_to_json
 from .streams import exact_join_size
 
 
@@ -73,11 +80,9 @@ def _emit_metrics(args: argparse.Namespace, snapshots: dict) -> None:
         if len(snapshots) == 1:
             text = metrics_to_csv(payload)
         else:
-            parts = []
-            for label, snapshot in snapshots.items():
-                parts.append(f"# {label}")
-                parts.append(metrics_to_csv(snapshot).rstrip("\n"))
-            text = "\n".join(parts) + "\n"
+            # One merged CSV with a leading ``policy`` column — not
+            # concatenated per-policy blocks, which lose the labels.
+            text = metrics_to_csv_multi(snapshots)
     else:
         text = metrics_to_json(payload) + "\n"
     if args.metrics_out:
@@ -228,6 +233,127 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .obs import save_trace, trace_summary
+
+    spec = replace(_spec_from_args(args, args.algorithm), trace=True)
+    pair = build_pair(spec)
+    result = run_join(spec, pair=pair)
+    events = result.trace or []
+    summary = trace_summary(events)
+    print(f"workload : {pair.name}   w={args.window}  M={args.memory}")
+    print(f"{args.algorithm}: {result.output_count} output tuples, "
+          f"{len(events)} trace events")
+    for kind, count in sorted(summary.get("kinds", {}).items()):
+        print(f"  {kind:<12} {count}")
+    if args.out:
+        path = save_trace(events, args.out)
+        print(f"trace    : written to {path}")
+    return 0
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    from .obs import load_trace, trace_summary
+
+    try:
+        events = load_trace(args.path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.path!r}: {error}", file=sys.stderr)
+        return 2
+    summary = trace_summary(events)
+    print(f"trace    : {args.path}   {len(events)} events")
+    span = summary.get("tick_span")
+    if span:
+        print(f"ticks    : {span[0]}..{span[1]}")
+    print("kinds    :", ", ".join(
+        f"{kind}={count}" for kind, count in sorted(summary.get("kinds", {}).items())
+    ) or "(none)")
+    reasons = summary.get("reasons", {})
+    if reasons:
+        print("reasons  :", ", ".join(
+            f"{reason}={count}" for reason, count in sorted(reasons.items())
+        ))
+    top = summary.get("top_shed_keys", [])
+    if top:
+        print("top shed :", ", ".join(f"{key}×{count}" for key, count in top))
+    for event in events[: args.events]:
+        print(f"  {event.tick:>6} {event.stream} {event.kind:<12} "
+              f"key={event.key} arrival={event.arrival}"
+              + (f" reason={event.reason}" if event.reason else ""))
+    return 0
+
+
+def _cmd_trace_attribute(args: argparse.Namespace) -> int:
+    from .experiments.config import even_memory
+    from .obs import format_regret_table, regret_by_policy
+
+    names = [name.strip().upper() for name in args.algorithms.split(",") if name.strip()]
+    unknown = [
+        name for name in names
+        if name not in ALL_ALGORITHMS or name in ("OPT", "OPTV")
+    ]
+    if unknown:
+        print(f"cannot attribute: {', '.join(unknown)} "
+              "(engine algorithms only — OPT has no tuple lifecycle)",
+              file=sys.stderr)
+        return 2
+    scale = _resolve_scale(args.scale)
+    length = args.length if args.length is not None else scale.stream_length
+    window = args.window if args.window is not None else scale.window
+    memory = args.memory if args.memory is not None else even_memory(window, 0.5)
+    reports = regret_by_policy(
+        names,
+        window=window,
+        memory=memory,
+        length=length,
+        domain=args.domain,
+        skew=args.skew,
+        seed=args.seed,
+        warmup=args.warmup,
+    )
+    print(f"workload : zipf(length={length}, domain={args.domain}, "
+          f"skew={args.skew})   w={window}  M={memory}")
+    print(format_regret_table(reports))
+    if args.top:
+        for name, report in reports.items():
+            regrets = report.top_regrets(args.top)
+            if not regrets:
+                continue
+            print(f"\n{name}: top {len(regrets)} costliest decisions")
+            for entry in regrets:
+                priority = (
+                    f" prio={entry.priority:.3g}" if entry.priority is not None else ""
+                )
+                print(f"  t={entry.tick:>6} {entry.stream} key={entry.key} "
+                      f"{entry.kind}/{entry.reason}{priority} "
+                      f"lost={entry.lost_counted}")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from .obs import load_trace, play
+
+    if args.from_trace:
+        try:
+            events = load_trace(args.from_trace)
+        except (OSError, ValueError) as error:
+            print(f"cannot read trace {args.from_trace!r}: {error}", file=sys.stderr)
+            return 2
+        title = f"repro dash — {args.from_trace}"
+    else:
+        spec = replace(_spec_from_args(args, args.algorithm), trace=True)
+        pair = build_pair(spec)
+        result = run_join(spec, pair=pair)
+        events = result.trace or []
+        title = f"repro dash — {args.algorithm} on {pair.name}"
+    width = args.bucket if args.bucket is not None else max(args.window // 2, 1)
+    frames = play(
+        events, width=width, fps=args.fps, title=title,
+        once=args.once, color=False if args.no_color else None,
+    )
+    return 0 if frames else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -261,6 +387,88 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser.add_argument("--seed", type=int, default=0)
     _scale_argument(table_parser)
 
+    trace_parser = commands.add_parser(
+        "trace", help="record, inspect, or attribute a tuple-lifecycle trace"
+    )
+    trace_commands = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    record_parser = trace_commands.add_parser(
+        "record", help="run one algorithm with tracing and save the trace"
+    )
+    record_parser.add_argument(
+        "--algorithm", default="PROB", type=str.upper,
+        help=f"one of {', '.join(ALL_ALGORITHMS)}",
+    )
+    record_parser.add_argument(
+        "--out", default=None, help="write the trace to this JSONL file"
+    )
+    _add_workload_arguments(record_parser)
+
+    inspect_parser = trace_commands.add_parser(
+        "inspect", help="summarise a saved trace file"
+    )
+    inspect_parser.add_argument("path", help="trace file written by `trace record`")
+    inspect_parser.add_argument(
+        "--events", type=int, default=0,
+        help="also print the first N raw events",
+    )
+
+    attribute_parser = trace_commands.add_parser(
+        "attribute",
+        help="replay traced runs against exact partner sets; print regret table",
+    )
+    attribute_parser.add_argument(
+        "--algorithms", default="PROB,RAND",
+        help="comma-separated engine algorithms (no OPT/OPTV)",
+    )
+    attribute_parser.add_argument(
+        "--length", type=int, default=None,
+        help="tuples per stream (default: the scale's stream length)",
+    )
+    attribute_parser.add_argument(
+        "--window", type=int, default=None,
+        help="window size w (default: the scale's window)",
+    )
+    attribute_parser.add_argument(
+        "--memory", type=int, default=None,
+        help="memory budget M (default: half the window, kept even)",
+    )
+    attribute_parser.add_argument("--domain", type=int, default=50)
+    attribute_parser.add_argument("--skew", type=float, default=1.0)
+    attribute_parser.add_argument("--seed", type=int, default=0)
+    attribute_parser.add_argument("--warmup", type=int, default=None)
+    attribute_parser.add_argument(
+        "--top", type=int, default=0,
+        help="also print each policy's N costliest shedding decisions",
+    )
+    _scale_argument(attribute_parser)
+
+    dash_parser = commands.add_parser(
+        "dash", help="animate a traced run as a live text dashboard"
+    )
+    dash_parser.add_argument(
+        "--algorithm", default="PROB", type=str.upper,
+        help=f"one of {', '.join(ALL_ALGORITHMS)}",
+    )
+    dash_parser.add_argument(
+        "--from-trace", default=None, dest="from_trace",
+        help="replay a saved trace file instead of running an algorithm",
+    )
+    dash_parser.add_argument(
+        "--bucket", type=int, default=None,
+        help="ticks per dashboard window (default: window / 2)",
+    )
+    dash_parser.add_argument("--fps", type=float, default=8.0)
+    dash_parser.add_argument(
+        "--once", action="store_true",
+        help="print only the final frame (no animation)",
+    )
+    dash_parser.add_argument(
+        "--no-color", action="store_true", dest="no_color",
+        help="disable ANSI colour/clear codes",
+    )
+    _add_workload_arguments(dash_parser)
+
     return parser
 
 
@@ -270,11 +478,20 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "figure": _cmd_figure,
     "table": _cmd_table,
+    "dash": _cmd_dash,
+}
+
+_TRACE_HANDLERS = {
+    "record": _cmd_trace_record,
+    "inspect": _cmd_trace_inspect,
+    "attribute": _cmd_trace_attribute,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "trace":
+        return _TRACE_HANDLERS[args.trace_command](args)
     return _HANDLERS[args.command](args)
 
 

@@ -34,6 +34,19 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..obs import Timer, active_or_none
+from ..obs.trace import (
+    EVENT_ADMIT,
+    EVENT_ARRIVE,
+    EVENT_DROP,
+    EVENT_EVICT,
+    EVENT_EXPIRE,
+    EVENT_JOIN_OUTPUT,
+    REASON_DISPLACED,
+    REASON_REJECTED,
+    REASON_WINDOW,
+    TraceEvent,
+    tracing_or_none,
+)
 from ..streams.tuples import StreamPair
 from .engine import PolicySpec
 from .memory import JoinMemory, TupleRecord
@@ -100,6 +113,7 @@ class AsyncRunResult(BaseRunResult):
     policy_name: str
     drop_counts: dict = field(default_factory=dict)
     metrics: Optional[dict] = None
+    trace: Optional[list] = None
 
     engine_kind = "async"
 
@@ -121,10 +135,13 @@ class AsyncJoinEngine:
         policy: PolicySpec = None,
         *,
         metrics=None,
+        trace=None,
     ) -> None:
         self.config = config
         self.memory = JoinMemory(config.memory, variable=config.variable)
         self.metrics = metrics
+        self.trace = trace
+        self._tracer = None  # live only while run() executes
 
         resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
         self._policy_r = resolved.r
@@ -172,6 +189,9 @@ class AsyncJoinEngine:
         drop_counts = empty_side_drop_counts()
 
         obs = active_or_none(self.metrics)
+        tracer = tracing_or_none(self.trace)
+        self._tracer = tracer
+        tracing = tracer is not None
         timed = obs is not None
         if timed:
             run_timer = Timer()
@@ -198,11 +218,19 @@ class AsyncJoinEngine:
                     arrivals += 1
                     for bound in self._policies:
                         bound.observe_arrival(stream, key, t)
+                    if tracing:
+                        tracer.emit(TraceEvent(t, stream, key, EVENT_ARRIVE, t))
 
                     matches = other_memory.match_count(key)
                     total_output += matches
                     if t >= warmup:
                         output += matches
+                    if tracing and matches:
+                        for partner in other_memory.matches(key):
+                            tracer.emit(TraceEvent(
+                                t, partner.stream, key, EVENT_JOIN_OUTPUT,
+                                partner.arrival, partner.priority,
+                            ))
 
                     if count_mode:
                         # The tuple's own arrival pushes the count window.
@@ -236,6 +264,11 @@ class AsyncJoinEngine:
             obs.record_phase("engine/run", run_timer.seconds)
             snapshot = obs.snapshot()
 
+        trace_events = None
+        if tracing:
+            trace_events = tracer.collect()
+            self._tracer = None
+
         return AsyncRunResult(
             output_count=output,
             total_output_count=total_output,
@@ -244,6 +277,7 @@ class AsyncJoinEngine:
             policy_name=self.policy_name,
             drop_counts=drop_counts,
             metrics=snapshot,
+            trace=trace_events,
         )
 
     # ------------------------------------------------------------------
@@ -254,14 +288,31 @@ class AsyncJoinEngine:
         policy = self._policy_for(record.stream)
         if policy is not None:
             policy.on_remove(record, now, expired=expired)
+        if expired and self._tracer is not None:
+            # Reason names the window style that aged the tuple out.
+            reason = (
+                REASON_WINDOW
+                if self.config.window_mode == "time"
+                else self.config.window_mode
+            )
+            self._tracer.emit(TraceEvent(
+                now, record.stream, record.key, EVENT_EXPIRE,
+                record.arrival, record.priority, reason,
+            ))
 
     def _admit(self, record: TupleRecord, now: int, drop_counts: dict) -> None:
         memory = self.memory
         policy = self._policy_for(record.stream)
+        tracer = self._tracer
         if not memory.needs_eviction(record.stream):
             memory.admit(record)
             if policy is not None:
                 policy.on_admit(record, now)
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, record.stream, record.key, EVENT_ADMIT,
+                    record.arrival, record.priority,
+                ))
             return
         if policy is None:
             raise RuntimeError(
@@ -270,12 +321,27 @@ class AsyncJoinEngine:
         victim = policy.choose_victim(record, now)
         if victim is None:
             drop_counts[record.stream][DROP_REJECTED] += 1
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, record.stream, record.key, EVENT_DROP,
+                    record.arrival, record.priority, REASON_REJECTED,
+                ))
             return
         memory.remove(victim)
         self._notify_remove(victim, now, expired=False)
         drop_counts[victim.stream][DROP_EVICTED] += 1
+        if tracer is not None:
+            tracer.emit(TraceEvent(
+                now, victim.stream, victim.key, EVENT_EVICT,
+                victim.arrival, victim.priority, REASON_DISPLACED,
+            ))
         memory.admit(record)
         policy.on_admit(record, now)
+        if tracer is not None:
+            tracer.emit(TraceEvent(
+                now, record.stream, record.key, EVENT_ADMIT,
+                record.arrival, record.priority,
+            ))
 
     def _check_invariants(self, now: int) -> None:
         memory = self.memory

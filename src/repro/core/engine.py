@@ -29,6 +29,21 @@ from dataclasses import dataclass, field
 from typing import Hashable, Optional, Union
 
 from ..obs import Timer, active_or_none
+from ..obs.trace import (
+    EVENT_ADMIT,
+    EVENT_ARRIVE,
+    EVENT_DROP,
+    EVENT_EVICT,
+    EVENT_EXPIRE,
+    EVENT_JOIN_OUTPUT,
+    REASON_BUDGET,
+    REASON_DISPLACED,
+    REASON_REJECTED,
+    REASON_SIMULTANEOUS,
+    REASON_WINDOW,
+    TraceEvent,
+    tracing_or_none,
+)
 from ..streams.tuples import JoinResultTuple, StreamPair
 from .memory import JoinMemory, TupleRecord
 from .policies import resolve_policy_spec
@@ -155,6 +170,7 @@ class RunResult(BaseRunResult):
     shares: Optional[list[tuple[int, int, int]]] = None
     drop_counts: dict = field(default_factory=dict)
     metrics: Optional[dict] = None
+    trace: Optional[list] = None
 
     engine_kind = "fast"
 
@@ -191,6 +207,13 @@ class JoinEngine:
         and memory-share series, and hot-loop phase timings, and the
         snapshot is attached to the result.  ``None`` (the default)
         keeps the hot path uninstrumented.
+    trace:
+        Optional :class:`~repro.obs.trace.Tracer`; when given, the run
+        emits the full per-tuple event lifecycle (arrive / admit /
+        evict / expire / join_output / drop) into the tracer's sink and
+        the buffered events (if the sink retains them) are attached to
+        the result.  ``None`` (the default) keeps tracing entirely off
+        the hot path.
     """
 
     def __init__(
@@ -199,10 +222,13 @@ class JoinEngine:
         policy: PolicySpec = None,
         *,
         metrics=None,
+        trace=None,
     ) -> None:
         self.config = config
         self.memory = JoinMemory(config.memory, variable=config.variable)
         self.metrics = metrics
+        self.trace = trace
+        self._tracer = None  # live only while run() executes
 
         resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
         self._policy_r = resolved.r
@@ -238,9 +264,13 @@ class JoinEngine:
         simultaneous_total = 0
         drop_counts = empty_side_drop_counts()
 
-        # Observability: `obs` is None on the uninstrumented path, so the
-        # hot loop pays only a handful of local-boolean branches per tick.
+        # Observability: `obs` and `tracer` are None on the
+        # uninstrumented path, so the hot loop pays only a handful of
+        # local-boolean branches per tick.
         obs = active_or_none(self.metrics)
+        tracer = tracing_or_none(self.trace)
+        self._tracer = tracer
+        tracing = tracer is not None
         timed = obs is not None
         if timed:
             run_timer = Timer()
@@ -281,6 +311,11 @@ class JoinEngine:
                 if policy is not None:
                     policy.on_remove(record, t, expired=True)
                 drop_counts[record.stream][DROP_EXPIRED] += 1
+                if tracing:
+                    tracer.emit(TraceEvent(
+                        t, record.stream, record.key, EVENT_EXPIRE,
+                        record.arrival, record.priority, REASON_WINDOW,
+                    ))
                 if track_survival:
                     self._set_departure(
                         r_departures, s_departures, record, record.arrival + window - 1
@@ -296,6 +331,9 @@ class JoinEngine:
             for policy in self._policies:
                 policy.observe_arrival("R", r_key, t)
                 policy.observe_arrival("S", s_key, t)
+            if tracing:
+                tracer.emit(TraceEvent(t, "R", r_key, EVENT_ARRIVE, t))
+                tracer.emit(TraceEvent(t, "S", s_key, EVENT_ARRIVE, t))
 
             # 3. probes -------------------------------------------------
             if timed:
@@ -313,6 +351,24 @@ class JoinEngine:
                         pairs.append(JoinResultTuple(record.arrival, t, s_key))
                     if simultaneous:
                         pairs.append(JoinResultTuple(t, t, r_key))
+            if tracing:
+                # Output is credited to the *resident* partner — the
+                # tuple whose retention earned the pair.
+                for record in memory.s.matches(r_key):
+                    tracer.emit(TraceEvent(
+                        t, "S", r_key, EVENT_JOIN_OUTPUT,
+                        record.arrival, record.priority,
+                    ))
+                for record in memory.r.matches(s_key):
+                    tracer.emit(TraceEvent(
+                        t, "R", s_key, EVENT_JOIN_OUTPUT,
+                        record.arrival, record.priority,
+                    ))
+                if simultaneous:
+                    tracer.emit(TraceEvent(
+                        t, "R", r_key, EVENT_JOIN_OUTPUT, t,
+                        None, REASON_SIMULTANEOUS,
+                    ))
 
             # 4. admissions ---------------------------------------------
             if timed:
@@ -369,6 +425,11 @@ class JoinEngine:
             obs.record_phase("engine/run", run_timer.seconds)
             snapshot = obs.snapshot()
 
+        trace_events = None
+        if tracing:
+            trace_events = tracer.collect()
+            self._tracer = None
+
         return RunResult(
             output_count=output,
             total_output_count=total_output,
@@ -383,6 +444,7 @@ class JoinEngine:
             shares=shares,
             drop_counts=drop_counts,
             metrics=snapshot,
+            trace=trace_events,
         )
 
     # ------------------------------------------------------------------
@@ -428,6 +490,12 @@ class JoinEngine:
                 victim_policy = self._policy_for(victim.stream) or policy
                 victim_policy.on_remove(victim, now, expired=False)
                 drop_counts[victim.stream][DROP_EVICTED] += 1
+                if self._tracer is not None:
+                    # Budget sheds happen *before* tick `now`'s probes.
+                    self._tracer.emit(TraceEvent(
+                        now, victim.stream, victim.key, EVENT_EVICT,
+                        victim.arrival, victim.priority, REASON_BUDGET,
+                    ))
                 if self.config.track_survival:
                     self._set_departure(r_departures, s_departures, victim, now - 1)
 
@@ -441,11 +509,17 @@ class JoinEngine:
     ) -> None:
         memory = self.memory
         policy = self._policy_for(record.stream)
+        tracer = self._tracer
 
         if not memory.needs_eviction(record.stream):
             memory.admit(record)
             if policy is not None:
                 policy.on_admit(record, now)
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, record.stream, record.key, EVENT_ADMIT,
+                    record.arrival, record.priority,
+                ))
             return
 
         if policy is None:
@@ -457,6 +531,11 @@ class JoinEngine:
         victim = policy.choose_victim(record, now)
         if victim is None:
             drop_counts[record.stream][DROP_REJECTED] += 1
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, record.stream, record.key, EVENT_DROP,
+                    record.arrival, record.priority, REASON_REJECTED,
+                ))
             if self.config.track_survival:
                 # A rejected tuple was only present for its own arrival.
                 self._set_departure(r_departures, s_departures, record, record.arrival)
@@ -473,11 +552,21 @@ class JoinEngine:
         else:
             policy.on_remove(victim, now, expired=False)
         drop_counts[victim.stream][DROP_EVICTED] += 1
+        if tracer is not None:
+            tracer.emit(TraceEvent(
+                now, victim.stream, victim.key, EVENT_EVICT,
+                victim.arrival, victim.priority, REASON_DISPLACED,
+            ))
         if self.config.track_survival:
             self._set_departure(r_departures, s_departures, victim, now)
 
         memory.admit(record)
         policy.on_admit(record, now)
+        if tracer is not None:
+            tracer.emit(TraceEvent(
+                now, record.stream, record.key, EVENT_ADMIT,
+                record.arrival, record.priority,
+            ))
 
     def _check_invariants(self, now: int) -> None:
         memory = self.memory

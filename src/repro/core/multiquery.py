@@ -32,6 +32,20 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..obs import Timer, active_or_none
+from ..obs.trace import (
+    EVENT_ADMIT,
+    EVENT_ARRIVE,
+    EVENT_DROP,
+    EVENT_EVICT,
+    EVENT_EXPIRE,
+    EVENT_JOIN_OUTPUT,
+    REASON_DISPLACED,
+    REASON_QUEUE,
+    REASON_REJECTED,
+    REASON_WINDOW,
+    TraceEvent,
+    tracing_or_none,
+)
 from ..stats.frequency import StaticFrequencyTable
 from ..streams.tuples import StreamPair
 from .memory import JoinMemory, TupleRecord
@@ -81,6 +95,7 @@ class MultiQueryResult(BaseRunResult):
     evicted_from_memory: int = 0
     policy_name: str = "PROB"
     metrics: Optional[dict] = None
+    trace: Optional[list] = None
 
     engine_kind = "multiquery"
 
@@ -116,30 +131,65 @@ class _QueryOperator:
         self.output = 0
         self.evictions = 0
 
-    def process(self, stream: str, arrival: int, keys: tuple, now: int, counted: bool) -> None:
+    def process(
+        self, stream: str, arrival: int, keys: tuple, now: int, counted: bool,
+        tracer=None,
+    ) -> None:
         if arrival <= now - self.spec.window:
             return  # queued too long: already outside this query's window
         key = keys[self.spec.attribute]
-        self.memory.expire_until(now - self.spec.window)
+        name = self.spec.name
+        for expired in self.memory.expire_until(now - self.spec.window):
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, expired.stream, expired.key, EVENT_EXPIRE,
+                    expired.arrival, expired.priority, REASON_WINDOW, name,
+                ))
 
         matches = self.memory.other_side(stream).match_count(key)
         if counted:
             self.output += matches
+        if tracer is not None and matches:
+            for partner in self.memory.other_side(stream).matches(key):
+                tracer.emit(TraceEvent(
+                    now, partner.stream, key, EVENT_JOIN_OUTPUT,
+                    partner.arrival, partner.priority, None, name,
+                ))
 
         policy = self.policies[stream]
         record = TupleRecord(stream, arrival, key)
         if not self.memory.needs_eviction(stream):
             self.memory.admit(record)
             policy.on_admit(record, now)
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, stream, key, EVENT_ADMIT, arrival,
+                    record.priority, None, name,
+                ))
             return
         victim = policy.choose_victim(record, now)
         if victim is None:
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, stream, key, EVENT_DROP, arrival,
+                    record.priority, REASON_REJECTED, name,
+                ))
             return
         self.memory.remove(victim)
         policy.on_remove(victim, now, expired=False)
         self.evictions += 1
+        if tracer is not None:
+            tracer.emit(TraceEvent(
+                now, victim.stream, victim.key, EVENT_EVICT,
+                victim.arrival, victim.priority, REASON_DISPLACED, name,
+            ))
         self.memory.admit(record)
         policy.on_admit(record, now)
+        if tracer is not None:
+            tracer.emit(TraceEvent(
+                now, stream, key, EVENT_ADMIT, arrival,
+                record.priority, None, name,
+            ))
 
 
 class SharedQueueSystem:
@@ -175,6 +225,7 @@ class SharedQueueSystem:
         warmup: int = 0,
         seed: int = 0,
         metrics=None,
+        trace=None,
     ) -> None:
         if not queries:
             raise ValueError("need at least one query")
@@ -210,6 +261,7 @@ class SharedQueueSystem:
         self.shed_rule = shed_rule
         self.warmup = warmup
         self.metrics = metrics
+        self.trace = trace
         self._rng = np.random.default_rng(seed)
 
         self._estimators_per_attribute = [
@@ -273,6 +325,8 @@ class SharedQueueSystem:
         arrived = 0
 
         obs = active_or_none(self.metrics)
+        tracer = tracing_or_none(self.trace)
+        tracing = tracer is not None
         timed = obs is not None
         if timed:
             run_timer = Timer()
@@ -283,11 +337,18 @@ class SharedQueueSystem:
         for t in range(len(self.pair)):
             for stream, keys in (("R", self.pair.r[t]), ("S", self.pair.s[t])):
                 arrived += 1
+                if tracing:
+                    tracer.emit(TraceEvent(t, stream, keys, EVENT_ARRIVE, t))
                 newcomer = (t, stream, keys)
                 queue = queues[stream]
                 if len(queue) >= self.queue_capacity:
                     victim = self._shed(queue, newcomer)
                     shed += 1
+                    if tracing:
+                        tracer.emit(TraceEvent(
+                            t, victim[1], victim[2], EVENT_DROP,
+                            victim[0], None, REASON_QUEUE,
+                        ))
                     if victim is newcomer:
                         continue
                 queue.append(newcomer)
@@ -304,10 +365,15 @@ class SharedQueueSystem:
                     arrival, stream, keys = queues["S"].popleft()
                 if arrival <= t - max_window:
                     expired += 1
+                    if tracing:
+                        tracer.emit(TraceEvent(
+                            t, stream, keys, EVENT_EXPIRE, arrival,
+                            None, REASON_QUEUE,
+                        ))
                     continue  # stale for every query; costs no service
                 counted = t >= self.warmup
                 for operator in self.operators:
-                    operator.process(stream, arrival, keys, t, counted)
+                    operator.process(stream, arrival, keys, t, counted, tracer)
                 processed += 1
                 budget -= cost_per_tuple
 
@@ -332,6 +398,8 @@ class SharedQueueSystem:
             obs.record_phase("engine/run", run_timer.seconds)
             snapshot = obs.snapshot()
 
+        trace_events = tracer.collect() if tracing else None
+
         return MultiQueryResult(
             outputs={op.spec.name: op.output for op in self.operators},
             processed=processed,
@@ -340,4 +408,5 @@ class SharedQueueSystem:
             arrived=arrived,
             evicted_from_memory=sum(op.evictions for op in self.operators),
             metrics=snapshot,
+            trace=trace_events,
         )

@@ -98,7 +98,9 @@ class LifePolicy(EvictionPolicy):
         if weakest is None:
             return None
 
-        candidate_priority = self._window * self.partner_probability(
+        # Cache the decision-time priority on the candidate so the trace
+        # records what the policy believed even when the newcomer loses.
+        candidate_priority = candidate.priority = self._window * self.partner_probability(
             candidate.stream, candidate.key
         )
         if later_arrival_wins(

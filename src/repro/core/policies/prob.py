@@ -87,7 +87,9 @@ class ProbPolicy(EvictionPolicy):
         weakest = self._peek_min_alive()
         if weakest is None:
             return None
-        candidate_priority = self.partner_probability(candidate)
+        # Cache the decision-time priority on the candidate so the trace
+        # records what the policy believed even when the newcomer loses.
+        candidate_priority = candidate.priority = self.partner_probability(candidate)
         if later_arrival_wins(
             weakest.priority, weakest.arrival, candidate_priority, candidate.arrival
         ):

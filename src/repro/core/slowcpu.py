@@ -33,6 +33,20 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..obs import Timer, active_or_none
+from ..obs.trace import (
+    EVENT_ADMIT,
+    EVENT_ARRIVE,
+    EVENT_DROP,
+    EVENT_EVICT,
+    EVENT_EXPIRE,
+    EVENT_JOIN_OUTPUT,
+    REASON_DISPLACED,
+    REASON_QUEUE,
+    REASON_REJECTED,
+    REASON_WINDOW,
+    TraceEvent,
+    tracing_or_none,
+)
 from ..stats.frequency import FrequencyEstimator
 from .engine import PolicySpec
 from .memory import JoinMemory, TupleRecord
@@ -100,6 +114,7 @@ class SlowCpuResult(BaseRunResult):
     expired_resident: int = 0
     policy_name: str = "NONE"
     metrics: Optional[dict] = None
+    trace: Optional[list] = None
 
     engine_kind = "slowcpu"
 
@@ -142,12 +157,15 @@ class SlowCpuEngine:
         estimators: Optional[dict] = None,
         *,
         metrics=None,
+        trace=None,
     ) -> None:
         if config.queue_policy == "prob" and not estimators:
             raise ValueError("the 'prob' queue policy needs estimators")
         self.config = config
         self.memory = JoinMemory(config.memory, variable=config.variable)
         self.metrics = metrics
+        self.trace = trace
+        self._tracer = None  # live only while run() executes
         self._estimators: dict[str, FrequencyEstimator] = estimators or {}
         self._rng = np.random.default_rng(config.seed)
         self._evictions = 0
@@ -200,7 +218,14 @@ class SlowCpuEngine:
     def _process(self, arrival: int, stream: str, key, now: int) -> int:
         """Run one tuple through the join; returns matches produced."""
         memory = self.memory
+        tracer = self._tracer
         matches = memory.other_side(stream).match_count(key)
+        if tracer is not None and matches:
+            for partner in memory.other_side(stream).matches(key):
+                tracer.emit(TraceEvent(
+                    now, partner.stream, key, EVENT_JOIN_OUTPUT,
+                    partner.arrival, partner.priority,
+                ))
 
         record = TupleRecord(stream, arrival, key)
         policy = self._policy_r if stream == "R" else self._policy_s
@@ -208,16 +233,34 @@ class SlowCpuEngine:
             memory.admit(record)
             if policy is not None:
                 policy.on_admit(record, now)
+            if tracer is not None:
+                tracer.emit(TraceEvent(
+                    now, stream, key, EVENT_ADMIT, arrival, record.priority,
+                ))
         elif policy is not None:
             victim = policy.choose_victim(record, now)
             if victim is None:
                 self._memory_rejections += 1
+                if tracer is not None:
+                    tracer.emit(TraceEvent(
+                        now, stream, key, EVENT_DROP, arrival,
+                        record.priority, REASON_REJECTED,
+                    ))
             else:
                 memory.remove(victim)
                 policy.on_remove(victim, now, expired=False)
                 self._evictions += 1
+                if tracer is not None:
+                    tracer.emit(TraceEvent(
+                        now, victim.stream, victim.key, EVENT_EVICT,
+                        victim.arrival, victim.priority, REASON_DISPLACED,
+                    ))
                 memory.admit(record)
                 policy.on_admit(record, now)
+                if tracer is not None:
+                    tracer.emit(TraceEvent(
+                        now, stream, key, EVENT_ADMIT, arrival, record.priority,
+                    ))
         else:
             raise RuntimeError("memory overflow without an eviction policy")
         return matches
@@ -262,6 +305,9 @@ class SlowCpuEngine:
         self._memory_rejections = 0
 
         obs = active_or_none(self.metrics)
+        tracer = tracing_or_none(self.trace)
+        self._tracer = tracer
+        tracing = tracer is not None
         timed = obs is not None
         if timed:
             run_timer = Timer()
@@ -272,7 +318,14 @@ class SlowCpuEngine:
         for t in range(len(r_schedule)):
             # Expired records are simply absent afterwards; PROB/ARM heaps
             # clean up lazily via the records' alive flags.
-            expired_resident += len(self.memory.expire_until(t - window))
+            expired_now = self.memory.expire_until(t - window)
+            expired_resident += len(expired_now)
+            if tracing:
+                for record in expired_now:
+                    tracer.emit(TraceEvent(
+                        t, record.stream, record.key, EVENT_EXPIRE,
+                        record.arrival, record.priority, REASON_WINDOW,
+                    ))
 
             # Arrivals.
             for stream in ("R", "S"):
@@ -282,12 +335,19 @@ class SlowCpuEngine:
                     arrived += 1
                     for policy in {id(p): p for p in (self._policy_r, self._policy_s) if p}.values():
                         policy.observe_arrival(stream, key, t)
+                    if tracing:
+                        tracer.emit(TraceEvent(t, stream, key, EVENT_ARRIVE, t))
                     newcomer = (t, stream, key)
                     queue = queues[stream]
                     if len(queue) >= config.queue_capacity:
                         victim = self._shed_from_queue(queue, newcomer)
                         shed += 1
                         drop_counts[victim[1]] += 1
+                        if tracing:
+                            tracer.emit(TraceEvent(
+                                t, victim[1], victim[2], EVENT_DROP,
+                                victim[0], None, REASON_QUEUE,
+                            ))
                         if victim is newcomer:
                             continue
                     queue.append(newcomer)
@@ -313,6 +373,11 @@ class SlowCpuEngine:
                     arrival, stream, key = queues["S"].popleft()
                 if arrival <= t - window:
                     expired_in_queue += 1
+                    if tracing:
+                        tracer.emit(TraceEvent(
+                            t, stream, key, EVENT_EXPIRE, arrival,
+                            None, REASON_QUEUE,
+                        ))
                     continue  # expired while queued; costs no service
                 matches = self._process(arrival, stream, key, t)
                 processed += 1
@@ -337,6 +402,11 @@ class SlowCpuEngine:
             obs.record_phase("engine/run", run_timer.seconds)
             snapshot = obs.snapshot()
 
+        trace_events = None
+        if tracing:
+            trace_events = tracer.collect()
+            self._tracer = None
+
         return SlowCpuResult(
             output_count=output,
             processed=processed,
@@ -351,4 +421,5 @@ class SlowCpuEngine:
             expired_resident=expired_resident,
             policy_name=self.policy_name,
             metrics=snapshot,
+            trace=trace_events,
         )

@@ -84,13 +84,17 @@ def run_algorithm(
     share_sample_every: int = 1,
     track_survival: bool = False,
     metrics=None,
+    trace=None,
 ) -> AnyResult:
     """Run one named algorithm and return its result.
 
     ``name`` is one of :data:`ALL_ALGORITHMS`.  ``memory`` is ignored for
     EXACT (which always gets ``2 * window``).  ``metrics`` is an optional
     :class:`~repro.obs.MetricsRegistry`; engine runs attach its snapshot
-    to the result, OPT solves feed the flow-solver counters.
+    to the result, OPT solves feed the flow-solver counters.  ``trace``
+    is an optional :class:`~repro.obs.Tracer`; engine runs attach the
+    collected lifecycle events as ``result.trace``.  OPT/OPTV are batch
+    solves with no tuple lifecycle, so ``trace`` is ignored there.
     """
     if name == "EXACT":
         config = EngineConfig(
@@ -102,7 +106,7 @@ def run_algorithm(
             share_sample_every=share_sample_every,
             track_survival=track_survival,
         )
-        return JoinEngine(config, policy=None, metrics=metrics).run(pair)
+        return JoinEngine(config, policy=None, metrics=metrics, trace=trace).run(pair)
 
     if name in ("OPT", "OPTV"):
         count_from = warmup if warmup is not None else 2 * window
@@ -131,7 +135,7 @@ def run_algorithm(
         track_survival=track_survival,
     )
     policy = make_policy_spec(name, estimators=estimators, window=window, seed=seed)
-    return JoinEngine(config, policy=policy, metrics=metrics).run(pair)
+    return JoinEngine(config, policy=policy, metrics=metrics, trace=trace).run(pair)
 
 
 def run_suite(

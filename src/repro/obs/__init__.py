@@ -1,26 +1,45 @@
-"""Observability: metrics registry, phase timers, exporters.
+"""Observability: metrics registry, event tracing, timers, exporters.
 
-Every run of the join engines (and the flow solvers beneath OPT) can
-carry a :class:`MetricsRegistry` that collects counters, gauges,
-histograms, per-tick series, and nested phase timings.  Passing
-``metrics=None`` (the default everywhere) disables instrumentation at
-near-zero cost; :data:`NULL_RECORDER` offers the same interface as
-explicit no-ops.
+Two instrumentation layers share the same null-object discipline:
+
+* **Metrics** — a :class:`MetricsRegistry` collects counters, gauges,
+  histograms, per-tick series, and nested phase timings.  Passing
+  ``metrics=None`` (the default everywhere) disables instrumentation at
+  near-zero cost; :data:`NULL_RECORDER` offers the same interface as
+  explicit no-ops.
+* **Tracing** — a :class:`Tracer` (see :mod:`repro.obs.trace`) records
+  the full per-tuple event lifecycle (arrive / admit / evict / expire /
+  join_output / drop) into a pluggable sink; ``trace=None`` keeps it
+  entirely off the hot loops, :data:`NULL_TRACER` is the no-op twin.
+  :mod:`repro.obs.attribution` replays a trace against the exact
+  partner sets to explain which shedding decision lost which outputs;
+  :mod:`repro.obs.sampler` folds a trace into per-window time-series
+  and :mod:`repro.obs.dashboard` renders them as a live text dashboard.
 
 Quick use::
 
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, Tracer
 
-    metrics = MetricsRegistry()
-    with metrics.span("run_join"):
-        result = engine.run(pair)            # engine records into it
+    metrics, tracer = MetricsRegistry(), Tracer()
+    result = engine.run(pair)                # engine records into both
     print(metrics.snapshot()["counters"])    # machine-readable
+    print(result.trace[:3])                  # first lifecycle events
 """
 
+from .attribution import (
+    AttributionReport,
+    EventRegret,
+    attribute_trace,
+    format_regret_table,
+    partner_index,
+    regret_by_policy,
+)
+from .dashboard import play, render_frame
 from .export import (
     format_metrics,
     load_metrics_json,
     metrics_to_csv,
+    metrics_to_csv_multi,
     metrics_to_json,
     save_metrics_csv,
     save_metrics_json,
@@ -36,23 +55,62 @@ from .registry import (
     Series,
     active_or_none,
 )
+from .sampler import Sampler, WindowSample, sample_trace
 from .timer import Timer
+from .trace import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    iter_trace,
+    load_trace,
+    save_trace,
+    trace_summary,
+    tracing_or_none,
+)
 
 __all__ = [
+    "AttributionReport",
     "Counter",
+    "EVENT_KINDS",
+    "EventRegret",
     "Gauge",
     "Histogram",
+    "JsonlSink",
     "MetricsRegistry",
     "NULL_RECORDER",
+    "NULL_TRACER",
     "NullRecorder",
+    "NullTracer",
     "PhaseStat",
+    "RingBufferSink",
+    "Sampler",
     "Series",
     "Timer",
+    "TraceEvent",
+    "Tracer",
+    "WindowSample",
     "active_or_none",
+    "attribute_trace",
     "format_metrics",
+    "format_regret_table",
+    "iter_trace",
     "load_metrics_json",
+    "load_trace",
     "metrics_to_csv",
+    "metrics_to_csv_multi",
     "metrics_to_json",
+    "partner_index",
+    "play",
+    "regret_by_policy",
+    "render_frame",
+    "sample_trace",
     "save_metrics_csv",
     "save_metrics_json",
+    "save_trace",
+    "trace_summary",
+    "tracing_or_none",
 ]

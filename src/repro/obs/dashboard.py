@@ -1,0 +1,150 @@
+"""Live text dashboard: animate a traced run window by window.
+
+Renders the :mod:`repro.obs.sampler` time-series as plain ANSI frames —
+no curses, no external TUI dependency — so it works in any terminal
+(and, with colour off and ``once=True``, in a pipe or a test).  Each
+frame shows the run so far: per-kind event rates as aligned bar charts,
+memory occupancy, and a cumulative tally, exactly the quantities the
+paper's shedding story is about (arrival pressure vs. bounded memory
+vs. produced output).
+
+The renderer is split from the player so tests can assert on frames
+without a terminal: :func:`render_frame` is pure string-in/string-out;
+:func:`play` handles clearing, pacing, and interrupts.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+from .sampler import WindowSample, sample_trace
+from .trace import (
+    EVENT_ADMIT,
+    EVENT_ARRIVE,
+    EVENT_DROP,
+    EVENT_EVICT,
+    EVENT_EXPIRE,
+    EVENT_JOIN_OUTPUT,
+)
+
+__all__ = ["play", "render_frame"]
+
+CLEAR = "\x1b[H\x1b[J"
+BOLD = "\x1b[1m"
+DIM = "\x1b[2m"
+RESET = "\x1b[0m"
+
+#: rows of the per-window panel: (label, event kind, bar glyph)
+_PANEL = (
+    ("arrive", EVENT_ARRIVE, "#"),
+    ("admit", EVENT_ADMIT, "="),
+    ("output", EVENT_JOIN_OUTPUT, "+"),
+    ("evict", EVENT_EVICT, "x"),
+    ("drop", EVENT_DROP, "x"),
+    ("expire", EVENT_EXPIRE, "."),
+)
+
+
+def _bar(value: int, peak: int, width: int, glyph: str) -> str:
+    if peak <= 0 or value <= 0:
+        return ""
+    return glyph * max(1, round(width * value / peak))
+
+
+def render_frame(
+    windows: Sequence[WindowSample],
+    upto: int,
+    *,
+    title: str = "repro dash",
+    bar_width: int = 40,
+    color: bool = True,
+) -> str:
+    """One dashboard frame: the state after ``windows[:upto + 1]``.
+
+    Bars are scaled to the whole run's peak per-kind rate so the frame
+    sequence animates coherently (a bar never rescales mid-playback).
+    """
+    bold, dim, reset = (BOLD, DIM, RESET) if color else ("", "", "")
+    shown = windows[: upto + 1]
+    lines = []
+    if not shown:
+        return f"{bold}{title}{reset}\n  (no trace events)"
+    current = shown[-1]
+    peaks = {
+        kind: max((w.get(kind) for w in windows), default=0)
+        for _, kind, _ in _PANEL
+    }
+    peak_occupancy = max((w.occupancy for w in windows), default=0)
+    totals = {kind: sum(w.get(kind) for w in shown) for _, kind, _ in _PANEL}
+
+    lines.append(
+        f"{bold}{title}{reset}  ticks {current.start}..{current.end}"
+        f"  (window {len(shown)}/{len(windows)})"
+    )
+    lines.append("")
+    for label, kind, glyph in _PANEL:
+        value = current.get(kind)
+        bar = _bar(value, peaks[kind], bar_width, glyph)
+        lines.append(
+            f"  {label:<7} {value:>6}/win {bar:<{bar_width}} "
+            f"{dim}total {totals[kind]}{reset}"
+        )
+    occupancy_bar = _bar(current.occupancy, peak_occupancy, bar_width, "o")
+    lines.append(
+        f"  {'memory':<7} {current.occupancy:>6} res {occupancy_bar:<{bar_width}} "
+        f"{dim}peak {peak_occupancy}{reset}"
+    )
+    lines.append("")
+    produced = totals[EVENT_JOIN_OUTPUT]
+    shed = totals[EVENT_EVICT] + totals[EVENT_DROP]
+    lines.append(
+        f"  produced {produced} outputs, shed {shed} tuples "
+        f"({totals[EVENT_EVICT]} evicted, {totals[EVENT_DROP]} dropped)"
+    )
+    return "\n".join(lines)
+
+
+def play(
+    events,
+    *,
+    width: int = 50,
+    fps: float = 8.0,
+    title: str = "repro dash",
+    once: bool = False,
+    color: Optional[bool] = None,
+    out=None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Animate a trace; returns the number of frames rendered.
+
+    ``once=True`` skips the animation and prints only the final frame —
+    the mode tests and non-TTY pipes use.  ``color`` defaults to "is
+    ``out`` a TTY"; ``sleep`` is injectable so tests run at full speed.
+    """
+    if out is None:
+        out = sys.stdout
+    if color is None:
+        color = bool(getattr(out, "isatty", lambda: False)())
+    windows = sample_trace(events, width=width)
+    if not windows:
+        print(f"{title}: trace is empty", file=out)
+        return 0
+    if once:
+        print(render_frame(windows, len(windows) - 1, title=title, color=color), file=out)
+        return 1
+
+    frames = 0
+    try:
+        for upto in range(len(windows)):
+            out.write(CLEAR if color else "\n")
+            out.write(render_frame(windows, upto, title=title, color=color))
+            out.write("\n")
+            out.flush()
+            frames += 1
+            if upto < len(windows) - 1:
+                sleep(1.0 / fps)
+    except KeyboardInterrupt:
+        out.write("\n")
+    return frames

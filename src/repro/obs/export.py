@@ -42,36 +42,73 @@ def save_metrics_json(metrics, path) -> Path:
 
 
 def load_metrics_json(path) -> MetricsRegistry:
-    """Rebuild a registry from a JSON export (snapshot round-trip)."""
-    return MetricsRegistry.from_snapshot(json.loads(Path(path).read_text()))
+    """Rebuild a registry from a JSON export (snapshot round-trip).
+
+    Raises a :class:`ValueError` naming the file when it is not JSON —
+    most commonly when handed a CSV written by :func:`save_metrics_csv`.
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        hint = ""
+        if text[:64].lstrip().startswith(("kind,", "policy,")):
+            hint = " (this looks like a CSV export; load_metrics_json reads JSON only)"
+        raise ValueError(
+            f"{path} is not a JSON metrics export{hint}: {error}"
+        ) from error
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{path} does not contain a metrics snapshot object "
+            f"(got {type(data).__name__})"
+        )
+    return MetricsRegistry.from_snapshot(data)
 
 
-def metrics_to_csv(metrics) -> str:
-    """Flatten a registry (or snapshot) into CSV text."""
-    snapshot = _as_snapshot(metrics)
-    buffer = io.StringIO()
-    writer = csv.writer(buffer)
-    writer.writerow(["kind", "name", "labels", "x", "value"])
+def _csv_rows(snapshot: dict):
+    """Flatten one snapshot into ``(kind, name, labels, x, value)`` rows."""
     for entry in snapshot.get("counters", ()):
-        writer.writerow(
-            ["counter", entry["name"], _format_labels(entry["labels"]), "", entry["value"]]
-        )
+        yield ["counter", entry["name"], _format_labels(entry["labels"]), "", entry["value"]]
     for entry in snapshot.get("gauges", ()):
-        writer.writerow(
-            ["gauge", entry["name"], _format_labels(entry["labels"]), "", entry["value"]]
-        )
+        yield ["gauge", entry["name"], _format_labels(entry["labels"]), "", entry["value"]]
     for entry in snapshot.get("histograms", ()):
         labels = _format_labels(entry["labels"])
         for field in ("count", "sum", "min", "max"):
-            writer.writerow(["histogram", entry["name"], labels, field, entry[field]])
+            yield ["histogram", entry["name"], labels, field, entry[field]]
     for entry in snapshot.get("series", ()):
         labels = _format_labels(entry["labels"])
         for point in entry["points"]:
             x, *values = point
             value = values[0] if len(values) == 1 else values
-            writer.writerow(["series", entry["name"], labels, x, value])
+            yield ["series", entry["name"], labels, x, value]
     for entry in snapshot.get("phases", ()):
-        writer.writerow(["phase", entry["path"], "", entry["count"], entry["seconds"]])
+        yield ["phase", entry["path"], "", entry["count"], entry["seconds"]]
+
+
+def metrics_to_csv(metrics) -> str:
+    """Flatten a registry (or snapshot) into CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["kind", "name", "labels", "x", "value"])
+    for row in _csv_rows(_as_snapshot(metrics)):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def metrics_to_csv_multi(snapshots: dict) -> str:
+    """Flatten several labelled snapshots into one CSV.
+
+    ``snapshots`` maps a label (e.g. the policy name of a ``repro
+    compare`` run) to a registry or snapshot dict.  Every row leads
+    with a ``policy`` column so the merged file stays unambiguous.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["policy", "kind", "name", "labels", "x", "value"])
+    for label, metrics in snapshots.items():
+        for row in _csv_rows(_as_snapshot(metrics)):
+            writer.writerow([label, *row])
     return buffer.getvalue()
 
 

@@ -1,0 +1,140 @@
+"""Fold a lifecycle trace into per-window time-series.
+
+A raw trace is one record per event — too fine for eyeballing a run.
+The :class:`Sampler` buckets events into fixed-width tick windows and
+keeps, per bucket, the counts of each event kind plus the derived
+memory occupancy (admits minus evicts/expires, accumulated), giving the
+time-series view the dashboard animates: arrival pressure, shedding
+rate, output rate, and how full the bounded memory ran.
+
+The sampler is stream-friendly: feed events one at a time with
+:meth:`Sampler.add` (any tick order within reason — buckets are keyed,
+not appended) or fold a whole trace with :func:`sample_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .trace import (
+    EVENT_ADMIT,
+    EVENT_EVICT,
+    EVENT_EXPIRE,
+    EVENT_KINDS,
+    TraceEvent,
+)
+
+__all__ = ["Sampler", "WindowSample", "sample_trace"]
+
+
+@dataclass
+class WindowSample:
+    """Aggregated lifecycle counts for one tick bucket.
+
+    ``occupancy`` is the net resident population at the bucket's end —
+    meaningful once the whole trace is folded; mid-stream it reflects
+    events seen so far.
+    """
+
+    start: int
+    width: int
+    counts: dict = field(default_factory=dict)
+    #: net resident tuples at bucket end (cumulative admits − departures)
+    occupancy: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.start + self.width - 1
+
+    def get(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def to_json(self) -> dict:
+        return {
+            "start": self.start,
+            "width": self.width,
+            "counts": dict(self.counts),
+            "occupancy": self.occupancy,
+        }
+
+
+class Sampler:
+    """Accumulate trace events into fixed-width tick windows.
+
+    ``width`` is the bucket size in ticks.  Buckets materialise on first
+    touch, so sparse traces stay sparse; :meth:`windows` fills the gaps
+    with empty samples and finalises occupancy as a running balance.
+    """
+
+    def __init__(self, width: int = 50):
+        if width < 1:
+            raise ValueError(f"bucket width must be >= 1, got {width}")
+        self.width = width
+        self._buckets: dict[int, WindowSample] = {}
+
+    def add(self, event: TraceEvent) -> None:
+        index = event.tick // self.width
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = WindowSample(
+                start=index * self.width, width=self.width
+            )
+        bucket.counts[event.kind] = bucket.counts.get(event.kind, 0) + 1
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for event in events:
+            self.add(event)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def windows(self, *, fill: bool = True) -> list[WindowSample]:
+        """Buckets in tick order, gap-filled, with occupancy finalised.
+
+        Occupancy carries across buckets: each bucket's value is the
+        previous balance plus its admits minus its evicts and expiries.
+        Drops never entered memory and join outputs are not stateful,
+        so neither moves the balance.
+        """
+        if not self._buckets:
+            return []
+        indexes = sorted(self._buckets)
+        if fill:
+            span = range(indexes[0], indexes[-1] + 1)
+        else:
+            span = indexes
+        out: list[WindowSample] = []
+        balance = 0
+        for index in span:
+            bucket = self._buckets.get(index) or WindowSample(
+                start=index * self.width, width=self.width
+            )
+            balance += (
+                bucket.get(EVENT_ADMIT)
+                - bucket.get(EVENT_EVICT)
+                - bucket.get(EVENT_EXPIRE)
+            )
+            bucket.occupancy = balance
+            out.append(bucket)
+        return out
+
+    def totals(self) -> dict:
+        """Whole-trace counts per event kind (zero-filled)."""
+        totals = {kind: 0 for kind in EVENT_KINDS}
+        for bucket in self._buckets.values():
+            for kind, count in bucket.counts.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+
+def sample_trace(
+    events: Iterable[TraceEvent],
+    *,
+    width: int = 50,
+    fill: bool = True,
+) -> list[WindowSample]:
+    """One-shot fold: trace in, ordered window samples out."""
+    sampler = Sampler(width)
+    sampler.extend(events)
+    return sampler.windows(fill=fill)

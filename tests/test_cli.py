@@ -88,3 +88,120 @@ class TestCommands:
     def test_table_unknown(self, capsys):
         assert main(["table", "bogus"]) == 2
         assert "unknown table" in capsys.readouterr().err
+
+
+class TestMetricsEmission:
+    def test_compare_csv_has_policy_column(self, capsys):
+        """Format lock: multi-policy CSV is one table with a policy column."""
+        import csv
+        import io
+
+        code = main(
+            ["compare", "--algorithms", "RAND,PROB", "--length", "300",
+             "--window", "20", "--memory", "10", "--metrics", "csv"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        csv_start = out.index("policy,kind,name,labels,x,value")
+        rows = list(csv.reader(io.StringIO(out[csv_start:])))
+        assert rows[0] == ["policy", "kind", "name", "labels", "x", "value"]
+        assert {row[0] for row in rows[1:]} == {"RAND", "PROB"}
+        # the old format concatenated per-policy blocks under comments
+        assert "# RAND" not in out
+        assert "# PROB" not in out
+
+    def test_single_run_csv_keeps_plain_header(self, capsys):
+        code = main(
+            ["run", "--algorithm", "RAND", "--length", "300",
+             "--window", "20", "--memory", "10", "--metrics", "csv"]
+        )
+        assert code == 0
+        assert "kind,name,labels,x,value" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_record_writes_jsonl(self, capsys, tmp_path):
+        out_path = tmp_path / "prob.trace.jsonl"
+        code = main(
+            ["trace", "record", "--algorithm", "PROB", "--length", "300",
+             "--window", "20", "--memory", "10", "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace events" in out
+        assert out_path.exists()
+        assert out_path.read_text().count("\n") > 0
+
+    def test_record_without_out_prints_summary(self, capsys):
+        code = main(
+            ["trace", "record", "--length", "300", "--window", "20",
+             "--memory", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arrive" in out
+        assert "admit" in out
+
+    def test_inspect_round_trip(self, capsys, tmp_path):
+        out_path = tmp_path / "t.jsonl"
+        main(["trace", "record", "--length", "300", "--window", "20",
+              "--memory", "10", "--out", str(out_path)])
+        capsys.readouterr()
+        code = main(["trace", "inspect", str(out_path), "--events", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kinds" in out
+        assert "arrive" in out
+
+    def test_inspect_missing_file(self, capsys):
+        code = main(["trace", "inspect", "/nonexistent/trace.jsonl"])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_attribute_prints_reconciling_table(self, capsys):
+        code = main(
+            ["trace", "attribute", "--algorithms", "PROB,RAND",
+             "--scale", "ci", "--top", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PROB" in out
+        assert "RAND" in out
+        assert "yes" in out
+        assert "NO" not in out  # every ledger reconciles
+        assert "costliest" in out
+
+    def test_attribute_rejects_opt(self, capsys):
+        code = main(["trace", "attribute", "--algorithms", "OPT"])
+        assert code == 2
+        assert "cannot attribute" in capsys.readouterr().err
+
+
+class TestDashCommand:
+    def test_dash_once(self, capsys):
+        code = main(
+            ["dash", "--algorithm", "PROB", "--length", "300", "--window", "20",
+             "--memory", "10", "--once", "--no-color"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "arrive" in out
+        assert "produced" in out
+        assert "\x1b[" not in out
+
+    def test_dash_from_trace(self, capsys, tmp_path):
+        out_path = tmp_path / "t.jsonl"
+        main(["trace", "record", "--length", "300", "--window", "20",
+              "--memory", "10", "--out", str(out_path)])
+        capsys.readouterr()
+        code = main(
+            ["dash", "--from-trace", str(out_path), "--bucket", "30",
+             "--once", "--no-color"]
+        )
+        assert code == 0
+        assert "memory" in capsys.readouterr().out
+
+    def test_dash_missing_trace(self, capsys):
+        code = main(["dash", "--from-trace", "/nonexistent.jsonl", "--once"])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err

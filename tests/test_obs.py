@@ -199,3 +199,58 @@ class TestSnapshotRoundTrip:
         for token in ("engine.probes", "flow.ssp.path_length", "engine/run"):
             assert token in text
         assert format_metrics(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestExportEdgeCases:
+    def test_empty_registry_exports(self):
+        registry = MetricsRegistry()
+        text = metrics_to_csv(registry)
+        assert text.strip() == "kind,name,labels,x,value"
+        snapshot = json.loads(metrics_to_json(registry))
+        assert snapshot["counters"] == []
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_csv_quotes_labels_with_commas_and_quotes(self):
+        import csv
+        import io
+
+        registry = MetricsRegistry()
+        registry.counter("events", where='queue,"R" side').inc(3)
+        text = metrics_to_csv(registry)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["kind", "name", "labels", "x", "value"]
+        # the label cell survives the round trip verbatim
+        assert rows[1][2] == 'where=queue,"R" side'
+        assert rows[1][4] == "3"
+
+    def test_csv_multi_leads_with_policy_column(self):
+        import csv
+        import io
+
+        from repro.obs import metrics_to_csv_multi
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("engine.probes").inc(5)
+        b.counter("engine.probes").inc(7)
+        text = metrics_to_csv_multi({"PROB": a, "RAND": b})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["policy", "kind", "name", "labels", "x", "value"]
+        assert {row[0] for row in rows[1:]} == {"PROB", "RAND"}
+
+    def test_load_metrics_json_on_csv_raises_clear_error(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("engine.probes").inc()
+        path = tmp_path / "metrics.csv"
+        path.write_text(metrics_to_csv(registry))
+        with pytest.raises(ValueError) as excinfo:
+            load_metrics_json(path)
+        message = str(excinfo.value)
+        assert "metrics.csv" in message
+        assert "CSV" in message
+
+    def test_load_metrics_json_on_non_dict_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="snapshot object"):
+            load_metrics_json(path)

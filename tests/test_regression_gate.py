@@ -1,0 +1,128 @@
+"""Tests for benchmarks/regression.py: the perf-regression gate logic."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+from regression import compare_snapshots, format_comparison  # noqa: E402
+
+
+def snapshot(**overrides):
+    entry = {
+        "policy": "PROB",
+        "output_count": 3020,
+        "ktuples_per_second": 100.0,
+        "seconds": 0.02,
+        "metrics_overhead_pct": 30.0,
+        "trace_overhead_pct": 80.0,
+    }
+    entry.update(overrides)
+    return {"benchmark": "engine_throughput", "scale": "ci", "policies": [entry]}
+
+
+class TestCompareSnapshots:
+    def test_identical_snapshots_pass(self):
+        assert compare_snapshots(snapshot(), snapshot()) == []
+
+    def test_small_drop_within_tolerance_passes(self):
+        fresh = snapshot(ktuples_per_second=85.0)
+        assert compare_snapshots(snapshot(), fresh, tolerance=0.20) == []
+
+    def test_large_drop_fails(self):
+        fresh = snapshot(ktuples_per_second=70.0)
+        failures = compare_snapshots(snapshot(), fresh, tolerance=0.20)
+        assert len(failures) == 1
+        assert "throughput" in failures[0]
+        assert "PROB" in failures[0]
+
+    def test_speedup_never_fails(self):
+        fresh = snapshot(ktuples_per_second=500.0)
+        assert compare_snapshots(snapshot(), fresh) == []
+
+    def test_output_count_drift_fails(self):
+        fresh = snapshot(output_count=3021)
+        failures = compare_snapshots(snapshot(), fresh)
+        assert any("output_count" in f for f in failures)
+        assert any("semantics" in f for f in failures)
+
+    def test_overhead_doubling_fails(self):
+        fresh = snapshot(metrics_overhead_pct=90.0)
+        failures = compare_snapshots(snapshot(), fresh)
+        assert any("metrics_overhead_pct" in f for f in failures)
+
+    def test_overhead_within_slack_passes(self):
+        # baseline 80% + max(20, 80) slack = 160% ceiling
+        fresh = snapshot(trace_overhead_pct=150.0)
+        assert compare_snapshots(snapshot(), fresh) == []
+
+    def test_overhead_drop_never_fails(self):
+        fresh = snapshot(metrics_overhead_pct=1.0, trace_overhead_pct=2.0)
+        assert compare_snapshots(snapshot(), fresh) == []
+
+    def test_missing_policy_in_fresh_fails(self):
+        fresh = snapshot()
+        fresh["policies"] = []
+        failures = compare_snapshots(snapshot(), fresh)
+        assert any("missing from fresh" in f for f in failures)
+
+    def test_new_policy_without_baseline_fails(self):
+        base = snapshot()
+        fresh = snapshot()
+        fresh["policies"].append({
+            "policy": "NEW",
+            "output_count": 1,
+            "ktuples_per_second": 1.0,
+        })
+        failures = compare_snapshots(base, fresh)
+        assert any("NEW" in f and "baseline" in f for f in failures)
+
+    def test_old_baseline_without_trace_overhead_is_skipped(self):
+        base = snapshot()
+        del base["policies"][0]["trace_overhead_pct"]
+        fresh = snapshot(trace_overhead_pct=400.0)
+        assert compare_snapshots(base, fresh) == []
+
+
+class TestFormatComparison:
+    def test_table_shows_both_sides(self):
+        base = snapshot()
+        fresh = snapshot(ktuples_per_second=90.0)
+        table = format_comparison(base, fresh)
+        assert "PROB" in table
+        assert "100.00" in table
+        assert "90.00" in table
+        assert "-10.0%" in table
+
+    def test_missing_policy_is_called_out(self):
+        fresh = snapshot()
+        fresh["policies"] = []
+        assert "missing" in format_comparison(snapshot(), fresh)
+
+
+class TestCommittedBaseline:
+    """The checked-in BENCH_engine.json must stay gate-compatible."""
+
+    def test_baseline_has_gated_fields(self):
+        import json
+
+        path = BENCHMARKS.parent / "BENCH_engine.json"
+        baseline = json.loads(path.read_text())
+        assert baseline["scale"] in ("ci", "default", "paper")
+        assert baseline["policies"]
+        for entry in baseline["policies"]:
+            assert entry["output_count"] > 0
+            assert entry["ktuples_per_second"] > 0
+            assert "metrics_overhead_pct" in entry
+            assert "trace_overhead_pct" in entry
+
+    def test_baseline_compares_clean_against_itself(self):
+        import json
+
+        path = BENCHMARKS.parent / "BENCH_engine.json"
+        baseline = json.loads(path.read_text())
+        assert compare_snapshots(baseline, baseline) == []

@@ -1,0 +1,137 @@
+"""Tests for repro.obs.sampler and repro.obs.dashboard."""
+
+import io
+
+import pytest
+
+from repro.api import RunSpec, run_join
+from repro.obs import Sampler, WindowSample, sample_trace
+from repro.obs.dashboard import play, render_frame
+from repro.obs.trace import (
+    EVENT_ADMIT,
+    EVENT_ARRIVE,
+    EVENT_EVICT,
+    EVENT_EXPIRE,
+    EVENT_JOIN_OUTPUT,
+    TraceEvent,
+)
+
+
+def arrive(tick):
+    return TraceEvent(tick, "R", 0, EVENT_ARRIVE, tick)
+
+
+def admit(tick):
+    return TraceEvent(tick, "R", 0, EVENT_ADMIT, tick)
+
+
+def evict(tick):
+    return TraceEvent(tick, "R", 0, EVENT_EVICT, tick - 1)
+
+
+class TestSampler:
+    def test_buckets_by_tick(self):
+        sampler = Sampler(10)
+        sampler.extend([arrive(0), arrive(9), arrive(10), arrive(25)])
+        windows = sampler.windows()
+        assert [w.start for w in windows] == [0, 10, 20]
+        assert windows[0].get(EVENT_ARRIVE) == 2
+        assert windows[1].get(EVENT_ARRIVE) == 1
+
+    def test_gap_filling(self):
+        sampler = Sampler(10)
+        sampler.extend([arrive(0), arrive(45)])
+        filled = sampler.windows(fill=True)
+        assert len(filled) == 5
+        assert filled[2].counts == {}
+        sparse = sampler.windows(fill=False)
+        assert len(sparse) == 2
+
+    def test_occupancy_is_running_balance(self):
+        sampler = Sampler(10)
+        sampler.extend([admit(0), admit(1), admit(12), evict(13)])
+        windows = sampler.windows()
+        assert windows[0].occupancy == 2
+        assert windows[1].occupancy == 2  # +1 admit, -1 evict
+
+    def test_expire_reduces_occupancy(self):
+        sampler = Sampler(10)
+        sampler.extend([admit(0), TraceEvent(11, "R", 0, EVENT_EXPIRE, 0)])
+        windows = sampler.windows()
+        assert windows[-1].occupancy == 0
+
+    def test_totals_zero_filled(self):
+        sampler = Sampler(10)
+        sampler.add(arrive(3))
+        totals = sampler.totals()
+        assert totals[EVENT_ARRIVE] == 1
+        assert totals[EVENT_JOIN_OUTPUT] == 0
+
+    def test_empty_sampler(self):
+        assert Sampler(10).windows() == []
+        assert len(Sampler(10)) == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            Sampler(0)
+
+    def test_sample_trace_matches_engine_run(self):
+        result = run_join(
+            RunSpec(algorithm="PROB", length=500, window=50, memory=24, trace=True)
+        )
+        windows = sample_trace(result.trace, width=50)
+        assert sum(w.get(EVENT_ARRIVE) for w in windows) == 2 * 500
+        assert sum(w.get(EVENT_JOIN_OUTPUT) for w in windows) \
+            == result.total_output_count
+        # final occupancy equals tuples still resident at stream end
+        assert 0 <= windows[-1].occupancy <= 2 * 24
+
+    def test_window_sample_to_json(self):
+        sample = WindowSample(start=10, width=5, counts={EVENT_ARRIVE: 3})
+        record = sample.to_json()
+        assert record["start"] == 10
+        assert record["counts"] == {EVENT_ARRIVE: 3}
+
+
+class TestDashboard:
+    def _events(self):
+        result = run_join(
+            RunSpec(algorithm="PROB", length=400, window=40, memory=20, trace=True)
+        )
+        return result.trace
+
+    def test_render_frame_plain(self):
+        windows = sample_trace(self._events(), width=40)
+        frame = render_frame(windows, len(windows) - 1, color=False)
+        assert "arrive" in frame
+        assert "memory" in frame
+        assert "\x1b[" not in frame  # colour off means no ANSI codes
+
+    def test_render_frame_color_uses_ansi(self):
+        windows = sample_trace(self._events(), width=40)
+        frame = render_frame(windows, 0, color=True)
+        assert "\x1b[1m" in frame
+
+    def test_render_empty(self):
+        assert "(no trace events)" in render_frame([], 0, color=False)
+
+    def test_play_once_prints_single_frame(self):
+        out = io.StringIO()
+        frames = play(self._events(), width=40, once=True, color=False, out=out)
+        assert frames == 1
+        assert "produced" in out.getvalue()
+
+    def test_play_animates_every_window(self):
+        out = io.StringIO()
+        naps = []
+        frames = play(
+            self._events(), width=40, color=False, out=out,
+            sleep=naps.append,
+        )
+        assert frames == 10  # 400 ticks / 40 per bucket
+        assert len(naps) == frames - 1
+
+    def test_play_empty_trace(self):
+        out = io.StringIO()
+        assert play([], once=True, out=out) == 0
+        assert "empty" in out.getvalue()
