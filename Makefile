@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke bench-gate check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,9 +21,16 @@ bench-ci:
 bench-smoke:
 	$(PYTHON) benchmarks/snapshot.py --scale ci
 
-# Perf-regression gate: fresh snapshot vs the committed BENCH_engine.json.
-# Fails on >20% throughput drops, output-count drift, or instrumentation
-# overhead growth; see benchmarks/regression.py for the tolerance knobs.
+# Parallel-runtime snapshot -> BENCH_runtime.json (committed): the same
+# algorithm x seed grid timed serially and with workers=2, with a strict
+# outputs-identical check.  Speedup is advisory (CI may be single-core).
+bench-parallel:
+	$(PYTHON) benchmarks/bench_runtime.py
+
+# Perf-regression gate: fresh snapshots vs the committed BENCH_engine.json
+# (and BENCH_runtime.json when present).  Fails on >20% throughput drops,
+# output-count drift, instrumentation overhead growth, or parallel/serial
+# divergence; see benchmarks/regression.py for the tolerance knobs.
 bench-gate:
 	$(PYTHON) benchmarks/regression.py
 

@@ -17,11 +17,20 @@ at the baseline's own scale/seed and compares per policy:
 Timings are taken with instrumentation *disabled* (the overhead columns
 time it separately), so the gate measures the null path the paper's
 throughput claims depend on.  Throughput gains and overhead drops never
-fail the gate; only regressions do.  Exit status: 0 pass, 1 fail,
-2 bad invocation.
+fail the gate; only regressions do.
+
+When a committed ``BENCH_runtime.json`` exists (written by
+``make bench-parallel`` / ``benchmarks/bench_runtime.py``), the gate
+also rebuilds the parallel-runtime snapshot and checks the
+:mod:`repro.runtime` determinism contract: parallel output counts must
+equal serial ones and match the committed baseline exactly, and the
+parallel wall-clock may not exceed ``--max-slowdown`` (default 5x) times
+the serial one.  Speedup itself is advisory — CI runners may have a
+single core.  Exit status: 0 pass, 1 fail, 2 bad invocation.
 
 Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
                                       [--tolerance 0.2] [--repeats N]
+                                      [--skip-runtime]
 Or:   make bench-gate
 """
 
@@ -39,12 +48,15 @@ try:
 except ImportError:  # running from a checkout without `make install`
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from bench_runtime import build_runtime_snapshot  # noqa: E402 - sibling module
 from snapshot import build_snapshot  # noqa: E402 - sibling module
 
 #: throughput may drop at most this fraction below baseline
 DEFAULT_TOLERANCE = 0.20
 #: overhead columns may grow at most this many percentage points
 DEFAULT_OVERHEAD_SLACK = 20.0
+#: parallel wall-clock may be at most this many times the serial one
+DEFAULT_MAX_SLOWDOWN = 5.0
 
 OVERHEAD_FIELDS = ("metrics_overhead_pct", "trace_overhead_pct")
 
@@ -113,6 +125,58 @@ def compare_snapshots(
     return failures
 
 
+def check_runtime(
+    baseline: dict,
+    fresh: dict,
+    *,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> list[str]:
+    """Failure messages for the parallel-runtime snapshot.
+
+    Two hard conditions and one loose one:
+
+    * fresh parallel outputs must equal fresh serial outputs (the
+      determinism contract of :mod:`repro.runtime`);
+    * per-cell output counts must match the committed baseline exactly
+      (same determinism argument as the engine gate);
+    * the parallel wall-clock may not exceed ``max_slowdown`` times the
+      serial one.  Speedup is *not* asserted — a single-core runner makes
+      ``workers=2`` legitimately slower than serial — but a runaway
+      pickling or pool-startup pathology still trips the gate.
+    """
+    failures: list[str] = []
+    if not fresh.get("outputs_match", False):
+        for line in fresh.get("mismatches", []):
+            failures.append(f"runtime: parallel != serial: {line}")
+
+    base_counts = {
+        entry["seed"]: entry for entry in baseline.get("counts", [])
+    }
+    for entry in fresh.get("counts", []):
+        base = base_counts.get(entry["seed"])
+        if base is None:
+            continue
+        for name, count in entry.items():
+            if name == "seed":
+                continue
+            if name in base and base[name] != count:
+                failures.append(
+                    f"runtime: {name}(seed={entry['seed']}) output_count "
+                    f"changed {base[name]} -> {count} "
+                    "(engines are deterministic; this is a semantics change)"
+                )
+
+    serial = fresh.get("serial_seconds", 0.0)
+    parallel = fresh.get("parallel_seconds", 0.0)
+    if serial > 0 and parallel > serial * max_slowdown:
+        failures.append(
+            f"runtime: parallel wall-clock {parallel:.3f}s is "
+            f"{parallel / serial:.1f}x the serial {serial:.3f}s "
+            f"(max slowdown {max_slowdown:.0f}x)"
+        )
+    return failures
+
+
 def format_comparison(baseline: dict, fresh: dict) -> str:
     """Side-by-side table of the gated quantities."""
     lines = [
@@ -156,6 +220,20 @@ def main() -> int:
         "--repeats", type=int, default=None,
         help="timing repeats (default: the baseline's own setting)",
     )
+    parser.add_argument(
+        "--runtime-baseline", default=str(REPO_ROOT / "BENCH_runtime.json"),
+        dest="runtime_baseline",
+        help="committed parallel-runtime snapshot (skipped if absent)",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=DEFAULT_MAX_SLOWDOWN,
+        dest="max_slowdown",
+        help="max parallel/serial wall-clock ratio (default 5.0)",
+    )
+    parser.add_argument(
+        "--skip-runtime", action="store_true",
+        help="gate the engine snapshot only",
+    )
     args = parser.parse_args()
 
     baseline_path = Path(args.baseline)
@@ -184,6 +262,28 @@ def main() -> int:
         baseline, fresh,
         tolerance=args.tolerance, overhead_slack=args.overhead_slack,
     )
+
+    runtime_path = Path(args.runtime_baseline)
+    if not args.skip_runtime and runtime_path.exists():
+        try:
+            runtime_baseline = json.loads(runtime_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"runtime baseline {runtime_path} is not valid JSON: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        workers = runtime_baseline.get("parameters", {}).get("workers", 2)
+        runtime_scale = runtime_baseline.get("scale", "ci")
+        print(f"\nbench-gate: rebuilding runtime snapshot "
+              f"(scale={runtime_scale}, workers={workers}) ...")
+        runtime_fresh = build_runtime_snapshot(runtime_scale, workers)
+        print(f"  serial {runtime_fresh['serial_seconds']:.3f}s, "
+              f"parallel {runtime_fresh['parallel_seconds']:.3f}s "
+              f"(speedup {runtime_fresh['speedup']:.2f}x), "
+              f"outputs_match={runtime_fresh['outputs_match']}")
+        failures.extend(check_runtime(
+            runtime_baseline, runtime_fresh, max_slowdown=args.max_slowdown
+        ))
+
     if failures:
         print(f"\nbench-gate FAILED ({len(failures)} issue(s)):")
         for failure in failures:

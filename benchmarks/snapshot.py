@@ -40,15 +40,27 @@ from repro.streams import zipf_pair
 POLICIES = ("EXACT", "RAND", "PROB", "PROBV", "LIFE", "ARM")
 
 
-def _best_of(repeats: int, func, *args, **kwargs):
-    """(best elapsed seconds, last result) over ``repeats`` runs."""
-    best = float("inf")
-    result = None
+def _interleaved_best(repeats: int, variants):
+    """Best elapsed seconds (and last result) per variant, interleaved.
+
+    ``variants`` maps a name to a zero-argument callable.  Each repeat
+    round runs every variant once, back to back, before the next round
+    starts; the per-variant minimum is taken across rounds.  Interleaving
+    matters on shared/noisy machines: a load spike during round *k* slows
+    every variant's round-*k* sample alike, so min-over-rounds removes it
+    from all of them instead of inflating whichever variant happened to
+    own that wall-clock slice.  Overhead percentages computed from these
+    minima are differences of same-condition bests, not of runs taken
+    minutes apart.
+    """
+    best = {name: float("inf") for name in variants}
+    results = {name: None for name in variants}
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = func(*args, **kwargs)
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        for name, func in variants.items():
+            start = time.perf_counter()
+            results[name] = func()
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best, results
 
 
 def _trim_snapshot(snapshot: dict) -> dict:
@@ -73,22 +85,28 @@ def build_snapshot(scale_name: str, repeats: int, seed: int) -> dict:
 
     policies = []
     for name in POLICIES:
-        plain_seconds, result = _best_of(
-            repeats, run_algorithm, name, pair, window, memory,
-            estimators=estimators, seed=seed,
+        run_algorithm(  # warm up allocator/caches outside the timed rounds
+            name, pair, window, memory, estimators=estimators, seed=seed
         )
-        timed_seconds, timed_result = _best_of(
-            repeats, run_algorithm, name, pair, window, memory,
-            estimators=estimators, seed=seed, metrics=MetricsRegistry(),
-        )
-        traced_seconds, _ = _best_of(
-            repeats,
-            lambda: run_algorithm(
+        best, results = _interleaved_best(repeats, {
+            "plain": lambda: run_algorithm(
+                name, pair, window, memory,
+                estimators=estimators, seed=seed,
+            ),
+            "timed": lambda: run_algorithm(
+                name, pair, window, memory,
+                estimators=estimators, seed=seed, metrics=MetricsRegistry(),
+            ),
+            "traced": lambda: run_algorithm(
                 name, pair, window, memory,
                 estimators=estimators, seed=seed,
                 trace=Tracer(RingBufferSink(1 << 20)),
             ),
+        })
+        plain_seconds, timed_seconds, traced_seconds = (
+            best["plain"], best["timed"], best["traced"]
         )
+        result, timed_result = results["plain"], results["timed"]
         entry = {
             "policy": name,
             "output_count": result.output_count,
@@ -124,7 +142,7 @@ def build_snapshot(scale_name: str, repeats: int, seed: int) -> dict:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="ci", choices=sorted(SCALES))
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=7)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_engine.json"),

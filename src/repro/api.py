@@ -234,6 +234,7 @@ def compare(
     specs: Sequence[Union[RunSpec, str]],
     *,
     pair: Optional[StreamPair] = None,
+    workers: Optional[int] = None,
 ) -> dict:
     """Run several specs against one shared workload.
 
@@ -242,7 +243,13 @@ def compare(
     the sequence (or the defaults).  The shared input is ``pair`` if
     given, else the first spec's workload.  Returns ``{label: result}``
     in input order; duplicate algorithms get ``#2``, ``#3``, ... labels.
+
+    ``workers`` fans the specs out over worker processes (see
+    :mod:`repro.runtime`); results are identical to the serial run in
+    value and order.
     """
+    from .runtime import SpecCell, parallel_map, resolve_workers, run_spec_cell
+
     if not specs:
         raise ValueError("compare() needs at least one spec")
     template = next(
@@ -256,17 +263,31 @@ def compare(
     ]
     if pair is None:
         pair = build_pair(resolved[0])
-    estimators = estimators_for(pair)
 
-    results: dict = {}
+    labels: list[str] = []
     for spec in resolved:
         label = spec.algorithm
         suffix = 2
-        while label in results:
+        while label in labels:
             label = f"{spec.algorithm}#{suffix}"
             suffix += 1
-        results[label] = run_join(spec, pair=pair, estimators=estimators)
-    return results
+        labels.append(label)
+
+    if resolve_workers(workers) <= 1:
+        estimators = estimators_for(pair)
+        return {
+            label: run_join(spec, pair=pair, estimators=estimators)
+            for label, spec in zip(labels, resolved)
+        }
+
+    cells = [SpecCell(spec, pair) for spec in resolved]
+    outputs = parallel_map(
+        run_spec_cell,
+        cells,
+        workers=workers,
+        labels=[cell.label for cell in cells],
+    )
+    return dict(zip(labels, outputs))
 
 
 def attribute_run(spec: RunSpec, *, pair: Optional[StreamPair] = None):

@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Six verbs, all printing plain text:
+Seven verbs, all printing plain text:
 
 * ``repro list`` — available algorithms, figures, tables, and scales;
 * ``repro run`` — run one algorithm on a generated workload;
 * ``repro compare`` — run several algorithms on the same workload;
+* ``repro sweep`` — run several algorithms across seeds and print
+  mean/std/min/max aggregates per algorithm;
 * ``repro figure`` / ``repro table`` — regenerate one of the paper's
   figures/tables (or an ablation) at a chosen scale;
 * ``repro trace record|inspect|attribute`` — capture a tuple-lifecycle
@@ -23,6 +25,8 @@ Examples
     repro run --algorithm PROB --length 2000 --window 100 --memory 50
     repro run --algorithm PROB --metrics json --metrics-out prob.json
     repro compare --algorithms RAND,PROB,OPT --skew 1.5
+    repro compare --algorithms RAND,PROB,LIFE,OPT --workers 4
+    repro sweep --algorithms RAND,PROB --seeds 0,1,2,3 --workers 4
     repro figure figure3 --scale ci
     repro table ablation_drift --scale ci
     repro trace record --algorithm PROB --out prob.trace.jsonl
@@ -96,7 +100,9 @@ def _emit_metrics(args: argparse.Namespace, snapshots: dict) -> None:
         sys.stdout.write(text)
 
 
-def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_workload_arguments(
+    parser: argparse.ArgumentParser, *, seed: bool = True, metrics: bool = True
+) -> None:
     parser.add_argument("--length", type=int, default=2000, help="tuples per stream")
     parser.add_argument("--window", type=int, default=100, help="window size w")
     parser.add_argument("--memory", type=int, default=50, help="memory budget M")
@@ -116,18 +122,27 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
         choices=("uncorrelated", "correlated", "anticorrelated"),
         default="uncorrelated",
     )
-    parser.add_argument("--seed", type=int, default=0)
+    if seed:
+        parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--warmup", type=int, default=None,
         help="output-counting start (default: 2 * window)",
     )
+    if metrics:
+        parser.add_argument(
+            "--metrics", choices=("json", "csv"), default=None,
+            help="collect and emit an observability snapshot",
+        )
+        parser.add_argument(
+            "--metrics-out", default=None, dest="metrics_out",
+            help="write the metrics report to this file instead of stdout",
+        )
+
+
+def _workers_argument(parser: argparse.ArgumentParser, help_text: str) -> None:
     parser.add_argument(
-        "--metrics", choices=("json", "csv"), default=None,
-        help="collect and emit an observability snapshot",
-    )
-    parser.add_argument(
-        "--metrics-out", default=None, dest="metrics_out",
-        help="write the metrics report to this file instead of stdout",
+        "--workers", type=int, default=None,
+        help=help_text + " (default: REPRO_WORKERS or serial)",
     )
 
 
@@ -185,6 +200,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     results = compare_specs(
         [replace(template, algorithm=name, variable=None) for name in names],
         pair=pair,
+        workers=args.workers,
     )
     warmup = template.effective_warmup
     exact = exact_join_size(pair, args.window, count_from=warmup)
@@ -203,6 +219,62 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 for name, result in results.items()
             },
         )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.sweep import sweep_seeds
+
+    names = [name.strip().upper() for name in args.algorithms.split(",") if name.strip()]
+    unknown = [name for name in names if name not in ALL_ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithms: {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(ALL_ALGORITHMS)}", file=sys.stderr)
+        return 2
+    try:
+        seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    except ValueError:
+        print(f"--seeds must be comma-separated integers, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    if not seeds:
+        print("--seeds must name at least one seed", file=sys.stderr)
+        return 2
+
+    base = RunSpec(
+        algorithm=names[0],
+        window=args.window,
+        memory=args.memory,
+        warmup=args.warmup,
+        workload=args.workload,
+        length=args.length,
+        domain=args.domain,
+        skew=args.skew,
+        skew_s=args.skew_s,
+        correlation=args.correlation,
+    )
+
+    def factory(seed: int):
+        return build_pair(replace(base, seed=seed))
+
+    aggregates = sweep_seeds(
+        names,
+        factory,
+        args.window,
+        args.memory,
+        seeds=seeds,
+        warmup=args.warmup,
+        workers=args.workers,
+    )
+    print(f"workload : {args.workload}(length={args.length}, domain={args.domain}, "
+          f"skew={args.skew})   w={args.window}  M={args.memory}  "
+          f"seeds={','.join(map(str, seeds))}")
+    print(f"{'algorithm':<10} {'mean':>12} {'std':>10} {'min':>10} {'max':>10}")
+    print("-" * 56)
+    for name in names:
+        agg = aggregates[name]
+        print(f"{name:<10} {agg.mean:>12.1f} {agg.std:>10.1f} "
+              f"{agg.minimum:>10} {agg.maximum:>10}")
     return 0
 
 
@@ -369,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"one of {', '.join(ALL_ALGORITHMS)}",
     )
     _add_workload_arguments(run_parser)
+    _workers_argument(
+        run_parser,
+        "worker processes; a single run executes serially, the flag is "
+        "accepted for symmetry with compare/sweep",
+    )
 
     compare_parser = commands.add_parser("compare", help="run several algorithms")
     compare_parser.add_argument(
@@ -376,6 +453,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated algorithm names",
     )
     _add_workload_arguments(compare_parser)
+    _workers_argument(compare_parser, "worker processes to fan the algorithms over")
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="run several algorithms across seeds; print aggregates"
+    )
+    sweep_parser.add_argument(
+        "--algorithms", default="RAND,PROB,OPT",
+        help="comma-separated algorithm names",
+    )
+    sweep_parser.add_argument(
+        "--seeds", default="0,1,2,3,4",
+        help="comma-separated seeds; one suite runs per seed",
+    )
+    _add_workload_arguments(sweep_parser, seed=False, metrics=False)
+    _workers_argument(sweep_parser, "worker processes to fan the seeds over")
 
     figure_parser = commands.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("name", help="e.g. figure3 .. figure11")
@@ -476,6 +568,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "sweep": _cmd_sweep,
     "figure": _cmd_figure,
     "table": _cmd_table,
     "dash": _cmd_dash,

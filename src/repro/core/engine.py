@@ -110,6 +110,18 @@ class EngineConfig:
         one arrives*.  Survival tracking is unsupported in this mode
         (per-tuple lifetimes become schedule-dependent); LIFE's
         priorities use the initial window as its lifetime scale.
+    profile:
+        With a metrics registry attached, collect the *detailed*
+        instrumentation: per-phase (expire/probe/admit) wall-clock
+        timers and occupancy series at ``share_sample_every`` cadence.
+        Off by default — the default metrics mode batches everything
+        into end-of-run counter flushes plus occupancy samples every
+        ``metrics_sample_every`` ticks, keeping the instrumented run
+        within a few percent of the uninstrumented one.
+    metrics_sample_every:
+        Tick cadence of the occupancy/memory-share series in the
+        default (non-``profile``) metrics mode; ``None`` picks
+        ``max(1, window // 8)``.
     validate:
         Run per-tick invariant checks (tests only; slow).
     """
@@ -125,6 +137,8 @@ class EngineConfig:
     track_survival: bool = True
     memory_schedule: Optional[object] = None
     window_schedule: Optional[object] = None
+    profile: bool = False
+    metrics_sample_every: Optional[int] = None
     validate: bool = False
 
     def __post_init__(self) -> None:
@@ -138,6 +152,8 @@ class EngineConfig:
             raise ValueError(f"warmup must be non-negative, got {self.warmup}")
         if self.share_sample_every <= 0:
             raise ValueError("share_sample_every must be positive")
+        if self.metrics_sample_every is not None and self.metrics_sample_every <= 0:
+            raise ValueError("metrics_sample_every must be positive")
         if self.window_schedule is not None and self.track_survival:
             raise ValueError(
                 "track_survival is not supported with a window_schedule "
@@ -234,6 +250,15 @@ class JoinEngine:
         self._policy_r = resolved.r
         self._policy_s = resolved.s
         self._policies = resolved.instances
+        # Only policies that actually override observe_arrival (and have
+        # not declared themselves uninterested via `observes_arrivals`)
+        # are called per tick — the no-op broadcast was pure overhead.
+        self._observers = tuple(
+            p
+            for p in resolved.instances
+            if type(p).observe_arrival is not EvictionPolicy.observe_arrival
+            and getattr(p, "observes_arrivals", True)
+        )
         if resolved.name == "NONE":
             self.policy_name = "EXACT" if config.memory >= 2 * config.window else "NONE"
         else:
@@ -241,7 +266,291 @@ class JoinEngine:
 
     # ------------------------------------------------------------------
     def run(self, pair: StreamPair) -> RunResult:
-        """Process a finite stream pair and return the run's results."""
+        """Process a finite stream pair and return the run's results.
+
+        Dispatches to one of two loop implementations with identical
+        semantics (a regression test pins them to each other):
+
+        * the *fast loop* — the throughput path, with probes and
+          admissions inlined, counters batched into plain ints, and (if
+          a metrics registry is attached) instrumentation reduced to
+          end-of-run flushes plus sampled occupancy series;
+        * the *general loop* — tracing, time-varying budgets/windows,
+          result materialisation, share tracking, per-tick invariant
+          checks, and ``profile`` metrics (per-phase timers) all run
+          here.
+        """
+        config = self.config
+        obs = active_or_none(self.metrics)
+        tracer = tracing_or_none(self.trace)
+        if (
+            tracer is None
+            and config.memory_schedule is None
+            and config.window_schedule is None
+            and not config.materialize
+            and not config.track_shares
+            and not config.validate
+            and not (config.profile and obs is not None)
+        ):
+            return self._run_fast(pair, obs)
+        return self._run_general(pair, obs, tracer)
+
+    # ------------------------------------------------------------------
+    def _run_fast(self, pair: StreamPair, obs) -> RunResult:
+        """The inlined hot loop (see :meth:`run`).
+
+        Every per-tick attribute lookup is hoisted into a local, probes
+        read the per-key alive counters directly, admissions are inlined
+        (including the eviction contest), and drop tallies are plain
+        ints flushed into the result's ledger once at the end.
+        """
+        config = self.config
+        memory = self.memory
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+
+        length = len(pair)
+        r_keys = pair.r
+        s_keys = pair.s
+
+        track_survival = config.track_survival
+        r_departures: Optional[list[int]] = [0] * length if track_survival else None
+        s_departures: Optional[list[int]] = [0] * length if track_survival else None
+
+        mem_r = memory.r
+        mem_s = memory.s
+        r_slots = mem_r._slots
+        s_slots = mem_s._slots
+        r_counts = mem_r._key_counts
+        s_counts = mem_s._key_counts
+        r_by_arrival = mem_r._by_arrival
+        s_by_arrival = mem_s._by_arrival
+        r_add = mem_r.add
+        s_add = mem_s.add
+        r_expire = mem_r.expire_until
+        s_expire = mem_s.expire_until
+
+        policy_r = self._policy_r
+        policy_s = self._policy_s
+        observers = self._observers
+        variable = memory.variable
+        capacity = memory.capacity
+        half = capacity // 2
+        count_sim = config.count_simultaneous
+
+        output = 0
+        total_output = 0
+        simultaneous_total = 0
+        rej_r = rej_s = ev_r = ev_s = exp_r = exp_s = 0
+
+        timed = obs is not None
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            occupancy_r = obs.series("engine.occupancy", side="R")
+            occupancy_s = obs.series("engine.occupancy", side="S")
+            share_series = obs.series("engine.memory_share", side="R")
+            sample_every = config.metrics_sample_every or max(1, window // 8)
+        else:
+            sample_every = 0
+
+        for t in range(length):
+            # 1. expiry ------------------------------------------------
+            horizon = t - window
+            if r_by_arrival and r_by_arrival[0].arrival <= horizon:
+                for record in r_expire(horizon):
+                    exp_r += 1
+                    if policy_r is not None:
+                        policy_r.on_remove(record, t, expired=True)
+                    if track_survival:
+                        r_departures[record.arrival] = record.arrival + window - 1
+            if s_by_arrival and s_by_arrival[0].arrival <= horizon:
+                for record in s_expire(horizon):
+                    exp_s += 1
+                    if policy_s is not None:
+                        policy_s.on_remove(record, t, expired=True)
+                    if track_survival:
+                        s_departures[record.arrival] = record.arrival + window - 1
+
+            r_key = r_keys[t]
+            s_key = s_keys[t]
+
+            # 2. statistics hooks --------------------------------------
+            for policy in observers:
+                policy.observe_arrival("R", r_key, t)
+                policy.observe_arrival("S", s_key, t)
+
+            # 3. probes ------------------------------------------------
+            matched = s_counts.get(r_key, 0) + r_counts.get(s_key, 0)
+            if count_sim and r_key == s_key:
+                matched += 1
+                simultaneous_total += 1
+            total_output += matched
+            if t >= warmup:
+                output += matched
+
+            # 4. admissions: R first, then S ---------------------------
+            record = TupleRecord("R", t, r_key)
+            if (
+                (len(r_slots) + len(s_slots) < capacity)
+                if variable
+                else (len(r_slots) < half)
+            ):
+                r_add(record)
+                if policy_r is not None:
+                    policy_r.on_admit(record, t)
+            elif policy_r is None:
+                raise CapacityExceededError(
+                    f"memory overflow at t={t} with no shedding policy "
+                    f"(capacity {config.memory}, window {config.window})"
+                )
+            else:
+                victim = policy_r.choose_victim(record, t)
+                if victim is None:
+                    rej_r += 1
+                    if track_survival:
+                        r_departures[t] = t
+                else:
+                    if not victim.alive:
+                        raise RuntimeError(
+                            f"policy {policy_r.name} returned a non-resident "
+                            f"victim {victim!r}"
+                        )
+                    if victim.stream == "R":
+                        mem_r.remove(victim)
+                        ev_r += 1
+                        policy_r.on_remove(victim, t, expired=False)
+                        if track_survival:
+                            r_departures[victim.arrival] = t
+                    else:
+                        mem_s.remove(victim)
+                        ev_s += 1
+                        policy_s.on_remove(victim, t, expired=False)
+                        if track_survival:
+                            s_departures[victim.arrival] = t
+                    r_add(record)
+                    policy_r.on_admit(record, t)
+
+            record = TupleRecord("S", t, s_key)
+            if (
+                (len(r_slots) + len(s_slots) < capacity)
+                if variable
+                else (len(s_slots) < half)
+            ):
+                s_add(record)
+                if policy_s is not None:
+                    policy_s.on_admit(record, t)
+            elif policy_s is None:
+                raise CapacityExceededError(
+                    f"memory overflow at t={t} with no shedding policy "
+                    f"(capacity {config.memory}, window {config.window})"
+                )
+            else:
+                victim = policy_s.choose_victim(record, t)
+                if victim is None:
+                    rej_s += 1
+                    if track_survival:
+                        s_departures[t] = t
+                else:
+                    if not victim.alive:
+                        raise RuntimeError(
+                            f"policy {policy_s.name} returned a non-resident "
+                            f"victim {victim!r}"
+                        )
+                    if victim.stream == "R":
+                        mem_r.remove(victim)
+                        ev_r += 1
+                        policy_r.on_remove(victim, t, expired=False)
+                        if track_survival:
+                            r_departures[victim.arrival] = t
+                    else:
+                        mem_s.remove(victim)
+                        ev_s += 1
+                        policy_s.on_remove(victim, t, expired=False)
+                        if track_survival:
+                            s_departures[victim.arrival] = t
+                    s_add(record)
+                    policy_s.on_admit(record, t)
+
+            if sample_every and not t % sample_every:
+                r_size = len(r_slots)
+                s_size = len(s_slots)
+                occupancy_r.append(t, r_size)
+                occupancy_s.append(t, s_size)
+                total = r_size + s_size
+                share_series.append(t, (r_size / total) if total else 0.5)
+
+        # Tuples still resident at stream end would have served their
+        # full window; record the counterfactual natural departure.
+        if track_survival:
+            for side in (mem_r, mem_s):
+                for record in side.records():
+                    self._set_departure(
+                        r_departures, s_departures, record, record.arrival + window - 1
+                    )
+
+        drop_counts = {
+            "R": {DROP_REJECTED: rej_r, DROP_EVICTED: ev_r, DROP_EXPIRED: exp_r},
+            "S": {DROP_REJECTED: rej_s, DROP_EVICTED: ev_s, DROP_EXPIRED: exp_s},
+        }
+
+        snapshot = None
+        if timed:
+            run_timer.stop()
+            self._flush_metrics(
+                obs, length, total_output, simultaneous_total, output, drop_counts
+            )
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
+
+        return RunResult(
+            output_count=output,
+            total_output_count=total_output,
+            length=length,
+            window=window,
+            memory=config.memory,
+            warmup=warmup,
+            policy_name=self.policy_name,
+            pairs=None,
+            r_departures=r_departures,
+            s_departures=s_departures,
+            shares=None,
+            drop_counts=drop_counts,
+            metrics=snapshot,
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
+    def _flush_metrics(
+        self,
+        obs,
+        length: int,
+        total_output: int,
+        simultaneous_total: int,
+        output: int,
+        drop_counts: dict,
+    ) -> None:
+        """End-of-run counter/gauge flush shared by both loops."""
+        memory = self.memory
+        obs.counter("engine.probes").inc(2 * length)
+        obs.counter("engine.matches").inc(total_output)
+        obs.counter("engine.simultaneous").inc(simultaneous_total)
+        obs.counter("engine.output").inc(output)
+        for side in ("R", "S"):
+            obs.counter("engine.arrivals", side=side).inc(length)
+            obs.counter("engine.admissions", side=side).inc(
+                length - drop_counts[side][DROP_REJECTED]
+            )
+            for reason, count in drop_counts[side].items():
+                obs.counter("engine.drops", side=side, reason=reason).inc(count)
+            obs.gauge("engine.final_occupancy", side=side).set(
+                memory.side(side).size
+            )
+
+    # ------------------------------------------------------------------
+    def _run_general(self, pair: StreamPair, obs, tracer) -> RunResult:
+        """The fully featured loop (see :meth:`run`)."""
         config = self.config
         memory = self.memory
         window = config.window
@@ -267,8 +576,6 @@ class JoinEngine:
         # Observability: `obs` and `tracer` are None on the
         # uninstrumented path, so the hot loop pays only a handful of
         # local-boolean branches per tick.
-        obs = active_or_none(self.metrics)
-        tracer = tracing_or_none(self.trace)
         self._tracer = tracer
         tracing = tracer is not None
         timed = obs is not None
@@ -397,7 +704,7 @@ class JoinEngine:
         # window; record the counterfactual natural departure.
         if track_survival:
             for side in (memory.r, memory.s):
-                for record in list(side.records()):
+                for record in side.records():
                     self._set_departure(
                         r_departures, s_departures, record, record.arrival + window - 1
                     )

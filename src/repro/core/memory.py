@@ -105,8 +105,13 @@ class StreamMemory:
         record.alive = True
         record.slot = len(self._slots)
         self._slots.append(record)
-        self._by_key.setdefault(record.key, deque()).append(record)
-        self._key_counts[record.key] = self._key_counts.get(record.key, 0) + 1
+        key = record.key
+        bucket = self._by_key.get(key)
+        if bucket is None:
+            self._by_key[key] = bucket = deque()
+        bucket.append(record)
+        counts = self._key_counts
+        counts[key] = counts.get(key, 0) + 1
         self._by_arrival.append(record)
 
     def remove(self, record: TupleRecord) -> None:

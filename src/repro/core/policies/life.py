@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-from ...stats.frequency import FrequencyEstimator
+from ...stats.frequency import FrequencyEstimator, StaticFrequencyTable
 from ..memory import StreamMemory, TupleRecord
 from .base import EvictionPolicy, later_arrival_wins
 
@@ -49,8 +49,22 @@ class LifePolicy(EvictionPolicy):
             raise ValueError(f"window must be positive, got {window}")
         self._estimators = dict(estimators)
         self._window = window
+        # Static tables never change, so partner probabilities collapse
+        # to one dict lookup per scanned key (mirrors ProbPolicy).
+        if all(
+            isinstance(est, StaticFrequencyTable) for est in self._estimators.values()
+        ):
+            self._partner_probs: Optional[dict] = {
+                "R": self._estimators["S"].as_dict(),
+                "S": self._estimators["R"].as_dict(),
+            }
+        else:
+            self._partner_probs = None
 
     def partner_probability(self, stream: str, key) -> float:
+        probs = self._partner_probs
+        if probs is not None:
+            return probs[stream].get(key, 0.0)
         other = "S" if stream == "R" else "R"
         return self._estimators[other].probability(key)
 
@@ -58,15 +72,32 @@ class LifePolicy(EvictionPolicy):
         remaining = record.arrival + self._window - now
         return remaining * self.partner_probability(record.stream, record.key)
 
-    def _weakest_on(self, side: StreamMemory, now: int) -> Optional[TupleRecord]:
-        """Minimum-priority resident of one side (ties: earliest arrival)."""
+    def _weakest_on(
+        self, side: StreamMemory, now: int
+    ) -> tuple[Optional[TupleRecord], float]:
+        """Minimum-priority resident of one side (ties: earliest arrival).
+
+        Only per-key oldest tuples are candidates (module docstring), so
+        the scan walks the alive-key counter dict — never a copy of it;
+        ``oldest_alive`` mutates only the per-key buckets — resolving
+        each key through the memory's per-key FIFO and scoring it with
+        at most one dict lookup.
+        """
         best: Optional[TupleRecord] = None
         best_priority = 0.0
-        for key in list(side.resident_keys()):
-            record = side.oldest_alive(key)
-            if record is None:
+        offset = self._window - now
+        probs = self._partner_probs
+        side_probs = probs[side.stream] if probs is not None else None
+        oldest_alive = side.oldest_alive
+        for key in side._key_counts:
+            record = oldest_alive(key)
+            if record is None:  # pragma: no cover - counted keys are alive
                 continue
-            priority = self._priority(record, now)
+            if side_probs is not None:
+                p = side_probs.get(key, 0.0)
+            else:
+                p = self.partner_probability(side.stream, key)
+            priority = (record.arrival + offset) * p
             if (
                 best is None
                 or priority < best_priority
@@ -74,16 +105,15 @@ class LifePolicy(EvictionPolicy):
             ):
                 best = record
                 best_priority = priority
-        return best
+        return best, best_priority
 
-    def weakest_resident(self, stream: str, now: int) -> Optional[TupleRecord]:
+    def _weakest(self, stream: str, now: int) -> tuple[Optional[TupleRecord], float]:
         weakest: Optional[TupleRecord] = None
         weakest_priority = 0.0
         for side in self.memory.eviction_candidates(stream):
-            contender = self._weakest_on(side, now)
+            contender, priority = self._weakest_on(side, now)
             if contender is None:
                 continue
-            priority = self._priority(contender, now)
             if (
                 weakest is None
                 or priority < weakest_priority
@@ -91,10 +121,13 @@ class LifePolicy(EvictionPolicy):
             ):
                 weakest = contender
                 weakest_priority = priority
-        return weakest
+        return weakest, weakest_priority
+
+    def weakest_resident(self, stream: str, now: int) -> Optional[TupleRecord]:
+        return self._weakest(stream, now)[0]
 
     def choose_victim(self, candidate: TupleRecord, now: int) -> Optional[TupleRecord]:
-        weakest = self.weakest_resident(candidate.stream, now)
+        weakest, weakest_priority = self._weakest(candidate.stream, now)
         if weakest is None:
             return None
 
@@ -104,7 +137,7 @@ class LifePolicy(EvictionPolicy):
             candidate.stream, candidate.key
         )
         if later_arrival_wins(
-            self._priority(weakest, now),
+            weakest_priority,
             weakest.arrival,
             candidate_priority,
             candidate.arrival,

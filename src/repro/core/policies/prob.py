@@ -13,7 +13,7 @@ import heapq
 from itertools import count
 from typing import Mapping, Optional
 
-from ...stats.frequency import FrequencyEstimator
+from ...stats.frequency import FrequencyEstimator, StaticFrequencyTable
 from ..memory import TupleRecord
 from .base import EvictionPolicy, later_arrival_wins
 
@@ -61,6 +61,21 @@ class ProbPolicy(EvictionPolicy):
         # Lazy min-heap of (priority, arrival, seq, record).
         self._heap: list[tuple[float, int, int, TupleRecord]] = []
         self._seq = count()
+        # Static tables never change, so partner probabilities collapse
+        # to one dict lookup per decision.  Online estimators (or
+        # update_estimators=True) must keep going through the estimator.
+        if not update_estimators and all(
+            isinstance(est, StaticFrequencyTable) for est in self._estimators.values()
+        ):
+            self._partner_probs: Optional[dict] = {
+                "R": self._estimators["S"].as_dict(),
+                "S": self._estimators["R"].as_dict(),
+            }
+        else:
+            self._partner_probs = None
+        # The engine skips the per-tick observe_arrival broadcast for
+        # policies that declare they don't consume it.
+        self.observes_arrivals = update_estimators
 
     def observe_arrival(self, stream: str, key, now: int) -> None:
         if self._update_estimators:
@@ -68,6 +83,9 @@ class ProbPolicy(EvictionPolicy):
 
     def partner_probability(self, record: TupleRecord) -> float:
         """Probability that a partner for ``record`` arrives next tick."""
+        probs = self._partner_probs
+        if probs is not None:
+            return probs[record.stream].get(record.key, 0.0)
         other = "S" if record.stream == "R" else "R"
         return self._estimators[other].probability(record.key)
 

@@ -102,6 +102,50 @@ class TableData:
 # Figures 3, 4, 5: output vs. memory for one workload
 # ----------------------------------------------------------------------
 
+def _grid_output_counts(
+    grid: Sequence[tuple],
+    pair: StreamPair,
+    window: int,
+    *,
+    seed: int,
+    warmup: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> list[int]:
+    """Output counts for ``(memory, algorithm)`` cells, optionally parallel.
+
+    Serial execution shares one estimator build across the grid exactly
+    as the original figure loops did; parallel workers rebuild them from
+    the pair's metadata (a pure function, so the counts are identical).
+    """
+    from ..runtime import (
+        AlgorithmCell,
+        parallel_map,
+        resolve_workers,
+        run_algorithm_cell,
+    )
+
+    if resolve_workers(workers) <= 1 or len(grid) <= 1:
+        estimators = estimators_for(pair)
+        return [
+            run_algorithm(
+                name, pair, window, memory, seed=seed, warmup=warmup,
+                estimators=estimators,
+            ).output_count
+            for memory, name in grid
+        ]
+    cells = [
+        AlgorithmCell(name, pair, window, memory, seed=seed, warmup=warmup)
+        for memory, name in grid
+    ]
+    results = parallel_map(
+        run_algorithm_cell,
+        cells,
+        workers=workers,
+        labels=[cell.label for cell in cells],
+    )
+    return [result.output_count for result in results]
+
+
 def _memory_sweep_figure(
     figure_id: str,
     title: str,
@@ -112,18 +156,22 @@ def _memory_sweep_figure(
     include_exact: bool = True,
     seed: int = 0,
     expectation: str = "",
+    workers: Optional[int] = None,
 ) -> FigureData:
-    """Shared implementation of the output-vs-memory figures."""
+    """Shared implementation of the output-vs-memory figures.
+
+    ``workers`` fans the (memory × algorithm) grid out over worker
+    processes (see :mod:`repro.runtime`); the figure is identical either
+    way.
+    """
     memories = memory_sweep(window)
-    estimators = estimators_for(pair)
 
     series: dict[str, Series] = {name: Series(name, []) for name in algorithms}
-    for memory in memories:
-        for name in algorithms:
-            result = run_algorithm(
-                name, pair, window, memory, seed=seed, estimators=estimators
-            )
-            series[name].points.append((memory, result.output_count))
+    grid = [(memory, name) for memory in memories for name in algorithms]
+    for (memory, name), count in zip(
+        grid, _grid_output_counts(grid, pair, window, seed=seed, workers=workers)
+    ):
+        series[name].points.append((memory, count))
 
     all_series = [series[name] for name in algorithms]
     if include_exact:
@@ -148,7 +196,8 @@ def _memory_sweep_figure(
     )
 
 
-def figure3(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+def figure3(scale: Optional[Scale] = None, *, seed: int = 0,
+            workers: Optional[int] = None) -> FigureData:
     """Figure 3: Zipf(1) x Zipf(1) uncorrelated, domain 50, window w."""
     scale = scale or current_scale()
     window = scale.window
@@ -160,6 +209,7 @@ def figure3(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
         window,
         algorithms=("RAND", "LIFE", "PROB", "OPT"),
         seed=seed,
+        workers=workers,
         expectation=(
             "PROB far outperforms RAND and LIFE and tracks OPT closely; "
             "RAND grows roughly linearly with memory; LIFE is only "
@@ -168,7 +218,8 @@ def figure3(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
     )
 
 
-def figure4(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+def figure4(scale: Optional[Scale] = None, *, seed: int = 0,
+            workers: Optional[int] = None) -> FigureData:
     """Figure 4: same workload as Figure 3 with the window doubled."""
     scale = scale or current_scale()
     window = scale.window_large
@@ -180,6 +231,7 @@ def figure4(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
         window,
         algorithms=("RAND", "LIFE", "PROB", "OPT"),
         seed=seed,
+        workers=workers,
         expectation=(
             "Same ordering as Figure 3 — the window size does not change "
             "the relative behaviour of the algorithms."
@@ -187,7 +239,8 @@ def figure4(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
     )
 
 
-def figure5(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+def figure5(scale: Optional[Scale] = None, *, seed: int = 0,
+            workers: Optional[int] = None) -> FigureData:
     """Figure 5: uniform x uniform — no semantic signal to exploit."""
     scale = scale or current_scale()
     window = scale.window
@@ -199,6 +252,7 @@ def figure5(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
         window,
         algorithms=("RAND", "LIFE", "PROB", "OPT"),
         seed=seed,
+        workers=workers,
         expectation=(
             "All online algorithms (RAND, PROB, LIFE) perform equally "
             "poorly; even OPT gains little from knowing the future."
@@ -216,6 +270,7 @@ def figure6(
     seed: int = 0,
     correlation: str = "uncorrelated",
     skews: Sequence[float] = SKEW_SWEEP,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Figure 6: RAND and PROB as fractions of OPT vs. Zipf skew.
 
@@ -237,7 +292,10 @@ def figure6(
             correlation=correlation,
             seed=seed,
         )
-        results = run_suite(("RAND", "PROB", "OPT"), pair, window, memory, seed=seed)
+        results = run_suite(
+            ("RAND", "PROB", "OPT"), pair, window, memory, seed=seed,
+            workers=workers,
+        )
         opt = max(results["OPT"].output_count, 1)
         rand_series.points.append((skew, results["RAND"].output_count / opt))
         prob_series.points.append((skew, results["PROB"].output_count / opt))
@@ -272,24 +330,24 @@ def figure_domain_size(
     scale: Optional[Scale] = None,
     *,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> FigureData:
     """Shared implementation of Figures 9 (d=10), 10 (d=50), 11 (d=200)."""
     scale = scale or current_scale()
     window = scale.window
     pair = zipf_pair(scale.stream_length, domain_size, 1.0, seed=seed)
     memories = memory_sweep(window)
-    estimators = estimators_for(pair)
 
     exact = run_algorithm("EXACT", pair, window, 0)
     series = {name: Series(f"{name}/OPT", []) for name in ("RAND", "PROB", "EXACT")}
+    grid = [
+        (memory, name) for memory in memories for name in ("OPT", "RAND", "PROB")
+    ]
+    counts = iter(_grid_output_counts(grid, pair, window, seed=seed, workers=workers))
     for memory in memories:
-        opt = run_algorithm("OPT", pair, window, memory).output_count
-        opt = max(opt, 1)
+        opt = max(next(counts), 1)
         for name in ("RAND", "PROB"):
-            result = run_algorithm(
-                name, pair, window, memory, seed=seed, estimators=estimators
-            )
-            series[name].points.append((memory, result.output_count / opt))
+            series[name].points.append((memory, next(counts) / opt))
         series["EXACT"].points.append((memory, exact.output_count / opt))
 
     return FigureData(
@@ -312,23 +370,30 @@ def figure_domain_size(
     )
 
 
-def figure9(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
-    return figure_domain_size(DOMAIN_SIZES[0], "figure9", scale, seed=seed)
+def figure9(scale: Optional[Scale] = None, *, seed: int = 0,
+             workers: Optional[int] = None) -> FigureData:
+    return figure_domain_size(DOMAIN_SIZES[0], "figure9", scale, seed=seed,
+                              workers=workers)
 
 
-def figure10(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
-    return figure_domain_size(DOMAIN_SIZES[1], "figure10", scale, seed=seed)
+def figure10(scale: Optional[Scale] = None, *, seed: int = 0,
+             workers: Optional[int] = None) -> FigureData:
+    return figure_domain_size(DOMAIN_SIZES[1], "figure10", scale, seed=seed,
+                              workers=workers)
 
 
-def figure11(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
-    return figure_domain_size(DOMAIN_SIZES[2], "figure11", scale, seed=seed)
+def figure11(scale: Optional[Scale] = None, *, seed: int = 0,
+             workers: Optional[int] = None) -> FigureData:
+    return figure_domain_size(DOMAIN_SIZES[2], "figure11", scale, seed=seed,
+                              workers=workers)
 
 
 # ----------------------------------------------------------------------
 # Figures 7-8: the weather workload
 # ----------------------------------------------------------------------
 
-def figure7(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
+def figure7(scale: Optional[Scale] = None, *, seed: int = 0,
+            workers: Optional[int] = None) -> FigureData:
     """Figure 7: output vs. memory on the (synthetic) weather dataset.
 
     The paper omits OPT here (the flow solver exceeded their resources);
@@ -339,21 +404,17 @@ def figure7(scale: Optional[Scale] = None, *, seed: int = 0) -> FigureData:
     warmup = scale.weather_warmup
     pair = weather_pair(scale.weather_length, seed=seed)
     memories = memory_sweep(window)
-    estimators = estimators_for(pair)
 
-    series = {name: Series(name, []) for name in ("RAND", "PROB", "PROBV")}
-    for memory in memories:
-        for name in series:
-            result = run_algorithm(
-                name,
-                pair,
-                window,
-                memory,
-                seed=seed,
-                warmup=warmup,
-                estimators=estimators,
-            )
-            series[name].points.append((memory, result.output_count))
+    names = ("RAND", "PROB", "PROBV")
+    series = {name: Series(name, []) for name in names}
+    grid = [(memory, name) for memory in memories for name in names]
+    for (memory, name), count in zip(
+        grid,
+        _grid_output_counts(
+            grid, pair, window, seed=seed, warmup=warmup, workers=workers
+        ),
+    ):
+        series[name].points.append((memory, count))
     exact = run_algorithm("EXACT", pair, window, 0, warmup=warmup)
     exact_series = Series("EXACT", [(m, exact.output_count) for m in memories])
 

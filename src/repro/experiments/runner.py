@@ -146,23 +146,72 @@ def run_suite(
     *,
     seed: int = 0,
     warmup: Optional[int] = None,
+    workers: Optional[int] = None,
     **kwargs,
 ) -> dict[str, AnyResult]:
-    """Run several algorithms on identical inputs; estimators are shared."""
-    estimators = estimators_for(pair)
-    results: dict[str, AnyResult] = {}
-    for name in algorithms:
-        results[name] = run_algorithm(
+    """Run several algorithms on identical inputs; estimators are shared.
+
+    ``workers`` fans the algorithms out over worker processes (see
+    :mod:`repro.runtime`) with identical results.  A shared ``metrics``
+    registry is handled by merging worker snapshots back into it; a
+    shared ``trace`` tracer cannot cross process boundaries, so traced
+    suites always run serially.
+    """
+    from ..runtime import (
+        AlgorithmCell,
+        parallel_map,
+        resolve_workers,
+        run_algorithm_cell,
+    )
+
+    metrics = kwargs.get("metrics")
+    if (
+        resolve_workers(workers) <= 1
+        or len(algorithms) <= 1
+        or kwargs.get("trace") is not None
+    ):
+        estimators = estimators_for(pair)
+        results: dict[str, AnyResult] = {}
+        for name in algorithms:
+            results[name] = run_algorithm(
+                name,
+                pair,
+                window,
+                memory,
+                seed=seed,
+                warmup=warmup,
+                estimators=estimators,
+                **kwargs,
+            )
+        return results
+
+    cell_kwargs = {k: v for k, v in kwargs.items() if k != "metrics"}
+    with_metrics = metrics is not None and getattr(metrics, "enabled", True)
+    cells = [
+        AlgorithmCell(
             name,
             pair,
             window,
             memory,
             seed=seed,
             warmup=warmup,
-            estimators=estimators,
-            **kwargs,
+            with_metrics=with_metrics,
+            kwargs=cell_kwargs,
         )
-    return results
+        for name in algorithms
+    ]
+    outputs = parallel_map(
+        run_algorithm_cell,
+        cells,
+        workers=workers,
+        labels=[cell.label for cell in cells],
+    )
+    if with_metrics:
+        for result in outputs:
+            snapshot = getattr(result, "metrics", None)
+            if snapshot:
+                metrics.merge_snapshot(snapshot)
+    return dict(zip(algorithms, outputs))
 
 
 def output_counts(results: dict[str, AnyResult]) -> dict[str, int]:

@@ -53,22 +53,65 @@ def sweep_seeds(
     *,
     seeds: Sequence[int],
     warmup: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> dict[str, Aggregate]:
     """Run the suite once per seed; aggregate outputs per algorithm.
 
     ``pair_factory(seed)`` builds the workload, so both the data and the
     randomised policies vary together, exactly like independent repeats
     of the paper's experiment.
+
+    ``workers`` fans the seeds out over worker processes (see
+    :mod:`repro.runtime`).  The factory runs in the parent either way —
+    it may be a lambda, and shipping the generated pair guarantees
+    workers see byte-identical inputs — so aggregates are identical to
+    the serial sweep.
     """
     if not seeds:
         raise ValueError("need at least one seed")
+    counts = _suite_counts(algorithms, pair_factory, window, memory,
+                           seeds=seeds, warmup=warmup, workers=workers)
     outputs: dict[str, list[int]] = {name: [] for name in algorithms}
-    for seed in seeds:
-        pair = pair_factory(seed)
-        results = run_suite(algorithms, pair, window, memory, seed=seed, warmup=warmup)
+    for per_seed in counts:
         for name in algorithms:
-            outputs[name].append(results[name].output_count)
+            outputs[name].append(per_seed[name])
     return {name: Aggregate.of(values) for name, values in outputs.items()}
+
+
+def _suite_counts(
+    algorithms: Sequence[str],
+    pair_factory: Callable[[int], StreamPair],
+    window: int,
+    memory: int,
+    *,
+    seeds: Sequence[int],
+    warmup: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> list[dict[str, int]]:
+    """Per-seed ``{algorithm: output_count}`` maps, optionally parallel."""
+    from ..runtime import SuiteCell, parallel_map, resolve_workers, run_suite_cell
+
+    if resolve_workers(workers) <= 1 or len(seeds) <= 1:
+        counts = []
+        for seed in seeds:
+            pair = pair_factory(seed)
+            results = run_suite(
+                algorithms, pair, window, memory, seed=seed, warmup=warmup
+            )
+            counts.append({name: results[name].output_count for name in algorithms})
+        return counts
+
+    cells = [
+        SuiteCell(tuple(algorithms), pair_factory(seed), window, memory,
+                  seed=seed, warmup=warmup)
+        for seed in seeds
+    ]
+    return parallel_map(
+        run_suite_cell,
+        cells,
+        workers=workers,
+        labels=[cell.label for cell in cells],
+    )
 
 
 def dominance_count(
@@ -88,6 +131,7 @@ def variance_study(
     *,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     algorithms: Sequence[str] = ("RAND", "FIFO", "LIFE", "PROB", "OPT"),
+    workers: Optional[int] = None,
 ) -> TableData:
     """Seed-to-seed stability of the Figure 3 configuration.
 
@@ -105,15 +149,21 @@ def variance_study(
     window = scale.window
     memory = even_memory(window, 0.5)
 
+    def factory(seed: int) -> StreamPair:
+        return zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=seed)
+
+    counts = _suite_counts(
+        algorithms, factory, window, memory, seeds=seeds, workers=workers
+    )
     fractions: dict[str, list[float]] = {name: [] for name in algorithms}
     raw: dict[str, list[int]] = {name: [] for name in algorithms}
-    for seed in seeds:
-        pair = zipf_pair(scale.stream_length, DEFAULT_DOMAIN, 1.0, seed=seed)
-        exact = max(exact_join_size(pair, window, count_from=2 * window), 1)
-        results = run_suite(algorithms, pair, window, memory, seed=seed)
+    for seed, per_seed in zip(seeds, counts):
+        exact = max(
+            exact_join_size(factory(seed), window, count_from=2 * window), 1
+        )
         for name in algorithms:
-            raw[name].append(results[name].output_count)
-            fractions[name].append(results[name].output_count / exact)
+            raw[name].append(per_seed[name])
+            fractions[name].append(per_seed[name] / exact)
 
     rows: list[list] = []
     for name in algorithms:

@@ -302,25 +302,42 @@ class MetricsRegistry:
             ],
         }
 
+    def merge_snapshot(self, data: dict) -> None:
+        """Fold a :meth:`snapshot` dump into this registry.
+
+        The runtime layer uses this to aggregate worker-side metrics
+        back into the parent registry: counters, phases, and histogram
+        summaries accumulate; series points extend; gauges take the
+        incoming value (last write wins).  Merging into a fresh registry
+        reproduces the snapshot exactly (:meth:`from_snapshot`).
+        """
+        for entry in data.get("counters", ()):
+            self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in data.get("gauges", ()):
+            self.gauge(entry["name"], **entry["labels"]).set(entry["value"])
+        for entry in data.get("histograms", ()):
+            histogram = self.histogram(entry["name"], **entry["labels"])
+            histogram.count += entry["count"]
+            histogram.sum += entry["sum"]
+            if entry["min"] is not None and (
+                histogram.min is None or entry["min"] < histogram.min
+            ):
+                histogram.min = entry["min"]
+            if entry["max"] is not None and (
+                histogram.max is None or entry["max"] > histogram.max
+            ):
+                histogram.max = entry["max"]
+        for entry in data.get("series", ()):
+            series = self.series(entry["name"], **entry["labels"])
+            series.points.extend(tuple(point) for point in entry["points"])
+        for entry in data.get("phases", ()):
+            self.record_phase(entry["path"], entry["seconds"], entry["count"])
+
     @classmethod
     def from_snapshot(cls, data: dict) -> "MetricsRegistry":
         """Rebuild a registry from :meth:`snapshot` output."""
         registry = cls()
-        for entry in data.get("counters", ()):
-            registry.counter(entry["name"], **entry["labels"]).inc(entry["value"])
-        for entry in data.get("gauges", ()):
-            registry.gauge(entry["name"], **entry["labels"]).set(entry["value"])
-        for entry in data.get("histograms", ()):
-            histogram = registry.histogram(entry["name"], **entry["labels"])
-            histogram.count = entry["count"]
-            histogram.sum = entry["sum"]
-            histogram.min = entry["min"]
-            histogram.max = entry["max"]
-        for entry in data.get("series", ()):
-            series = registry.series(entry["name"], **entry["labels"])
-            series.points = [tuple(point) for point in entry["points"]]
-        for entry in data.get("phases", ()):
-            registry.record_phase(entry["path"], entry["seconds"], entry["count"])
+        registry.merge_snapshot(data)
         return registry
 
 

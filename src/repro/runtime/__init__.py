@@ -1,0 +1,35 @@
+"""Parallel runtime: fan independent run cells over worker processes.
+
+See :mod:`repro.runtime.pool` for the execution layer (worker
+resolution, the determinism contract, error surfacing) and
+:mod:`repro.runtime.cells` for the picklable task descriptions the
+experiment drivers build.
+
+The public knob everywhere is ``workers``: ``None`` defers to the
+``REPRO_WORKERS`` environment variable (default serial), ``1`` forces
+serial, ``N`` fans out over ``N`` processes.  Serial execution is
+bit-identical to parallel execution by construction.
+"""
+
+from .cells import (
+    AlgorithmCell,
+    SpecCell,
+    SuiteCell,
+    run_algorithm_cell,
+    run_spec_cell,
+    run_suite_cell,
+)
+from .pool import ENV_WORKERS, CellError, parallel_map, resolve_workers
+
+__all__ = [
+    "AlgorithmCell",
+    "CellError",
+    "ENV_WORKERS",
+    "SpecCell",
+    "SuiteCell",
+    "parallel_map",
+    "resolve_workers",
+    "run_algorithm_cell",
+    "run_spec_cell",
+    "run_suite_cell",
+]

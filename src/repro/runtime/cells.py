@@ -1,0 +1,124 @@
+"""Picklable run-cell descriptions and their worker entry points.
+
+A *cell* is one independent unit of a figure/sweep grid: everything a
+worker process needs to reproduce one run, as plain picklable data.
+Workloads are generated in the parent and shipped inside the cell (the
+sweep APIs accept arbitrary — often non-picklable — pair factories, and
+shipping the pair also guarantees every worker sees byte-identical
+input).  Estimators are rebuilt inside the worker from the pair's
+metadata; :func:`repro.experiments.runner.estimators_for` is a pure
+function of the pair, so the rebuild is exact.
+
+Each cell type has a module-level ``run_*_cell`` function (pool workers
+cannot pickle lambdas or methods).  Metrics: a worker cannot mutate the
+parent's :class:`~repro.obs.MetricsRegistry`, so cells carry a
+``with_metrics`` flag instead; the worker runs against a fresh registry,
+the engine attaches its snapshot to the result, and the caller merges
+the snapshots back via
+:meth:`~repro.obs.MetricsRegistry.merge_snapshot`.  One visible
+difference from serial runs: each result's snapshot then covers only its
+own run, not the accumulated suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..streams.tuples import StreamPair
+
+
+@dataclass(frozen=True)
+class SpecCell:
+    """One :class:`~repro.api.RunSpec` against a shared workload."""
+
+    spec: object  # RunSpec; typed loosely to avoid an api<->runtime cycle
+    pair: StreamPair
+
+    @property
+    def label(self) -> str:
+        spec = self.spec
+        return (
+            f"{spec.algorithm}(w={spec.window},M={spec.memory},seed={spec.seed})"
+        )
+
+
+def run_spec_cell(cell: SpecCell):
+    """Worker entry: run one spec cell end to end."""
+    from ..api import run_join
+    from ..experiments.runner import estimators_for
+
+    return run_join(cell.spec, pair=cell.pair, estimators=estimators_for(cell.pair))
+
+
+@dataclass(frozen=True)
+class AlgorithmCell:
+    """One named algorithm of a suite run (grid axis: algorithm)."""
+
+    name: str
+    pair: StreamPair
+    window: int
+    memory: int
+    seed: int
+    warmup: Optional[int] = None
+    with_metrics: bool = False
+    kwargs: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}(w={self.window},M={self.memory},seed={self.seed})"
+
+
+def run_algorithm_cell(cell: AlgorithmCell):
+    """Worker entry: run one algorithm cell, metrics into a fresh registry."""
+    from ..experiments.runner import estimators_for, run_algorithm
+    from ..obs import MetricsRegistry
+
+    metrics = MetricsRegistry() if cell.with_metrics else None
+    return run_algorithm(
+        cell.name,
+        cell.pair,
+        cell.window,
+        cell.memory,
+        seed=cell.seed,
+        warmup=cell.warmup,
+        estimators=estimators_for(cell.pair),
+        metrics=metrics,
+        **cell.kwargs,
+    )
+
+
+@dataclass(frozen=True)
+class SuiteCell:
+    """One whole algorithm suite on one workload (grid axis: seed)."""
+
+    algorithms: tuple
+    pair: StreamPair
+    window: int
+    memory: int
+    seed: int
+    warmup: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return f"suite(w={self.window},M={self.memory},seed={self.seed})"
+
+
+def run_suite_cell(cell: SuiteCell) -> dict[str, int]:
+    """Worker entry: run one suite cell, return per-algorithm outputs.
+
+    Only the headline output counts cross the process boundary — the
+    seed-sweep aggregates need nothing else, and full results would
+    pickle survival arrays per run.
+    """
+    from ..experiments.runner import run_suite
+
+    results = run_suite(
+        cell.algorithms,
+        cell.pair,
+        cell.window,
+        cell.memory,
+        seed=cell.seed,
+        warmup=cell.warmup,
+    )
+    return {name: results[name].output_count for name in cell.algorithms}

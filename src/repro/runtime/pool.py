@@ -1,0 +1,144 @@
+"""Process-pool execution of independent run cells.
+
+The paper's figures are grids of independent (policy × memory × window ×
+seed) runs; nothing in one cell depends on another.  This module fans
+such grids over :class:`concurrent.futures.ProcessPoolExecutor` workers.
+
+Determinism contract
+--------------------
+Every cell carries its own seed and all randomness inside a cell derives
+from it (workload generation in the parent, policy RNGs from the cell's
+seed), so the *results* of a grid are a pure function of its cells —
+``workers=4`` returns exactly what ``workers=1`` returns, in the same
+order.  The serial path (resolved worker count 1, or a single task) does
+not touch the pool machinery at all and propagates exceptions raw, so it
+is bit-identical to the pre-runtime code.
+
+Worker selection
+----------------
+``resolve_workers`` combines the explicit ``workers`` argument with the
+``REPRO_WORKERS`` environment variable:
+
+* ``REPRO_WORKERS=0`` — global kill switch; everything runs serially no
+  matter what the call site asked for (useful under debuggers, coverage,
+  or platforms without working ``fork``/``spawn``);
+* explicit ``workers`` — wins otherwise;
+* ``REPRO_WORKERS=N`` (N > 0) — the default when the call site passed
+  ``None``;
+* neither — serial.
+
+Failure surface
+---------------
+A cell that raises inside a worker does not bubble up as an opaque
+``BrokenProcessPool``/pickled traceback: the worker shim captures the
+exception and the parent re-raises a :class:`CellError` naming the
+failed cell's label plus the worker-side traceback text.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional, Sequence
+
+#: Environment variable steering the default worker count (see above).
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+class CellError(RuntimeError):
+    """One grid cell failed; names the cell and carries the traceback."""
+
+    def __init__(
+        self, label: str, exc_type: str, message: str, details: str = ""
+    ) -> None:
+        self.label = label
+        self.exc_type = exc_type
+        self.exc_message = message
+        self.details = details
+        text = f"run cell {label!r} failed: {exc_type}: {message}"
+        if details:
+            text += f"\n--- worker traceback ---\n{details.rstrip()}"
+        super().__init__(text)
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count for a grid (see module docstring)."""
+    env = os.environ.get(ENV_WORKERS)
+    env_value: Optional[int] = None
+    if env is not None and env.strip():
+        try:
+            env_value = int(env)
+        except ValueError as exc:
+            raise ValueError(
+                f"{ENV_WORKERS} must be an integer, got {env!r}"
+            ) from exc
+        if env_value < 0:
+            raise ValueError(f"{ENV_WORKERS} must be >= 0, got {env_value}")
+        if env_value == 0:
+            return 1
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return workers
+    if env_value is not None:
+        return env_value
+    return 1
+
+
+def _guarded(packed):
+    """Top-level worker shim: never raises, returns a tagged outcome."""
+    fn, task, label = packed
+    try:
+        return ("ok", fn(task))
+    except Exception as exc:  # noqa: BLE001 - re-raised as CellError
+        return ("err", label, type(exc).__name__, str(exc), traceback.format_exc())
+
+
+def parallel_map(
+    fn: Callable,
+    tasks: Sequence,
+    *,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> list:
+    """Map a picklable ``fn`` over ``tasks``, preserving input order.
+
+    ``fn`` must be a module-level function and every task picklable (the
+    cell types in :mod:`repro.runtime.cells` are).  ``labels`` name the
+    cells for error reports; they default to ``cell[i]``.
+
+    With a resolved worker count of 1 (or fewer than two tasks) this is
+    a plain loop — no pool, no pickling, raw exceptions — so serial
+    callers pay nothing and see exactly the pre-runtime behaviour.
+    """
+    tasks = list(tasks)
+    if labels is None:
+        labels = [f"cell[{i}]" for i in range(len(tasks))]
+    else:
+        labels = [str(label) for label in labels]
+        if len(labels) != len(tasks):
+            raise ValueError(
+                f"got {len(labels)} labels for {len(tasks)} tasks"
+            )
+
+    count = resolve_workers(workers)
+    if count <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+
+    if chunksize is None:
+        # Small grids: one task per dispatch keeps all workers busy;
+        # large grids: chunking amortises the per-dispatch pickling.
+        chunksize = max(1, len(tasks) // (count * 4))
+    packed = [(fn, task, label) for task, label in zip(tasks, labels)]
+    with ProcessPoolExecutor(max_workers=min(count, len(tasks))) as pool:
+        outcomes = list(pool.map(_guarded, packed, chunksize=chunksize))
+
+    results = []
+    for outcome in outcomes:
+        if outcome[0] == "err":
+            _, label, exc_type, message, details = outcome
+            raise CellError(label, exc_type, message, details)
+        results.append(outcome[1])
+    return results

@@ -66,6 +66,38 @@ class TestCommands:
         assert main(["compare", "--algorithms", "RAND,NOPE"]) == 2
         assert "unknown algorithms" in capsys.readouterr().err
 
+    def test_compare_with_workers(self, capsys):
+        serial = main(
+            ["compare", "--algorithms", "RAND,PROB", "--length", "300",
+             "--window", "20", "--memory", "10", "--workers", "1"]
+        )
+        serial_out = capsys.readouterr().out
+        parallel = main(
+            ["compare", "--algorithms", "RAND,PROB", "--length", "300",
+             "--window", "20", "--memory", "10", "--workers", "2"]
+        )
+        parallel_out = capsys.readouterr().out
+        assert serial == parallel == 0
+        assert serial_out == parallel_out  # determinism contract
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--algorithms", "RAND,PROB", "--seeds", "0,1",
+             "--length", "300", "--window", "20", "--memory", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RAND" in out and "PROB" in out
+        assert "mean" in out and "seeds=0,1" in out
+
+    def test_sweep_bad_seeds(self, capsys):
+        assert main(["sweep", "--seeds", "0,abc"]) == 2
+        assert "seeds" in capsys.readouterr().err
+
+    def test_sweep_unknown_algorithm(self, capsys):
+        assert main(["sweep", "--algorithms", "RAND,NOPE"]) == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
     def test_figure(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "ci")
         assert main(["figure", "figure8"]) == 0

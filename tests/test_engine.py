@@ -217,3 +217,42 @@ class TestAccountingDetails:
         result = run_algorithm("PROB", small_zipf_pair, 20, 10)
         with pytest.raises(ValueError, match="track_shares"):
             result.share_fraction_r()
+
+
+class TestFastLoopDispatch:
+    """The inlined fast loop must be observationally identical to the
+    fully-featured general loop — same outputs, drops, and survival
+    records — with or without a metrics registry attached."""
+
+    ALGORITHMS = ("RAND", "PROB", "PROBV", "LIFE")
+
+    def _run(self, name, pair, **kwargs):
+        return run_algorithm(name, pair, 25, 12, seed=3, **kwargs)
+
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_plain_metrics_and_general_agree(self, name):
+        from repro.obs import MetricsRegistry
+
+        pair = zipf_pair(600, 40, 1.0, seed=3)
+        plain = self._run(name, pair)
+        timed = self._run(name, pair, metrics=MetricsRegistry())
+        # materialize=True forces the general loop (it collects pairs).
+        general = self._run(name, pair, materialize=True)
+        for other in (timed, general):
+            assert plain.output_count == other.output_count
+            assert plain.drop_breakdown() == other.drop_breakdown()
+            assert plain.r_departures == other.r_departures
+            assert plain.s_departures == other.s_departures
+
+    def test_metrics_counters_match_result(self):
+        from repro.obs import MetricsRegistry
+
+        pair = zipf_pair(600, 40, 1.0, seed=3)
+        registry = MetricsRegistry()
+        result = self._run("PROB", pair, metrics=registry)
+        assert registry.counter_total("engine.output") == result.output_count
+        assert registry.counter_total("engine.arrivals") == 2 * len(pair)
+        drops = result.drop_breakdown()
+        assert registry.counter_total("engine.drops") == (
+            drops.rejected + drops.evicted + drops.expired
+        )

@@ -146,6 +146,55 @@ class TestLifePolicy:
         with pytest.raises(ValueError):
             LifePolicy(_estimators({0: 1.0}, {0: 1.0}), 0)
 
+    def test_victim_matches_bruteforce_scan(self):
+        """Regression pin for the key-count scan in ``_weakest_on``.
+
+        The scan only visits per-key oldest residents (the FIFO head per
+        key) instead of rescanning every resident.  Pin its choice
+        against a brute-force minimum over *all* residents with the same
+        tie rule (lowest priority, then earliest arrival): both must
+        name the same victim at every decision point of a mixed
+        admission sequence.
+        """
+        estimators = _estimators(
+            {0: 0.4, 1: 0.3, 2: 0.2, 3: 0.1},
+            {0: 0.5, 1: 0.25, 2: 0.15, 3: 0.1},
+        )
+        window = 8
+        memory = JoinMemory(12)
+        policy = LifePolicy(estimators, window)
+        policy.bind(memory)
+        arrivals = [
+            ("R", 0, 2), ("S", 1, 0), ("R", 2, 0), ("R", 3, 2),
+            ("S", 4, 3), ("R", 5, 1), ("S", 6, 1), ("R", 7, 3),
+        ]
+        for stream, arrival, key in arrivals:
+            _admit(memory, policy, stream, arrival, key)
+
+        for now in range(8, 14):
+            for stream in ("R", "S"):
+                residents = [
+                    record
+                    for side in memory.eviction_candidates(stream)
+                    for record in side.records()
+                ]
+                expected = min(
+                    residents,
+                    key=lambda r: (policy._priority(r, now), r.arrival),
+                )
+                assert policy.weakest_resident(stream, now) is expected
+
+    def test_static_probability_cache_matches_estimator(self):
+        """The static-table fast path returns estimator-exact values."""
+        estimators = _estimators({0: 0.7, 1: 0.3}, {0: 0.9, 1: 0.1})
+        policy = LifePolicy(estimators, 10)
+        assert policy._partner_probs is not None
+        for stream, other in (("R", "S"), ("S", "R")):
+            for key in (0, 1, 99):
+                assert policy.partner_probability(stream, key) == (
+                    estimators[other].probability(key)
+                )
+
 
 class TestRandomPolicy:
     def test_uniform_over_residents_and_newcomer(self):

@@ -9,7 +9,11 @@ BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
 if str(BENCHMARKS) not in sys.path:
     sys.path.insert(0, str(BENCHMARKS))
 
-from regression import compare_snapshots, format_comparison  # noqa: E402
+from regression import (  # noqa: E402
+    check_runtime,
+    compare_snapshots,
+    format_comparison,
+)
 
 
 def snapshot(**overrides):
@@ -126,3 +130,74 @@ class TestCommittedBaseline:
         path = BENCHMARKS.parent / "BENCH_engine.json"
         baseline = json.loads(path.read_text())
         assert compare_snapshots(baseline, baseline) == []
+
+
+def runtime_snapshot(**overrides):
+    data = {
+        "benchmark": "runtime_parallel",
+        "scale": "ci",
+        "serial_seconds": 0.2,
+        "parallel_seconds": 0.25,
+        "speedup": 0.8,
+        "outputs_match": True,
+        "mismatches": [],
+        "counts": [
+            {"seed": 0, "RAND": 100, "PROB": 300},
+            {"seed": 1, "RAND": 110, "PROB": 290},
+        ],
+    }
+    data.update(overrides)
+    return data
+
+
+class TestCheckRuntime:
+    def test_identical_snapshots_pass(self):
+        assert check_runtime(runtime_snapshot(), runtime_snapshot()) == []
+
+    def test_parallel_serial_divergence_fails(self):
+        fresh = runtime_snapshot(
+            outputs_match=False,
+            mismatches=["PROB(seed=0): serial 300 != parallel 299"],
+        )
+        failures = check_runtime(runtime_snapshot(), fresh)
+        assert any("parallel != serial" in f for f in failures)
+
+    def test_count_drift_vs_baseline_fails(self):
+        fresh = runtime_snapshot(
+            counts=[
+                {"seed": 0, "RAND": 100, "PROB": 301},
+                {"seed": 1, "RAND": 110, "PROB": 290},
+            ]
+        )
+        failures = check_runtime(runtime_snapshot(), fresh)
+        assert any("PROB(seed=0)" in f for f in failures)
+        assert any("semantics" in f for f in failures)
+
+    def test_modest_slowdown_passes(self):
+        fresh = runtime_snapshot(parallel_seconds=0.6)  # 3x serial
+        assert check_runtime(runtime_snapshot(), fresh) == []
+
+    def test_pathological_slowdown_fails(self):
+        fresh = runtime_snapshot(parallel_seconds=1.5)  # 7.5x serial
+        failures = check_runtime(runtime_snapshot(), fresh, max_slowdown=5.0)
+        assert any("wall-clock" in f for f in failures)
+
+    def test_speedup_never_fails(self):
+        fresh = runtime_snapshot(parallel_seconds=0.05, speedup=4.0)
+        assert check_runtime(runtime_snapshot(), fresh) == []
+
+
+class TestCommittedRuntimeBaseline:
+    """The checked-in BENCH_runtime.json must stay gate-compatible."""
+
+    def test_baseline_is_internally_consistent(self):
+        import json
+
+        path = BENCHMARKS.parent / "BENCH_runtime.json"
+        baseline = json.loads(path.read_text())
+        assert baseline["outputs_match"] is True
+        assert baseline["mismatches"] == []
+        assert baseline["serial_seconds"] > 0
+        assert baseline["parallel_seconds"] > 0
+        assert baseline["counts"]
+        assert check_runtime(baseline, baseline) == []

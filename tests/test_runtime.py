@@ -1,0 +1,204 @@
+"""Tests for repro.runtime: process-pool fan-out of independent run cells.
+
+The headline property is the determinism contract — ``workers=N`` must
+return exactly what ``workers=1`` returns, result for result — plus the
+failure surface (a worker exception names its cell) and the
+``resolve_workers`` precedence rules.
+"""
+
+import pytest
+
+from repro.api import RunSpec, compare
+from repro.experiments.runner import run_suite
+from repro.experiments.sweep import sweep_seeds
+from repro.obs import MetricsRegistry
+from repro.runtime import (
+    AlgorithmCell,
+    CellError,
+    parallel_map,
+    resolve_workers,
+    run_algorithm_cell,
+)
+from repro.streams import zipf_pair
+
+ALGORITHMS = ("PROB", "LIFE", "RAND", "PROBV")
+SEEDS = (0, 1, 2)
+
+
+def _square(x):
+    return x * x
+
+
+def _boom_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad cell {x}")
+    return x
+
+
+def _pair(seed, length=800):
+    return zipf_pair(length, 50, 1.0, seed=seed)
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_explicit_argument(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(4) == 4
+
+    def test_env_default_when_no_argument(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_env_zero_is_global_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers(8) == 1
+        assert resolve_workers(None) == 1
+
+    def test_bad_argument_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        assert parallel_map(_square, range(9), workers=2) == [
+            x * x for x in range(9)
+        ]
+
+    def test_serial_path_raises_raw(self):
+        with pytest.raises(ValueError, match="bad cell 3"):
+            parallel_map(_boom_on_three, [1, 2, 3], workers=1)
+
+    def test_worker_failure_names_the_cell(self):
+        with pytest.raises(CellError) as excinfo:
+            parallel_map(
+                _boom_on_three,
+                [1, 2, 3, 4],
+                workers=2,
+                labels=["a", "b", "c", "d"],
+            )
+        error = excinfo.value
+        assert error.label == "c"
+        assert error.exc_type == "ValueError"
+        assert "run cell 'c' failed" in str(error)
+        assert "bad cell 3" in str(error)
+        assert "worker traceback" in str(error)
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            parallel_map(_square, [1, 2], workers=1, labels=["only-one"])
+
+    def test_algorithm_cell_failure_mid_grid(self):
+        """A bad cell surfaces its own label, not an opaque pool error."""
+        pair = _pair(0, length=400)
+        cells = [
+            AlgorithmCell("RAND", pair, 40, 20, seed=0),
+            AlgorithmCell("NOPE", pair, 40, 20, seed=0),
+            AlgorithmCell("PROB", pair, 40, 20, seed=0),
+        ]
+        with pytest.raises(CellError) as excinfo:
+            parallel_map(
+                run_algorithm_cell,
+                cells,
+                workers=2,
+                labels=[cell.label for cell in cells],
+            )
+        assert "NOPE" in excinfo.value.label
+        assert excinfo.value.exc_type == "ValueError"
+
+
+class TestParallelEqualsSerial:
+    """The determinism contract: workers=4 is exactly workers=1."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_compare_identical_across_policies(self, seed):
+        specs = [
+            RunSpec(algorithm=name, length=800, window=50, memory=24, seed=seed)
+            for name in ALGORITHMS
+        ]
+        serial = compare(specs, workers=1)
+        parallel = compare(specs, workers=4)
+        assert list(serial) == list(parallel)
+        for label in serial:
+            one, many = serial[label], parallel[label]
+            assert one.output_count == many.output_count
+            assert one.drop_breakdown() == many.drop_breakdown()
+            assert one.r_departures == many.r_departures
+            assert one.s_departures == many.s_departures
+
+    def test_sweep_aggregates_identical(self):
+        serial = sweep_seeds(
+            ("RAND", "PROB"), _pair, 50, 24, seeds=SEEDS, workers=1
+        )
+        parallel = sweep_seeds(
+            ("RAND", "PROB"), _pair, 50, 24, seeds=SEEDS, workers=4
+        )
+        assert serial == parallel
+
+    def test_run_suite_results_and_merged_metrics(self):
+        pair = _pair(1)
+        serial_metrics = MetricsRegistry()
+        serial = run_suite(
+            ALGORITHMS, pair, 50, 24, seed=1, metrics=serial_metrics, workers=1
+        )
+        parallel_metrics = MetricsRegistry()
+        parallel = run_suite(
+            ALGORITHMS, pair, 50, 24, seed=1, metrics=parallel_metrics, workers=4
+        )
+        for name in ALGORITHMS:
+            assert serial[name].output_count == parallel[name].output_count
+            assert (
+                serial[name].drop_breakdown() == parallel[name].drop_breakdown()
+            )
+        # Worker snapshots merge back into the parent registry: the
+        # accumulated engine counters must match the serial registry.
+        for counter in ("engine.output", "engine.probes", "engine.matches"):
+            assert parallel_metrics.counter_total(
+                counter
+            ) == serial_metrics.counter_total(counter)
+
+    def test_env_variable_reaches_nested_calls(self, monkeypatch):
+        """REPRO_WORKERS steers call sites that were not passed workers."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        parallel = compare(["RAND", "PROB"], workers=None)
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        serial = compare(["RAND", "PROB"], workers=None)
+        for label in serial:
+            assert serial[label].output_count == parallel[label].output_count
+
+
+class TestMergeSnapshot:
+    def test_counters_and_gauges(self):
+        source = MetricsRegistry()
+        source.counter("a").inc(3)
+        source.gauge("g").set(7.5)
+        target = MetricsRegistry()
+        target.counter("a").inc(1)
+        target.merge_snapshot(source.snapshot())
+        assert target.counter_value("a") == 4
+        assert target.gauge("g").value == 7.5
+
+    def test_merge_twice_accumulates(self):
+        source = MetricsRegistry()
+        source.counter("a").inc(5)
+        snapshot = source.snapshot()
+        target = MetricsRegistry()
+        target.merge_snapshot(snapshot)
+        target.merge_snapshot(snapshot)
+        assert target.counter_value("a") == 10
