@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-gate check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,10 +27,18 @@ bench-smoke:
 bench-parallel:
 	$(PYTHON) benchmarks/bench_runtime.py
 
+# Sharded-execution snapshot -> BENCH_shard.json (committed): the same
+# EXACT workload unsharded, sharded serial, and sharded over worker
+# processes, with a strict identity check (output, total, drop ledger)
+# plus serial==parallel determinism for the PROB approximation variant.
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py
+
 # Perf-regression gate: fresh snapshots vs the committed BENCH_engine.json
-# (and BENCH_runtime.json when present).  Fails on >20% throughput drops,
-# output-count drift, instrumentation overhead growth, or parallel/serial
-# divergence; see benchmarks/regression.py for the tolerance knobs.
+# (and BENCH_runtime.json / BENCH_shard.json when present).  Fails on >20%
+# throughput drops, output-count drift, instrumentation overhead growth,
+# parallel/serial divergence, or sharded-EXACT identity violations; see
+# benchmarks/regression.py for the tolerance knobs.
 bench-gate:
 	$(PYTHON) benchmarks/regression.py
 

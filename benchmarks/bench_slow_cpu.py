@@ -8,7 +8,7 @@ only half the arrival rate.
 import pytest
 
 from _bench_utils import emit_figure, emit_table, run_once
-from repro.core.policies import ProbPolicy
+from repro.core.policies import ProbPolicy, SidePolicies
 from repro.core.slowcpu import SlowCpuConfig, SlowCpuEngine
 from repro.experiments import estimators_for, format_table
 from repro.experiments.config import DEFAULT_DOMAIN, even_memory
@@ -40,7 +40,7 @@ def test_slow_cpu(benchmark, table, scale):
         )
         engine = SlowCpuEngine(
             config,
-            policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)},
+            policy=SidePolicies(r=ProbPolicy(estimators), s=ProbPolicy(estimators)),
             estimators=estimators,
         )
         return engine.run(pair.r, pair.s, r_schedule, s_schedule)

@@ -26,11 +26,20 @@ also rebuilds the parallel-runtime snapshot and checks the
 equal serial ones and match the committed baseline exactly, and the
 parallel wall-clock may not exceed ``--max-slowdown`` (default 5x) times
 the serial one.  Speedup itself is advisory — CI runners may have a
-single core.  Exit status: 0 pass, 1 fail, 2 bad invocation.
+single core.
+
+Likewise, when a committed ``BENCH_shard.json`` exists (written by
+``make bench-shard`` / ``benchmarks/bench_shard.py``), the gate rebuilds
+the sharded-execution snapshot and checks the partition layer's
+contract: sharded EXACT must reproduce unsharded EXACT identically
+(output, total, drop ledger), the snapshot's deterministic counts must
+match the committed baseline exactly, and the sharded wall-clock may
+not exceed ``--max-shard-slowdown`` (default 25x) times the unsharded
+one.  Exit status: 0 pass, 1 fail, 2 bad invocation.
 
 Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
                                       [--tolerance 0.2] [--repeats N]
-                                      [--skip-runtime]
+                                      [--skip-runtime] [--skip-shard]
 Or:   make bench-gate
 """
 
@@ -49,6 +58,7 @@ except ImportError:  # running from a checkout without `make install`
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from bench_runtime import build_runtime_snapshot  # noqa: E402 - sibling module
+from bench_shard import build_shard_snapshot  # noqa: E402 - sibling module
 from snapshot import build_snapshot  # noqa: E402 - sibling module
 
 #: throughput may drop at most this fraction below baseline
@@ -57,6 +67,10 @@ DEFAULT_TOLERANCE = 0.20
 DEFAULT_OVERHEAD_SLACK = 20.0
 #: parallel wall-clock may be at most this many times the serial one
 DEFAULT_MAX_SLOWDOWN = 5.0
+#: sharded wall-clock may be at most this many times the unsharded one
+#: (per-shard async-engine ticks + pool tax make sharding legitimately
+#: slower on small workloads; this catches pathologies only)
+DEFAULT_MAX_SHARD_SLOWDOWN = 25.0
 
 OVERHEAD_FIELDS = ("metrics_overhead_pct", "trace_overhead_pct")
 
@@ -177,6 +191,50 @@ def check_runtime(
     return failures
 
 
+def check_shard(
+    baseline: dict,
+    fresh: dict,
+    *,
+    max_slowdown: float = DEFAULT_MAX_SHARD_SLOWDOWN,
+) -> list[str]:
+    """Failure messages for the sharded-execution snapshot.
+
+    * the fresh run must be EXACT-identical (sharded output, total, and
+      drop ledger equal to unsharded) — the partition layer's hard
+      guarantee, checked strictly;
+    * the EXACT and sharded-PROB output counts must match the committed
+      baseline exactly (determinism: same spec, same result);
+    * the sharded parallel wall-clock may not exceed ``max_slowdown``
+      times the unsharded one — generous, because per-shard async ticks
+      and pool startup make sharding legitimately slower at CI scale.
+    """
+    failures: list[str] = []
+    if not fresh.get("exact_identical", False):
+        for line in fresh.get("mismatches", []):
+            failures.append(f"shard: {line}")
+
+    base_counts = baseline.get("counts", {})
+    fresh_counts = fresh.get("counts", {})
+    for name in ("exact_output", "exact_total_output", "prob_sharded_output"):
+        if name in base_counts and name in fresh_counts:
+            if base_counts[name] != fresh_counts[name]:
+                failures.append(
+                    f"shard: {name} changed {base_counts[name]} -> "
+                    f"{fresh_counts[name]} (deterministic; this is a "
+                    "semantics change)"
+                )
+
+    unsharded = fresh.get("unsharded_seconds", 0.0)
+    parallel = fresh.get("parallel_seconds", 0.0)
+    if unsharded > 0 and parallel > unsharded * max_slowdown:
+        failures.append(
+            f"shard: sharded wall-clock {parallel:.3f}s is "
+            f"{parallel / unsharded:.1f}x the unsharded {unsharded:.3f}s "
+            f"(max slowdown {max_slowdown:.0f}x)"
+        )
+    return failures
+
+
 def format_comparison(baseline: dict, fresh: dict) -> str:
     """Side-by-side table of the gated quantities."""
     lines = [
@@ -234,6 +292,20 @@ def main() -> int:
         "--skip-runtime", action="store_true",
         help="gate the engine snapshot only",
     )
+    parser.add_argument(
+        "--shard-baseline", default=str(REPO_ROOT / "BENCH_shard.json"),
+        dest="shard_baseline",
+        help="committed sharded-execution snapshot (skipped if absent)",
+    )
+    parser.add_argument(
+        "--max-shard-slowdown", type=float, default=DEFAULT_MAX_SHARD_SLOWDOWN,
+        dest="max_shard_slowdown",
+        help="max sharded/unsharded wall-clock ratio (default 25.0)",
+    )
+    parser.add_argument(
+        "--skip-shard", action="store_true",
+        help="skip the sharded-execution identity gate",
+    )
     args = parser.parse_args()
 
     baseline_path = Path(args.baseline)
@@ -282,6 +354,31 @@ def main() -> int:
               f"outputs_match={runtime_fresh['outputs_match']}")
         failures.extend(check_runtime(
             runtime_baseline, runtime_fresh, max_slowdown=args.max_slowdown
+        ))
+
+    shard_path = Path(args.shard_baseline)
+    if not args.skip_shard and shard_path.exists():
+        try:
+            shard_baseline = json.loads(shard_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"shard baseline {shard_path} is not valid JSON: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        shard_params = shard_baseline.get("parameters", {})
+        shards = shard_params.get("shards", 4)
+        shard_workers = shard_params.get("workers", 2)
+        shard_scale = shard_baseline.get("scale", "ci")
+        print(f"\nbench-gate: rebuilding shard snapshot "
+              f"(scale={shard_scale}, shards={shards}, "
+              f"workers={shard_workers}) ...")
+        shard_fresh = build_shard_snapshot(shard_scale, shards, shard_workers)
+        print(f"  unsharded {shard_fresh['unsharded_seconds']:.3f}s, "
+              f"sharded {shard_fresh['parallel_seconds']:.3f}s "
+              f"({shard_fresh['speedup_vs_unsharded']:.2f}x), "
+              f"exact_identical={shard_fresh['exact_identical']}")
+        failures.extend(check_shard(
+            shard_baseline, shard_fresh,
+            max_slowdown=args.max_shard_slowdown,
         ))
 
     if failures:

@@ -58,6 +58,14 @@ class RunSpec:
     evict / expire / join_output / drop) into ``result.trace`` via a
     bounded ring buffer of ``trace_capacity`` events.  Both default off
     and cost nothing when off (the engines collapse them to ``None``).
+
+    ``shards=N`` (fast engine only) hash-partitions the key domain into
+    ``N`` independent sub-joins executed via
+    :mod:`repro.core.partition` and merged deterministically: EXACT is
+    provably identical to the unsharded run, the shedding policies
+    become a documented approximation variant whose result depends on
+    ``N`` but never on the worker count.  ``shard_weighted=True`` splits
+    the memory budget by per-shard arrival mass instead of evenly.
     """
 
     algorithm: str = "PROB"
@@ -83,6 +91,9 @@ class RunSpec:
     trace: bool = False
     trace_capacity: int = 1 << 20
 
+    shards: int = 1
+    shard_weighted: bool = False
+
     def __post_init__(self) -> None:
         name = self.algorithm.upper()
         if name != self.algorithm:
@@ -99,6 +110,21 @@ class RunSpec:
             )
         if self.variable is None:
             object.__setattr__(self, "variable", name.endswith("V") and name != "V")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > 1:
+            if name in ("OPT", "OPTV"):
+                raise ValueError("the offline OPT bound cannot be sharded")
+            if self.engine != "fast":
+                raise ValueError(
+                    "sharded execution only applies to the fast-CPU model "
+                    f"(engine='fast'), got engine={self.engine!r}"
+                )
+            if self.trace:
+                raise ValueError(
+                    "tracing is not supported with sharded execution "
+                    "(per-shard event streams have no global order)"
+                )
 
     @property
     def effective_warmup(self) -> int:
@@ -153,6 +179,7 @@ def run_join(
     *,
     pair: Optional[StreamPair] = None,
     estimators: Optional[dict] = None,
+    workers: Optional[int] = None,
 ):
     """Run the spec end to end and return the engine's result.
 
@@ -160,10 +187,14 @@ def run_join(
     one input); ``estimators`` overrides the statistics module.  OPT and
     OPTV delegate to :func:`optimal_offline` — the offline bound has no
     engine to speak of, but sharing the entry point keeps comparison
-    loops uniform.
+    loops uniform.  A spec with ``shards > 1`` delegates to
+    :func:`run_sharded`; ``workers`` then fans the shards over worker
+    processes (ignored otherwise — a single unsharded run is serial).
     """
     if spec.algorithm in ("OPT", "OPTV"):
         return optimal_offline(spec, pair=pair)
+    if spec.shards > 1:
+        return run_sharded(spec, pair=pair, workers=workers)
 
     if pair is None:
         pair = build_pair(spec)
@@ -210,6 +241,82 @@ def run_join(
     ticks = len(pair)
     schedule = [1] * ticks
     return engine.run(pair.r, pair.s, schedule, list(schedule))
+
+
+def run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
+    """Run one shard of a sharded spec (worker entry helper).
+
+    The shard sees only the arrivals whose key hashes to it, at their
+    original global ticks (empty ticks elsewhere), executed on the
+    asynchronous engine in time-window mode — which makes the shard's
+    window, expiry, and warmup semantics identical to the synchronous
+    fast-CPU engine's.  The statistics module is built from the *full*
+    pair (the same tables the unsharded run would use); policy RNGs seed
+    from ``(spec.seed, shard)`` so results never depend on worker
+    scheduling.
+    """
+    from .core.partition import shard_batches, shard_seed
+
+    r_batches, s_batches = shard_batches(pair, shard, spec.shards)
+    shard_spec = replace(spec, seed=shard_seed(spec.seed, shard))
+    policy = _policy_for(shard_spec, pair, None)
+    config = AsyncEngineConfig(
+        window=spec.window,
+        memory=budget,
+        variable=spec.variable,
+        warmup=spec.warmup,
+    )
+    engine = AsyncJoinEngine(config, policy=policy, metrics=_registry_for(spec))
+    return engine.run(r_batches, s_batches)
+
+
+def run_sharded(
+    spec: RunSpec,
+    *,
+    pair: Optional[StreamPair] = None,
+    workers: Optional[int] = None,
+):
+    """Run a ``shards > 1`` spec: plan, fan out, merge.
+
+    Returns a :class:`~repro.core.partition.ShardedRunResult`; the merge
+    is deterministic and the per-shard runs self-seeded, so the result
+    is a pure function of the spec — ``workers=4`` returns exactly what
+    the serial run returns.
+    """
+    if spec.shards < 2:
+        raise ValueError(f"run_sharded needs shards >= 2, got {spec.shards}")
+    from .core.partition import merge_shard_results, plan_shards, shard_weights
+    from .runtime import ShardCell, parallel_map, run_shard_cell
+
+    if pair is None:
+        pair = build_pair(spec)
+    lossless = 2 * spec.window if spec.algorithm == "EXACT" else None
+    weights = (
+        shard_weights(pair, spec.shards)
+        if spec.shard_weighted and lossless is None
+        else None
+    )
+    plan = plan_shards(
+        spec.memory, spec.shards, lossless_budget=lossless, weights=weights
+    )
+    cells = [
+        ShardCell(spec, pair, shard, budget)
+        for shard, budget in enumerate(plan.budgets)
+    ]
+    results = parallel_map(
+        run_shard_cell,
+        cells,
+        workers=workers,
+        labels=[cell.label for cell in cells],
+    )
+    return merge_shard_results(
+        results,
+        plan,
+        length=len(pair),
+        window=spec.window,
+        memory=spec.effective_memory,
+        warmup=spec.effective_warmup,
+    )
 
 
 def optimal_offline(spec: RunSpec, *, pair: Optional[StreamPair] = None) -> OptResult:

@@ -70,6 +70,8 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str) -> RunSpec:
         skew_s=args.skew_s,
         correlation=args.correlation,
         metrics=args.metrics is not None,
+        shards=getattr(args, "shards", 1),
+        shard_weighted=getattr(args, "shard_weighted", False),
     )
 
 
@@ -139,6 +141,19 @@ def _add_workload_arguments(
         )
 
 
+def _shards_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition the key domain into N independent sub-joins "
+             "(EXACT: identical result; policies: approximation variant)",
+    )
+    parser.add_argument(
+        "--shard-weighted", action="store_true", dest="shard_weighted",
+        help="split the memory budget by per-shard arrival mass "
+             "instead of evenly",
+    )
+
+
 def _workers_argument(parser: argparse.ArgumentParser, help_text: str) -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -173,9 +188,13 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = _spec_from_args(args, args.algorithm)
+    try:
+        spec = _spec_from_args(args, args.algorithm)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     pair = build_pair(spec)
-    result = run_join(spec, pair=pair)
+    result = run_join(spec, pair=pair, workers=args.workers)
     warmup = spec.effective_warmup
     exact = exact_join_size(pair, args.window, count_from=warmup)
     print(f"workload : {pair.name}")
@@ -195,13 +214,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"unknown algorithms: {', '.join(unknown)}", file=sys.stderr)
         print(f"choose from: {', '.join(ALL_ALGORITHMS)}", file=sys.stderr)
         return 2
-    template = _spec_from_args(args, names[0])
+    try:
+        template = _spec_from_args(args, names[0])
+        specs = [
+            replace(template, algorithm=name, variable=None) for name in names
+        ]
+    except ValueError as exc:  # e.g. --shards with OPT in the list
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     pair = build_pair(template)
-    results = compare_specs(
-        [replace(template, algorithm=name, variable=None) for name in names],
-        pair=pair,
-        workers=args.workers,
-    )
+    results = compare_specs(specs, pair=pair, workers=args.workers)
     warmup = template.effective_warmup
     exact = exact_join_size(pair, args.window, count_from=warmup)
     print(f"workload : {pair.name}   w={args.window}  M={args.memory}")
@@ -441,10 +463,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"one of {', '.join(ALL_ALGORITHMS)}",
     )
     _add_workload_arguments(run_parser)
+    _shards_arguments(run_parser)
     _workers_argument(
         run_parser,
-        "worker processes; a single run executes serially, the flag is "
-        "accepted for symmetry with compare/sweep",
+        "worker processes; an unsharded run executes serially, a "
+        "--shards run fans its shards over the workers",
     )
 
     compare_parser = commands.add_parser("compare", help="run several algorithms")
@@ -453,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated algorithm names",
     )
     _add_workload_arguments(compare_parser)
+    _shards_arguments(compare_parser)
     _workers_argument(compare_parser, "worker processes to fan the algorithms over")
 
     sweep_parser = commands.add_parser(

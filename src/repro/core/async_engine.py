@@ -35,32 +35,18 @@ from typing import Optional, Sequence
 
 from ..obs import Timer, active_or_none
 from ..obs.trace import (
-    EVENT_ADMIT,
     EVENT_ARRIVE,
-    EVENT_DROP,
-    EVENT_EVICT,
-    EVENT_EXPIRE,
-    EVENT_JOIN_OUTPUT,
-    REASON_DISPLACED,
-    REASON_REJECTED,
     REASON_WINDOW,
     TraceEvent,
     tracing_or_none,
 )
 from ..streams.tuples import StreamPair
 from .engine import PolicySpec
+from .kernel import JoinKernel
 from .memory import JoinMemory, TupleRecord
 from .policies import resolve_policy_spec
-from .policies.base import EvictionPolicy
 from .policies.life import LifePolicy
-from .results import (
-    DROP_EVICTED,
-    DROP_EXPIRED,
-    DROP_REJECTED,
-    BaseRunResult,
-    DropBreakdown,
-    empty_side_drop_counts,
-)
+from .results import BaseRunResult, DropBreakdown
 
 WINDOW_MODES = ("time", "count", "landmark")
 
@@ -141,7 +127,6 @@ class AsyncJoinEngine:
         self.memory = JoinMemory(config.memory, variable=config.variable)
         self.metrics = metrics
         self.trace = trace
-        self._tracer = None  # live only while run() executes
 
         resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
         self._policy_r = resolved.r
@@ -186,11 +171,15 @@ class AsyncJoinEngine:
         total_output = 0
         arrivals = 0
         sequence = {"R": 0, "S": 0}  # per-stream tuple counters (count mode)
-        drop_counts = empty_side_drop_counts()
 
         obs = active_or_none(self.metrics)
         tracer = tracing_or_none(self.trace)
-        self._tracer = tracer
+        kernel = JoinKernel(self.memory, self._policy_r, self._policy_s, tracer=tracer)
+        drop_counts = kernel.drop_counts
+        # Expiry reason names the window style that aged the tuple out.
+        expire_reason = (
+            REASON_WINDOW if config.window_mode == "time" else config.window_mode
+        )
         tracing = tracer is not None
         timed = obs is not None
         if timed:
@@ -204,45 +193,33 @@ class AsyncJoinEngine:
             if landmark_mode:
                 if t > 0 and t % config.landmark_every == 0:
                     # A new landmark: the whole window state resets.
-                    for record in memory.expire_until(t):
-                        self._notify_remove(record, t, expired=True)
-                        drop_counts[record.stream][DROP_EXPIRED] += 1
+                    kernel.expire(t, t, reason=expire_reason)
             elif not count_mode:
-                for record in memory.expire_until(t - window):
-                    self._notify_remove(record, t, expired=True)
-                    drop_counts[record.stream][DROP_EXPIRED] += 1
+                kernel.expire(t - window, t, reason=expire_reason)
 
             for stream, batch in (("R", r_batches[t]), ("S", s_batches[t])):
-                other_memory = memory.other_side(stream)
                 for key in batch:
                     arrivals += 1
-                    for bound in self._policies:
-                        bound.observe_arrival(stream, key, t)
+                    kernel.observe(stream, key, t)
                     if tracing:
                         tracer.emit(TraceEvent(t, stream, key, EVENT_ARRIVE, t))
 
-                    matches = other_memory.match_count(key)
+                    matches = kernel.probe(stream, key, t)
                     total_output += matches
                     if t >= warmup:
                         output += matches
-                    if tracing and matches:
-                        for partner in other_memory.matches(key):
-                            tracer.emit(TraceEvent(
-                                t, partner.stream, key, EVENT_JOIN_OUTPUT,
-                                partner.arrival, partner.priority,
-                            ))
 
                     if count_mode:
                         # The tuple's own arrival pushes the count window.
                         sequence[stream] += 1
-                        own = memory.side(stream)
-                        for record in own.expire_until(sequence[stream] - window):
-                            self._notify_remove(record, t, expired=True)
-                            drop_counts[stream][DROP_EXPIRED] += 1
+                        kernel.expire(
+                            sequence[stream] - window, t,
+                            reason=expire_reason, side=stream,
+                        )
                         record = TupleRecord(stream, sequence[stream], key)
                     else:
                         record = TupleRecord(stream, t, key)
-                    self._admit(record, t, drop_counts)
+                    kernel.insert(record, t)
 
             if timed:
                 batch_size.observe(len(r_batches[t]) + len(s_batches[t]))
@@ -267,7 +244,6 @@ class AsyncJoinEngine:
         trace_events = None
         if tracing:
             trace_events = tracer.collect()
-            self._tracer = None
 
         return AsyncRunResult(
             output_count=output,
@@ -281,68 +257,6 @@ class AsyncJoinEngine:
         )
 
     # ------------------------------------------------------------------
-    def _policy_for(self, stream: str) -> Optional[EvictionPolicy]:
-        return self._policy_r if stream == "R" else self._policy_s
-
-    def _notify_remove(self, record: TupleRecord, now: int, *, expired: bool) -> None:
-        policy = self._policy_for(record.stream)
-        if policy is not None:
-            policy.on_remove(record, now, expired=expired)
-        if expired and self._tracer is not None:
-            # Reason names the window style that aged the tuple out.
-            reason = (
-                REASON_WINDOW
-                if self.config.window_mode == "time"
-                else self.config.window_mode
-            )
-            self._tracer.emit(TraceEvent(
-                now, record.stream, record.key, EVENT_EXPIRE,
-                record.arrival, record.priority, reason,
-            ))
-
-    def _admit(self, record: TupleRecord, now: int, drop_counts: dict) -> None:
-        memory = self.memory
-        policy = self._policy_for(record.stream)
-        tracer = self._tracer
-        if not memory.needs_eviction(record.stream):
-            memory.admit(record)
-            if policy is not None:
-                policy.on_admit(record, now)
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, record.stream, record.key, EVENT_ADMIT,
-                    record.arrival, record.priority,
-                ))
-            return
-        if policy is None:
-            raise RuntimeError(
-                f"memory overflow at tick {now} with no shedding policy"
-            )
-        victim = policy.choose_victim(record, now)
-        if victim is None:
-            drop_counts[record.stream][DROP_REJECTED] += 1
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, record.stream, record.key, EVENT_DROP,
-                    record.arrival, record.priority, REASON_REJECTED,
-                ))
-            return
-        memory.remove(victim)
-        self._notify_remove(victim, now, expired=False)
-        drop_counts[victim.stream][DROP_EVICTED] += 1
-        if tracer is not None:
-            tracer.emit(TraceEvent(
-                now, victim.stream, victim.key, EVENT_EVICT,
-                victim.arrival, victim.priority, REASON_DISPLACED,
-            ))
-        memory.admit(record)
-        policy.on_admit(record, now)
-        if tracer is not None:
-            tracer.emit(TraceEvent(
-                now, record.stream, record.key, EVENT_ADMIT,
-                record.arrival, record.priority,
-            ))
-
     def _check_invariants(self, now: int) -> None:
         memory = self.memory
         if memory.variable:

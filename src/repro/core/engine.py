@@ -30,37 +30,29 @@ from typing import Hashable, Optional, Union
 
 from ..obs import Timer, active_or_none
 from ..obs.trace import (
-    EVENT_ADMIT,
     EVENT_ARRIVE,
-    EVENT_DROP,
-    EVENT_EVICT,
-    EVENT_EXPIRE,
     EVENT_JOIN_OUTPUT,
-    REASON_BUDGET,
-    REASON_DISPLACED,
-    REASON_REJECTED,
     REASON_SIMULTANEOUS,
-    REASON_WINDOW,
     TraceEvent,
     tracing_or_none,
 )
 from ..streams.tuples import JoinResultTuple, StreamPair
+from .kernel import JoinKernel
 from .memory import JoinMemory, TupleRecord
-from .policies import resolve_policy_spec
-from .policies.base import EvictionPolicy
+from .policies import SidePolicies, resolve_policy_spec
+from .policies.base import EvictionPolicy, arrival_observers
 from .results import (
     DROP_EVICTED,
     DROP_EXPIRED,
     DROP_REJECTED,
     BaseRunResult,
     DropBreakdown,
-    empty_side_drop_counts,
 )
 
-#: Deprecated loose union; prefer ``None`` / ``EvictionPolicy`` /
-#: :class:`~repro.core.policies.SidePolicies` (dict specs still work but
-#: warn — see :func:`repro.core.policies.resolve_policy_spec`).
-PolicySpec = Union[None, EvictionPolicy, dict]
+#: Accepted policy specs: ``None`` / ``EvictionPolicy`` /
+#: :class:`~repro.core.policies.SidePolicies` — see
+#: :func:`repro.core.policies.resolve_policy_spec`.
+PolicySpec = Union[None, EvictionPolicy, SidePolicies]
 
 
 class CapacityExceededError(RuntimeError):
@@ -215,8 +207,7 @@ class JoinEngine:
         * a single :class:`EvictionPolicy` — governs the shared pool
           (requires ``config.variable``);
         * :class:`~repro.core.policies.SidePolicies` — one independent
-          policy per side (requires fixed allocation; the legacy
-          ``{"R": ..., "S": ...}`` dict still works but is deprecated).
+          policy per side (requires fixed allocation).
     metrics:
         Optional :class:`~repro.obs.MetricsRegistry`; when given, the
         run records probe/admission/drop counters, per-tick occupancy
@@ -244,7 +235,7 @@ class JoinEngine:
         self.memory = JoinMemory(config.memory, variable=config.variable)
         self.metrics = metrics
         self.trace = trace
-        self._tracer = None  # live only while run() executes
+        self._kernel = None  # live only while the general loop executes
 
         resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
         self._policy_r = resolved.r
@@ -253,12 +244,7 @@ class JoinEngine:
         # Only policies that actually override observe_arrival (and have
         # not declared themselves uninterested via `observes_arrivals`)
         # are called per tick — the no-op broadcast was pure overhead.
-        self._observers = tuple(
-            p
-            for p in resolved.instances
-            if type(p).observe_arrival is not EvictionPolicy.observe_arrival
-            and getattr(p, "observes_arrivals", True)
-        )
+        self._observers = arrival_observers(resolved.instances)
         if resolved.name == "NONE":
             self.policy_name = "EXACT" if config.memory >= 2 * config.window else "NONE"
         else:
@@ -550,7 +536,14 @@ class JoinEngine:
 
     # ------------------------------------------------------------------
     def _run_general(self, pair: StreamPair, obs, tracer) -> RunResult:
-        """The fully featured loop (see :meth:`run`)."""
+        """The fully featured loop (see :meth:`run`).
+
+        Expiry, probes, admissions, and all their drop/notify/trace
+        bookkeeping run through a :class:`~repro.core.kernel.JoinKernel`;
+        this loop keeps only what is engine-specific — output counting,
+        warmup, survival records, materialisation, share tracking, the
+        time-varying schedules, and instrumentation.
+        """
         config = self.config
         memory = self.memory
         window = config.window
@@ -571,12 +564,19 @@ class JoinEngine:
         output = 0
         total_output = 0
         simultaneous_total = 0
-        drop_counts = empty_side_drop_counts()
 
         # Observability: `obs` and `tracer` are None on the
         # uninstrumented path, so the hot loop pays only a handful of
         # local-boolean branches per tick.
-        self._tracer = tracer
+        kernel = JoinKernel(
+            memory,
+            self._policy_r,
+            self._policy_s,
+            tracer=tracer,
+            overflow_error=CapacityExceededError,
+        )
+        self._kernel = kernel
+        drop_counts = kernel.drop_counts
         tracing = tracer is not None
         timed = obs is not None
         if timed:
@@ -604,7 +604,13 @@ class JoinEngine:
                 target = int(schedule(t))
                 if target != memory.capacity:
                     memory.resize(target)
-                    self._shed_surplus(t, drop_counts, r_departures, s_departures)
+                    # Budget victims were last present for the previous
+                    # tick's probes, so their record ends at t - 1.
+                    for victim in kernel.shed_surplus(t):
+                        if track_survival:
+                            self._set_departure(
+                                r_departures, s_departures, victim, t - 1
+                            )
             if window_schedule is not None:
                 window = int(window_schedule(t))
                 if window <= 0:
@@ -613,16 +619,7 @@ class JoinEngine:
             # 1. expiry ------------------------------------------------
             if timed:
                 expire_timer.start()
-            for record in memory.expire_until(t - window):
-                policy = self._policy_for(record.stream)
-                if policy is not None:
-                    policy.on_remove(record, t, expired=True)
-                drop_counts[record.stream][DROP_EXPIRED] += 1
-                if tracing:
-                    tracer.emit(TraceEvent(
-                        t, record.stream, record.key, EVENT_EXPIRE,
-                        record.arrival, record.priority, REASON_WINDOW,
-                    ))
+            for record in kernel.expire(t - window, t):
                 if track_survival:
                     self._set_departure(
                         r_departures, s_departures, record, record.arrival + window - 1
@@ -635,9 +632,8 @@ class JoinEngine:
             s_key = s_keys[t]
 
             # 2. statistics hooks ---------------------------------------
-            for policy in self._policies:
-                policy.observe_arrival("R", r_key, t)
-                policy.observe_arrival("S", s_key, t)
+            kernel.observe("R", r_key, t)
+            kernel.observe("S", s_key, t)
             if tracing:
                 tracer.emit(TraceEvent(t, "R", r_key, EVENT_ARRIVE, t))
                 tracer.emit(TraceEvent(t, "S", s_key, EVENT_ARRIVE, t))
@@ -645,7 +641,7 @@ class JoinEngine:
             # 3. probes -------------------------------------------------
             if timed:
                 probe_timer.start()
-            matches = memory.s.match_count(r_key) + memory.r.match_count(s_key)
+            matches = kernel.probe("R", r_key, t) + kernel.probe("S", s_key, t)
             simultaneous = 1 if (config.count_simultaneous and r_key == s_key) else 0
             total_output += matches + simultaneous
             simultaneous_total += simultaneous
@@ -658,31 +654,30 @@ class JoinEngine:
                         pairs.append(JoinResultTuple(record.arrival, t, s_key))
                     if simultaneous:
                         pairs.append(JoinResultTuple(t, t, r_key))
-            if tracing:
-                # Output is credited to the *resident* partner — the
-                # tuple whose retention earned the pair.
-                for record in memory.s.matches(r_key):
-                    tracer.emit(TraceEvent(
-                        t, "S", r_key, EVENT_JOIN_OUTPUT,
-                        record.arrival, record.priority,
-                    ))
-                for record in memory.r.matches(s_key):
-                    tracer.emit(TraceEvent(
-                        t, "R", s_key, EVENT_JOIN_OUTPUT,
-                        record.arrival, record.priority,
-                    ))
-                if simultaneous:
-                    tracer.emit(TraceEvent(
-                        t, "R", r_key, EVENT_JOIN_OUTPUT, t,
-                        None, REASON_SIMULTANEOUS,
-                    ))
+            if tracing and simultaneous:
+                # kernel.probe credited the resident partners; the
+                # simultaneous pair has none, so the engine emits it.
+                tracer.emit(TraceEvent(
+                    t, "R", r_key, EVENT_JOIN_OUTPUT, t,
+                    None, REASON_SIMULTANEOUS,
+                ))
 
             # 4. admissions ---------------------------------------------
             if timed:
                 probe_timer.stop()
                 admit_timer.start()
-            self._admit(TupleRecord("R", t, r_key), t, drop_counts, r_departures, s_departures)
-            self._admit(TupleRecord("S", t, s_key), t, drop_counts, r_departures, s_departures)
+            for stream, key in (("R", r_key), ("S", s_key)):
+                record = TupleRecord(stream, t, key)
+                admitted, victim = kernel.insert(record, t)
+                if track_survival:
+                    if not admitted:
+                        # A rejected tuple was only present for its own
+                        # arrival's probes.
+                        self._set_departure(
+                            r_departures, s_departures, record, record.arrival
+                        )
+                    elif victim is not None:
+                        self._set_departure(r_departures, s_departures, victim, t)
             if timed:
                 admit_timer.stop()
 
@@ -735,7 +730,7 @@ class JoinEngine:
         trace_events = None
         if tracing:
             trace_events = tracer.collect()
-            self._tracer = None
+        self._kernel = None
 
         return RunResult(
             output_count=output,
@@ -768,112 +763,6 @@ class JoinEngine:
         target = r_departures if record.stream == "R" else s_departures
         if target is not None:
             target[record.arrival] = departure
-
-    def _shed_surplus(
-        self,
-        now: int,
-        drop_counts: dict,
-        r_departures: Optional[list[int]],
-        s_departures: Optional[list[int]],
-    ) -> None:
-        """Evict residents until the (shrunk) budget is respected.
-
-        Victims were last present for the previous tick's probes, so
-        their survival record ends at ``now - 1``.
-        """
-        memory = self.memory
-        streams = ("R",) if memory.variable else ("R", "S")
-        for stream in streams:
-            policy = self._policy_for(stream)
-            while memory.surplus(stream) > 0:
-                if policy is None:
-                    raise CapacityExceededError(
-                        f"budget shrank below contents at t={now} with no policy"
-                    )
-                victim = policy.weakest_resident(stream, now)
-                if victim is None:  # pragma: no cover - surplus implies residents
-                    raise RuntimeError("surplus reported but no resident found")
-                memory.remove(victim)
-                victim_policy = self._policy_for(victim.stream) or policy
-                victim_policy.on_remove(victim, now, expired=False)
-                drop_counts[victim.stream][DROP_EVICTED] += 1
-                if self._tracer is not None:
-                    # Budget sheds happen *before* tick `now`'s probes.
-                    self._tracer.emit(TraceEvent(
-                        now, victim.stream, victim.key, EVENT_EVICT,
-                        victim.arrival, victim.priority, REASON_BUDGET,
-                    ))
-                if self.config.track_survival:
-                    self._set_departure(r_departures, s_departures, victim, now - 1)
-
-    def _admit(
-        self,
-        record: TupleRecord,
-        now: int,
-        drop_counts: dict,
-        r_departures: Optional[list[int]],
-        s_departures: Optional[list[int]],
-    ) -> None:
-        memory = self.memory
-        policy = self._policy_for(record.stream)
-        tracer = self._tracer
-
-        if not memory.needs_eviction(record.stream):
-            memory.admit(record)
-            if policy is not None:
-                policy.on_admit(record, now)
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, record.stream, record.key, EVENT_ADMIT,
-                    record.arrival, record.priority,
-                ))
-            return
-
-        if policy is None:
-            raise CapacityExceededError(
-                f"memory overflow at t={now} with no shedding policy "
-                f"(capacity {self.config.memory}, window {self.config.window})"
-            )
-
-        victim = policy.choose_victim(record, now)
-        if victim is None:
-            drop_counts[record.stream][DROP_REJECTED] += 1
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, record.stream, record.key, EVENT_DROP,
-                    record.arrival, record.priority, REASON_REJECTED,
-                ))
-            if self.config.track_survival:
-                # A rejected tuple was only present for its own arrival.
-                self._set_departure(r_departures, s_departures, record, record.arrival)
-            return
-
-        if not victim.alive:
-            raise RuntimeError(
-                f"policy {policy.name} returned a non-resident victim {victim!r}"
-            )
-        memory.remove(victim)
-        policy_victim = self._policy_for(victim.stream)
-        if policy_victim is not None and policy_victim is not policy:
-            policy_victim.on_remove(victim, now, expired=False)
-        else:
-            policy.on_remove(victim, now, expired=False)
-        drop_counts[victim.stream][DROP_EVICTED] += 1
-        if tracer is not None:
-            tracer.emit(TraceEvent(
-                now, victim.stream, victim.key, EVENT_EVICT,
-                victim.arrival, victim.priority, REASON_DISPLACED,
-            ))
-        if self.config.track_survival:
-            self._set_departure(r_departures, s_departures, victim, now)
-
-        memory.admit(record)
-        policy.on_admit(record, now)
-        if tracer is not None:
-            tracer.emit(TraceEvent(
-                now, record.stream, record.key, EVENT_ADMIT,
-                record.arrival, record.priority,
-            ))
 
     def _check_invariants(self, now: int) -> None:
         memory = self.memory

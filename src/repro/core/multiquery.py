@@ -33,21 +33,16 @@ import numpy as np
 
 from ..obs import Timer, active_or_none
 from ..obs.trace import (
-    EVENT_ADMIT,
     EVENT_ARRIVE,
     EVENT_DROP,
-    EVENT_EVICT,
     EVENT_EXPIRE,
-    EVENT_JOIN_OUTPUT,
-    REASON_DISPLACED,
     REASON_QUEUE,
-    REASON_REJECTED,
-    REASON_WINDOW,
     TraceEvent,
     tracing_or_none,
 )
 from ..stats.frequency import StaticFrequencyTable
 from ..streams.tuples import StreamPair
+from .kernel import JoinKernel
 from .memory import JoinMemory, TupleRecord
 from .policies.prob import ProbPolicy
 from .results import BaseRunResult, DropBreakdown
@@ -117,7 +112,14 @@ class MultiQueryResult(BaseRunResult):
 
 
 class _QueryOperator:
-    """One query's join state within the shared system."""
+    """One query's join state within the shared system.
+
+    The join mechanics (expiry, probe, admission contest, trace
+    emission) live in a :class:`~repro.core.kernel.JoinKernel` tagged
+    with the query's name; the operator adds only what is
+    query-specific — attribute projection, the staleness gate, and
+    warmup-aware output counting.
+    """
 
     def __init__(self, spec: QuerySpec, estimators: dict) -> None:
         self.spec = spec
@@ -128,68 +130,37 @@ class _QueryOperator:
         }
         self.policies["R"].bind(self.memory)
         self.policies["S"].bind(self.memory)
+        self.kernel: Optional[JoinKernel] = None  # attached per run
         self.output = 0
-        self.evictions = 0
+
+    def attach_kernel(self, tracer) -> None:
+        """Wire the run's tracer in; called once at run start."""
+        self.kernel = JoinKernel(
+            self.memory,
+            self.policies["R"],
+            self.policies["S"],
+            tracer=tracer,
+            tag=self.spec.name,
+        )
+
+    @property
+    def evictions(self) -> int:
+        return self.kernel.drops().evicted if self.kernel is not None else 0
 
     def process(
         self, stream: str, arrival: int, keys: tuple, now: int, counted: bool,
-        tracer=None,
     ) -> None:
         if arrival <= now - self.spec.window:
             return  # queued too long: already outside this query's window
+        kernel = self.kernel
         key = keys[self.spec.attribute]
-        name = self.spec.name
-        for expired in self.memory.expire_until(now - self.spec.window):
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, expired.stream, expired.key, EVENT_EXPIRE,
-                    expired.arrival, expired.priority, REASON_WINDOW, name,
-                ))
+        kernel.expire(now - self.spec.window, now)
 
-        matches = self.memory.other_side(stream).match_count(key)
+        matches = kernel.probe(stream, key, now)
         if counted:
             self.output += matches
-        if tracer is not None and matches:
-            for partner in self.memory.other_side(stream).matches(key):
-                tracer.emit(TraceEvent(
-                    now, partner.stream, key, EVENT_JOIN_OUTPUT,
-                    partner.arrival, partner.priority, None, name,
-                ))
 
-        policy = self.policies[stream]
-        record = TupleRecord(stream, arrival, key)
-        if not self.memory.needs_eviction(stream):
-            self.memory.admit(record)
-            policy.on_admit(record, now)
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, stream, key, EVENT_ADMIT, arrival,
-                    record.priority, None, name,
-                ))
-            return
-        victim = policy.choose_victim(record, now)
-        if victim is None:
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, stream, key, EVENT_DROP, arrival,
-                    record.priority, REASON_REJECTED, name,
-                ))
-            return
-        self.memory.remove(victim)
-        policy.on_remove(victim, now, expired=False)
-        self.evictions += 1
-        if tracer is not None:
-            tracer.emit(TraceEvent(
-                now, victim.stream, victim.key, EVENT_EVICT,
-                victim.arrival, victim.priority, REASON_DISPLACED, name,
-            ))
-        self.memory.admit(record)
-        policy.on_admit(record, now)
-        if tracer is not None:
-            tracer.emit(TraceEvent(
-                now, stream, key, EVENT_ADMIT, arrival,
-                record.priority, None, name,
-            ))
+        kernel.insert(TupleRecord(stream, arrival, key), now)
 
 
 class SharedQueueSystem:
@@ -327,6 +298,8 @@ class SharedQueueSystem:
         obs = active_or_none(self.metrics)
         tracer = tracing_or_none(self.trace)
         tracing = tracer is not None
+        for operator in self.operators:
+            operator.attach_kernel(tracer)
         timed = obs is not None
         if timed:
             run_timer = Timer()
@@ -373,7 +346,7 @@ class SharedQueueSystem:
                     continue  # stale for every query; costs no service
                 counted = t >= self.warmup
                 for operator in self.operators:
-                    operator.process(stream, arrival, keys, t, counted, tracer)
+                    operator.process(stream, arrival, keys, t, counted)
                 processed += 1
                 budget -= cost_per_tuple
 

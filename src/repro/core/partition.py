@@ -1,0 +1,257 @@
+"""Hash-partitioned sharded execution of one join run.
+
+An equi-join output pair always has equal keys on both sides, so a
+partition of the *key domain* induces a partition of the *output*: hash
+every arrival to one of ``N`` key-disjoint shards, run an independent
+sliding-window join per shard, and sum the results.  Tick numbering is
+global — each shard sees the original arrival times with gaps where the
+other shards' tuples arrived — so window expiry and warmup counting are
+untouched by the split (the shard runs execute on the asynchronous
+engine, which accepts empty ticks natively).
+
+Semantics
+---------
+* **EXACT** — provably identical to the unsharded run.  Every shard
+  gets the full lossless budget of ``2 * window`` tuples (its residents
+  are a subset of the global residents, which never exceed that), no
+  tuple is ever shed, and each output pair is produced in exactly the
+  shard its key hashes to.  Merged counts — output *and* the expiry
+  ledger — equal the unsharded engine's, tuple for tuple.
+* **RAND / PROB / LIFE / FIFO (and V-variants)** — a documented
+  *approximation variant*, not a replay of the unsharded run: the
+  memory budget is split across shards (evenly, or frequency-weighted
+  via the statistics module), so eviction pressure is local to a shard
+  rather than global.  For a fixed ``shards=N`` the result is
+  bit-identical regardless of how many worker processes execute the
+  shards (each shard derives its policy RNG from ``(seed, shard)`` and
+  the merge is deterministic), but changing ``N`` changes the result.
+
+This module is pure planning and merging — it never runs an engine and
+has no dependency on :mod:`repro.api` (the api layer composes the two;
+:mod:`repro.runtime.cells` ships :class:`ShardCell` tasks to workers).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence
+
+from ..streams.tuples import StreamPair
+from .results import BaseRunResult, DropBreakdown, empty_side_drop_counts
+
+#: Smallest per-shard budget: one resident per side.
+MIN_SHARD_BUDGET = 2
+
+
+def shard_of(key: Hashable, shards: int) -> int:
+    """Deterministic shard of a join key.
+
+    Integer keys partition by residue (cheap, and spreads the dense
+    synthetic domains evenly); everything else hashes its string form
+    through ``crc32`` — stable across processes and Python runs, unlike
+    the builtin ``hash``.
+    """
+    if isinstance(key, int) and not isinstance(key, bool):
+        return key % shards
+    return zlib.crc32(str(key).encode("utf-8")) % shards
+
+
+def shard_batches(
+    pair: StreamPair, shard: int, shards: int
+) -> tuple[list[list], list[list]]:
+    """One shard's view of the workload, as per-tick arrival batches.
+
+    Tick ``t`` holds ``[pair.r[t]]`` when that key belongs to the shard
+    and ``[]`` otherwise (likewise for S), preserving global time.
+    """
+    r_batches = [
+        [key] if shard_of(key, shards) == shard else [] for key in pair.r
+    ]
+    s_batches = [
+        [key] if shard_of(key, shards) == shard else [] for key in pair.s
+    ]
+    return r_batches, s_batches
+
+
+def shard_weights(pair: StreamPair, shards: int) -> list[int]:
+    """Arrival mass per shard (both streams), for weighted budget splits."""
+    weights = [0] * shards
+    for key in pair.r:
+        weights[shard_of(key, shards)] += 1
+    for key in pair.s:
+        weights[shard_of(key, shards)] += 1
+    return weights
+
+
+def _even_budget(amount: int) -> int:
+    """Round down to an even number, floored at :data:`MIN_SHARD_BUDGET`.
+
+    Even budgets keep the fixed M/2 + M/2 per-side split exact inside
+    every shard.
+    """
+    return max(MIN_SHARD_BUDGET, amount - (amount % 2))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one run splits into shards: the count and per-shard budgets."""
+
+    shards: int
+    budgets: tuple
+    weighted: bool = False
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if len(self.budgets) != self.shards:
+            raise ValueError(
+                f"got {len(self.budgets)} budgets for {self.shards} shards"
+            )
+        if any(budget < MIN_SHARD_BUDGET for budget in self.budgets):
+            raise ValueError(
+                f"every shard budget must be >= {MIN_SHARD_BUDGET}, "
+                f"got {self.budgets}"
+            )
+
+
+def plan_shards(
+    memory: int,
+    shards: int,
+    *,
+    lossless_budget: Optional[int] = None,
+    weights: Optional[Sequence[int]] = None,
+) -> ShardPlan:
+    """Build the :class:`ShardPlan` for a total budget of ``memory``.
+
+    ``lossless_budget`` (the EXACT case) gives *every* shard that budget
+    — a shard's residents are a subset of the global window, so the
+    unsharded lossless budget is lossless per shard too.  Otherwise the
+    budget splits evenly, or proportionally to ``weights`` (per-shard
+    arrival mass) when given; each share is rounded down to an even
+    number and floored at :data:`MIN_SHARD_BUDGET`, so heavily skewed
+    weights can make the floors push the aggregate slightly above ``M``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if lossless_budget is not None:
+        return ShardPlan(shards, (lossless_budget,) * shards, weighted=False)
+    if weights is None:
+        return ShardPlan(
+            shards, (_even_budget(memory // shards),) * shards, weighted=False
+        )
+    if len(weights) != shards:
+        raise ValueError(f"got {len(weights)} weights for {shards} shards")
+    total = sum(weights)
+    if total <= 0:
+        return plan_shards(memory, shards)
+    budgets = tuple(
+        _even_budget(memory * weight // total) for weight in weights
+    )
+    return ShardPlan(shards, budgets, weighted=True)
+
+
+@dataclass
+class ShardedRunResult(BaseRunResult):
+    """Deterministic merge of one run's per-shard results.
+
+    ``per_shard`` keeps each shard's engine-agnostic
+    :class:`~repro.core.results.RunSummary` (the merged totals are their
+    sums); ``metrics`` is the fold of every shard's snapshot through
+    :meth:`~repro.obs.MetricsRegistry.merge_snapshot` when the run was
+    instrumented.
+    """
+
+    output_count: int
+    total_output_count: int
+    length: int
+    window: int
+    memory: int
+    warmup: int
+    policy_name: str
+    plan: ShardPlan = None  # type: ignore[assignment]
+    per_shard: tuple = ()
+    drop_counts: dict = None  # type: ignore[assignment]
+    metrics: Optional[dict] = None
+
+    engine_kind = "sharded"
+
+    @property
+    def shards(self) -> int:
+        return self.plan.shards
+
+    def drop_breakdown(self) -> DropBreakdown:
+        return DropBreakdown.from_side_counts(self.drop_counts)
+
+
+def merge_shard_results(
+    results: Sequence,
+    plan: ShardPlan,
+    *,
+    length: int,
+    window: int,
+    memory: int,
+    warmup: int,
+) -> ShardedRunResult:
+    """Fold per-shard :class:`~repro.core.async_engine.AsyncRunResult`\\ s.
+
+    Purely additive and order-deterministic: counts and the per-side
+    drop ledger sum; metrics snapshots merge shard 0 first.  The merged
+    totals therefore equal the sums of ``per_shard`` by construction —
+    the invariant the partition tests pin.
+    """
+    if len(results) != plan.shards:
+        raise ValueError(
+            f"got {len(results)} shard results for {plan.shards} shards"
+        )
+    drop_counts = empty_side_drop_counts()
+    for result in results:
+        for side, reasons in result.drop_counts.items():
+            for reason, count in reasons.items():
+                drop_counts[side][reason] += count
+
+    snapshots = [r.metrics for r in results if r.metrics is not None]
+    merged_metrics = None
+    if snapshots:
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for snapshot in snapshots:
+            registry.merge_snapshot(snapshot)
+        merged_metrics = registry.snapshot()
+
+    return ShardedRunResult(
+        output_count=sum(r.output_count for r in results),
+        total_output_count=sum(r.total_output_count for r in results),
+        length=length,
+        window=window,
+        memory=memory,
+        warmup=warmup,
+        policy_name=results[0].policy_name if results else "EXACT",
+        plan=plan,
+        per_shard=tuple(result.summary() for result in results),
+        drop_counts=drop_counts,
+        metrics=merged_metrics,
+    )
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """Per-shard RNG seed: deterministic in ``(seed, shard)`` only.
+
+    Shard results must not depend on worker scheduling, so each shard's
+    policy randomness derives from the run seed and its own index.
+    """
+    return seed * 1_000_003 + shard
+
+
+__all__ = [
+    "MIN_SHARD_BUDGET",
+    "ShardPlan",
+    "ShardedRunResult",
+    "merge_shard_results",
+    "plan_shards",
+    "shard_batches",
+    "shard_of",
+    "shard_seed",
+    "shard_weights",
+]

@@ -17,20 +17,18 @@ the registry via :func:`register_policy`.
 :func:`make_policy_spec` builds what an engine's ``policy=`` argument
 expects: a single instance for a variable (shared-pool) run, or a
 :class:`SidePolicies` pair — two independent instances — for the fixed
-M/2 + M/2 allocation.  The legacy ``{"R": ..., "S": ...}`` dict spec is
-still understood everywhere but now raises a :class:`DeprecationWarning`
-(:func:`resolve_policy_spec` is the single normalisation point all three
-engines share).
+M/2 + M/2 allocation (:func:`resolve_policy_spec` is the single
+normalisation point all engines share; the legacy ``{"R": ..., "S":
+...}`` dict spec was removed after its deprecation cycle).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .arm import ArmAwarePolicy, KeyArrivalTracker
-from .base import EvictionPolicy, later_arrival_wins
+from .base import EvictionPolicy, arrival_observers, later_arrival_wins
 from .fifo import FifoPolicy
 from .life import LifePolicy
 from .prob import ProbPolicy
@@ -47,6 +45,7 @@ __all__ = [
     "RandomEvictionPolicy",
     "ResolvedPolicies",
     "SidePolicies",
+    "arrival_observers",
     "later_arrival_wins",
     "make_policy",
     "make_policy_spec",
@@ -208,23 +207,16 @@ def resolve_policy_spec(policy, memory, *, variable: bool) -> ResolvedPolicies:
     """Normalise an engine's ``policy=`` argument and bind it to memory.
 
     Accepts ``None`` (no shedding), a single :class:`EvictionPolicy`
-    (shared pool; requires ``variable``), a :class:`SidePolicies` pair
-    (fixed allocation), or — deprecated — the legacy ``{"R": ..., "S":
-    ...}`` dict, which raises a :class:`DeprecationWarning` and is
-    converted.  Anything else is a :class:`TypeError` (notably plain
-    strings: build those with :func:`make_policy_spec`).
+    (shared pool; requires ``variable``), or a :class:`SidePolicies`
+    pair (fixed allocation).  Anything else is a :class:`TypeError` —
+    notably plain strings (build those with :func:`make_policy_spec`)
+    and the removed legacy ``{"R": ..., "S": ...}`` dict spec.
     """
     if isinstance(policy, dict):
-        warnings.warn(
-            "dict policy specs ({'R': ..., 'S': ...}) are deprecated; "
-            "use repro.core.policies.SidePolicies or make_policy_spec()",
-            DeprecationWarning,
-            stacklevel=3,
+        raise TypeError(
+            "dict policy specs ({'R': ..., 'S': ...}) were removed; "
+            "use repro.core.policies.SidePolicies or make_policy_spec()"
         )
-        missing = {"R", "S"} - set(policy)
-        if missing:
-            raise ValueError(f"policy dict missing sides: {sorted(missing)}")
-        policy = SidePolicies(policy["R"], policy["S"])
 
     if policy is None:
         return ResolvedPolicies(r=None, s=None, instances=(), name="NONE")

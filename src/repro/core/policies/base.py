@@ -21,7 +21,7 @@ and may return victims from either side.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Hashable, Optional
+from typing import Hashable, Iterable, Optional, Sequence
 
 from ..memory import JoinMemory, TupleRecord
 
@@ -31,6 +31,14 @@ class EvictionPolicy(ABC):
 
     #: Human-readable policy name, set by subclasses ("RAND", "PROB", ...).
     name: str = "?"
+
+    #: Whether this policy consumes :meth:`observe_arrival` broadcasts.
+    #: Engines skip the per-arrival call for policies that leave this
+    #: False (or don't override ``observe_arrival`` at all) — the hot
+    #: path must not pay for a no-op notification.  Instances may
+    #: override the class value (PROB with frozen estimators sets it
+    #: False even though the class overrides ``observe_arrival``).
+    observes_arrivals: bool = True
 
     def __init__(self) -> None:
         self._memory: Optional[JoinMemory] = None
@@ -91,6 +99,26 @@ class EvictionPolicy(ABC):
         raise NotImplementedError(
             f"{self.name} does not support shrinking memory budgets"
         )
+
+
+def arrival_observers(
+    policies: Iterable[Optional["EvictionPolicy"]],
+) -> Sequence["EvictionPolicy"]:
+    """The subset of ``policies`` that actually consume arrival events.
+
+    A policy is an observer iff it overrides
+    :meth:`EvictionPolicy.observe_arrival` *and* its
+    ``observes_arrivals`` flag is truthy.  Engines and the kernel build
+    their broadcast list through this one helper so the filtering rule
+    cannot drift.
+    """
+    return tuple(
+        p
+        for p in policies
+        if p is not None
+        and type(p).observe_arrival is not EvictionPolicy.observe_arrival
+        and p.observes_arrivals
+    )
 
 
 def later_arrival_wins(

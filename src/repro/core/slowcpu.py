@@ -34,24 +34,18 @@ import numpy as np
 
 from ..obs import Timer, active_or_none
 from ..obs.trace import (
-    EVENT_ADMIT,
     EVENT_ARRIVE,
     EVENT_DROP,
-    EVENT_EVICT,
     EVENT_EXPIRE,
-    EVENT_JOIN_OUTPUT,
-    REASON_DISPLACED,
     REASON_QUEUE,
-    REASON_REJECTED,
-    REASON_WINDOW,
     TraceEvent,
     tracing_or_none,
 )
 from ..stats.frequency import FrequencyEstimator
 from .engine import PolicySpec
+from .kernel import JoinKernel
 from .memory import JoinMemory, TupleRecord
 from .policies import resolve_policy_spec
-from .policies.base import EvictionPolicy
 from .results import BaseRunResult, DropBreakdown
 
 QUEUE_POLICIES = ("tail", "random", "prob")
@@ -165,11 +159,8 @@ class SlowCpuEngine:
         self.memory = JoinMemory(config.memory, variable=config.variable)
         self.metrics = metrics
         self.trace = trace
-        self._tracer = None  # live only while run() executes
         self._estimators: dict[str, FrequencyEstimator] = estimators or {}
         self._rng = np.random.default_rng(config.seed)
-        self._evictions = 0
-        self._memory_rejections = 0
 
         resolved = resolve_policy_spec(policy, self.memory, variable=config.variable)
         self._policy_r = resolved.r
@@ -215,56 +206,6 @@ class SlowCpuEngine:
         del queue[weakest_index]
         return victim
 
-    def _process(self, arrival: int, stream: str, key, now: int) -> int:
-        """Run one tuple through the join; returns matches produced."""
-        memory = self.memory
-        tracer = self._tracer
-        matches = memory.other_side(stream).match_count(key)
-        if tracer is not None and matches:
-            for partner in memory.other_side(stream).matches(key):
-                tracer.emit(TraceEvent(
-                    now, partner.stream, key, EVENT_JOIN_OUTPUT,
-                    partner.arrival, partner.priority,
-                ))
-
-        record = TupleRecord(stream, arrival, key)
-        policy = self._policy_r if stream == "R" else self._policy_s
-        if not memory.needs_eviction(stream):
-            memory.admit(record)
-            if policy is not None:
-                policy.on_admit(record, now)
-            if tracer is not None:
-                tracer.emit(TraceEvent(
-                    now, stream, key, EVENT_ADMIT, arrival, record.priority,
-                ))
-        elif policy is not None:
-            victim = policy.choose_victim(record, now)
-            if victim is None:
-                self._memory_rejections += 1
-                if tracer is not None:
-                    tracer.emit(TraceEvent(
-                        now, stream, key, EVENT_DROP, arrival,
-                        record.priority, REASON_REJECTED,
-                    ))
-            else:
-                memory.remove(victim)
-                policy.on_remove(victim, now, expired=False)
-                self._evictions += 1
-                if tracer is not None:
-                    tracer.emit(TraceEvent(
-                        now, victim.stream, victim.key, EVENT_EVICT,
-                        victim.arrival, victim.priority, REASON_DISPLACED,
-                    ))
-                memory.admit(record)
-                policy.on_admit(record, now)
-                if tracer is not None:
-                    tracer.emit(TraceEvent(
-                        now, stream, key, EVENT_ADMIT, arrival, record.priority,
-                    ))
-        else:
-            raise RuntimeError("memory overflow without an eviction policy")
-        return matches
-
     def run(
         self,
         r_keys: Sequence,
@@ -296,17 +237,17 @@ class SlowCpuEngine:
         processed = 0
         shed = 0
         expired_in_queue = 0
-        expired_resident = 0
         arrived = 0
         max_queue = 0
         total_delay = 0
         drop_counts = {"R": 0, "S": 0}
-        self._evictions = 0
-        self._memory_rejections = 0
 
         obs = active_or_none(self.metrics)
         tracer = tracing_or_none(self.trace)
-        self._tracer = tracer
+        # The join memory, its policies, and every resident-side drop /
+        # notify / trace is the kernel's job; this engine only manages
+        # the queues in front of it.
+        kernel = JoinKernel(self.memory, self._policy_r, self._policy_s, tracer=tracer)
         tracing = tracer is not None
         timed = obs is not None
         if timed:
@@ -318,14 +259,7 @@ class SlowCpuEngine:
         for t in range(len(r_schedule)):
             # Expired records are simply absent afterwards; PROB/ARM heaps
             # clean up lazily via the records' alive flags.
-            expired_now = self.memory.expire_until(t - window)
-            expired_resident += len(expired_now)
-            if tracing:
-                for record in expired_now:
-                    tracer.emit(TraceEvent(
-                        t, record.stream, record.key, EVENT_EXPIRE,
-                        record.arrival, record.priority, REASON_WINDOW,
-                    ))
+            kernel.expire(t - window, t)
 
             # Arrivals.
             for stream in ("R", "S"):
@@ -333,8 +267,7 @@ class SlowCpuEngine:
                     key = keys[stream][next_key[stream]]
                     next_key[stream] += 1
                     arrived += 1
-                    for policy in {id(p): p for p in (self._policy_r, self._policy_s) if p}.values():
-                        policy.observe_arrival(stream, key, t)
+                    kernel.observe(stream, key, t)
                     if tracing:
                         tracer.emit(TraceEvent(t, stream, key, EVENT_ARRIVE, t))
                     newcomer = (t, stream, key)
@@ -379,12 +312,20 @@ class SlowCpuEngine:
                             None, REASON_QUEUE,
                         ))
                     continue  # expired while queued; costs no service
-                matches = self._process(arrival, stream, key, t)
+                matches = kernel.probe(stream, key, t)
+                kernel.insert(TupleRecord(stream, arrival, key), t)
                 processed += 1
                 total_delay += t - arrival
                 budget -= 1
                 if t >= warmup:
                     output += matches
+
+        # The memory-side scalars are views of the kernel's ledger — one
+        # source of truth instead of counters drifting per engine.
+        memory_drops = kernel.drops()
+        evicted_from_memory = memory_drops.evicted
+        rejected_from_memory = memory_drops.rejected
+        expired_resident = memory_drops.expired
 
         snapshot = None
         if obs is not None:
@@ -396,8 +337,8 @@ class SlowCpuEngine:
                 obs.counter("queue.shed", side=side).inc(drop_counts[side])
             obs.gauge("queue.max_depth").set(max_queue)
             obs.counter("engine.output").inc(output)
-            obs.counter("engine.drops", reason="evicted").inc(self._evictions)
-            obs.counter("engine.drops", reason="rejected").inc(self._memory_rejections)
+            obs.counter("engine.drops", reason="evicted").inc(evicted_from_memory)
+            obs.counter("engine.drops", reason="rejected").inc(rejected_from_memory)
             obs.counter("engine.drops", reason="expired").inc(expired_resident)
             obs.record_phase("engine/run", run_timer.seconds)
             snapshot = obs.snapshot()
@@ -405,7 +346,6 @@ class SlowCpuEngine:
         trace_events = None
         if tracing:
             trace_events = tracer.collect()
-            self._tracer = None
 
         return SlowCpuResult(
             output_count=output,
@@ -416,8 +356,8 @@ class SlowCpuEngine:
             max_queue_length=max_queue,
             total_delay=total_delay,
             drop_counts=drop_counts,
-            evicted_from_memory=self._evictions,
-            rejected_from_memory=self._memory_rejections,
+            evicted_from_memory=evicted_from_memory,
+            rejected_from_memory=rejected_from_memory,
             expired_resident=expired_resident,
             policy_name=self.policy_name,
             metrics=snapshot,

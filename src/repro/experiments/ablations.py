@@ -26,7 +26,7 @@ import numpy as np
 
 from ..core.engine import EngineConfig, JoinEngine
 from ..core.offline.opt import solve_opt
-from ..core.policies import ProbPolicy
+from ..core.policies import ProbPolicy, SidePolicies
 from ..stats import (
     CountMinSketch,
     EwmaFrequencyEstimator,
@@ -44,10 +44,10 @@ from .runner import estimators_for, run_algorithm
 def _run_prob_with(pair, window, memory, estimators, *, update: bool) -> int:
     """One PROB run with explicit estimator instances per side."""
     config = EngineConfig(window=window, memory=memory)
-    policy = {
-        "R": ProbPolicy(estimators, update_estimators=update),
-        "S": ProbPolicy(estimators, update_estimators=update),
-    }
+    policy = SidePolicies(
+        r=ProbPolicy(estimators, update_estimators=update),
+        s=ProbPolicy(estimators, update_estimators=update),
+    )
     return JoinEngine(config, policy=policy).run(pair).output_count
 
 

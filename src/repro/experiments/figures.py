@@ -719,7 +719,7 @@ def slow_cpu_study(
 
     rows: list[list] = []
     for queue_policy in queue_policies:
-        from ..core.policies import ProbPolicy
+        from ..core.policies import ProbPolicy, SidePolicies
 
         config = SlowCpuConfig(
             window=window,
@@ -731,7 +731,9 @@ def slow_cpu_study(
         )
         engine = SlowCpuEngine(
             config,
-            policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)},
+            policy=SidePolicies(
+                r=ProbPolicy(estimators), s=ProbPolicy(estimators)
+            ),
             estimators=estimators,
         )
         result = engine.run(pair.r, pair.s, r_schedule, s_schedule)

@@ -13,9 +13,11 @@ bit-identical to parallel execution by construction.
 
 from .cells import (
     AlgorithmCell,
+    ShardCell,
     SpecCell,
     SuiteCell,
     run_algorithm_cell,
+    run_shard_cell,
     run_spec_cell,
     run_suite_cell,
 )
@@ -25,11 +27,13 @@ __all__ = [
     "AlgorithmCell",
     "CellError",
     "ENV_WORKERS",
+    "ShardCell",
     "SpecCell",
     "SuiteCell",
     "parallel_map",
     "resolve_workers",
     "run_algorithm_cell",
+    "run_shard_cell",
     "run_spec_cell",
     "run_suite_cell",
 ]

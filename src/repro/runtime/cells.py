@@ -44,11 +44,45 @@ class SpecCell:
 
 
 def run_spec_cell(cell: SpecCell):
-    """Worker entry: run one spec cell end to end."""
+    """Worker entry: run one spec cell end to end.
+
+    ``workers=1`` keeps a sharded spec serial inside this worker —
+    the grid is already fanned out; nesting pools would oversubscribe.
+    """
     from ..api import run_join
     from ..experiments.runner import estimators_for
 
-    return run_join(cell.spec, pair=cell.pair, estimators=estimators_for(cell.pair))
+    return run_join(
+        cell.spec,
+        pair=cell.pair,
+        estimators=estimators_for(cell.pair),
+        workers=1,
+    )
+
+
+@dataclass(frozen=True)
+class ShardCell:
+    """One hash shard of a sharded run (see :mod:`repro.core.partition`)."""
+
+    spec: object  # RunSpec; typed loosely to avoid an api<->runtime cycle
+    pair: StreamPair
+    shard: int
+    budget: int
+
+    @property
+    def label(self) -> str:
+        spec = self.spec
+        return (
+            f"shard[{self.shard}/{spec.shards}] "
+            f"{spec.algorithm}(w={spec.window},m={self.budget},seed={spec.seed})"
+        )
+
+
+def run_shard_cell(cell: ShardCell):
+    """Worker entry: run one shard of a sharded spec."""
+    from ..api import run_join_shard
+
+    return run_join_shard(cell.spec, cell.pair, cell.shard, cell.budget)
 
 
 @dataclass(frozen=True)

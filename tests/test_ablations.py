@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.engine import EngineConfig, JoinEngine
-from repro.core.policies import ProbPolicy
+from repro.core.policies import ProbPolicy, SidePolicies
 from repro.experiments.ablations import (
     drift_ablation,
     predictor_quality_ablation,
@@ -48,10 +48,10 @@ class TestProbPolicyOnlineEstimators:
         config = EngineConfig(window=20, memory=10)
         engine = JoinEngine(
             config,
-            policy={
-                "R": ProbPolicy(estimators, update_estimators=True),
-                "S": ProbPolicy(estimators, update_estimators=True),
-            },
+            policy=SidePolicies(
+                r=ProbPolicy(estimators, update_estimators=True),
+                s=ProbPolicy(estimators, update_estimators=True),
+            ),
         )
         result = engine.run(small_zipf_pair)
         assert result.output_count > 0

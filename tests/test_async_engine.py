@@ -9,7 +9,12 @@ from repro.core.async_engine import (
     AsyncJoinEngine,
     batches_from_pair,
 )
-from repro.core.policies import LifePolicy, ProbPolicy, RandomEvictionPolicy
+from repro.core.policies import (
+    LifePolicy,
+    ProbPolicy,
+    RandomEvictionPolicy,
+    SidePolicies,
+)
 from repro.experiments import estimators_for
 from repro.streams import exact_join_size, zipf_pair
 
@@ -17,10 +22,14 @@ from repro.streams import exact_join_size, zipf_pair
 def _policies(pair, kind="PROB", window=10):
     estimators = estimators_for(pair)
     if kind == "PROB":
-        return {"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)}
+        return SidePolicies(r=ProbPolicy(estimators), s=ProbPolicy(estimators))
     if kind == "LIFE":
-        return {"R": LifePolicy(estimators, window), "S": LifePolicy(estimators, window)}
-    return {"R": RandomEvictionPolicy(seed=0), "S": RandomEvictionPolicy(seed=1)}
+        return SidePolicies(
+            r=LifePolicy(estimators, window), s=LifePolicy(estimators, window)
+        )
+    return SidePolicies(
+        r=RandomEvictionPolicy(seed=0), s=RandomEvictionPolicy(seed=1)
+    )
 
 
 class TestConfig:
@@ -147,7 +156,7 @@ class TestAsyncFuzzAgainstReference:
         config = AsyncEngineConfig(window=window, memory=memory, warmup=0)
         engine = AsyncJoinEngine(
             config,
-            policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)},
+            policy=SidePolicies(r=ProbPolicy(estimators), s=ProbPolicy(estimators)),
         )
         ours = engine.run(r_batches, s_batches).output_count
         reference = naive_async_run(

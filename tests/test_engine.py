@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CapacityExceededError, EngineConfig, JoinEngine, run_exact
-from repro.core.policies import ProbPolicy, RandomEvictionPolicy
+from repro.core.policies import ProbPolicy, RandomEvictionPolicy, SidePolicies
 from repro.experiments.runner import estimators_for, run_algorithm
 from repro.streams import StreamPair, exact_join_size, zipf_pair
 
@@ -83,24 +83,28 @@ class TestPolicyWiring:
         with pytest.raises(ValueError, match="variable"):
             JoinEngine(config, policy=RandomEvictionPolicy())
 
-    def test_policy_dict_requires_fixed(self):
+    def test_side_policies_require_fixed(self):
         config = EngineConfig(window=10, memory=10, variable=True)
         with pytest.raises(ValueError, match="fixed"):
             JoinEngine(
                 config,
-                policy={"R": RandomEvictionPolicy(), "S": RandomEvictionPolicy()},
+                policy=SidePolicies(
+                    r=RandomEvictionPolicy(), s=RandomEvictionPolicy()
+                ),
             )
 
-    def test_shared_instance_in_dict_rejected(self):
-        config = EngineConfig(window=10, memory=10)
+    def test_shared_instance_rejected(self):
         shared = RandomEvictionPolicy()
         with pytest.raises(ValueError, match="independent"):
-            JoinEngine(config, policy={"R": shared, "S": shared})
+            SidePolicies(r=shared, s=shared)
 
-    def test_missing_side_rejected(self):
+    def test_dict_spec_removed(self):
         config = EngineConfig(window=10, memory=10)
-        with pytest.raises(ValueError, match="missing"):
-            JoinEngine(config, policy={"R": RandomEvictionPolicy()})
+        with pytest.raises(TypeError, match="removed"):
+            JoinEngine(
+                config,
+                policy={"R": RandomEvictionPolicy(), "S": RandomEvictionPolicy()},
+            )
 
     def test_unsupported_policy_type(self):
         config = EngineConfig(window=10, memory=10)
@@ -131,7 +135,8 @@ class TestShedding:
         estimators = estimators_for(small_zipf_pair)
         config = EngineConfig(window=25, memory=10, validate=True)
         engine = JoinEngine(
-            config, policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)}
+            config,
+            policy=SidePolicies(r=ProbPolicy(estimators), s=ProbPolicy(estimators)),
         )
         engine.run(small_zipf_pair)  # raises on any invariant violation
 

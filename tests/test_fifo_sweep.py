@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import EngineConfig, JoinEngine
 from repro.core.memory import JoinMemory, TupleRecord
-from repro.core.policies import FifoPolicy
+from repro.core.policies import FifoPolicy, SidePolicies
 from repro.experiments import run_algorithm
 from repro.experiments.sweep import Aggregate, sweep_seeds, variance_study
 from repro.streams import zipf_pair
@@ -50,7 +50,9 @@ class TestFifoPolicy:
             memory_schedule=lambda t: 10 if t < 100 else 4,
             validate=True,
         )
-        engine = JoinEngine(config, policy={"R": FifoPolicy(), "S": FifoPolicy()})
+        engine = JoinEngine(
+            config, policy=SidePolicies(r=FifoPolicy(), s=FifoPolicy())
+        )
         result = engine.run(pair)
         assert result.output_count >= 0
 

@@ -12,10 +12,13 @@ def _pair(length=300, seed=1):
 
 
 def _prob_policies(pair, window):
-    from repro.core.policies import ProbPolicy
+    from repro.core.policies import ProbPolicy, SidePolicies
 
     estimators = estimators_for(pair)
-    return {"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)}, estimators
+    return (
+        SidePolicies(r=ProbPolicy(estimators), s=ProbPolicy(estimators)),
+        estimators,
+    )
 
 
 class TestConfigValidation:

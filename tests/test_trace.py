@@ -120,7 +120,7 @@ class TestNullPath:
             metrics=None, trace=None,
         )
         result = engine.run(pair)
-        assert engine._tracer is None
+        assert engine._kernel is None
         assert result.trace is None
         assert result.metrics is None
 

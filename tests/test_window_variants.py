@@ -111,7 +111,7 @@ class TestLandmarkWindows:
 
     def test_landmark_with_shedding_policy(self):
         pair = zipf_pair(200, 6, 1.0, seed=11)
-        from repro.core.policies import ProbPolicy
+        from repro.core.policies import ProbPolicy, SidePolicies
 
         estimators = estimators_for(pair)
         config = AsyncEngineConfig(
@@ -120,14 +120,14 @@ class TestLandmarkWindows:
         )
         engine = AsyncJoinEngine(
             config,
-            policy={"R": ProbPolicy(estimators), "S": ProbPolicy(estimators)},
+            policy=SidePolicies(r=ProbPolicy(estimators), s=ProbPolicy(estimators)),
         )
         result = engine.run(*batches_from_pair(pair))
         assert result.output_count > 0
 
     def test_landmark_rejects_life(self):
         pair = zipf_pair(20, 4, 1.0, seed=0)
-        from repro.core.policies import LifePolicy
+        from repro.core.policies import LifePolicy, SidePolicies
 
         estimators = estimators_for(pair)
         config = AsyncEngineConfig(
@@ -136,8 +136,8 @@ class TestLandmarkWindows:
         with pytest.raises(ValueError, match="LIFE"):
             AsyncJoinEngine(
                 config,
-                policy={
-                    "R": LifePolicy(estimators, 5),
-                    "S": LifePolicy(estimators, 5),
-                },
+                policy=SidePolicies(
+                    r=LifePolicy(estimators, 5),
+                    s=LifePolicy(estimators, 5),
+                ),
             )
