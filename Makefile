@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-gate check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -34,10 +34,18 @@ bench-parallel:
 bench-shard:
 	$(PYTHON) benchmarks/bench_shard.py
 
+# Chaos-recovery snapshot -> BENCH_chaos.json (committed): sharded runs
+# under a seeded worker kill with checkpoint/retry must reproduce the
+# fault-free result bit-identically, and a degraded run must report a
+# lost_output that exactly reconciles the deficit.
+bench-chaos:
+	$(PYTHON) benchmarks/bench_chaos.py
+
 # Perf-regression gate: fresh snapshots vs the committed BENCH_engine.json
-# (and BENCH_runtime.json / BENCH_shard.json when present).  Fails on >20%
-# throughput drops, output-count drift, instrumentation overhead growth,
-# parallel/serial divergence, or sharded-EXACT identity violations; see
+# (and BENCH_runtime.json / BENCH_shard.json / BENCH_chaos.json when
+# present).  Fails on >20% throughput drops, output-count drift,
+# instrumentation overhead growth, parallel/serial divergence,
+# sharded-EXACT identity violations, or fault-recovery drift; see
 # benchmarks/regression.py for the tolerance knobs.
 bench-gate:
 	$(PYTHON) benchmarks/regression.py

@@ -35,11 +35,21 @@ contract: sharded EXACT must reproduce unsharded EXACT identically
 (output, total, drop ledger), the snapshot's deterministic counts must
 match the committed baseline exactly, and the sharded wall-clock may
 not exceed ``--max-shard-slowdown`` (default 25x) times the unsharded
-one.  Exit status: 0 pass, 1 fail, 2 bad invocation.
+one.
+
+And when a committed ``BENCH_chaos.json`` exists (written by
+``make bench-chaos`` / ``benchmarks/bench_chaos.py``), the gate rebuilds
+the chaos-recovery snapshot and checks the fault-tolerance contract: a
+sharded run that loses a worker to a seeded kill and retries from its
+last checkpoint must reproduce the fault-free result bit-identically,
+and a degraded run (retries exhausted, ``degrade=True``) must report a
+``lost_output`` that exactly reconciles the output deficit.  Exit
+status: 0 pass, 1 fail, 2 bad invocation.
 
 Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
                                       [--tolerance 0.2] [--repeats N]
                                       [--skip-runtime] [--skip-shard]
+                                      [--skip-chaos]
 Or:   make bench-gate
 """
 
@@ -57,6 +67,7 @@ try:
 except ImportError:  # running from a checkout without `make install`
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from bench_chaos import build_chaos_snapshot  # noqa: E402 - sibling module
 from bench_runtime import build_runtime_snapshot  # noqa: E402 - sibling module
 from bench_shard import build_shard_snapshot  # noqa: E402 - sibling module
 from snapshot import build_snapshot  # noqa: E402 - sibling module
@@ -235,6 +246,37 @@ def check_shard(
     return failures
 
 
+def check_chaos(baseline: dict, fresh: dict) -> list[str]:
+    """Failure messages for the chaos-recovery snapshot.
+
+    * the fresh run must be recovery-identical (every recovered run ==
+      its fault-free twin, and the degraded run reconciles) — the
+      fault-tolerance layer's hard guarantee, checked strictly;
+    * the deterministic counts must match the committed baseline
+      exactly (same spec + same fault plan must give the same result).
+
+    No wall-clock gate: retries legitimately replay work, and the
+    identity checks are what the contract is about.
+    """
+    failures: list[str] = []
+    if not fresh.get("recovery_identical", False):
+        for line in fresh.get("mismatches", []):
+            failures.append(f"chaos: {line}")
+
+    base_counts = baseline.get("counts", {})
+    fresh_counts = fresh.get("counts", {})
+    for name in ("exact_output", "prob_sharded_output",
+                 "degraded_output", "lost_output"):
+        if name in base_counts and name in fresh_counts:
+            if base_counts[name] != fresh_counts[name]:
+                failures.append(
+                    f"chaos: {name} changed {base_counts[name]} -> "
+                    f"{fresh_counts[name]} (deterministic; this is a "
+                    "semantics change)"
+                )
+    return failures
+
+
 def format_comparison(baseline: dict, fresh: dict) -> str:
     """Side-by-side table of the gated quantities."""
     lines = [
@@ -305,6 +347,15 @@ def main() -> int:
     parser.add_argument(
         "--skip-shard", action="store_true",
         help="skip the sharded-execution identity gate",
+    )
+    parser.add_argument(
+        "--chaos-baseline", default=str(REPO_ROOT / "BENCH_chaos.json"),
+        dest="chaos_baseline",
+        help="committed chaos-recovery snapshot (skipped if absent)",
+    )
+    parser.add_argument(
+        "--skip-chaos", action="store_true",
+        help="skip the fault-injected recovery identity gate",
     )
     args = parser.parse_args()
 
@@ -380,6 +431,30 @@ def main() -> int:
             shard_baseline, shard_fresh,
             max_slowdown=args.max_shard_slowdown,
         ))
+
+    chaos_path = Path(args.chaos_baseline)
+    if not args.skip_chaos and chaos_path.exists():
+        try:
+            chaos_baseline = json.loads(chaos_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"chaos baseline {chaos_path} is not valid JSON: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        chaos_params = chaos_baseline.get("parameters", {})
+        chaos_shards = chaos_params.get("shards", 3)
+        chaos_workers = chaos_params.get("workers", 2)
+        chaos_scale = chaos_baseline.get("scale", "ci")
+        print(f"\nbench-gate: rebuilding chaos snapshot "
+              f"(scale={chaos_scale}, shards={chaos_shards}, "
+              f"workers={chaos_workers}) ...")
+        chaos_fresh = build_chaos_snapshot(
+            chaos_scale, chaos_shards, chaos_workers
+        )
+        print(f"  recovery_identical={chaos_fresh['recovery_identical']}, "
+              f"degraded {chaos_fresh['counts']['degraded_output']} + "
+              f"lost {chaos_fresh['counts']['lost_output']} vs exact "
+              f"{chaos_fresh['counts']['exact_output']}")
+        failures.extend(check_chaos(chaos_baseline, chaos_fresh))
 
     if failures:
         print(f"\nbench-gate FAILED ({len(failures)} issue(s)):")

@@ -16,19 +16,25 @@ including
 
 Quick start::
 
-    from repro import RunSpec, run_join, optimal_offline
+    from repro import RunSpec, run
 
     spec = RunSpec(algorithm="PROB", window=100, memory=50,
                    length=2000, skew=1.0, seed=7)
-    prob = run_join(spec)
-    opt = optimal_offline(spec)
+    prob = run(spec)
+    opt = run(RunSpec(algorithm="OPT", window=100, memory=50,
+                      length=2000, skew=1.0, seed=7))
     print(prob.output_count, opt.output_count)
+
+:func:`repro.run` is the single public entry point: it dispatches on
+the spec (online engines, the offline OPT/OPTV bound, sharded parallel
+execution, checkpoint/retry fault tolerance).  ``run_join`` and
+``run_sharded`` survive as deprecated aliases.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from .api import RunSpec, build_pair, compare, optimal_offline, run_join
+from .api import RunSpec, build_pair, compare, optimal_offline, run, run_join
 from .core import (
     DropBreakdown,
     EngineConfig,
@@ -121,6 +127,7 @@ __all__ = [
     "optimal_offline",
     "refine_from_archive",
     "retention_benefit",
+    "run",
     "run_algorithm",
     "run_exact",
     "run_join",

@@ -1,23 +1,28 @@
 """Unified public run API.
 
 One :class:`RunSpec` describes a complete experiment — workload, join
-parameters, which engine simulates it, and whether to collect metrics —
-and three functions consume it:
+parameters, which engine simulates it, fault-tolerance posture, and
+whether to collect metrics — and one entry point consumes it:
 
-* :func:`run_join` — run the spec's algorithm on its workload and return
-  the engine's result (all engines share the unified result surface:
-  ``output_count``, :meth:`~repro.core.results.BaseRunResult.drop_breakdown`,
-  :meth:`~repro.core.results.BaseRunResult.summary`, and an attached
+* :func:`run` — run the spec end to end: OPT/OPTV dispatch to the
+  offline bound, ``shards > 1`` to the fault-tolerant sharded runtime,
+  everything else to the selected engine.  All paths share the unified
+  result surface (``output_count``,
+  :meth:`~repro.core.results.BaseRunResult.drop_breakdown`,
+  :meth:`~repro.core.results.BaseRunResult.summary`, an attached
   ``metrics`` snapshot when requested);
 * :func:`compare` — run several specs on one shared workload;
 * :func:`optimal_offline` — the OPT/OPTV offline bound for the spec.
 
+:func:`run_join` and :func:`run_sharded` remain as thin deprecated
+aliases of :func:`run` (see DESIGN.md for the deprecation policy).
+
 Example::
 
-    from repro.api import RunSpec, run_join, optimal_offline
+    from repro.api import RunSpec, run, optimal_offline
 
     spec = RunSpec(algorithm="PROB", window=100, memory=50, length=2000)
-    result = run_join(spec)
+    result = run(spec)
     bound = optimal_offline(spec)
     print(result.output_count / bound.output_count)
 
@@ -27,6 +32,8 @@ thin layers over these functions.
 
 from __future__ import annotations
 
+import tempfile
+import warnings
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
@@ -34,10 +41,24 @@ from .core.async_engine import AsyncEngineConfig, AsyncJoinEngine, batches_from_
 from .core.engine import EngineConfig, JoinEngine
 from .core.offline.opt import OptResult, solve_opt
 from .core.policies import make_policy_spec
+from .core.results import SCHEMA_VERSION
 from .core.slowcpu import SlowCpuConfig, SlowCpuEngine
 from .experiments.runner import ALL_ALGORITHMS, estimators_for
 from .obs import MetricsRegistry, RingBufferSink, Tracer
 from .streams import StreamPair, uniform_pair, weather_pair, zipf_pair
+
+__all__ = [
+    "ENGINES",
+    "WORKLOADS",
+    "RunSpec",
+    "attribute_run",
+    "build_pair",
+    "compare",
+    "optimal_offline",
+    "run",
+    "run_join",
+    "run_sharded",
+]
 
 ENGINES = ("fast", "async", "slowcpu")
 WORKLOADS = ("zipf", "uniform", "weather")
@@ -66,6 +87,18 @@ class RunSpec:
     become a documented approximation variant whose result depends on
     ``N`` but never on the worker count.  ``shard_weighted=True`` splits
     the memory budget by per-shard arrival mass instead of evenly.
+
+    Fault tolerance (sharded runs only — an unsharded run has no cells
+    to supervise): ``max_retries`` re-runs a failed shard with
+    exponential backoff; ``timeout_s`` bounds one attempt's wall clock
+    (enforced when shards run in worker processes); ``checkpoint_every=k``
+    checkpoints each shard's join state every ``k`` ticks so a retry
+    resumes instead of replaying from tick 0 (``checkpoint_dir`` persists
+    the checkpoints at a caller-chosen path, e.g. to resume across
+    processes; the default is a run-private temp directory);
+    ``degrade=True`` merges the surviving shards when a shard exhausts
+    its retries and attributes the loss under the ``lost_shard`` drop
+    reason instead of failing the run.
     """
 
     algorithm: str = "PROB"
@@ -93,6 +126,12 @@ class RunSpec:
 
     shards: int = 1
     shard_weighted: bool = False
+
+    max_retries: int = 0
+    timeout_s: Optional[float] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    degrade: bool = False
 
     def __post_init__(self) -> None:
         name = self.algorithm.upper()
@@ -125,6 +164,30 @@ class RunSpec:
                     "tracing is not supported with sharded execution "
                     "(per-shard event streams have no global order)"
                 )
+        # Fault-tolerance knobs: the one shared validator every surface
+        # (API, CLI run/compare/sweep) funnels through.
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_dir is not None and self.checkpoint_every is None:
+            raise ValueError("checkpoint_dir requires checkpoint_every")
+        if self.shards < 2:
+            for knob, is_set in (
+                ("max_retries", self.max_retries != 0),
+                ("timeout_s", self.timeout_s is not None),
+                ("checkpoint_every", self.checkpoint_every is not None),
+                ("degrade", self.degrade),
+            ):
+                if is_set:
+                    raise ValueError(
+                        f"{knob} requires sharded execution (shards > 1); "
+                        "an unsharded run has no cells to supervise"
+                    )
 
     @property
     def effective_warmup(self) -> int:
@@ -174,27 +237,32 @@ def _policy_for(spec: RunSpec, pair: StreamPair, estimators: Optional[dict]):
     )
 
 
-def run_join(
+def run(
     spec: RunSpec,
     *,
     pair: Optional[StreamPair] = None,
     estimators: Optional[dict] = None,
     workers: Optional[int] = None,
+    fault_plan=None,
 ):
     """Run the spec end to end and return the engine's result.
 
-    ``pair`` overrides the generated workload (so several specs can share
-    one input); ``estimators`` overrides the statistics module.  OPT and
+    The one public entry point: dispatches on the spec itself.  OPT and
     OPTV delegate to :func:`optimal_offline` — the offline bound has no
     engine to speak of, but sharing the entry point keeps comparison
-    loops uniform.  A spec with ``shards > 1`` delegates to
-    :func:`run_sharded`; ``workers`` then fans the shards over worker
-    processes (ignored otherwise — a single unsharded run is serial).
+    loops uniform.  A spec with ``shards > 1`` runs on the fault-tolerant
+    sharded runtime; ``workers`` then fans the shards over worker
+    processes (ignored otherwise — a single unsharded run is serial) and
+    ``fault_plan`` arms deterministic fault injection (see
+    :mod:`repro.runtime.faults`; tests and the chaos benchmark only).
+
+    ``pair`` overrides the generated workload (so several specs can share
+    one input); ``estimators`` overrides the statistics module.
     """
     if spec.algorithm in ("OPT", "OPTV"):
         return optimal_offline(spec, pair=pair)
     if spec.shards > 1:
-        return run_sharded(spec, pair=pair, workers=workers)
+        return _run_sharded(spec, pair=pair, workers=workers, fault_plan=fault_plan)
 
     if pair is None:
         pair = build_pair(spec)
@@ -243,7 +311,65 @@ def run_join(
     return engine.run(pair.r, pair.s, schedule, list(schedule))
 
 
-def run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
+def run_join(
+    spec: RunSpec,
+    *,
+    pair: Optional[StreamPair] = None,
+    estimators: Optional[dict] = None,
+    workers: Optional[int] = None,
+):
+    """Deprecated alias of :func:`run` (kept for one release cycle)."""
+    warnings.warn(
+        "run_join() is deprecated; use repro.api.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run(spec, pair=pair, estimators=estimators, workers=workers)
+
+
+def run_sharded(
+    spec: RunSpec,
+    *,
+    pair: Optional[StreamPair] = None,
+    workers: Optional[int] = None,
+):
+    """Deprecated alias of :func:`run` for ``shards > 1`` specs."""
+    warnings.warn(
+        "run_sharded() is deprecated; use repro.api.run()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if spec.shards < 2:
+        raise ValueError(f"run_sharded needs shards >= 2, got {spec.shards}")
+    return _run_sharded(spec, pair=pair, workers=workers)
+
+
+def _shard_fingerprint(
+    spec: RunSpec, pair: StreamPair, shard: int, budget: int
+) -> str:
+    """Identity of one shard's computation, for checkpoint validation.
+
+    Everything that changes the shard's tick-by-tick evolution is in
+    here; a checkpoint whose fingerprint mismatches is silently ignored
+    (replaying from tick 0 is always correct).
+    """
+    return "|".join(
+        (
+            f"schema={SCHEMA_VERSION}",
+            f"alg={spec.algorithm}",
+            f"w={spec.window}",
+            f"m={budget}",
+            f"seed={spec.seed}",
+            f"len={len(pair)}",
+            f"shard={shard}/{spec.shards}",
+            f"var={int(bool(spec.variable))}",
+            f"warmup={spec.effective_warmup}",
+            f"metrics={int(spec.metrics)}",
+        )
+    )
+
+
+def _run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
     """Run one shard of a sharded spec (worker entry helper).
 
     The shard sees only the arrivals whose key hashes to it, at their
@@ -254,8 +380,16 @@ def run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
     pair (the same tables the unsharded run would use); policy RNGs seed
     from ``(spec.seed, shard)`` so results never depend on worker
     scheduling.
+
+    With ``checkpoint_every`` set, the engine state is checkpointed to
+    ``checkpoint_dir`` every ``k`` ticks and a fresh invocation (a retry
+    in a new worker, or a re-run after a crash) resumes from the last
+    valid checkpoint.  Under an armed fault context (see
+    :mod:`repro.runtime.faults`) the same per-tick hook fires injected
+    faults, so a kill lands mid-run with real join state at stake.
     """
     from .core.partition import shard_batches, shard_seed
+    from .runtime import faults
 
     r_batches, s_batches = shard_batches(pair, shard, spec.shards)
     shard_spec = replace(spec, seed=shard_seed(spec.seed, shard))
@@ -267,26 +401,62 @@ def run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
         warmup=spec.warmup,
     )
     engine = AsyncJoinEngine(config, policy=policy, metrics=_registry_for(spec))
-    return engine.run(r_batches, s_batches)
+
+    store = None
+    resume = None
+    every = spec.checkpoint_every
+    key = f"shard-{shard}"
+    fingerprint = _shard_fingerprint(spec, pair, shard, budget)
+    if every is not None and spec.checkpoint_dir is not None:
+        from .runtime.checkpoint import CheckpointStore
+
+        store = CheckpointStore(spec.checkpoint_dir)
+        resume = store.load(key, fingerprint=fingerprint)
+
+    on_tick = None
+    if store is not None or faults.is_active():
+        def on_tick(running_engine, t):
+            # Faults fire first: a kill at tick T never checkpoints T,
+            # so the retry resumes strictly before the failure point.
+            faults.maybe_inject(t)
+            if store is not None and (t + 1) % every == 0:
+                store.save(
+                    key, running_engine.checkpoint(), fingerprint=fingerprint
+                )
+
+    result = engine.run(r_batches, s_batches, resume=resume, on_tick=on_tick)
+    if store is not None:
+        store.clear(key)
+    return result
 
 
-def run_sharded(
+def _run_sharded(
     spec: RunSpec,
     *,
     pair: Optional[StreamPair] = None,
     workers: Optional[int] = None,
+    fault_plan=None,
 ):
-    """Run a ``shards > 1`` spec: plan, fan out, merge.
+    """Run a ``shards > 1`` spec: plan, fan out (supervised), merge.
 
     Returns a :class:`~repro.core.partition.ShardedRunResult`; the merge
     is deterministic and the per-shard runs self-seeded, so the result
     is a pure function of the spec — ``workers=4`` returns exactly what
-    the serial run returns.
+    the serial run returns, and a retried shard returns exactly what an
+    undisturbed one would have.  On retry exhaustion with
+    ``degrade=True`` the surviving shards merge and the lost shards'
+    inputs (plus, for EXACT, their exactly-known forgone output) are
+    attributed; without it the shard's :class:`~repro.runtime.CellError`
+    propagates.
     """
-    if spec.shards < 2:
-        raise ValueError(f"run_sharded needs shards >= 2, got {spec.shards}")
-    from .core.partition import merge_shard_results, plan_shards, shard_weights
-    from .runtime import ShardCell, parallel_map, run_shard_cell
+    from .core.partition import (
+        merge_shard_results,
+        plan_shards,
+        shard_exact_output,
+        shard_input_counts,
+        shard_weights,
+    )
+    from .runtime import CellError, RetryPolicy, ShardCell, parallel_map, run_shard_cell
 
     if pair is None:
         pair = build_pair(spec)
@@ -299,16 +469,54 @@ def run_sharded(
     plan = plan_shards(
         spec.memory, spec.shards, lossless_budget=lossless, weights=weights
     )
-    cells = [
-        ShardCell(spec, pair, shard, budget)
-        for shard, budget in enumerate(plan.budgets)
-    ]
-    results = parallel_map(
-        run_shard_cell,
-        cells,
-        workers=workers,
-        labels=[cell.label for cell in cells],
+
+    retry = None
+    if spec.max_retries or spec.timeout_s is not None:
+        retry = RetryPolicy(max_retries=spec.max_retries, timeout_s=spec.timeout_s)
+
+    tmpdir = None
+    cell_spec = spec
+    try:
+        if spec.checkpoint_every is not None and spec.checkpoint_dir is None:
+            # Retries run in fresh worker processes; a run-private temp
+            # directory is the simplest state channel between attempts.
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            cell_spec = replace(spec, checkpoint_dir=tmpdir.name)
+        cells = [
+            ShardCell(cell_spec, pair, shard, budget)
+            for shard, budget in enumerate(plan.budgets)
+        ]
+        results = parallel_map(
+            run_shard_cell,
+            cells,
+            workers=workers,
+            labels=[cell.label for cell in cells],
+            retry=retry,
+            fault_plan=fault_plan,
+            return_errors=spec.degrade,
+        )
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    lost = tuple(
+        index for index, result in enumerate(results)
+        if isinstance(result, CellError)
     )
+    merge_kwargs: dict = {}
+    if lost:
+        merge_kwargs["lost"] = lost
+        merge_kwargs["lost_inputs"] = [
+            shard_input_counts(pair, shard, spec.shards) for shard in lost
+        ]
+        if spec.algorithm == "EXACT":
+            merge_kwargs["lost_output"] = sum(
+                shard_exact_output(
+                    pair, shard, spec.shards, spec.window,
+                    count_from=spec.effective_warmup,
+                )
+                for shard in lost
+            )
     return merge_shard_results(
         results,
         plan,
@@ -316,6 +524,7 @@ def run_sharded(
         window=spec.window,
         memory=spec.effective_memory,
         warmup=spec.effective_warmup,
+        **merge_kwargs,
     )
 
 
@@ -383,7 +592,7 @@ def compare(
     if resolve_workers(workers) <= 1:
         estimators = estimators_for(pair)
         return {
-            label: run_join(spec, pair=pair, estimators=estimators)
+            label: run(spec, pair=pair, estimators=estimators)
             for label, spec in zip(labels, resolved)
         }
 
@@ -419,7 +628,7 @@ def attribute_run(spec: RunSpec, *, pair: Optional[StreamPair] = None):
     if pair is None:
         pair = build_pair(spec)
     traced = replace(spec, trace=True) if not spec.trace else spec
-    result = run_join(traced, pair=pair)
+    result = run(traced, pair=pair)
     exact = exact_join_size(pair, spec.window, count_from=spec.effective_warmup)
     return attribute_trace(
         result.trace,

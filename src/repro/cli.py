@@ -24,9 +24,12 @@ Examples
 
     repro run --algorithm PROB --length 2000 --window 100 --memory 50
     repro run --algorithm PROB --metrics json --metrics-out prob.json
+    repro run --algorithm EXACT --shards 4 --workers 4 \
+        --max-retries 2 --checkpoint-every 64
     repro compare --algorithms RAND,PROB,OPT --skew 1.5
     repro compare --algorithms RAND,PROB,LIFE,OPT --workers 4
     repro sweep --algorithms RAND,PROB --seeds 0,1,2,3 --workers 4
+    repro sweep --algorithms RAND,PROB --seeds 0,1 --shards 2 --max-retries 1
     repro figure figure3 --scale ci
     repro table ablation_drift --scale ci
     repro trace record --algorithm PROB --out prob.trace.jsonl
@@ -41,7 +44,7 @@ import sys
 from dataclasses import replace
 from typing import Optional, Sequence
 
-from .api import RunSpec, build_pair, compare as compare_specs, run_join
+from .api import RunSpec, build_pair, compare as compare_specs, run
 from .experiments import (
     ABLATION_GENERATORS,
     ALL_ALGORITHMS,
@@ -62,25 +65,53 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str) -> RunSpec:
         window=args.window,
         memory=args.memory,
         warmup=args.warmup,
-        seed=args.seed,
+        seed=getattr(args, "seed", 0),
         workload=args.workload,
         length=args.length,
         domain=args.domain,
         skew=args.skew,
         skew_s=args.skew_s,
         correlation=args.correlation,
-        metrics=args.metrics is not None,
+        metrics=getattr(args, "metrics", None) is not None,
         shards=getattr(args, "shards", 1),
         shard_weighted=getattr(args, "shard_weighted", False),
+        max_retries=getattr(args, "max_retries", 0),
+        timeout_s=getattr(args, "timeout_s", None),
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        degrade=getattr(args, "degrade", False),
     )
 
 
-def _emit_metrics(args: argparse.Namespace, snapshots: dict) -> None:
+def _emit_metrics(
+    args: argparse.Namespace, snapshots: dict, summaries: Optional[dict] = None
+) -> None:
     """Render collected snapshots as the requested format.
 
     ``snapshots`` maps algorithm label to snapshot dict; a single run
     emits the bare snapshot, a comparison an object keyed by label.
+    JSON exports are versioned: each snapshot gains a ``schema_version``
+    key and — when ``summaries`` provides the run's
+    :class:`~repro.core.results.RunSummary` — a ``run`` document
+    (:meth:`~repro.core.results.RunSummary.to_dict`).  The extra keys
+    are ignored by ``load_metrics_json``, so the snapshot round-trip
+    is unchanged.
     """
+    if args.metrics == "json":
+        from .core.results import SCHEMA_VERSION
+
+        snapshots = {
+            label: {
+                **snapshot,
+                "schema_version": SCHEMA_VERSION,
+                **(
+                    {"run": summaries[label].to_dict()}
+                    if summaries and summaries.get(label) is not None
+                    else {}
+                ),
+            }
+            for label, snapshot in snapshots.items()
+        }
     payload = next(iter(snapshots.values())) if len(snapshots) == 1 else snapshots
     if args.metrics == "csv":
         if len(snapshots) == 1:
@@ -161,6 +192,38 @@ def _workers_argument(parser: argparse.ArgumentParser, help_text: str) -> None:
     )
 
 
+def _fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sharded-run fault-tolerance knobs (see :class:`RunSpec`).
+
+    Combination rules live in one place — ``RunSpec.__post_init__`` —
+    so every verb rejects invalid flag mixes identically.
+    """
+    group = parser.add_argument_group("fault tolerance (sharded runs)")
+    group.add_argument(
+        "--max-retries", type=int, default=0, dest="max_retries",
+        help="re-run a failed/timed-out shard up to N times",
+    )
+    group.add_argument(
+        "--timeout-s", type=float, default=None, dest="timeout_s",
+        help="per-attempt shard timeout in seconds (pooled runs)",
+    )
+    group.add_argument(
+        "--checkpoint-every", type=int, default=None, dest="checkpoint_every",
+        help="checkpoint each shard every N ticks so retries resume "
+             "instead of replaying from tick 0",
+    )
+    group.add_argument(
+        "--checkpoint-dir", default=None, dest="checkpoint_dir",
+        help="directory for shard checkpoints "
+             "(default: a run-private temporary directory)",
+    )
+    group.add_argument(
+        "--degrade", action="store_true",
+        help="on retry exhaustion, merge the surviving shards and "
+             "report the lost shard in the drop ledger instead of failing",
+    )
+
+
 def _scale_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -194,16 +257,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     pair = build_pair(spec)
-    result = run_join(spec, pair=pair, workers=args.workers)
+    result = run(spec, pair=pair, workers=args.workers)
     warmup = spec.effective_warmup
     exact = exact_join_size(pair, args.window, count_from=warmup)
     print(f"workload : {pair.name}")
     print(f"window   : {args.window}   memory: {args.memory}   warmup: {warmup}")
     print(f"{args.algorithm}: {result.output_count} output tuples "
           f"({100 * result.output_count / max(exact, 1):.1f}% of exact {exact})")
+    lost = getattr(result, "lost_shards", ())
+    if lost:
+        print(f"degraded : lost shard(s) {', '.join(map(str, lost))}"
+              + (f"; {result.lost_output} outputs forgone"
+                 if result.lost_output is not None else ""))
     if args.metrics is not None:
         snapshot = getattr(result, "metrics", None)
-        _emit_metrics(args, {args.algorithm: snapshot or {}})
+        summary = getattr(result, "summary", None)
+        _emit_metrics(
+            args,
+            {args.algorithm: snapshot or {}},
+            {args.algorithm: summary() if callable(summary) else None},
+        )
     return 0
 
 
@@ -234,18 +307,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"{name:<10} {count:>10} {100 * count / max(exact, 1):>10.1f}%")
     print(f"{'EXACT':<10} {exact:>10} {100.0:>10.1f}%")
     if args.metrics is not None:
+        summaries = {}
+        for name, result in results.items():
+            summary = getattr(result, "summary", None)
+            summaries[name] = summary() if callable(summary) else None
         _emit_metrics(
             args,
             {
                 name: getattr(result, "metrics", None) or {}
                 for name, result in results.items()
             },
+            summaries,
         )
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .experiments.sweep import sweep_seeds
+    from .experiments.sweep import sweep_seeds, sweep_specs
 
     names = [name.strip().upper() for name in args.algorithms.split(",") if name.strip()]
     unknown = [name for name in names if name not in ALL_ALGORITHMS]
@@ -263,31 +341,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("--seeds must name at least one seed", file=sys.stderr)
         return 2
 
-    base = RunSpec(
-        algorithm=names[0],
-        window=args.window,
-        memory=args.memory,
-        warmup=args.warmup,
-        workload=args.workload,
-        length=args.length,
-        domain=args.domain,
-        skew=args.skew,
-        skew_s=args.skew_s,
-        correlation=args.correlation,
-    )
+    try:
+        base = _spec_from_args(args, names[0])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
-    def factory(seed: int):
-        return build_pair(replace(base, seed=seed))
+    if base.shards > 1 or base.max_retries or base.timeout_s is not None \
+            or base.checkpoint_every is not None or base.degrade:
+        # Sharded / fault-tolerant sweeps go through the unified run()
+        # path; the plain suite fast path cannot express those knobs.
+        aggregates = sweep_specs(names, base, seeds=seeds, workers=args.workers)
+    else:
+        def factory(seed: int):
+            return build_pair(replace(base, seed=seed))
 
-    aggregates = sweep_seeds(
-        names,
-        factory,
-        args.window,
-        args.memory,
-        seeds=seeds,
-        warmup=args.warmup,
-        workers=args.workers,
-    )
+        aggregates = sweep_seeds(
+            names,
+            factory,
+            args.window,
+            args.memory,
+            seeds=seeds,
+            warmup=args.warmup,
+            workers=args.workers,
+        )
     print(f"workload : {args.workload}(length={args.length}, domain={args.domain}, "
           f"skew={args.skew})   w={args.window}  M={args.memory}  "
           f"seeds={','.join(map(str, seeds))}")
@@ -332,7 +409,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
 
     spec = replace(_spec_from_args(args, args.algorithm), trace=True)
     pair = build_pair(spec)
-    result = run_join(spec, pair=pair)
+    result = run(spec, pair=pair)
     events = result.trace or []
     summary = trace_summary(events)
     print(f"workload : {pair.name}   w={args.window}  M={args.memory}")
@@ -437,7 +514,7 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     else:
         spec = replace(_spec_from_args(args, args.algorithm), trace=True)
         pair = build_pair(spec)
-        result = run_join(spec, pair=pair)
+        result = run(spec, pair=pair)
         events = result.trace or []
         title = f"repro dash — {args.algorithm} on {pair.name}"
     width = args.bucket if args.bucket is not None else max(args.window // 2, 1)
@@ -464,6 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(run_parser)
     _shards_arguments(run_parser)
+    _fault_tolerance_arguments(run_parser)
     _workers_argument(
         run_parser,
         "worker processes; an unsharded run executes serially, a "
@@ -477,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(compare_parser)
     _shards_arguments(compare_parser)
+    _fault_tolerance_arguments(compare_parser)
     _workers_argument(compare_parser, "worker processes to fan the algorithms over")
 
     sweep_parser = commands.add_parser(
@@ -491,6 +570,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated seeds; one suite runs per seed",
     )
     _add_workload_arguments(sweep_parser, seed=False, metrics=False)
+    _shards_arguments(sweep_parser)
+    _fault_tolerance_arguments(sweep_parser)
     _workers_argument(sweep_parser, "worker processes to fan the seeds over")
 
     figure_parser = commands.add_parser("figure", help="regenerate a paper figure")

@@ -133,6 +133,10 @@ class AsyncJoinEngine:
         self._policy_s = resolved.s
         self._policies = resolved.instances
         self.policy_name = resolved.name
+        self._kernel = None
+        self._obs = None
+        self._tracing = False
+        self._tick_state = None
 
         if config.window_mode in ("count", "landmark"):
             from .policies.arm import ArmAwarePolicy
@@ -150,12 +154,22 @@ class AsyncJoinEngine:
         self,
         r_batches: Sequence[Sequence],
         s_batches: Sequence[Sequence],
+        *,
+        resume: Optional[dict] = None,
+        on_tick=None,
     ) -> AsyncRunResult:
         """Process per-tick arrival batches.
 
         ``r_batches[t]`` is the (possibly empty) sequence of R join keys
         arriving at tick ``t``; likewise for S.  Both sequences must
         cover the same number of ticks.
+
+        ``on_tick(engine, t)`` fires after each tick's batches complete
+        (and after its metrics were recorded); inside the callback
+        :meth:`checkpoint` captures a resumable snapshot of the run.
+        ``resume`` takes such a snapshot and continues from the tick
+        after it — the finished run is bit-identical (counts, ledger,
+        metrics totals) to one that was never interrupted.
         """
         if len(r_batches) != len(s_batches):
             raise ValueError("batch sequences must cover the same number of ticks")
@@ -171,6 +185,7 @@ class AsyncJoinEngine:
         total_output = 0
         arrivals = 0
         sequence = {"R": 0, "S": 0}  # per-stream tuple counters (count mode)
+        start_tick = 0
 
         obs = active_or_none(self.metrics)
         tracer = tracing_or_none(self.trace)
@@ -182,6 +197,29 @@ class AsyncJoinEngine:
         )
         tracing = tracer is not None
         timed = obs is not None
+        self._kernel = kernel
+        self._obs = obs
+        self._tracing = tracing
+        self._tick_state = None
+
+        if resume is not None:
+            if tracing:
+                raise ValueError(
+                    "cannot resume a traced run (pre-failure events are gone)"
+                )
+            start_tick = resume["tick"] + 1
+            output = resume["output"]
+            total_output = resume["total_output"]
+            arrivals = resume["arrivals"]
+            sequence = dict(resume["sequence"])
+            restored = kernel.restore(resume["kernel"])
+            self._restore_policies(resume["policies"], restored)
+            if timed and resume.get("metrics"):
+                # Merge the checkpoint-time snapshot *before* grabbing
+                # instrument handles: merge_snapshot get-or-creates the
+                # same objects the handles below will extend.
+                obs.merge_snapshot(resume["metrics"])
+
         if timed:
             run_timer = Timer()
             run_timer.start()
@@ -189,7 +227,7 @@ class AsyncJoinEngine:
             occupancy_s = obs.series("engine.occupancy", side="S")
             batch_size = obs.histogram("async.batch_size")
 
-        for t in range(len(r_batches)):
+        for t in range(start_tick, len(r_batches)):
             if landmark_mode:
                 if t > 0 and t % config.landmark_every == 0:
                     # A new landmark: the whole window state resets.
@@ -229,6 +267,12 @@ class AsyncJoinEngine:
             if config.validate:
                 self._check_invariants(t)
 
+            if on_tick is not None:
+                self._tick_state = (
+                    t, output, total_output, arrivals, dict(sequence),
+                )
+                on_tick(self, t)
+
         snapshot = None
         if obs is not None:
             run_timer.stop()
@@ -255,6 +299,61 @@ class AsyncJoinEngine:
             metrics=snapshot,
             trace=trace_events,
         )
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Resumable snapshot of the run, valid inside an ``on_tick`` hook.
+
+        Only time-based windows checkpoint: count/landmark modes stamp
+        per-stream sequence numbers as arrivals, which breaks the
+        cross-side admission-order merge the restore path relies on, and
+        sharded runs (the checkpoint consumers) are always time-mode.
+        Traced runs refuse too — the events emitted before a failure
+        would be lost or duplicated on resume.
+        """
+        if self.config.window_mode != "time":
+            raise ValueError(
+                "checkpointing requires time-based windows, got "
+                f"window_mode={self.config.window_mode!r}"
+            )
+        if self._tracing:
+            raise ValueError("cannot checkpoint a traced run")
+        if self._tick_state is None:
+            raise RuntimeError(
+                "checkpoint() is only valid inside an on_tick callback"
+            )
+        from .results import SCHEMA_VERSION
+
+        t, output, total_output, arrivals, sequence = self._tick_state
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "tick": t,
+            "output": output,
+            "total_output": total_output,
+            "arrivals": arrivals,
+            "sequence": sequence,
+            "kernel": self._kernel.snapshot(),
+            "policies": [p.snapshot_state() for p in self._policies],
+            "metrics": self._obs.snapshot() if self._obs is not None else None,
+        }
+
+    def _restore_policies(self, states, records) -> None:
+        """Hand each policy its snapshot plus the residents it governs."""
+        if len(states) != len(self._policies):
+            raise ValueError(
+                f"checkpoint has {len(states)} policy states for "
+                f"{len(self._policies)} policies"
+            )
+        for policy, state in zip(self._policies, states):
+            if policy is self._policy_r and policy is self._policy_s:
+                governed = records  # shared pool: both sides, merged order
+            elif policy is self._policy_r:
+                governed = [r for r in records if r.stream == "R"]
+            else:
+                governed = [r for r in records if r.stream == "S"]
+            policy.restore_state(state, governed)
 
     # ------------------------------------------------------------------
     def _check_invariants(self, now: int) -> None:

@@ -135,6 +135,47 @@ class JoinKernel:
         return self.drop_counts[stream][reason]
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serialisable join state: memory contents plus the drop ledger."""
+        return {
+            "memory": self.memory.snapshot(),
+            "drops": {
+                side: dict(reasons) for side, reasons in self.drop_counts.items()
+            },
+        }
+
+    def restore(self, state: dict) -> list[TupleRecord]:
+        """Rebuild from :meth:`snapshot`; returns records in admission order.
+
+        The drop ledger is updated *in place* — engines alias
+        ``kernel.drop_counts`` into their result assembly, so rebinding
+        the dict would silently decouple the two.  The returned list
+        merges both sides into global admission order (stable by arrival,
+        R before S on ties — the engines process each tick's R batch
+        first), which is what shared-pool policies need to rebuild their
+        structures.
+        """
+        r_records, s_records = self.memory.restore(state["memory"])
+        for side, reasons in self.drop_counts.items():
+            saved = state["drops"].get(side, {})
+            for reason in reasons:
+                reasons[reason] = saved.get(reason, 0)
+        merged: list[TupleRecord] = []
+        i = j = 0
+        while i < len(r_records) and j < len(s_records):
+            if r_records[i].arrival <= s_records[j].arrival:
+                merged.append(r_records[i])
+                i += 1
+            else:
+                merged.append(s_records[j])
+                j += 1
+        merged.extend(r_records[i:])
+        merged.extend(s_records[j:])
+        return merged
+
+    # ------------------------------------------------------------------
     # the hooks
     # ------------------------------------------------------------------
     def observe(self, stream: str, key, now: int) -> None:

@@ -153,6 +153,64 @@ class StreamMemory:
             expired.append(front)
         return expired
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serialisable state capturing both iteration orders exactly.
+
+        Two orders matter for bit-identical resumption: the *slot* order
+        (RAND draws victims by slot index, and swap-remove makes it
+        distinct from arrival order) and the *admission* order (per-key
+        FIFO buckets and the expiry deque).  ``slots`` records tuples in
+        slot order; ``order`` lists slot indices in admission order.
+        """
+        return {
+            "stream": self.stream,
+            "slots": [
+                (r.arrival, r.key, r.priority, r.tag) for r in self._slots
+            ],
+            "order": [r.slot for r in self._by_arrival if r.alive],
+        }
+
+    def restore(self, state: dict) -> list[TupleRecord]:
+        """Rebuild from :meth:`snapshot`; returns records in admission order.
+
+        The returned list is what the eviction policies need to rebuild
+        their private structures (heaps index the same record objects the
+        memory holds).
+        """
+        if state["stream"] != self.stream:
+            raise ValueError(
+                f"snapshot of stream {state['stream']!r} cannot restore "
+                f"stream {self.stream!r}"
+            )
+        slots: list[TupleRecord] = []
+        for index, (arrival, key, priority, tag) in enumerate(state["slots"]):
+            record = TupleRecord(self.stream, arrival, key)
+            record.alive = True
+            record.slot = index
+            record.priority = priority
+            record.tag = tag
+            slots.append(record)
+        self._slots = slots
+        self._by_key = {}
+        self._key_counts = {}
+        self._by_arrival = deque()
+        admitted: list[TupleRecord] = []
+        for slot_index in state["order"]:
+            record = slots[slot_index]
+            bucket = self._by_key.get(record.key)
+            if bucket is None:
+                self._by_key[record.key] = bucket = deque()
+            bucket.append(record)
+            self._key_counts[record.key] = self._key_counts.get(record.key, 0) + 1
+            self._by_arrival.append(record)
+            admitted.append(record)
+        if len(admitted) != len(slots):
+            raise ValueError("snapshot order does not cover every slot")
+        return admitted
+
 
 class JoinMemory:
     """The complete join state: two stream sides under one budget.
@@ -242,3 +300,33 @@ class JoinMemory:
     def expire_until(self, horizon: int) -> list[TupleRecord]:
         """Expire tuples of both sides with ``arrival <= horizon``."""
         return self.r.expire_until(horizon) + self.s.expire_until(horizon)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serialisable state of both sides plus the (resizable) budget."""
+        return {
+            "capacity": self.capacity,
+            "variable": self.variable,
+            "r": self.r.snapshot(),
+            "s": self.s.snapshot(),
+        }
+
+    def restore(self, state: dict) -> tuple[list[TupleRecord], list[TupleRecord]]:
+        """Rebuild from :meth:`snapshot`.
+
+        Returns ``(r_records, s_records)``, each in admission order, for
+        policy-state reconstruction.  The allocation mode must match (it
+        is structural); the capacity is taken from the snapshot because
+        time-varying schedules may have resized it.
+        """
+        if bool(state["variable"]) != self.variable:
+            raise ValueError(
+                "snapshot allocation mode (variable="
+                f"{state['variable']}) does not match this memory "
+                f"(variable={self.variable})"
+            )
+        self._validate_capacity(state["capacity"], self.variable)
+        self.capacity = state["capacity"]
+        return self.r.restore(state["r"]), self.s.restore(state["s"])

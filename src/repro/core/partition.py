@@ -84,6 +84,40 @@ def shard_weights(pair: StreamPair, shards: int) -> list[int]:
     return weights
 
 
+def shard_input_counts(
+    pair: StreamPair, shard: int, shards: int
+) -> tuple[int, int]:
+    """Per-side input tuples belonging to one shard: ``(r_count, s_count)``.
+
+    This is the quantity a lost shard writes into the ``lost_shard``
+    drop ledger — every input tuple the abandoned sub-join would have
+    seen, attributed as shed by the system.
+    """
+    r_count = sum(1 for key in pair.r if shard_of(key, shards) == shard)
+    s_count = sum(1 for key in pair.s if shard_of(key, shards) == shard)
+    return r_count, s_count
+
+
+def shard_exact_output(
+    pair: StreamPair, shard: int, shards: int, window: int, *, count_from: int = 0
+) -> int:
+    """Exact join output produced by one shard's key slice.
+
+    An equi-join output pair has one key, so the global exact output
+    partitions cleanly by ``shard_of(key)`` — summing this over all
+    shards gives :func:`~repro.streams.tuples.exact_join_size`.  Used to
+    reconcile a degraded EXACT run: merged output plus the lost shards'
+    exact outputs must equal the fault-free total.
+    """
+    from ..streams.tuples import iterate_exact_join
+
+    return sum(
+        1
+        for out in iterate_exact_join(pair, window, count_from=count_from)
+        if shard_of(out.key, shards) == shard
+    )
+
+
 def _even_budget(amount: int) -> int:
     """Round down to an even number, floored at :data:`MIN_SHARD_BUDGET`.
 
@@ -160,6 +194,13 @@ class ShardedRunResult(BaseRunResult):
     sums); ``metrics`` is the fold of every shard's snapshot through
     :meth:`~repro.obs.MetricsRegistry.merge_snapshot` when the run was
     instrumented.
+
+    A degraded merge (retry exhaustion with ``degrade=True``) lists the
+    abandoned shard indices in ``lost_shards`` (their ``per_shard``
+    entries are ``None``), attributes their input tuples under the
+    ``lost_shard`` ledger reason, and — for EXACT runs, where it is
+    computable — reports the forgone output in ``lost_output`` so
+    ``output_count + lost_output`` reconciles to the fault-free total.
     """
 
     output_count: int
@@ -173,6 +214,8 @@ class ShardedRunResult(BaseRunResult):
     per_shard: tuple = ()
     drop_counts: dict = None  # type: ignore[assignment]
     metrics: Optional[dict] = None
+    lost_shards: tuple = ()
+    lost_output: Optional[int] = None
 
     engine_kind = "sharded"
 
@@ -192,6 +235,9 @@ def merge_shard_results(
     window: int,
     memory: int,
     warmup: int,
+    lost: Sequence[int] = (),
+    lost_inputs: Optional[Sequence[tuple]] = None,
+    lost_output: Optional[int] = None,
 ) -> ShardedRunResult:
     """Fold per-shard :class:`~repro.core.async_engine.AsyncRunResult`\\ s.
 
@@ -199,18 +245,50 @@ def merge_shard_results(
     drop ledger sum; metrics snapshots merge shard 0 first.  The merged
     totals therefore equal the sums of ``per_shard`` by construction —
     the invariant the partition tests pin.
+
+    ``lost`` names shard indices abandoned after retry exhaustion; their
+    ``results`` entries are ignored (errors or ``None``).  ``lost_inputs``
+    aligns with ``lost`` and carries each lost shard's per-side input
+    counts (see :func:`shard_input_counts`), booked under the
+    ``lost_shard`` ledger reason and the ``engine.drops`` /
+    ``runtime.lost_shards`` metrics counters.  At least one shard must
+    survive — with nothing to merge there is no degraded result to
+    report, only the failure itself.
     """
     if len(results) != plan.shards:
         raise ValueError(
             f"got {len(results)} shard results for {plan.shards} shards"
         )
+    lost = tuple(sorted(set(lost)))
+    if any(shard < 0 or shard >= plan.shards for shard in lost):
+        raise ValueError(f"lost shard indices out of range: {lost}")
+    if lost_inputs is not None and len(lost_inputs) != len(lost):
+        raise ValueError(
+            f"got {len(lost_inputs)} lost_inputs for {len(lost)} lost shards"
+        )
+    lost_set = set(lost)
+    survivors = [
+        result for shard, result in enumerate(results) if shard not in lost_set
+    ]
+    if not survivors:
+        raise ValueError("all shards were lost; nothing to merge")
+
     drop_counts = empty_side_drop_counts()
-    for result in results:
+    for result in survivors:
         for side, reasons in result.drop_counts.items():
             for reason, count in reasons.items():
                 drop_counts[side][reason] += count
+    if lost:
+        from .results import DROP_LOST
 
-    snapshots = [r.metrics for r in results if r.metrics is not None]
+        lost_r = lost_s = 0
+        if lost_inputs is not None:
+            lost_r = sum(entry[0] for entry in lost_inputs)
+            lost_s = sum(entry[1] for entry in lost_inputs)
+        drop_counts["R"][DROP_LOST] = lost_r
+        drop_counts["S"][DROP_LOST] = lost_s
+
+    snapshots = [r.metrics for r in survivors if r.metrics is not None]
     merged_metrics = None
     if snapshots:
         from ..obs import MetricsRegistry
@@ -218,20 +296,36 @@ def merge_shard_results(
         registry = MetricsRegistry()
         for snapshot in snapshots:
             registry.merge_snapshot(snapshot)
+        if lost:
+            from .results import DROP_LOST
+
+            registry.counter("runtime.lost_shards").inc(len(lost))
+            registry.counter(
+                "engine.drops", side="R", reason=DROP_LOST
+            ).inc(drop_counts["R"][DROP_LOST])
+            registry.counter(
+                "engine.drops", side="S", reason=DROP_LOST
+            ).inc(drop_counts["S"][DROP_LOST])
         merged_metrics = registry.snapshot()
 
+    per_shard = tuple(
+        None if shard in lost_set else result.summary()
+        for shard, result in enumerate(results)
+    )
     return ShardedRunResult(
-        output_count=sum(r.output_count for r in results),
-        total_output_count=sum(r.total_output_count for r in results),
+        output_count=sum(r.output_count for r in survivors),
+        total_output_count=sum(r.total_output_count for r in survivors),
         length=length,
         window=window,
         memory=memory,
         warmup=warmup,
-        policy_name=results[0].policy_name if results else "EXACT",
+        policy_name=survivors[0].policy_name,
         plan=plan,
-        per_shard=tuple(result.summary() for result in results),
+        per_shard=per_shard,
         drop_counts=drop_counts,
         metrics=merged_metrics,
+        lost_shards=lost,
+        lost_output=lost_output,
     )
 
 
@@ -251,6 +345,8 @@ __all__ = [
     "merge_shard_results",
     "plan_shards",
     "shard_batches",
+    "shard_exact_output",
+    "shard_input_counts",
     "shard_of",
     "shard_seed",
     "shard_weights",

@@ -28,6 +28,7 @@ ArM experiment runs at, and easily replaced by a bucketed scan if needed.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from typing import Hashable, Mapping, Optional
 
@@ -136,6 +137,14 @@ class ArmAwarePolicy(EvictionPolicy):
                     weakest = record
                     weakest_damage = damage
         return weakest
+
+    def snapshot_state(self):
+        # Trackers hold plain dicts of deques of ints — deepcopy keeps
+        # the snapshot independent of the live run.
+        return {"trackers": copy.deepcopy(self._trackers)}
+
+    def restore_state(self, state, records) -> None:
+        self._trackers = copy.deepcopy(state["trackers"])
 
     def choose_victim(self, candidate: TupleRecord, now: int) -> Optional[TupleRecord]:
         weakest = self.weakest_resident(candidate.stream, now)

@@ -75,6 +75,31 @@ class EvictionPolicy(ABC):
         """Called after a tuple leaves memory (eviction or expiry)."""
 
     # ------------------------------------------------------------------
+    # checkpointing (optional overrides)
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        """Serialisable private state for checkpoint/restore.
+
+        Stateless policies (LIFE, FIFO — everything they need lives in
+        the memory structures) return ``None``.  Stateful policies must
+        return enough to make a restored run bit-identical to an
+        uninterrupted one: RAND captures its RNG state, PROB its online
+        estimators (the heap is rebuilt from the resident records), ARM
+        its arrival trackers.
+        """
+        return None
+
+    def restore_state(self, state, records: Sequence[TupleRecord]) -> None:
+        """Rebuild private state after the memory was restored.
+
+        ``records`` are the resident tuples this policy governs, in
+        admission order, freshly rebuilt by
+        :meth:`~repro.core.memory.StreamMemory.restore` — any internal
+        structure referencing record objects (PROB's heap) must be
+        rebuilt against them, not against pickled copies.
+        """
+
+    # ------------------------------------------------------------------
     # the decisions
     # ------------------------------------------------------------------
     @abstractmethod

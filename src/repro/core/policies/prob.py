@@ -9,6 +9,7 @@ key, a lazy min-heap gives O(log M) decisions.
 
 from __future__ import annotations
 
+import copy
 import heapq
 from itertools import count
 from typing import Mapping, Optional
@@ -116,3 +117,27 @@ class ProbPolicy(EvictionPolicy):
 
     def weakest_resident(self, stream: str, now: int) -> Optional[TupleRecord]:
         return self._peek_min_alive()
+
+    def snapshot_state(self):
+        # The heap is rebuilt from the resident records on restore; only
+        # mutable estimator state needs capturing.
+        if not self._update_estimators:
+            return None
+        return {"estimators": copy.deepcopy(self._estimators)}
+
+    def restore_state(self, state, records) -> None:
+        if state is not None and "estimators" in state:
+            self._estimators = copy.deepcopy(state["estimators"])
+        # Re-push the governed residents in admission order with fresh
+        # sequence numbers: relative seq order equals the original run's,
+        # so pop order among live entries is identical (the original
+        # heap's lazily retained dead entries never affect it).  The
+        # priorities were cached on the records at admission and survive
+        # the memory snapshot.
+        self._heap = []
+        self._seq = count()
+        for record in records:
+            heapq.heappush(
+                self._heap,
+                (record.priority, record.arrival, next(self._seq), record),
+            )

@@ -64,3 +64,9 @@ class RandomEvictionPolicy(EvictionPolicy):
                 return side.record_at_slot(index)
             index -= side.size
         raise AssertionError("unreachable: index within resident_count")
+
+    def snapshot_state(self):
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, state, records) -> None:
+        self._rng.bit_generator.state = state["rng"]

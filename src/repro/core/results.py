@@ -23,16 +23,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+#: Version stamped on every serialised result record (``to_dict``) and
+#: on checkpoint payloads.  Bump when a field is added, renamed, or its
+#: meaning changes; ``from_dict`` accepts every version it knows how to
+#: upgrade (currently 1 — pre-``lost_shard`` records — and 2).
+SCHEMA_VERSION = 2
+
 #: How a tuple left the join state.
 DROP_REJECTED = "rejected"
 DROP_EVICTED = "evicted"
 DROP_EXPIRED = "expired"
+#: An entire hash shard was abandoned after retry exhaustion (graceful
+#: degradation); counts the shard's *input* tuples, per side.  Engines
+#: never write this reason — only the shard merge layer does.
+DROP_LOST = "lost_shard"
 
-DROP_REASONS = (DROP_REJECTED, DROP_EVICTED, DROP_EXPIRED)
+DROP_REASONS = (DROP_REJECTED, DROP_EVICTED, DROP_EXPIRED, DROP_LOST)
 
 
 def empty_side_drop_counts() -> dict:
-    """The per-side drop ledger the engines count into."""
+    """The per-side drop ledger the engines count into.
+
+    ``lost_shard`` is intentionally absent: it is a merge-layer category
+    (see :data:`DROP_LOST`), and the engines iterate this dict when
+    flushing per-reason metrics — an always-zero entry would pollute
+    every unsharded snapshot.  :meth:`DropBreakdown.from_side_counts`
+    reads it with a default of 0.
+    """
     return {
         "R": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
         "S": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: 0},
@@ -46,28 +63,62 @@ class DropBreakdown:
     ``rejected`` — dropped on arrival (admission refusal or queue shed);
     ``evicted`` — displaced from join state before natural death;
     ``expired`` — aged out of the window (not a loss of result quality
-    by itself, reported for completeness).
+    by itself, reported for completeness);
+    ``lost`` — input tuples of hash shards abandoned after retry
+    exhaustion under graceful degradation (sharded runs only).
     """
 
     rejected: int = 0
     evicted: int = 0
     expired: int = 0
+    lost: int = 0
 
     @property
     def total(self) -> int:
-        return self.rejected + self.evicted + self.expired
+        return self.rejected + self.evicted + self.expired + self.lost
 
     @property
     def shed(self) -> int:
-        """Tuples lost to load shedding (everything but natural expiry)."""
-        return self.rejected + self.evicted
+        """Tuples lost to load shedding (everything but natural expiry).
+
+        Lost-shard tuples count as shed: like an eviction, the system —
+        not the window — decided they would never produce output.
+        """
+        return self.rejected + self.evicted + self.lost
 
     def as_dict(self) -> dict:
         return {
             DROP_REJECTED: self.rejected,
             DROP_EVICTED: self.evicted,
             DROP_EXPIRED: self.expired,
+            DROP_LOST: self.lost,
         }
+
+    def to_dict(self) -> dict:
+        """Versioned JSON-serialisable export (see :data:`SCHEMA_VERSION`)."""
+        record = self.as_dict()
+        record["schema_version"] = SCHEMA_VERSION
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "DropBreakdown":
+        """Rebuild from :meth:`to_dict` output.
+
+        Accepts version-1 records (no ``lost_shard`` key, no
+        ``schema_version``) by defaulting the missing field to 0.
+        """
+        version = record.get("schema_version", 1)
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"drop-breakdown record has schema_version {version}; "
+                f"this build reads <= {SCHEMA_VERSION}"
+            )
+        return cls(
+            rejected=record.get(DROP_REJECTED, 0),
+            evicted=record.get(DROP_EVICTED, 0),
+            expired=record.get(DROP_EXPIRED, 0),
+            lost=record.get(DROP_LOST, 0),
+        )
 
     @classmethod
     def from_side_counts(cls, drop_counts: dict) -> "DropBreakdown":
@@ -77,6 +128,7 @@ class DropBreakdown:
             rejected=sum(side.get(DROP_REJECTED, 0) for side in sides),
             evicted=sum(side.get(DROP_EVICTED, 0) for side in sides),
             expired=sum(side.get(DROP_EXPIRED, 0) for side in sides),
+            lost=sum(side.get(DROP_LOST, 0) for side in sides),
         )
 
 
@@ -89,6 +141,41 @@ class RunSummary:
     output_count: int
     drops: DropBreakdown
     metrics: Optional[dict] = None
+
+    def to_dict(self, *, metrics: bool = False) -> dict:
+        """Versioned JSON-serialisable export.
+
+        ``metrics=True`` embeds the (potentially large) metrics snapshot;
+        the default keeps the record compact — the CLI emits the snapshot
+        alongside, not inside, the summary.
+        """
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "engine": self.engine,
+            "policy": self.policy_name,
+            "output_count": self.output_count,
+            "drops": self.drops.to_dict(),
+        }
+        if metrics and self.metrics is not None:
+            record["metrics"] = self.metrics
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "RunSummary":
+        """Rebuild from :meth:`to_dict` output (round-trip exact)."""
+        version = record.get("schema_version", 1)
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"run-summary record has schema_version {version}; "
+                f"this build reads <= {SCHEMA_VERSION}"
+            )
+        return cls(
+            engine=record["engine"],
+            policy_name=record["policy"],
+            output_count=record["output_count"],
+            drops=DropBreakdown.from_dict(record.get("drops", {})),
+            metrics=record.get("metrics"),
+        )
 
 
 class BaseRunResult:

@@ -114,6 +114,55 @@ def _suite_counts(
     )
 
 
+def sweep_specs(
+    algorithms: Sequence[str],
+    base_spec,
+    *,
+    seeds: Sequence[int],
+    workers: Optional[int] = None,
+) -> dict[str, Aggregate]:
+    """Seed sweep through the unified :func:`repro.run` entry point.
+
+    :func:`sweep_seeds` drives the suite runner directly and is the
+    fast path for plain engine sweeps.  This variant routes every cell
+    through ``run()`` instead, so the sweep honours the full
+    :class:`~repro.api.RunSpec` surface — sharded execution,
+    checkpointing, retries, graceful degradation — with the same flags
+    the ``run`` and ``compare`` verbs take.  One cell per
+    ``(seed, algorithm)``; each worker executes its spec serially
+    (a sharded spec's shards run inside that worker — the grid is
+    already fanned out).
+    """
+    from dataclasses import replace
+
+    from ..api import build_pair
+    from ..runtime import SpecCell, parallel_map, run_spec_cell
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cells = []
+    for seed in seeds:
+        seeded = replace(base_spec, seed=seed)
+        pair = build_pair(seeded)
+        for name in algorithms:
+            cells.append(
+                SpecCell(replace(seeded, algorithm=name, variable=None), pair)
+            )
+    results = parallel_map(
+        run_spec_cell,
+        cells,
+        workers=workers,
+        labels=[cell.label for cell in cells],
+    )
+    outputs: dict[str, list[int]] = {name: [] for name in algorithms}
+    index = 0
+    for _seed in seeds:
+        for name in algorithms:
+            outputs[name].append(results[index].output_count)
+            index += 1
+    return {name: Aggregate.of(values) for name, values in outputs.items()}
+
+
 def dominance_count(
     winner: str,
     loser: str,

@@ -207,6 +207,15 @@ class MetricsRegistry:
             instrument = self._series[key] = Series(name, labels)
         return instrument
 
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        """One-shot counter bump: ``registry.inc("runtime.retries")``.
+
+        Sugar for call sites that touch a counter once (the runtime's
+        failure accounting); hot loops should still cache the
+        :class:`Counter` object from :meth:`counter`.
+        """
+        self.counter(name, **labels).inc(amount)
+
     # ------------------------------------------------------------------
     # phase timing
     # ------------------------------------------------------------------
@@ -391,6 +400,9 @@ class NullRecorder:
 
     def counter(self, name: str, **labels) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount: int = 1, **labels) -> None:
+        pass
 
     def gauge(self, name: str, **labels) -> _NullInstrument:
         return _NULL_INSTRUMENT

@@ -79,6 +79,7 @@ __all__ = [
     "REASON_QUEUE",
     "REASON_WINDOW",
     "REASON_SIMULTANEOUS",
+    "REASON_LOST_SHARD",
     "NULL_TRACER",
     "JsonlSink",
     "NullTracer",
@@ -115,6 +116,11 @@ REASON_REJECTED = "rejected"  # newcomer refused admission
 REASON_QUEUE = "queue"  # shed from (or aged out of) an input queue
 REASON_WINDOW = "window"  # natural time-window expiry
 REASON_SIMULTANEOUS = "simultaneous"  # the always-produced same-tick pair
+# A whole hash shard was abandoned after retry exhaustion (graceful
+# degradation, see repro.runtime).  Matches the drop-ledger reason
+# repro.core.results.DROP_LOST so traces and ledgers reconcile; the
+# sharded merge books it per input tuple of the lost shard.
+REASON_LOST_SHARD = "lost_shard"
 
 
 class TraceEvent(NamedTuple):

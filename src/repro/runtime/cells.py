@@ -49,10 +49,10 @@ def run_spec_cell(cell: SpecCell):
     ``workers=1`` keeps a sharded spec serial inside this worker —
     the grid is already fanned out; nesting pools would oversubscribe.
     """
-    from ..api import run_join
+    from ..api import run
     from ..experiments.runner import estimators_for
 
-    return run_join(
+    return run(
         cell.spec,
         pair=cell.pair,
         estimators=estimators_for(cell.pair),
@@ -62,7 +62,14 @@ def run_spec_cell(cell: SpecCell):
 
 @dataclass(frozen=True)
 class ShardCell:
-    """One hash shard of a sharded run (see :mod:`repro.core.partition`)."""
+    """One hash shard of a sharded run (see :mod:`repro.core.partition`).
+
+    The spec carries the fault-tolerance posture too: with
+    ``spec.checkpoint_every`` set (the api layer fills in
+    ``spec.checkpoint_dir``), the worker checkpoints the shard
+    periodically and a retry of this same cell resumes from the last
+    checkpoint instead of replaying from tick 0.
+    """
 
     spec: object  # RunSpec; typed loosely to avoid an api<->runtime cycle
     pair: StreamPair
@@ -80,9 +87,9 @@ class ShardCell:
 
 def run_shard_cell(cell: ShardCell):
     """Worker entry: run one shard of a sharded spec."""
-    from ..api import run_join_shard
+    from ..api import _run_join_shard
 
-    return run_join_shard(cell.spec, cell.pair, cell.shard, cell.budget)
+    return _run_join_shard(cell.spec, cell.pair, cell.shard, cell.budget)
 
 
 @dataclass(frozen=True)

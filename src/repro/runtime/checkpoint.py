@@ -1,0 +1,95 @@
+"""Shard-level checkpoint persistence for resumable runs.
+
+A :class:`CheckpointStore` holds one checkpoint file per key (one key
+per shard) under a root directory.  The payload wraps an engine
+checkpoint (``AsyncJoinEngine.checkpoint()``) with the result-schema
+version and a *fingerprint* — a string derived from the spec and shard
+coordinates — so a stale file from a different run can never be resumed
+into this one: on any mismatch :meth:`load` returns ``None`` and the
+shard replays from tick 0, which is always correct, just slower.
+
+Writes are atomic (temp file + ``os.replace``) so a worker killed
+mid-save leaves the previous checkpoint intact.  Payloads are pickled:
+join keys are arbitrary hashable objects and RNG states are numpy
+structures — JSON would need a parallel encoding for no benefit, and
+checkpoints are private scratch, not an interchange format.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..core.results import SCHEMA_VERSION
+
+__all__ = ["CheckpointStore"]
+
+_KEY_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class CheckpointStore:
+    """Atomic save/load/clear of checkpoint payloads under one directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        safe = _KEY_RE.sub("_", key)
+        return self.root / f"{safe}.ckpt"
+
+    def save(self, key: str, state: dict, *, fingerprint: str) -> Path:
+        """Atomically persist ``state`` for ``key``."""
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "state": state,
+        }
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load(self, key: str, *, fingerprint: str) -> Optional[dict]:
+        """The saved state for ``key``, or ``None`` when absent/unusable.
+
+        Corrupt files, schema mismatches, and fingerprint mismatches all
+        collapse to ``None`` — resuming from nothing is always safe.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            return None
+        if payload.get("fingerprint") != fingerprint:
+            return None
+        return payload.get("state")
+
+    def clear(self, key: str) -> None:
+        """Drop ``key``'s checkpoint (after a successful run)."""
+        try:
+            self.path_for(key).unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the parallel runtime.
+
+Distributed stream joins must survive worker failure; this module makes
+failure *reproducible* so the recovery paths (retry, checkpoint resume,
+graceful degradation — see :mod:`repro.runtime.pool` and
+:mod:`repro.runtime.checkpoint`) can be exercised under test and in the
+chaos benchmark with bit-for-bit expected outcomes.
+
+A :class:`FaultPlan` is a set of :class:`Fault` records, each naming a
+grid cell (task index), an optional tick, a kind, and how many attempts
+it afflicts:
+
+* ``kind="kill"`` — raise :class:`InjectedFault` (the worker dies with a
+  deterministic exception);
+* ``kind="hang"`` — sleep ``delay_s`` (pair with a
+  :class:`~repro.runtime.pool.RetryPolicy` timeout shorter than the
+  sleep to simulate a wedged worker);
+* ``kind="slow"`` — sleep ``delay_s`` (a straggler; completes normally).
+
+``tick=None`` fires at dispatch, before the cell function runs;
+``tick=T`` fires inside the engine's per-tick hook (see
+``AsyncJoinEngine.run(on_tick=...)``), i.e. mid-run with real join state
+on the floor.  ``attempts=N`` afflicts attempts 1..N, so ``attempts=1``
+(the default) models a transient fault healed by one retry, and a large
+value models a hard failure that exhausts retries.
+
+Worker-side wiring
+------------------
+The plan rides into the worker inside the dispatch tuple; the pool shim
+calls :func:`activate` / :func:`deactivate` around the cell function and
+run loops call :func:`maybe_inject` once per tick.  With no active
+context, ``maybe_inject`` is one global read and a ``None`` check — the
+normal path pays nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "activate",
+    "deactivate",
+    "inject_dispatch",
+    "is_active",
+    "maybe_inject",
+]
+
+FAULT_KINDS = ("kill", "hang", "slow")
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic failure raised by a ``kill`` fault."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure: which cell, when, what, how persistent."""
+
+    kind: str
+    cell: int
+    tick: Optional[int] = None  # None: at dispatch, before the cell runs
+    attempts: int = 1  # afflicts attempts 1..attempts
+    delay_s: float = 0.05  # sleep length for hang/slow
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.cell < 0:
+            raise ValueError(f"cell must be >= 0, got {self.cell}")
+        if self.tick is not None and self.tick < 0:
+            raise ValueError(f"tick must be >= 0, got {self.tick}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of faults over one grid dispatch."""
+
+    faults: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"not a Fault: {fault!r}")
+
+    def for_cell(self, index: int) -> tuple:
+        """The faults afflicting grid cell ``index`` (possibly empty)."""
+        return tuple(f for f in self.faults if f.cell == index)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        cells: int,
+        ticks: int,
+        kills: int = 1,
+        attempts: int = 1,
+    ) -> "FaultPlan":
+        """Draw ``kills`` kill faults at random (cell, tick) coordinates.
+
+        Deterministic in ``seed`` — the chaos benchmark and tests use
+        this to place failures without hand-picking coordinates.
+        """
+        if cells < 1:
+            raise ValueError(f"cells must be >= 1, got {cells}")
+        if ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {ticks}")
+        rng = np.random.default_rng(seed)
+        faults = tuple(
+            Fault(
+                "kill",
+                cell=int(rng.integers(cells)),
+                tick=int(rng.integers(ticks)),
+                attempts=attempts,
+            )
+            for _ in range(kills)
+        )
+        return cls(faults)
+
+
+# ----------------------------------------------------------------------
+# worker-side context
+# ----------------------------------------------------------------------
+
+#: (faults afflicting the running cell, current attempt number) or None.
+_ACTIVE: Optional[tuple] = None
+
+
+def activate(cell_faults: Iterable[Fault], attempt: int) -> None:
+    """Arm the context for one attempt of one cell (pool shim only)."""
+    global _ACTIVE
+    faults = tuple(cell_faults)
+    _ACTIVE = (faults, attempt) if faults else None
+
+
+def deactivate() -> None:
+    """Disarm after the attempt finishes (success or failure)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def is_active() -> bool:
+    """Whether any fault afflicts the attempt currently running here."""
+    return _ACTIVE is not None
+
+
+def _fire(fault: Fault) -> None:
+    if fault.kind == "kill":
+        raise InjectedFault(
+            f"injected kill (cell {fault.cell}"
+            + (f", tick {fault.tick}" if fault.tick is not None else "")
+            + ")"
+        )
+    time.sleep(fault.delay_s)
+
+
+def _due(faults: Sequence[Fault], attempt: int, tick: Optional[int]):
+    for fault in faults:
+        if fault.tick == tick and attempt <= fault.attempts:
+            yield fault
+
+
+def inject_dispatch() -> None:
+    """Fire dispatch-time faults (``tick=None``) of the active context."""
+    if _ACTIVE is None:
+        return
+    faults, attempt = _ACTIVE
+    for fault in _due(faults, attempt, None):
+        _fire(fault)
+
+
+def maybe_inject(tick: int) -> None:
+    """Fire tick-scoped faults of the active context; no-op otherwise.
+
+    Called once per engine tick from the checkpoint hook — *before* the
+    tick is checkpointed, so a kill at tick T resumes from a checkpoint
+    strictly older than T.
+    """
+    if _ACTIVE is None:
+        return
+    faults, attempt = _ACTIVE
+    for fault in _due(faults, attempt, tick):
+        _fire(fault)

@@ -33,33 +33,110 @@ A cell that raises inside a worker does not bubble up as an opaque
 ``BrokenProcessPool``/pickled traceback: the worker shim captures the
 exception and the parent re-raises a :class:`CellError` naming the
 failed cell's label plus the worker-side traceback text.
+
+Fault tolerance
+---------------
+``parallel_map(..., retry=RetryPolicy(...))`` turns one-shot dispatch
+into supervised attempts: a failed cell is retried up to ``max_retries``
+times with exponential backoff, an attempt exceeding ``timeout_s`` is
+abandoned and counts as a failure (pooled mode only — a serial attempt
+cannot be preempted), and the final :class:`CellError` carries the whole
+attempt history.  ``fault_plan`` arms deterministic fault injection (see
+:mod:`repro.runtime.faults`) around every attempt.  ``return_errors``
+turns terminal failures into in-band :class:`CellError` results instead
+of raising, which is how the shard layer degrades gracefully (merge the
+survivors, attribute the loss).  None of this machinery is touched when
+the three knobs are at their defaults — the plain path is byte-for-byte
+the old one.
+
+Supervised attempts dispatch one task per future (no chunking): retries
+and timeouts are per-cell decisions, and the grids that want them are
+shard fan-outs of a handful of cells, not thousand-cell sweeps.  An
+abandoned (timed-out) attempt's worker is not killed — Python pools
+cannot kill one member — so its slot stays busy until the attempt
+returns on its own; its late result is discarded unless the cell is
+still unresolved, in which case it is accepted (attempts are
+deterministic, so any attempt's success is *the* result).
 """
 
 from __future__ import annotations
 
 import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
+
+from . import faults as _faults
 
 #: Environment variable steering the default worker count (see above).
 ENV_WORKERS = "REPRO_WORKERS"
 
 
 class CellError(RuntimeError):
-    """One grid cell failed; names the cell and carries the traceback."""
+    """One grid cell failed; names the cell and carries the traceback.
+
+    ``attempts`` is the per-attempt history (oldest first) when the cell
+    ran under a :class:`RetryPolicy`: one dict per failed attempt with
+    ``attempt`` (1-based), ``error`` (exception type name), and
+    ``message``.  Unsupervised failures leave it empty.
+    """
 
     def __init__(
-        self, label: str, exc_type: str, message: str, details: str = ""
+        self,
+        label: str,
+        exc_type: str,
+        message: str,
+        details: str = "",
+        attempts: tuple = (),
     ) -> None:
         self.label = label
         self.exc_type = exc_type
         self.exc_message = message
         self.details = details
+        self.attempts = tuple(attempts)
         text = f"run cell {label!r} failed: {exc_type}: {message}"
+        if len(self.attempts) > 1:
+            text += f" (after {len(self.attempts)} attempts)"
         if details:
             text += f"\n--- worker traceback ---\n{details.rstrip()}"
         super().__init__(text)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard :func:`parallel_map` fights for each cell.
+
+    ``max_retries`` is the number of *re*-tries — every cell always gets
+    one attempt, so 0 means fail-fast with attempt accounting.
+    ``timeout_s`` bounds one attempt's wall clock, measured from dispatch
+    (queue time included); ``None`` waits forever.  The delay before
+    retry attempt ``k+1`` is ``backoff_s * backoff_factor ** (k - 1)``.
+    """
+
+    max_retries: int = 0
+    timeout_s: Optional[float] = None
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before ``attempt`` (2-based; attempt 1 never waits)."""
+        if attempt <= 1 or self.backoff_s == 0:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (attempt - 2)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -95,6 +172,19 @@ def _guarded(packed):
         return ("err", label, type(exc).__name__, str(exc), traceback.format_exc())
 
 
+def _guarded_attempt(packed):
+    """Worker shim for one supervised attempt, with fault context armed."""
+    fn, task, label, cell_faults, attempt = packed
+    _faults.activate(cell_faults, attempt)
+    try:
+        _faults.inject_dispatch()
+        return ("ok", fn(task))
+    except Exception as exc:  # noqa: BLE001 - recorded in attempt history
+        return ("err", label, type(exc).__name__, str(exc), traceback.format_exc())
+    finally:
+        _faults.deactivate()
+
+
 def parallel_map(
     fn: Callable,
     tasks: Sequence,
@@ -102,6 +192,10 @@ def parallel_map(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     labels: Optional[Sequence[str]] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan=None,
+    return_errors: bool = False,
+    attempts_out: Optional[list] = None,
 ) -> list:
     """Map a picklable ``fn`` over ``tasks``, preserving input order.
 
@@ -112,6 +206,12 @@ def parallel_map(
     With a resolved worker count of 1 (or fewer than two tasks) this is
     a plain loop — no pool, no pickling, raw exceptions — so serial
     callers pay nothing and see exactly the pre-runtime behaviour.
+
+    ``retry`` / ``fault_plan`` / ``return_errors`` switch to the
+    supervised executor described in the module docstring; results (and
+    their order) are unchanged for cells that succeed.  ``attempts_out``,
+    when given a list, is filled with the per-cell attempt counts (1 for
+    a first-try success), aligned with the results.
     """
     tasks = list(tasks)
     if labels is None:
@@ -124,21 +224,208 @@ def parallel_map(
             )
 
     count = resolve_workers(workers)
+    supervised = (
+        retry is not None or fault_plan is not None or return_errors
+    )
+    if not supervised:
+        if count <= 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+
+        if chunksize is None:
+            # Small grids: one task per dispatch keeps all workers busy;
+            # large grids: chunking amortises the per-dispatch pickling.
+            chunksize = max(1, len(tasks) // (count * 4))
+        packed = [(fn, task, label) for task, label in zip(tasks, labels)]
+        with ProcessPoolExecutor(max_workers=min(count, len(tasks))) as pool:
+            outcomes = list(pool.map(_guarded, packed, chunksize=chunksize))
+
+        results = []
+        for outcome in outcomes:
+            if outcome[0] == "err":
+                _, label, exc_type, message, details = outcome
+                raise CellError(label, exc_type, message, details)
+            results.append(outcome[1])
+        return results
+
+    policy = retry if retry is not None else RetryPolicy()
     if count <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
+        return _supervised_serial(
+            fn, tasks, labels, policy, fault_plan, return_errors, attempts_out
+        )
+    return _supervised_pooled(
+        fn, tasks, labels, policy, fault_plan, return_errors, attempts_out,
+        count,
+    )
 
-    if chunksize is None:
-        # Small grids: one task per dispatch keeps all workers busy;
-        # large grids: chunking amortises the per-dispatch pickling.
-        chunksize = max(1, len(tasks) // (count * 4))
-    packed = [(fn, task, label) for task, label in zip(tasks, labels)]
-    with ProcessPoolExecutor(max_workers=min(count, len(tasks))) as pool:
-        outcomes = list(pool.map(_guarded, packed, chunksize=chunksize))
 
+def _cell_faults(fault_plan, index: int) -> tuple:
+    return fault_plan.for_cell(index) if fault_plan is not None else ()
+
+
+def _supervised_serial(
+    fn, tasks, labels, policy, fault_plan, return_errors, attempts_out
+):
+    """In-process supervised attempts.
+
+    Timeouts are not enforced here — a serial attempt cannot be
+    preempted — but injection, retry, backoff, and accounting behave
+    exactly as in pooled mode, so results stay worker-count-invariant.
+    """
     results = []
-    for outcome in outcomes:
-        if outcome[0] == "err":
-            _, label, exc_type, message, details = outcome
-            raise CellError(label, exc_type, message, details)
-        results.append(outcome[1])
+    attempt_counts = []
+    for index, (task, label) in enumerate(zip(tasks, labels)):
+        cell_faults = _cell_faults(fault_plan, index)
+        history: list[dict] = []
+        last_details = ""
+        final: object = None
+        for attempt in range(1, policy.max_retries + 2):
+            delay = policy.delay_before(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            outcome = _guarded_attempt((fn, task, label, cell_faults, attempt))
+            if outcome[0] == "ok":
+                final = outcome[1]
+                attempt_counts.append(attempt)
+                break
+            history.append(
+                {"attempt": attempt, "error": outcome[2], "message": outcome[3]}
+            )
+            last_details = outcome[4]
+        else:
+            error = CellError(
+                label,
+                history[-1]["error"],
+                history[-1]["message"],
+                last_details,
+                attempts=tuple(history),
+            )
+            if not return_errors:
+                raise error
+            final = error
+            attempt_counts.append(len(history))
+        results.append(final)
+    if attempts_out is not None:
+        attempts_out[:] = attempt_counts
+    return results
+
+
+def _supervised_pooled(
+    fn, tasks, labels, policy, fault_plan, return_errors, attempts_out, count
+):
+    """Submit-based executor with per-attempt timeout, backoff, retry."""
+    n = len(tasks)
+    results: list = [None] * n
+    resolved = [False] * n
+    histories: list[list[dict]] = [[] for _ in range(n)]
+    last_details = [""] * n
+    attempt_counts = [0] * n
+    failures: dict[int, CellError] = {}
+    pending: dict = {}  # future -> (index, attempt, deadline)
+    delayed: list[tuple] = []  # (ready_time, index, attempt)
+
+    pool = ProcessPoolExecutor(max_workers=min(count, n))
+
+    def submit(index: int, attempt: int) -> None:
+        future = pool.submit(
+            _guarded_attempt,
+            (fn, tasks[index], labels[index], _cell_faults(fault_plan, index),
+             attempt),
+        )
+        deadline = (
+            time.monotonic() + policy.timeout_s
+            if policy.timeout_s is not None
+            else None
+        )
+        pending[future] = (index, attempt, deadline)
+
+    def attempt_failed(index, attempt, exc_type, message, details) -> None:
+        histories[index].append(
+            {"attempt": attempt, "error": exc_type, "message": message}
+        )
+        last_details[index] = details
+        if attempt <= policy.max_retries:
+            ready = time.monotonic() + policy.delay_before(attempt + 1)
+            delayed.append((ready, index, attempt + 1))
+        else:
+            resolved[index] = True
+            attempt_counts[index] = attempt
+            failures[index] = CellError(
+                labels[index],
+                exc_type,
+                message,
+                last_details[index],
+                attempts=tuple(histories[index]),
+            )
+
+    try:
+        for index in range(n):
+            submit(index, 1)
+
+        while pending or delayed:
+            now = time.monotonic()
+            due = [entry for entry in delayed if entry[0] <= now]
+            if due:
+                delayed = [entry for entry in delayed if entry[0] > now]
+                for _, index, attempt in sorted(due):
+                    if not resolved[index]:
+                        submit(index, attempt)
+            if not pending:
+                if delayed:
+                    time.sleep(max(0.0, min(e[0] for e in delayed) - now))
+                continue
+
+            wait_timeout: Optional[float] = None
+            horizons = [d for (_, _, d) in pending.values() if d is not None]
+            horizons.extend(entry[0] for entry in delayed)
+            if horizons:
+                wait_timeout = max(0.0, min(horizons) - now)
+            done, _ = wait(
+                list(pending), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+
+            for future in done:
+                index, attempt, _ = pending.pop(future)
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # noqa: BLE001 - pool-level failure
+                    outcome = (
+                        "err", labels[index], type(exc).__name__, str(exc),
+                        traceback.format_exc(),
+                    )
+                if resolved[index]:
+                    continue  # stale result of an abandoned attempt
+                if outcome[0] == "ok":
+                    results[index] = outcome[1]
+                    resolved[index] = True
+                    attempt_counts[index] = attempt
+                else:
+                    attempt_failed(
+                        index, attempt, outcome[2], outcome[3], outcome[4]
+                    )
+
+            now = time.monotonic()
+            for future, (index, attempt, deadline) in list(pending.items()):
+                if deadline is None or deadline > now:
+                    continue
+                pending.pop(future)
+                future.cancel()  # no-op once running; frees queued ones
+                if resolved[index]:
+                    continue
+                attempt_failed(
+                    index,
+                    attempt,
+                    "TimeoutError",
+                    f"attempt {attempt} exceeded {policy.timeout_s}s",
+                    "",
+                )
+    finally:
+        # Don't block on abandoned workers; queued futures are dropped.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    if failures and not return_errors:
+        raise failures[min(failures)]
+    for index, error in failures.items():
+        results[index] = error
+    if attempts_out is not None:
+        attempts_out[:] = attempt_counts
     return results

@@ -122,6 +122,87 @@ class TestCommands:
         assert "unknown table" in capsys.readouterr().err
 
 
+class TestFaultToleranceFlags:
+    """The FT knobs are uniform across run / compare / sweep."""
+
+    FLAGS = ["--shards", "3", "--max-retries", "2", "--timeout-s", "30",
+             "--checkpoint-every", "16", "--degrade"]
+
+    @pytest.mark.parametrize("command", ["run", "compare", "sweep"])
+    def test_flags_parse_uniformly(self, command):
+        args = build_parser().parse_args([command] + self.FLAGS)
+        assert args.shards == 3
+        assert args.max_retries == 2
+        assert args.timeout_s == 30.0
+        assert args.checkpoint_every == 16
+        assert args.degrade is True
+
+    def test_run_rejects_knobs_without_shards(self, capsys):
+        code = main(["run", "--algorithm", "PROB", "--length", "300",
+                     "--window", "20", "--memory", "10",
+                     "--max-retries", "2"])
+        assert code == 2
+        assert "requires sharded execution" in capsys.readouterr().err
+
+    def test_compare_rejects_knobs_without_shards(self, capsys):
+        code = main(["compare", "--algorithms", "RAND,PROB",
+                     "--length", "300", "--window", "20", "--memory", "10",
+                     "--degrade"])
+        assert code == 2
+        assert "requires sharded execution" in capsys.readouterr().err
+
+    def test_sweep_rejects_knobs_without_shards(self, capsys):
+        code = main(["sweep", "--algorithms", "RAND", "--seeds", "0,1",
+                     "--length", "300", "--window", "20", "--memory", "10",
+                     "--checkpoint-every", "8"])
+        assert code == 2
+        assert "requires sharded execution" in capsys.readouterr().err
+
+    def test_run_with_retries_and_checkpoints(self, capsys, tmp_path):
+        code = main(["run", "--algorithm", "EXACT", "--length", "300",
+                     "--window", "20", "--memory", "10", "--shards", "2",
+                     "--max-retries", "1", "--checkpoint-every", "16",
+                     "--checkpoint-dir", str(tmp_path)])
+        assert code == 0
+        assert "EXACT:" in capsys.readouterr().out
+
+    def test_sweep_accepts_shards(self, capsys):
+        code = main(["sweep", "--algorithms", "RAND,PROB", "--seeds", "0,1",
+                     "--length", "300", "--window", "20", "--memory", "10",
+                     "--shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RAND" in out and "PROB" in out and "mean" in out
+
+
+class TestVersionedJsonExport:
+    def test_run_json_carries_schema_and_run_document(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "m.json"
+        code = main(["run", "--algorithm", "PROB", "--length", "300",
+                     "--window", "20", "--memory", "10",
+                     "--metrics", "json", "--metrics-out", str(out_path)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["schema_version"] == 2
+        assert payload["run"]["policy"] == "PROB"
+        assert payload["run"]["drops"]["schema_version"] == 2
+        assert payload["run"]["output_count"] >= 0
+
+    def test_json_round_trips_through_loader(self, tmp_path, capsys):
+        from repro.obs import load_metrics_json
+
+        out_path = tmp_path / "m.json"
+        main(["run", "--algorithm", "PROB", "--length", "300",
+              "--window", "20", "--memory", "10",
+              "--metrics", "json", "--metrics-out", str(out_path)])
+        capsys.readouterr()
+        registry = load_metrics_json(out_path)
+        assert registry.counter_value("engine.output") >= 0
+
+
 class TestMetricsEmission:
     def test_compare_csv_has_policy_column(self, capsys):
         """Format lock: multi-policy CSV is one table with a policy column."""

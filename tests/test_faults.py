@@ -1,0 +1,126 @@
+"""Deterministic fault injection: repro.runtime.faults."""
+
+import time
+
+import pytest
+
+from repro.runtime import Fault, FaultPlan, InjectedFault
+from repro.runtime import faults as faults_mod
+
+
+@pytest.fixture(autouse=True)
+def _clean_context():
+    """Every test starts and ends with no armed fault context."""
+    faults_mod.deactivate()
+    yield
+    faults_mod.deactivate()
+
+
+class TestFault:
+    def test_defaults(self):
+        fault = Fault("kill", cell=2)
+        assert fault.tick is None
+        assert fault.attempts == 1
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(kind="explode", cell=0), "kind"),
+            (dict(kind="kill", cell=-1), "cell"),
+            (dict(kind="kill", cell=0, tick=-3), "tick"),
+            (dict(kind="kill", cell=0, attempts=0), "attempts"),
+            (dict(kind="slow", cell=0, delay_s=-0.1), "delay_s"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            Fault(**kwargs)
+
+
+class TestFaultPlan:
+    def test_coerces_iterables_and_rejects_non_faults(self):
+        plan = FaultPlan([Fault("kill", cell=0)])
+        assert isinstance(plan.faults, tuple)
+        with pytest.raises(TypeError, match="not a Fault"):
+            FaultPlan(("kill",))
+
+    def test_for_cell_and_bool(self):
+        a = Fault("kill", cell=0, tick=3)
+        b = Fault("slow", cell=1)
+        plan = FaultPlan((a, b))
+        assert plan.for_cell(0) == (a,)
+        assert plan.for_cell(1) == (b,)
+        assert plan.for_cell(9) == ()
+        assert plan
+        assert not FaultPlan()
+
+    def test_seeded_is_deterministic_and_in_bounds(self):
+        one = FaultPlan.seeded(13, cells=4, ticks=100, kills=3)
+        two = FaultPlan.seeded(13, cells=4, ticks=100, kills=3)
+        other = FaultPlan.seeded(14, cells=4, ticks=100, kills=3)
+        assert one == two
+        assert one != other
+        assert len(one.faults) == 3
+        for fault in one.faults:
+            assert fault.kind == "kill"
+            assert 0 <= fault.cell < 4
+            assert 0 <= fault.tick < 100
+
+    def test_seeded_validates_dimensions(self):
+        with pytest.raises(ValueError, match="cells"):
+            FaultPlan.seeded(0, cells=0, ticks=10)
+        with pytest.raises(ValueError, match="ticks"):
+            FaultPlan.seeded(0, cells=1, ticks=0)
+
+
+class TestWorkerContext:
+    def test_inactive_by_default(self):
+        assert not faults_mod.is_active()
+        # no context: injection points are free no-ops
+        faults_mod.inject_dispatch()
+        faults_mod.maybe_inject(0)
+
+    def test_activate_with_no_faults_stays_inactive(self):
+        faults_mod.activate((), attempt=1)
+        assert not faults_mod.is_active()
+
+    def test_dispatch_kill_fires_only_at_dispatch(self):
+        faults_mod.activate((Fault("kill", cell=0),), attempt=1)
+        assert faults_mod.is_active()
+        with pytest.raises(InjectedFault, match="cell 0"):
+            faults_mod.inject_dispatch()
+        # a tick-scoped probe never sees a dispatch fault
+        faults_mod.maybe_inject(0)
+
+    def test_tick_kill_fires_at_its_tick_only(self):
+        faults_mod.activate((Fault("kill", cell=3, tick=7),), attempt=1)
+        faults_mod.inject_dispatch()
+        faults_mod.maybe_inject(6)
+        with pytest.raises(InjectedFault, match="tick 7"):
+            faults_mod.maybe_inject(7)
+
+    def test_attempts_scope_the_fault(self):
+        fault = Fault("kill", cell=0, tick=5, attempts=2)
+        for attempt in (1, 2):
+            faults_mod.activate((fault,), attempt=attempt)
+            with pytest.raises(InjectedFault):
+                faults_mod.maybe_inject(5)
+        faults_mod.activate((fault,), attempt=3)
+        faults_mod.maybe_inject(5)  # healed: attempt 3 > attempts=2
+
+    def test_slow_and_hang_sleep_then_continue(self):
+        faults_mod.activate(
+            (Fault("slow", cell=0, tick=1, delay_s=0.0),
+             Fault("hang", cell=0, tick=2, delay_s=0.01)),
+            attempt=1,
+        )
+        faults_mod.maybe_inject(1)  # zero-delay: returns immediately
+        start = time.perf_counter()
+        faults_mod.maybe_inject(2)
+        assert time.perf_counter() - start >= 0.01
+
+    def test_deactivate_disarms(self):
+        faults_mod.activate((Fault("kill", cell=0, tick=1),), attempt=1)
+        faults_mod.deactivate()
+        assert not faults_mod.is_active()
+        faults_mod.maybe_inject(1)

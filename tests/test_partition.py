@@ -13,13 +13,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import RunSpec, build_pair, run_join, run_sharded
+from repro.api import RunSpec, build_pair, run, run_sharded
 from repro.core import run_exact
+from repro.core.async_engine import AsyncEngineConfig, AsyncJoinEngine
 from repro.core.partition import (
     MIN_SHARD_BUDGET,
     ShardPlan,
+    merge_shard_results,
     plan_shards,
     shard_batches,
+    shard_exact_output,
+    shard_input_counts,
     shard_of,
     shard_seed,
     shard_weights,
@@ -123,8 +127,9 @@ class TestRunSpecValidation:
             RunSpec(shards=2, trace=True)
 
     def test_run_sharded_needs_two_shards(self):
-        with pytest.raises(ValueError, match="shards"):
-            run_sharded(RunSpec(shards=1))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="shards"):
+                run_sharded(RunSpec(shards=1))
 
 
 def _spec(algorithm, shards=1, **kwargs):
@@ -137,9 +142,9 @@ class TestExactIdentity:
     def test_matches_unsharded_engine_and_ledger(self):
         spec = _spec("EXACT")
         pair = build_pair(spec)
-        base = run_join(spec, pair=pair)
+        base = run(spec, pair=pair)
         for shards in (2, 5):
-            sharded = run_join(_spec("EXACT", shards=shards), pair=pair)
+            sharded = run(_spec("EXACT", shards=shards), pair=pair)
             assert sharded.output_count == base.output_count
             assert sharded.total_output_count == base.total_output_count
             assert sharded.drop_breakdown() == base.drop_breakdown()
@@ -152,7 +157,7 @@ class TestExactIdentity:
         per_shard_expected = [0] * spec.shards
         for out in exact.pairs:
             per_shard_expected[shard_of(out.key, spec.shards)] += 1
-        sharded = run_join(spec, pair=pair)
+        sharded = run(spec, pair=pair)
         assert [s.output_count for s in sharded.per_shard] == per_shard_expected
         assert sharded.output_count == exact.output_count
 
@@ -171,7 +176,7 @@ class TestExactIdentity:
             length=len(pair),
             shards=shards,
         )
-        sharded = run_join(spec, pair=pair)
+        sharded = run(spec, pair=pair)
         assert sharded.output_count == exact_join_size(
             pair, window, count_from=2 * window
         )
@@ -186,10 +191,10 @@ class TestWorkerDeterminism:
         pair = build_pair(spec)
 
         monkeypatch.setenv("REPRO_WORKERS", "0")  # kill switch: forced serial
-        disabled = run_join(spec, pair=pair)
+        disabled = run(spec, pair=pair)
         monkeypatch.delenv("REPRO_WORKERS")
-        serial = run_join(spec, pair=pair, workers=1)
-        parallel = run_join(spec, pair=pair, workers=4)
+        serial = run(spec, pair=pair, workers=1)
+        parallel = run(spec, pair=pair, workers=4)
 
         for other in (serial, parallel):
             assert disabled.output_count == other.output_count
@@ -203,15 +208,15 @@ class TestWorkerDeterminism:
         spec2 = _spec("PROB", shards=2)
         spec4 = _spec("PROB", shards=4)
         pair = build_pair(spec2)
-        assert run_join(spec2, pair=pair).output_count != pytest.approx(0)
-        assert run_join(spec4, pair=pair).output_count >= 0
+        assert run(spec2, pair=pair).output_count != pytest.approx(0)
+        assert run(spec4, pair=pair).output_count >= 0
 
 
 class TestMergeTotals:
     @pytest.mark.parametrize("algorithm", ("EXACT", "RAND", "PROB"))
     def test_totals_equal_sum_of_shards(self, algorithm):
         spec = _spec(algorithm, shards=4)
-        result = run_join(spec)
+        result = run(spec)
         assert result.output_count == sum(
             s.output_count for s in result.per_shard
         )
@@ -223,7 +228,7 @@ class TestMergeTotals:
 
     def test_metrics_snapshots_merge(self):
         spec = _spec("PROB", shards=3, metrics=True)
-        result = run_join(spec)
+        result = run(spec)
         assert result.metrics is not None
         output_total = sum(
             c["value"]
@@ -239,7 +244,125 @@ class TestMergeTotals:
         assert arrivals == 2 * spec.length
 
     def test_summary_surface(self):
-        result = run_join(_spec("PROB", shards=2))
+        result = run(_spec("PROB", shards=2))
         summary = result.summary()
         assert summary.engine == "sharded"
         assert summary.output_count == result.output_count
+
+
+class TestLostShards:
+    """Degraded merges: attributed loss, exact reconciliation."""
+
+    WINDOW = 25
+    SHARDS = 3
+
+    @classmethod
+    def _shard_results(cls, pair):
+        plan = plan_shards(
+            4 * cls.WINDOW, cls.SHARDS, lossless_budget=2 * cls.WINDOW
+        )
+        results = []
+        for shard in range(cls.SHARDS):
+            r_batches, s_batches = shard_batches(pair, shard, cls.SHARDS)
+            config = AsyncEngineConfig(
+                window=cls.WINDOW,
+                memory=plan.budgets[shard],
+                warmup=2 * cls.WINDOW,
+            )
+            results.append(AsyncJoinEngine(config).run(r_batches, s_batches))
+        return plan, results
+
+    def test_input_counts_partition_the_pair(self):
+        pair = zipf_pair(300, 12, 1.0, seed=6)
+        totals = [shard_input_counts(pair, s, 4) for s in range(4)]
+        assert sum(r for r, _ in totals) == len(pair)
+        assert sum(s for _, s in totals) == len(pair)
+
+    def test_exact_output_partitions_the_total(self):
+        pair = zipf_pair(300, 12, 1.0, seed=6)
+        per_shard = [
+            shard_exact_output(pair, s, 4, self.WINDOW, count_from=50)
+            for s in range(4)
+        ]
+        assert sum(per_shard) == exact_join_size(
+            pair, self.WINDOW, count_from=50
+        )
+
+    def test_degraded_merge_attributes_and_reconciles(self):
+        pair = zipf_pair(400, 10, 1.0, seed=7)
+        plan, results = self._shard_results(pair)
+        lost_shard = 1
+        warmup = 2 * self.WINDOW
+        lost_output = shard_exact_output(
+            pair, lost_shard, self.SHARDS, self.WINDOW, count_from=warmup
+        )
+        merged = merge_shard_results(
+            results,
+            plan,
+            length=len(pair),
+            window=self.WINDOW,
+            memory=4 * self.WINDOW,
+            warmup=warmup,
+            lost=(lost_shard,),
+            lost_inputs=[shard_input_counts(pair, lost_shard, self.SHARDS)],
+            lost_output=lost_output,
+        )
+        assert merged.lost_shards == (lost_shard,)
+        assert merged.per_shard[lost_shard] is None
+        survivors = [s for s in range(self.SHARDS) if s != lost_shard]
+        assert merged.output_count == sum(
+            results[s].output_count for s in survivors
+        )
+        # the lost shard's inputs are booked, not silently vanished
+        lost_r, lost_s = shard_input_counts(pair, lost_shard, self.SHARDS)
+        assert merged.drop_breakdown().lost == lost_r + lost_s
+        # EXACT reconciliation: merged output + attributed loss = total
+        assert merged.output_count + merged.lost_output == exact_join_size(
+            pair, self.WINDOW, count_from=warmup
+        )
+
+    def test_merge_without_losses_has_empty_ledger_entry(self):
+        pair = zipf_pair(200, 10, 1.0, seed=8)
+        plan, results = self._shard_results(pair)
+        merged = merge_shard_results(
+            results,
+            plan,
+            length=len(pair),
+            window=self.WINDOW,
+            memory=4 * self.WINDOW,
+            warmup=2 * self.WINDOW,
+        )
+        assert merged.lost_shards == ()
+        assert merged.lost_output is None
+        assert merged.drop_breakdown().lost == 0
+
+    def test_all_shards_lost_refuses_to_merge(self):
+        pair = zipf_pair(200, 10, 1.0, seed=8)
+        plan, results = self._shard_results(pair)
+        with pytest.raises(ValueError, match="all shards were lost"):
+            merge_shard_results(
+                results,
+                plan,
+                length=len(pair),
+                window=self.WINDOW,
+                memory=4 * self.WINDOW,
+                warmup=2 * self.WINDOW,
+                lost=tuple(range(self.SHARDS)),
+            )
+
+    def test_lost_validation(self):
+        pair = zipf_pair(200, 10, 1.0, seed=8)
+        plan, results = self._shard_results(pair)
+        common = dict(
+            length=len(pair),
+            window=self.WINDOW,
+            memory=4 * self.WINDOW,
+            warmup=2 * self.WINDOW,
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            merge_shard_results(results, plan, lost=(9,), **common)
+        with pytest.raises(ValueError, match="lost_inputs"):
+            merge_shard_results(
+                results, plan, lost=(0,), lost_inputs=[(1, 1), (2, 2)],
+                **common,
+            )

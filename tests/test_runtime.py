@@ -15,6 +15,9 @@ from repro.obs import MetricsRegistry
 from repro.runtime import (
     AlgorithmCell,
     CellError,
+    Fault,
+    FaultPlan,
+    RetryPolicy,
     parallel_map,
     resolve_workers,
     run_algorithm_cell,
@@ -181,6 +184,156 @@ class TestParallelEqualsSerial:
         serial = compare(["RAND", "PROB"], workers=None)
         for label in serial:
             assert serial[label].output_count == parallel[label].output_count
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(max_retries=-1), "max_retries"),
+            (dict(timeout_s=0), "timeout_s"),
+            (dict(backoff_s=-0.1), "backoff_s"),
+            (dict(backoff_factor=0.5), "backoff_factor"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RetryPolicy(**kwargs)
+
+    def test_delay_before_is_exponential(self):
+        policy = RetryPolicy(max_retries=3, backoff_s=0.1, backoff_factor=2.0)
+        assert policy.delay_before(1) == 0.0  # first attempt never waits
+        assert policy.delay_before(2) == pytest.approx(0.1)
+        assert policy.delay_before(3) == pytest.approx(0.2)
+        assert policy.delay_before(4) == pytest.approx(0.4)
+
+    def test_zero_backoff_never_waits(self):
+        policy = RetryPolicy(max_retries=3, backoff_s=0.0)
+        assert all(policy.delay_before(k) == 0.0 for k in (1, 2, 3, 4))
+
+
+class TestSupervisedExecution:
+    """Retry, fault injection, attempt accounting, degradation in-band."""
+
+    RETRY = RetryPolicy(max_retries=1, backoff_s=0.0)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_supervision_without_faults_matches_plain(self, workers):
+        expected = [x * x for x in range(6)]
+        attempts = []
+        results = parallel_map(
+            _square,
+            range(6),
+            workers=workers,
+            retry=RetryPolicy(max_retries=2),
+            attempts_out=attempts,
+        )
+        assert results == expected
+        assert attempts == [1] * 6  # every cell succeeded first try
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_heals_a_transient_kill(self, workers):
+        plan = FaultPlan((Fault("kill", cell=1),))  # attempt 1 only
+        attempts = []
+        results = parallel_map(
+            _square,
+            [1, 2, 3],
+            workers=workers,
+            retry=self.RETRY,
+            fault_plan=plan,
+            attempts_out=attempts,
+        )
+        assert results == [1, 4, 9]
+        assert attempts == [1, 2, 1]  # only the afflicted cell retried
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_exhausted_retries_raise_with_history(self, workers):
+        plan = FaultPlan((Fault("kill", cell=0, attempts=99),))
+        with pytest.raises(CellError) as excinfo:
+            parallel_map(
+                _square,
+                [1, 2],
+                workers=workers,
+                labels=["doomed", "fine"],
+                retry=RetryPolicy(max_retries=2, backoff_s=0.0),
+                fault_plan=plan,
+            )
+        error = excinfo.value
+        assert error.label == "doomed"
+        assert error.exc_type == "InjectedFault"
+        assert "(after 3 attempts)" in str(error)
+        assert [entry["attempt"] for entry in error.attempts] == [1, 2, 3]
+        assert all(e["error"] == "InjectedFault" for e in error.attempts)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_return_errors_degrades_in_band(self, workers):
+        plan = FaultPlan((Fault("kill", cell=1, attempts=99),))
+        attempts = []
+        results = parallel_map(
+            _square,
+            [1, 2, 3],
+            workers=workers,
+            retry=self.RETRY,
+            fault_plan=plan,
+            return_errors=True,
+            attempts_out=attempts,
+        )
+        assert results[0] == 1 and results[2] == 9
+        assert isinstance(results[1], CellError)
+        assert attempts == [1, 2, 1]
+        # survivors are untouched by the neighbour's failure
+        assert results[1].attempts[-1]["error"] == "InjectedFault"
+
+    def test_timeout_abandons_a_hung_worker(self):
+        # Hangs on every attempt; the deadline must cut both short.
+        plan = FaultPlan((Fault("hang", cell=0, delay_s=0.5, attempts=99),))
+        results = parallel_map(
+            _square,
+            [1, 2],
+            workers=2,
+            retry=RetryPolicy(max_retries=1, timeout_s=0.05, backoff_s=0.0),
+            fault_plan=plan,
+            return_errors=True,
+        )
+        assert isinstance(results[0], CellError)
+        assert results[0].exc_type == "TimeoutError"
+        assert "exceeded" in results[0].exc_message
+        assert results[1] == 4
+
+    def test_timeout_then_clean_retry_recovers(self):
+        # The hang afflicts attempt 1 only: abandoned, then healed.
+        plan = FaultPlan((Fault("hang", cell=0, delay_s=0.4),))
+        attempts = []
+        results = parallel_map(
+            _square,
+            [3, 4],
+            workers=2,
+            retry=RetryPolicy(max_retries=1, timeout_s=0.1, backoff_s=0.0),
+            fault_plan=plan,
+            attempts_out=attempts,
+        )
+        assert results == [9, 16]
+        assert attempts[0] == 2
+
+    def test_serial_mode_does_not_enforce_timeouts(self):
+        """Documented: a serial attempt cannot be preempted mid-flight."""
+        plan = FaultPlan((Fault("hang", cell=0, delay_s=0.05),))
+        results = parallel_map(
+            _square,
+            [5],
+            workers=1,
+            retry=RetryPolicy(timeout_s=0.01),
+            fault_plan=plan,
+        )
+        assert results == [25]  # the hang outlived the deadline yet landed
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_tick_scoped_faults_need_an_engine(self, workers):
+        """A tick fault never fires in a cell that has no tick loop."""
+        plan = FaultPlan((Fault("kill", cell=0, tick=5),))
+        assert parallel_map(
+            _square, [2, 3], workers=workers, fault_plan=plan
+        ) == [4, 9]
 
 
 class TestMergeSnapshot:

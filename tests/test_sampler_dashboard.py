@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.api import RunSpec, run_join
+from repro.api import RunSpec, run
 from repro.obs import Sampler, WindowSample, sample_trace
 from repro.obs.dashboard import play, render_frame
 from repro.obs.trace import (
@@ -76,7 +76,7 @@ class TestSampler:
             Sampler(0)
 
     def test_sample_trace_matches_engine_run(self):
-        result = run_join(
+        result = run(
             RunSpec(algorithm="PROB", length=500, window=50, memory=24, trace=True)
         )
         windows = sample_trace(result.trace, width=50)
@@ -95,7 +95,7 @@ class TestSampler:
 
 class TestDashboard:
     def _events(self):
-        result = run_join(
+        result = run(
             RunSpec(algorithm="PROB", length=400, window=40, memory=20, trace=True)
         )
         return result.trace

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.api import RunSpec, run_join
+from repro.api import RunSpec, run
 from repro.core.engine import EngineConfig, JoinEngine
 from repro.core.policies import make_policy_spec
 from repro.experiments.runner import estimators_for, run_algorithm
@@ -43,7 +43,7 @@ def traced_run(algorithm="PROB", length=600, window=60, memory=30, seed=0,
         algorithm=algorithm, length=length, window=window, memory=memory,
         seed=seed, trace=True, **spec_kwargs,
     )
-    return run_join(spec)
+    return run(spec)
 
 
 class TestTraceEvent:
