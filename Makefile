@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-gate check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-obs bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,14 @@ bench-shard:
 # lost_output that exactly reconciles the deficit.
 bench-chaos:
 	$(PYTHON) benchmarks/bench_chaos.py
+
+# Telemetry-plane snapshot -> BENCH_obs.json (committed): telemetry-on
+# must reproduce telemetry-off bit-identically with a deterministic
+# heartbeat count and stay within a 5% CPU-overhead budget; a faulted
+# pooled leg writes its merged timeline (kill, retry, checkpoint
+# restore) to benchmarks/results/timeline.json as Chrome trace JSON.
+bench-obs:
+	$(PYTHON) benchmarks/bench_telemetry.py
 
 # Perf-regression gate: fresh snapshots vs the committed BENCH_engine.json
 # (and BENCH_runtime.json / BENCH_shard.json / BENCH_chaos.json when

@@ -43,13 +43,22 @@ the chaos-recovery snapshot and checks the fault-tolerance contract: a
 sharded run that loses a worker to a seeded kill and retries from its
 last checkpoint must reproduce the fault-free result bit-identically,
 and a degraded run (retries exhausted, ``degrade=True``) must report a
-``lost_output`` that exactly reconciles the output deficit.  Exit
-status: 0 pass, 1 fail, 2 bad invocation.
+``lost_output`` that exactly reconciles the output deficit.
+
+Finally, when a committed ``BENCH_obs.json`` exists (written by
+``make bench-obs`` / ``benchmarks/bench_telemetry.py``), the gate
+rebuilds the telemetry-plane snapshot and checks its contract:
+telemetry-on must reproduce telemetry-off bit-identically, the merged
+timeline's heartbeat count must match the committed baseline exactly
+(it is a pure function of the spec), the faulted leg must carry its
+fault / retry / checkpoint-restore spans, and the measured CPU
+overhead must stay within the snapshot's budget.  Exit status: 0 pass,
+1 fail, 2 bad invocation.
 
 Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
                                       [--tolerance 0.2] [--repeats N]
                                       [--skip-runtime] [--skip-shard]
-                                      [--skip-chaos]
+                                      [--skip-chaos] [--skip-obs]
 Or:   make bench-gate
 """
 
@@ -69,6 +78,7 @@ except ImportError:  # running from a checkout without `make install`
 
 from bench_chaos import build_chaos_snapshot  # noqa: E402 - sibling module
 from bench_runtime import build_runtime_snapshot  # noqa: E402 - sibling module
+from bench_telemetry import build_obs_snapshot  # noqa: E402 - sibling module
 from bench_shard import build_shard_snapshot  # noqa: E402 - sibling module
 from snapshot import build_snapshot  # noqa: E402 - sibling module
 
@@ -277,6 +287,37 @@ def check_chaos(baseline: dict, fresh: dict) -> list[str]:
     return failures
 
 
+def check_obs(baseline: dict, fresh: dict) -> list[str]:
+    """Failure messages for the telemetry-plane snapshot.
+
+    * the fresh run must be telemetry-identical (on == off, faulted leg
+      recovered with its fault/retry/restore spans) and within its CPU
+      overhead budget — both folded into ``telemetry_identical`` /
+      ``mismatches`` by the builder;
+    * the deterministic counts — output and the merged timeline's
+      heartbeat count — must match the committed baseline exactly.
+
+    Wall-clock is never gated here; the overhead budget inside the
+    snapshot is CPU-time-based and already noise-hardened.
+    """
+    failures: list[str] = []
+    if not fresh.get("telemetry_identical", False):
+        for line in fresh.get("mismatches", []):
+            failures.append(f"obs: {line}")
+
+    base_counts = baseline.get("counts", {})
+    fresh_counts = fresh.get("counts", {})
+    for name in ("exact_output", "exact_total_output", "heartbeats"):
+        if name in base_counts and name in fresh_counts:
+            if base_counts[name] != fresh_counts[name]:
+                failures.append(
+                    f"obs: {name} changed {base_counts[name]} -> "
+                    f"{fresh_counts[name]} (deterministic; this is a "
+                    "semantics change)"
+                )
+    return failures
+
+
 def format_comparison(baseline: dict, fresh: dict) -> str:
     """Side-by-side table of the gated quantities."""
     lines = [
@@ -356,6 +397,15 @@ def main() -> int:
     parser.add_argument(
         "--skip-chaos", action="store_true",
         help="skip the fault-injected recovery identity gate",
+    )
+    parser.add_argument(
+        "--obs-baseline", default=str(REPO_ROOT / "BENCH_obs.json"),
+        dest="obs_baseline",
+        help="committed telemetry-plane snapshot (skipped if absent)",
+    )
+    parser.add_argument(
+        "--skip-obs", action="store_true",
+        help="skip the telemetry-plane identity/overhead gate",
     )
     args = parser.parse_args()
 
@@ -455,6 +505,33 @@ def main() -> int:
               f"lost {chaos_fresh['counts']['lost_output']} vs exact "
               f"{chaos_fresh['counts']['exact_output']}")
         failures.extend(check_chaos(chaos_baseline, chaos_fresh))
+
+    obs_path = Path(args.obs_baseline)
+    if not args.skip_obs and obs_path.exists():
+        try:
+            obs_baseline = json.loads(obs_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"obs baseline {obs_path} is not valid JSON: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        obs_params = obs_baseline.get("parameters", {})
+        obs_shards = obs_params.get("shards", 4)
+        obs_workers = obs_params.get("workers", 2)
+        obs_rounds = obs_params.get("rounds", 5)
+        obs_limit = obs_params.get("limit_pct", 5.0)
+        obs_scale = obs_baseline.get("scale", "ci")
+        print(f"\nbench-gate: rebuilding obs snapshot "
+              f"(scale={obs_scale}, shards={obs_shards}, "
+              f"rounds={obs_rounds}) ...")
+        obs_fresh = build_obs_snapshot(
+            obs_scale, obs_shards, obs_workers, obs_rounds, obs_limit,
+            REPO_ROOT / "benchmarks" / "results" / "timeline.json",
+        )
+        print(f"  overhead {obs_fresh['overhead_pct']:+.2f}% "
+              f"(budget {obs_limit:.1f}%), "
+              f"heartbeats {obs_fresh['counts']['heartbeats']}, "
+              f"telemetry_identical={obs_fresh['telemetry_identical']}")
+        failures.extend(check_obs(obs_baseline, obs_fresh))
 
     if failures:
         print(f"\nbench-gate FAILED ({len(failures)} issue(s)):")

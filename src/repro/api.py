@@ -99,6 +99,16 @@ class RunSpec:
     ``degrade=True`` merges the surviving shards when a shard exhausts
     its retries and attributes the loss under the ``lost_shard`` drop
     reason instead of failing the run.
+
+    ``telemetry=True`` (sharded runs only) arms the cross-process
+    telemetry plane: the supervisor records task-lifecycle spans
+    (submit / retry / timeout / finish / merge / degrade), every worker
+    attempt spools start/heartbeat/checkpoint/fault events back through
+    crash-safe JSONL files, and the merged global timeline lands on
+    ``result.timeline`` (see :mod:`repro.obs.spans`).  ``heartbeat_every``
+    sets the tick interval between worker heartbeats; ``telemetry_dir``
+    keeps the spool files at a caller-chosen path (default: a
+    run-private temp directory, deleted after the merge).
     """
 
     algorithm: str = "PROB"
@@ -132,6 +142,10 @@ class RunSpec:
     checkpoint_every: Optional[int] = None
     checkpoint_dir: Optional[str] = None
     degrade: bool = False
+
+    telemetry: bool = False
+    telemetry_dir: Optional[str] = None
+    heartbeat_every: int = 16
 
     def __post_init__(self) -> None:
         name = self.algorithm.upper()
@@ -176,12 +190,19 @@ class RunSpec:
             )
         if self.checkpoint_dir is not None and self.checkpoint_every is None:
             raise ValueError("checkpoint_dir requires checkpoint_every")
+        if self.heartbeat_every < 1:
+            raise ValueError(
+                f"heartbeat_every must be >= 1, got {self.heartbeat_every}"
+            )
+        if self.telemetry_dir is not None and not self.telemetry:
+            raise ValueError("telemetry_dir requires telemetry")
         if self.shards < 2:
             for knob, is_set in (
                 ("max_retries", self.max_retries != 0),
                 ("timeout_s", self.timeout_s is not None),
                 ("checkpoint_every", self.checkpoint_every is not None),
                 ("degrade", self.degrade),
+                ("telemetry", self.telemetry),
             ):
                 if is_set:
                     raise ValueError(
@@ -389,6 +410,7 @@ def _run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
     faults, so a kill lands mid-run with real join state at stake.
     """
     from .core.partition import shard_batches, shard_seed
+    from .obs import telemetry
     from .runtime import faults
 
     r_batches, s_batches = shard_batches(pair, shard, spec.shards)
@@ -414,17 +436,33 @@ def _run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
         resume = store.load(key, fingerprint=fingerprint)
 
     on_tick = None
-    if store is not None or faults.is_active():
+    on_tick_every = 1
+    if store is not None or faults.is_active() or telemetry.is_active():
+        if store is None and not faults.is_active():
+            # Pure-telemetry runs only need the hook on heartbeat ticks;
+            # checkpoints and fault injection need every tick.
+            on_tick_every = spec.heartbeat_every
+
         def on_tick(running_engine, t):
             # Faults fire first: a kill at tick T never checkpoints T,
             # so the retry resumes strictly before the failure point.
-            faults.maybe_inject(t)
+            try:
+                faults.maybe_inject(t)
+            except faults.InjectedFault:
+                # Record the fault span (and harden the spool) before
+                # the exception unwinds the attempt.
+                telemetry.record_fault(t)
+                raise
+            telemetry.maybe_heartbeat(t, running_engine.progress)
             if store is not None and (t + 1) % every == 0:
                 store.save(
                     key, running_engine.checkpoint(), fingerprint=fingerprint
                 )
 
-    result = engine.run(r_batches, s_batches, resume=resume, on_tick=on_tick)
+    result = engine.run(
+        r_batches, s_batches, resume=resume,
+        on_tick=on_tick, on_tick_every=on_tick_every,
+    )
     if store is not None:
         store.clear(key)
     return result
@@ -474,50 +512,90 @@ def _run_sharded(
     if spec.max_retries or spec.timeout_s is not None:
         retry = RetryPolicy(max_retries=spec.max_retries, timeout_s=spec.timeout_s)
 
+    supervised = (
+        retry is not None or fault_plan is not None or spec.degrade
+        or spec.telemetry
+    )
+    session = None
+    teldir = None
     tmpdir = None
     cell_spec = spec
+    attempts: list = []
     try:
-        if spec.checkpoint_every is not None and spec.checkpoint_dir is None:
-            # Retries run in fresh worker processes; a run-private temp
-            # directory is the simplest state channel between attempts.
-            tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
-            cell_spec = replace(spec, checkpoint_dir=tmpdir.name)
-        cells = [
-            ShardCell(cell_spec, pair, shard, budget)
-            for shard, budget in enumerate(plan.budgets)
-        ]
-        results = parallel_map(
-            run_shard_cell,
-            cells,
-            workers=workers,
-            labels=[cell.label for cell in cells],
-            retry=retry,
-            fault_plan=fault_plan,
-            return_errors=spec.degrade,
-        )
-    finally:
-        if tmpdir is not None:
-            tmpdir.cleanup()
+        if spec.telemetry:
+            from .obs.telemetry import TelemetrySession
 
-    lost = tuple(
-        index for index, result in enumerate(results)
-        if isinstance(result, CellError)
-    )
-    merge_kwargs: dict = {}
-    if lost:
-        merge_kwargs["lost"] = lost
-        merge_kwargs["lost_inputs"] = [
-            shard_input_counts(pair, shard, spec.shards) for shard in lost
-        ]
-        if spec.algorithm == "EXACT":
-            merge_kwargs["lost_output"] = sum(
-                shard_exact_output(
-                    pair, shard, spec.shards, spec.window,
-                    count_from=spec.effective_warmup,
-                )
-                for shard in lost
+            if spec.telemetry_dir is None:
+                # Spools are a run-private channel unless the caller
+                # wants to keep them (same policy as checkpoints).
+                teldir = tempfile.TemporaryDirectory(prefix="repro-tel-")
+            session = TelemetrySession(
+                spec.telemetry_dir if teldir is None else teldir.name,
+                heartbeat_every=spec.heartbeat_every,
             )
-    return merge_shard_results(
+        try:
+            if spec.checkpoint_every is not None and spec.checkpoint_dir is None:
+                # Retries run in fresh worker processes; a run-private temp
+                # directory is the simplest state channel between attempts.
+                tmpdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+                cell_spec = replace(spec, checkpoint_dir=tmpdir.name)
+            cells = [
+                ShardCell(cell_spec, pair, shard, budget)
+                for shard, budget in enumerate(plan.budgets)
+            ]
+            results = parallel_map(
+                run_shard_cell,
+                cells,
+                workers=workers,
+                labels=[cell.label for cell in cells],
+                retry=retry,
+                fault_plan=fault_plan,
+                return_errors=spec.degrade,
+                attempts_out=attempts,
+                telemetry=session,
+            )
+        finally:
+            if tmpdir is not None:
+                tmpdir.cleanup()
+
+        lost = tuple(
+            index for index, result in enumerate(results)
+            if isinstance(result, CellError)
+        )
+        merge_kwargs: dict = {}
+        if supervised:
+            merge_kwargs["attempts"] = attempts
+        if lost:
+            merge_kwargs["lost"] = lost
+            merge_kwargs["lost_inputs"] = [
+                shard_input_counts(pair, shard, spec.shards) for shard in lost
+            ]
+            if spec.algorithm == "EXACT":
+                merge_kwargs["lost_output"] = sum(
+                    shard_exact_output(
+                        pair, shard, spec.shards, spec.window,
+                        count_from=spec.effective_warmup,
+                    )
+                    for shard in lost
+                )
+        timeline = None
+        if session is not None:
+            from .obs.spans import SPAN_DEGRADE, SPAN_MERGE
+
+            if lost:
+                session.spans.emit(
+                    SPAN_DEGRADE, data={"lost": [int(s) for s in lost]}
+                )
+            session.spans.emit(
+                SPAN_MERGE,
+                data={"shards": plan.shards, "survivors": plan.shards - len(lost)},
+            )
+            timeline = session.merged_timeline()
+    finally:
+        if teldir is not None:
+            teldir.cleanup()
+
+    merged = merge_shard_results(
         results,
         plan,
         length=len(pair),
@@ -526,6 +604,8 @@ def _run_sharded(
         warmup=spec.effective_warmup,
         **merge_kwargs,
     )
+    merged.timeline = timeline
+    return merged
 
 
 def optimal_offline(spec: RunSpec, *, pair: Optional[StreamPair] = None) -> OptResult:

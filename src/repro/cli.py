@@ -9,10 +9,14 @@ Seven verbs, all printing plain text:
   mean/std/min/max aggregates per algorithm;
 * ``repro figure`` / ``repro table`` — regenerate one of the paper's
   figures/tables (or an ablation) at a chosen scale;
-* ``repro trace record|inspect|attribute`` — capture a tuple-lifecycle
-  trace, summarise one, or replay runs against the exact partner sets
-  and print the per-policy lost-output (regret) table;
-* ``repro dash`` — animate a traced run as a live text dashboard.
+* ``repro trace record|timeline|inspect|attribute`` — capture a
+  tuple-lifecycle trace, export a parallel run's merged span timeline
+  as Chrome trace-event JSON, summarise a trace, or replay runs
+  against the exact partner sets and print the per-policy lost-output
+  (regret) table;
+* ``repro dash`` — animate a traced run as a live text dashboard;
+  ``repro dash --fleet`` renders a telemetry-armed parallel run as one
+  row per shard (heartbeat age, retries, lost shards).
 
 ``run`` and ``compare`` are thin layers over :mod:`repro.api`; with
 ``--metrics json|csv`` they also emit the observability snapshot (see
@@ -33,8 +37,10 @@ Examples
     repro figure figure3 --scale ci
     repro table ablation_drift --scale ci
     repro trace record --algorithm PROB --out prob.trace.jsonl
+    repro trace timeline --shards 4 --workers 4 --out timeline.json
     repro trace attribute --algorithms PROB,RAND --scale ci
     repro dash --algorithm PROB --once
+    repro dash --fleet --shards 4 --workers 4 --once
 """
 
 from __future__ import annotations
@@ -80,6 +86,9 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str) -> RunSpec:
         checkpoint_every=getattr(args, "checkpoint_every", None),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         degrade=getattr(args, "degrade", False),
+        telemetry=getattr(args, "telemetry", False),
+        telemetry_dir=getattr(args, "telemetry_dir", None),
+        heartbeat_every=getattr(args, "heartbeat_every", 16),
     )
 
 
@@ -221,6 +230,20 @@ def _fault_tolerance_arguments(parser: argparse.ArgumentParser) -> None:
         "--degrade", action="store_true",
         help="on retry exhaustion, merge the surviving shards and "
              "report the lost shard in the drop ledger instead of failing",
+    )
+    group.add_argument(
+        "--telemetry", action="store_true",
+        help="record runtime spans and per-shard worker heartbeats; "
+             "the merged timeline lands on the result",
+    )
+    group.add_argument(
+        "--telemetry-dir", default=None, dest="telemetry_dir",
+        help="keep the worker heartbeat spools in this directory "
+             "(default: a run-private temporary directory)",
+    )
+    group.add_argument(
+        "--heartbeat-every", type=int, default=16, dest="heartbeat_every",
+        help="ticks between worker heartbeats (default: 16)",
     )
 
 
@@ -423,6 +446,63 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_timeline(args: argparse.Namespace) -> int:
+    """Run a sharded spec with telemetry; export the merged timeline."""
+    import json
+
+    from .obs import save_spans, span_summary, stage_stats, to_chrome_trace
+
+    try:
+        spec = replace(
+            _spec_from_args(args, args.algorithm),
+            telemetry=True,
+            heartbeat_every=args.heartbeat_every,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if spec.shards < 2:
+        print("error: trace timeline needs --shards >= 2 "
+              "(the telemetry plane instruments parallel runs)",
+              file=sys.stderr)
+        return 2
+    pair = build_pair(spec)
+    result = run(spec, pair=pair, workers=args.workers)
+    timeline = result.timeline or []
+    summary = span_summary(timeline)
+    print(f"workload : {pair.name}   w={args.window}  M={args.memory}  "
+          f"shards={spec.shards}")
+    print(f"timeline : {summary['events']} span events, "
+          f"{len(summary['cells'])} cells, "
+          f"{summary['retries']} retries, "
+          f"wall {summary['wall_seconds']:.3f}s")
+    for kind, count in sorted(summary.get("kinds", {}).items()):
+        print(f"  {kind:<18} {count}")
+    stats = stage_stats(timeline)
+    print("stage latencies (seconds):")
+    print(f"  {'stage':<16} {'count':>6} {'mean':>10} {'p50':>10} "
+          f"{'p90':>10} {'p99':>10} {'max':>10}")
+    for stage, stat in stats.items():
+        if not stat.get("count"):
+            print(f"  {stage:<16} {0:>6}")
+            continue
+        print(f"  {stage:<16} {stat['count']:>6} {stat['mean']:>10.6f} "
+              f"{stat['p50']:>10.6f} {stat['p90']:>10.6f} "
+              f"{stat['p99']:>10.6f} {stat['max']:>10.6f}")
+    if args.spans_out:
+        path = save_spans(timeline, args.spans_out)
+        print(f"spans    : written to {path}")
+    if args.out:
+        from pathlib import Path
+
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(to_chrome_trace(timeline)) + "\n")
+        print(f"trace    : written to {path} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_trace_inspect(args: argparse.Namespace) -> int:
     from .obs import load_trace, trace_summary
 
@@ -504,6 +584,8 @@ def _cmd_trace_attribute(args: argparse.Namespace) -> int:
 def _cmd_dash(args: argparse.Namespace) -> int:
     from .obs import load_trace, play
 
+    if args.fleet:
+        return _cmd_dash_fleet(args)
     if args.from_trace:
         try:
             events = load_trace(args.from_trace)
@@ -520,6 +602,42 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     width = args.bucket if args.bucket is not None else max(args.window // 2, 1)
     frames = play(
         events, width=width, fps=args.fps, title=title,
+        once=args.once, color=False if args.no_color else None,
+    )
+    return 0 if frames else 1
+
+
+def _cmd_dash_fleet(args: argparse.Namespace) -> int:
+    """Fleet mode: one row per shard of a telemetry-armed parallel run."""
+    from .obs import load_spans, play_fleet
+
+    if args.from_trace:
+        # In fleet mode the file is a span timeline (``trace timeline
+        # --spans-out``), not a tuple-lifecycle trace.
+        try:
+            events = load_spans(args.from_trace)
+        except (OSError, ValueError) as error:
+            print(f"cannot read spans {args.from_trace!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        title = f"repro dash --fleet — {args.from_trace}"
+    else:
+        try:
+            spec = replace(_spec_from_args(args, args.algorithm), telemetry=True)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if spec.shards < 2:
+            print("error: dash --fleet needs --shards >= 2 "
+                  "(or --from-trace with a saved span timeline)",
+                  file=sys.stderr)
+            return 2
+        pair = build_pair(spec)
+        result = run(spec, pair=pair, workers=args.workers)
+        events = result.timeline or []
+        title = f"repro dash --fleet — {args.algorithm} x{spec.shards}"
+    frames = play_fleet(
+        events, fps=args.fps, title=title,
         once=args.once, color=False if args.no_color else None,
     )
     return 0 if frames else 1
@@ -601,6 +719,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(record_parser)
 
+    timeline_parser = trace_commands.add_parser(
+        "timeline",
+        help="run a sharded spec with telemetry; export the merged "
+             "span timeline as Chrome trace-event JSON",
+    )
+    timeline_parser.add_argument(
+        "--algorithm", default="EXACT", type=str.upper,
+        help=f"one of {', '.join(ALL_ALGORITHMS)}",
+    )
+    timeline_parser.add_argument(
+        "--out", default=None,
+        help="write Chrome trace-event JSON here "
+             "(chrome://tracing / Perfetto)",
+    )
+    timeline_parser.add_argument(
+        "--spans-out", default=None, dest="spans_out",
+        help="also save the raw span timeline as JSONL "
+             "(replayable with dash --fleet --from-trace)",
+    )
+    _add_workload_arguments(timeline_parser, metrics=False)
+    _shards_arguments(timeline_parser)
+    _fault_tolerance_arguments(timeline_parser)
+    _workers_argument(timeline_parser, "worker processes to fan the shards over")
+
     inspect_parser = trace_commands.add_parser(
         "inspect", help="summarise a saved trace file"
     )
@@ -664,7 +806,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-color", action="store_true", dest="no_color",
         help="disable ANSI colour/clear codes",
     )
+    dash_parser.add_argument(
+        "--fleet", action="store_true",
+        help="fleet mode: one row per shard of a telemetry-armed "
+             "parallel run (heartbeat age, retries, lost shards)",
+    )
     _add_workload_arguments(dash_parser)
+    _shards_arguments(dash_parser)
+    _fault_tolerance_arguments(dash_parser)
+    _workers_argument(dash_parser, "worker processes to fan the shards over")
 
     return parser
 
@@ -681,6 +831,7 @@ _HANDLERS = {
 
 _TRACE_HANDLERS = {
     "record": _cmd_trace_record,
+    "timeline": _cmd_trace_timeline,
     "inspect": _cmd_trace_inspect,
     "attribute": _cmd_trace_attribute,
 }

@@ -201,6 +201,11 @@ class ShardedRunResult(BaseRunResult):
     ``lost_shard`` ledger reason, and — for EXACT runs, where it is
     computable — reports the forgone output in ``lost_output`` so
     ``output_count + lost_output`` reconciles to the fault-free total.
+
+    A supervised run records ``attempts`` (per-shard attempt counts,
+    aligned with ``per_shard``; retries are ``attempt - 1``), and a
+    telemetry-instrumented one attaches ``timeline`` — the merged
+    supervisor/worker span timeline (see :mod:`repro.obs.spans`).
     """
 
     output_count: int
@@ -216,6 +221,8 @@ class ShardedRunResult(BaseRunResult):
     metrics: Optional[dict] = None
     lost_shards: tuple = ()
     lost_output: Optional[int] = None
+    attempts: tuple = ()
+    timeline: Optional[list] = None
 
     engine_kind = "sharded"
 
@@ -238,6 +245,7 @@ def merge_shard_results(
     lost: Sequence[int] = (),
     lost_inputs: Optional[Sequence[tuple]] = None,
     lost_output: Optional[int] = None,
+    attempts: Optional[Sequence[int]] = None,
 ) -> ShardedRunResult:
     """Fold per-shard :class:`~repro.core.async_engine.AsyncRunResult`\\ s.
 
@@ -254,6 +262,13 @@ def merge_shard_results(
     ``runtime.lost_shards`` metrics counters.  At least one shard must
     survive — with nothing to merge there is no degraded result to
     report, only the failure itself.
+
+    ``attempts`` (one count per shard, from
+    ``parallel_map(attempts_out=...)``) lands on the result and — when
+    the run was instrumented — in the merged snapshot as per-shard
+    ``runtime.attempts`` / ``runtime.retries`` counters, so ``--metrics
+    json|csv`` reports how hard each shard fought, not just its final
+    outcome.
     """
     if len(results) != plan.shards:
         raise ValueError(
@@ -265,6 +280,10 @@ def merge_shard_results(
     if lost_inputs is not None and len(lost_inputs) != len(lost):
         raise ValueError(
             f"got {len(lost_inputs)} lost_inputs for {len(lost)} lost shards"
+        )
+    if attempts is not None and len(attempts) != plan.shards:
+        raise ValueError(
+            f"got {len(attempts)} attempt counts for {plan.shards} shards"
         )
     lost_set = set(lost)
     survivors = [
@@ -306,6 +325,15 @@ def merge_shard_results(
             registry.counter(
                 "engine.drops", side="S", reason=DROP_LOST
             ).inc(drop_counts["S"][DROP_LOST])
+        if attempts is not None:
+            for shard, count in enumerate(attempts):
+                registry.counter(
+                    "runtime.attempts", shard=str(shard)
+                ).inc(count)
+                if count > 1:
+                    registry.counter(
+                        "runtime.retries", shard=str(shard)
+                    ).inc(count - 1)
         merged_metrics = registry.snapshot()
 
     per_shard = tuple(
@@ -326,6 +354,7 @@ def merge_shard_results(
         metrics=merged_metrics,
         lost_shards=lost,
         lost_output=lost_output,
+        attempts=tuple(attempts) if attempts is not None else (),
     )
 
 

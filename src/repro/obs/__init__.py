@@ -15,6 +15,12 @@ Two instrumentation layers share the same null-object discipline:
   partner sets to explain which shedding decision lost which outputs;
   :mod:`repro.obs.sampler` folds a trace into per-window time-series
   and :mod:`repro.obs.dashboard` renders them as a live text dashboard.
+* **Runtime spans** — one level up from tuples: :mod:`repro.obs.spans`
+  records the parallel runtime's task lifecycle (submit / start /
+  heartbeat / checkpoint / fault / retry / finish) and
+  :mod:`repro.obs.telemetry` streams worker-side events back to the
+  supervisor through crash-safe JSONL spools, merged into one global
+  timeline (Chrome-trace exportable, fleet-dashboard renderable).
 
 Quick use::
 
@@ -55,7 +61,24 @@ from .registry import (
     Series,
     active_or_none,
 )
-from .sampler import Sampler, WindowSample, sample_trace
+from .dashboard import play_fleet, render_fleet
+from .sampler import LOST_KIND, Sampler, WindowSample, sample_trace
+from .spans import (
+    SPAN_KINDS,
+    SpanEvent,
+    SpanRecorder,
+    fleet_rows,
+    iter_spans,
+    load_spans,
+    merge_timeline,
+    save_spans,
+    span_summary,
+    spans_or_none,
+    stage_durations,
+    stage_stats,
+    to_chrome_trace,
+)
+from .telemetry import TelemetryConfig, TelemetrySession
 from .timer import Timer
 from .trace import (
     EVENT_KINDS,
@@ -80,6 +103,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "LOST_KIND",
     "MetricsRegistry",
     "NULL_RECORDER",
     "NULL_TRACER",
@@ -87,30 +111,47 @@ __all__ = [
     "NullTracer",
     "PhaseStat",
     "RingBufferSink",
+    "SPAN_KINDS",
     "Sampler",
     "Series",
+    "SpanEvent",
+    "SpanRecorder",
+    "TelemetryConfig",
+    "TelemetrySession",
     "Timer",
     "TraceEvent",
     "Tracer",
     "WindowSample",
     "active_or_none",
     "attribute_trace",
+    "fleet_rows",
     "format_metrics",
     "format_regret_table",
+    "iter_spans",
     "iter_trace",
     "load_metrics_json",
+    "load_spans",
     "load_trace",
+    "merge_timeline",
     "metrics_to_csv",
     "metrics_to_csv_multi",
     "metrics_to_json",
     "partner_index",
     "play",
+    "play_fleet",
     "regret_by_policy",
+    "render_fleet",
     "render_frame",
     "sample_trace",
     "save_metrics_csv",
     "save_metrics_json",
+    "save_spans",
     "save_trace",
+    "span_summary",
+    "spans_or_none",
+    "stage_durations",
+    "stage_stats",
+    "to_chrome_trace",
     "trace_summary",
     "tracing_or_none",
 ]

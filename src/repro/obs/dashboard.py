@@ -6,11 +6,21 @@ no curses, no external TUI dependency — so it works in any terminal
 frame shows the run so far: per-kind event rates as aligned bar charts,
 memory occupancy, and a cumulative tally, exactly the quantities the
 paper's shedding story is about (arrival pressure vs. bounded memory
-vs. produced output).
+vs. produced output).  Traces from degraded runs get one extra row:
+drops whose reason is ``lost_shard`` (a whole abandoned shard) render
+as a ``lost`` line so the degradation is visible, not folded into the
+ordinary drop count.
 
-The renderer is split from the player so tests can assert on frames
-without a terminal: :func:`render_frame` is pure string-in/string-out;
-:func:`play` handles clearing, pacing, and interrupts.
+Fleet mode (:func:`render_fleet` / :func:`play_fleet`) renders a runtime
+*span* timeline (see :mod:`repro.obs.spans`) instead of a tuple trace:
+one row per shard with its status, attempt/retry counts, checkpoint
+activity, last-heartbeat counters, and heartbeat age — the per-node
+progress/straggler view a parallel run needs.
+
+The renderers are split from the players so tests can assert on frames
+without a terminal: :func:`render_frame` / :func:`render_fleet` are pure
+data-in/string-out; :func:`play` / :func:`play_fleet` handle clearing,
+pacing, and interrupts.
 """
 
 from __future__ import annotations
@@ -19,7 +29,8 @@ import sys
 import time
 from typing import Callable, Optional, Sequence
 
-from .sampler import WindowSample, sample_trace
+from .sampler import LOST_KIND, WindowSample, sample_trace
+from .spans import SPAN_HEARTBEAT, fleet_rows, merge_timeline
 from .trace import (
     EVENT_ADMIT,
     EVENT_ARRIVE,
@@ -29,7 +40,7 @@ from .trace import (
     EVENT_JOIN_OUTPUT,
 )
 
-__all__ = ["play", "render_frame"]
+__all__ = ["play", "play_fleet", "render_fleet", "render_frame"]
 
 CLEAR = "\x1b[H\x1b[J"
 BOLD = "\x1b[1m"
@@ -45,6 +56,10 @@ _PANEL = (
     ("drop", EVENT_DROP, "x"),
     ("expire", EVENT_EXPIRE, "."),
 )
+
+#: extra row shown only when the trace carries ``lost_shard`` drops —
+#: fault-free runs keep the classic six-row panel.
+_LOST_ROW = ("lost", LOST_KIND, "!")
 
 
 def _bar(value: int, peak: int, width: int, glyph: str) -> str:
@@ -72,19 +87,22 @@ def render_frame(
     if not shown:
         return f"{bold}{title}{reset}\n  (no trace events)"
     current = shown[-1]
+    panel = _PANEL
+    if any(w.get(LOST_KIND) for w in windows):
+        panel = _PANEL + (_LOST_ROW,)
     peaks = {
         kind: max((w.get(kind) for w in windows), default=0)
-        for _, kind, _ in _PANEL
+        for _, kind, _ in panel
     }
     peak_occupancy = max((w.occupancy for w in windows), default=0)
-    totals = {kind: sum(w.get(kind) for w in shown) for _, kind, _ in _PANEL}
+    totals = {kind: sum(w.get(kind) for w in shown) for _, kind, _ in panel}
 
     lines.append(
         f"{bold}{title}{reset}  ticks {current.start}..{current.end}"
         f"  (window {len(shown)}/{len(windows)})"
     )
     lines.append("")
-    for label, kind, glyph in _PANEL:
+    for label, kind, glyph in panel:
         value = current.get(kind)
         bar = _bar(value, peaks[kind], bar_width, glyph)
         lines.append(
@@ -99,10 +117,13 @@ def render_frame(
     lines.append("")
     produced = totals[EVENT_JOIN_OUTPUT]
     shed = totals[EVENT_EVICT] + totals[EVENT_DROP]
-    lines.append(
+    tally = (
         f"  produced {produced} outputs, shed {shed} tuples "
         f"({totals[EVENT_EVICT]} evicted, {totals[EVENT_DROP]} dropped)"
     )
+    if totals.get(LOST_KIND):
+        tally += f" — {totals[LOST_KIND]} of them to lost shards"
+    lines.append(tally)
     return "\n".join(lines)
 
 
@@ -144,6 +165,123 @@ def play(
             out.flush()
             frames += 1
             if upto < len(windows) - 1:
+                sleep(1.0 / fps)
+    except KeyboardInterrupt:
+        out.write("\n")
+    return frames
+
+
+# ----------------------------------------------------------------------
+# fleet mode: one row per shard of a parallel run
+# ----------------------------------------------------------------------
+
+#: status → glyph, ordered from healthy to bad.
+_FLEET_GLYPHS = {
+    "queued": "·",
+    "running": ">",
+    "retrying": "~",
+    "done": "ok",
+    "lost": "XX",
+}
+
+
+def render_fleet(
+    events,
+    *,
+    upto_ts: Optional[float] = None,
+    title: str = "repro dash --fleet",
+    color: bool = True,
+) -> str:
+    """One fleet frame: the per-shard state table at ``upto_ts``.
+
+    ``events`` is a span timeline (see
+    :func:`repro.obs.spans.merge_timeline`); each shard renders as one
+    row with status, attempts/retries, checkpoint count, resume marker,
+    the last heartbeat's tick/output/occupancy/rate, and the heartbeat
+    age — stale ages flag stragglers, ``lost`` flags degradation.
+    """
+    bold, dim, reset = (BOLD, DIM, RESET) if color else ("", "", "")
+    rows = fleet_rows(events, upto_ts=upto_ts)
+    if not rows:
+        return f"{bold}{title}{reset}\n  (no span events)"
+    lines = [
+        f"{bold}{title}{reset}  {len(rows)} shards",
+        "",
+        f"  {'shard':<6} {'st':<3} {'status':<9} {'att':>3} {'rty':>3} "
+        f"{'ckpt':>4} {'res':>3} {'tick':>7} {'output':>8} {'occ':>5} "
+        f"{'tup/s':>8} {'hb age':>8}",
+        "  " + "-" * 76,
+    ]
+    for row in rows:
+        beat = row["heartbeat"] or {}
+        age = row["heartbeat_age"]
+        styled = bold if row["status"] in ("lost", "retrying") else ""
+        lines.append(
+            f"  {styled}{row['shard']:<6} "
+            f"{_FLEET_GLYPHS.get(row['status'], '?'):<3} "
+            f"{row['status']:<9} {row['attempts']:>3} {row['retries']:>3} "
+            f"{row['checkpoints']:>4} {'yes' if row['restored'] else '-':>3} "
+            f"{beat.get('tick', '-')!s:>7} {beat.get('output', '-')!s:>8} "
+            f"{beat.get('occupancy', '-')!s:>5} "
+            f"{beat.get('tuples_per_s', '-')!s:>8} "
+            f"{f'{age:.2f}s' if age is not None else '-':>8}"
+            f"{reset if styled else ''}"
+        )
+    lost = sum(1 for row in rows if row["status"] == "lost")
+    done = sum(1 for row in rows if row["status"] == "done")
+    retries = sum(row["retries"] for row in rows)
+    lines.append("")
+    lines.append(
+        f"  {done}/{len(rows)} shards done, {lost} lost, "
+        f"{retries} retries {dim}(att=attempts, rty=retries, "
+        f"ckpt=checkpoint saves, res=resumed){reset}"
+    )
+    return "\n".join(lines)
+
+
+def play_fleet(
+    events,
+    *,
+    fps: float = 8.0,
+    title: str = "repro dash --fleet",
+    once: bool = False,
+    color: Optional[bool] = None,
+    out=None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """Replay a span timeline as animated fleet frames; returns frames.
+
+    The timeline is replayed in recorded order with one frame per
+    heartbeat wave (any shard's heartbeat advances the clock), ending on
+    the complete table.  ``once=True`` prints only the final state.
+    """
+    if out is None:
+        out = sys.stdout
+    if color is None:
+        color = bool(getattr(out, "isatty", lambda: False)())
+    timeline = merge_timeline(events)
+    if not timeline:
+        print(f"{title}: no span events", file=out)
+        return 0
+    if once:
+        print(render_fleet(timeline, title=title, color=color), file=out)
+        return 1
+
+    checkpoints = [
+        event.ts for event in timeline if event.kind == SPAN_HEARTBEAT
+    ]
+    checkpoints.append(timeline[-1].ts)
+    frames = 0
+    try:
+        for upto_ts in checkpoints:
+            out.write(CLEAR if color else "\n")
+            out.write(
+                render_fleet(timeline, upto_ts=upto_ts, title=title, color=color)
+            )
+            out.write("\n")
+            out.flush()
+            frames += 1
+            if upto_ts != checkpoints[-1]:
                 sleep(1.0 / fps)
     except KeyboardInterrupt:
         out.write("\n")

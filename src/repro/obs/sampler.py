@@ -19,13 +19,22 @@ from typing import Iterable
 
 from .trace import (
     EVENT_ADMIT,
+    EVENT_DROP,
     EVENT_EVICT,
     EVENT_EXPIRE,
     EVENT_KINDS,
+    REASON_LOST_SHARD,
     TraceEvent,
 )
 
-__all__ = ["Sampler", "WindowSample", "sample_trace"]
+__all__ = ["LOST_KIND", "Sampler", "WindowSample", "sample_trace"]
+
+#: Synthetic series name for ``drop`` events whose reason is
+#: ``lost_shard`` — a whole abandoned shard, not an ordinary admission
+#: refusal, so the dashboard reports it as its own row.  Counted *in
+#: addition to* the plain ``drop`` kind (the drop total stays the drop
+#: total; the lost row decomposes it).
+LOST_KIND = "lost"
 
 
 @dataclass
@@ -81,6 +90,8 @@ class Sampler:
                 start=index * self.width, width=self.width
             )
         bucket.counts[event.kind] = bucket.counts.get(event.kind, 0) + 1
+        if event.kind == EVENT_DROP and event.reason == REASON_LOST_SHARD:
+            bucket.counts[LOST_KIND] = bucket.counts.get(LOST_KIND, 0) + 1
 
     def extend(self, events: Iterable[TraceEvent]) -> None:
         for event in events:

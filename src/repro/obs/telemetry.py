@@ -1,0 +1,325 @@
+"""Cross-process telemetry: worker heartbeats spooled back to the parent.
+
+The span layer (:mod:`repro.obs.spans`) defines *what* a task-lifecycle
+event is; this module is the *transport* that gets worker-side events
+across the process boundary.  A :class:`~concurrent.futures.Future` only
+carries a task's final result — while a shard runs (or hangs, or dies)
+the supervisor sees nothing.  So each worker attempt appends its events
+to a private JSONL *spool file* under a run-shared directory, crash-safe
+via the :class:`~repro.obs.trace.JsonlSink` fsync interval: a killed
+worker loses at most the last ``fsync_every - 1`` events, never its
+whole buffered tail.  After the run the supervisor reads every spool
+back (tolerating the truncated final line a kill can leave) and merges
+them with its own events into one globally-ordered timeline.
+
+Two halves
+----------
+
+:class:`TelemetrySession` — supervisor side.  Owns the spool directory,
+a :class:`~repro.obs.spans.SpanRecorder` for supervisor events (submit /
+retry / timeout / finish / merge / degrade), and the picklable
+:class:`TelemetryConfig` that rides to workers inside the dispatch
+tuple.  ``merged_timeline()`` folds both sides.
+
+Module-level worker context — worker side, mirroring
+:mod:`repro.runtime.faults`: the pool shim calls :func:`activate` /
+:func:`deactivate` around each attempt, the shard entry point calls
+:func:`annotate` with its shard index, and the engine's per-tick hook
+calls :func:`maybe_heartbeat`.  Every function is a no-op behind one
+module-global read when no context is armed, so unsupervised runs pay
+nothing.
+
+Heartbeats carry the engine's live counters (tick, outputs, arrivals,
+memory occupancy, drop count — see ``AsyncJoinEngine.progress``) plus a
+derived ``tuples_per_s`` rate over the interval since the previous
+heartbeat.  Timestamps are absolute ``time.time()`` values: workers are
+forked/spawned on the same machine as the supervisor, so one wall clock
+orders both sides (the span layer clamps the sub-millisecond negative
+durations scheduling jitter can produce).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .spans import (
+    SOURCE_WORKER,
+    SPAN_CHECKPOINT_RESTORE,
+    SPAN_CHECKPOINT_SAVE,
+    SPAN_FAIL,
+    SPAN_FAULT,
+    SPAN_HEARTBEAT,
+    SPAN_START,
+    SpanEvent,
+    SpanRecorder,
+    iter_spans,
+    merge_timeline,
+)
+from .trace import JsonlSink
+
+__all__ = [
+    "SPOOL_SUFFIX",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "activate",
+    "annotate",
+    "checkpoint_restored",
+    "checkpoint_saved",
+    "deactivate",
+    "is_active",
+    "maybe_heartbeat",
+    "record_failure",
+    "record_fault",
+    "spool_path",
+]
+
+#: Spool files are ``cell0003.attempt02.spool.jsonl`` under the root.
+SPOOL_SUFFIX = ".spool.jsonl"
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Everything a worker needs to emit telemetry — plain picklable data.
+
+    ``root`` is the run-shared spool directory; ``heartbeat_every`` the
+    tick interval between heartbeats; ``fsync_every`` the event interval
+    between fsyncs of the spool (the crash-safety / overhead dial).
+    """
+
+    root: str
+    heartbeat_every: int = 16
+    fsync_every: int = 32
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_every < 1:
+            raise ValueError(
+                f"heartbeat_every must be >= 1, got {self.heartbeat_every}"
+            )
+        if self.fsync_every < 1:
+            raise ValueError(
+                f"fsync_every must be >= 1, got {self.fsync_every}"
+            )
+
+
+def spool_path(root, cell: int, attempt: int) -> Path:
+    """The spool file of one attempt — unique per ``(cell, attempt)``.
+
+    Uniqueness matters: an abandoned (timed-out) attempt's worker cannot
+    be killed and may still be writing while its retry runs; giving each
+    attempt its own file keeps both streams intact.
+    """
+    return Path(root) / f"cell{cell:04d}.attempt{attempt:02d}{SPOOL_SUFFIX}"
+
+
+# ----------------------------------------------------------------------
+# worker-side context
+# ----------------------------------------------------------------------
+
+class _WorkerContext:
+    """One armed attempt: its identity, spool sink, and rate state."""
+
+    def __init__(
+        self,
+        config: TelemetryConfig,
+        cell: int,
+        attempt: int,
+        label: Optional[str],
+    ) -> None:
+        self.config = config
+        self.cell = cell
+        self.attempt = attempt
+        self.label = label
+        self.shard: Optional[int] = None
+        self.sink = JsonlSink(
+            spool_path(config.root, cell, attempt),
+            fsync_every=config.fsync_every,
+        )
+        self._last_beat: Optional[tuple] = None  # (ts, arrivals)
+
+    def emit(self, kind: str, *, tick=None, data=None) -> dict:
+        # Built as a plain dict (the SpanEvent.to_json shape) rather
+        # than through SpanEvent — this is the per-heartbeat hot path.
+        payload = {
+            "ts": time.time(),
+            "kind": kind,
+            "cell": self.cell,
+            "attempt": self.attempt,
+            "source": SOURCE_WORKER,
+        }
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        if tick is not None:
+            payload["tick"] = tick
+        if self.label is not None:
+            payload["label"] = self.label
+        if data is not None:
+            payload["data"] = data
+        self.sink.write_json(payload)
+        return payload
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: The attempt currently emitting telemetry in this process, or None.
+_ACTIVE: Optional[_WorkerContext] = None
+
+
+def activate(
+    config: TelemetryConfig,
+    *,
+    cell: int,
+    attempt: int,
+    label: Optional[str] = None,
+) -> None:
+    """Arm the context for one attempt and emit its ``start`` span."""
+    global _ACTIVE
+    if _ACTIVE is not None:  # a prior attempt's context leaked; drop it
+        _ACTIVE.close()
+    _ACTIVE = _WorkerContext(config, cell, attempt, label)
+    _ACTIVE.emit(SPAN_START)
+
+
+def deactivate() -> None:
+    """Disarm after the attempt finishes (success or failure)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+        _ACTIVE = None
+
+
+def is_active() -> bool:
+    """Whether this process is currently emitting telemetry."""
+    return _ACTIVE is not None
+
+
+def annotate(*, shard: Optional[int] = None) -> None:
+    """Stamp subsequent events with coordinates the dispatcher lacks.
+
+    The pool knows only the cell index; the shard entry point calls this
+    with its shard so heartbeats carry both.
+    """
+    if _ACTIVE is None:
+        return
+    if shard is not None:
+        _ACTIVE.shard = shard
+
+
+def maybe_heartbeat(tick: int, progress) -> None:
+    """Emit a heartbeat when ``tick`` is on the interval; no-op otherwise.
+
+    ``progress`` is a zero-argument callable returning the engine's live
+    counters — called *only* when a heartbeat is due, so off-interval
+    ticks pay one global read and one modulo.  The emitted data adds
+    ``tuples_per_s`` (arrivals per wall second since the last beat).
+    """
+    context = _ACTIVE
+    if context is None or tick % context.config.heartbeat_every != 0:
+        return
+    counters = progress()  # a fresh dict per call; mutated in place
+    now = time.time()
+    arrivals = counters.get("arrivals", 0)
+    if context._last_beat is not None:
+        elapsed = now - context._last_beat[0]
+        if elapsed > 0:
+            counters["tuples_per_s"] = round(
+                (arrivals - context._last_beat[1]) / elapsed, 3
+            )
+    context._last_beat = (now, arrivals)
+    context.emit(SPAN_HEARTBEAT, tick=tick, data=counters)
+
+
+def checkpoint_saved(
+    seconds: float, *, tick: Optional[int] = None, key: Optional[str] = None
+) -> None:
+    """Record one checkpoint save and its cost (emitted by the store)."""
+    if _ACTIVE is None:
+        return
+    data = {"seconds": round(seconds, 6)}
+    if key is not None:
+        data["key"] = key
+    _ACTIVE.emit(SPAN_CHECKPOINT_SAVE, tick=tick, data=data)
+
+
+def checkpoint_restored(
+    *, tick: Optional[int] = None, key: Optional[str] = None
+) -> None:
+    """Record a resume from checkpoint (``tick`` is the resumed tick)."""
+    if _ACTIVE is None:
+        return
+    data = {"key": key} if key is not None else None
+    _ACTIVE.emit(SPAN_CHECKPOINT_RESTORE, tick=tick, data=data)
+
+
+def record_fault(tick: int, *, kind: str = "kill") -> None:
+    """Record an injected fault firing, then make the spool durable.
+
+    Called just before the fault's exception unwinds the attempt — the
+    real-world analogue is a process death, so the spool is flushed hard
+    here rather than waiting out the fsync interval.
+    """
+    if _ACTIVE is None:
+        return
+    _ACTIVE.emit(SPAN_FAULT, tick=tick, data={"kind": kind})
+    _ACTIVE.sink.flush()
+
+
+def record_failure(exc: BaseException) -> None:
+    """Record the attempt's terminal error and flush the spool."""
+    if _ACTIVE is None:
+        return
+    _ACTIVE.emit(
+        SPAN_FAIL,
+        data={"error": type(exc).__name__, "message": str(exc)},
+    )
+    _ACTIVE.sink.flush()
+
+
+# ----------------------------------------------------------------------
+# supervisor-side session
+# ----------------------------------------------------------------------
+
+class TelemetrySession:
+    """One run's telemetry plane, owned by the supervising process.
+
+    Creates the spool directory, records supervisor-side spans, and
+    builds the :class:`TelemetryConfig` workers are handed.  After the
+    dispatch, :meth:`merged_timeline` folds the supervisor's events and
+    every worker spool into one deterministic global timeline.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        heartbeat_every: int = 16,
+        fsync_every: int = 32,
+        clock=time.time,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.spans = SpanRecorder(clock)
+        self.config = TelemetryConfig(
+            root=str(self.root),
+            heartbeat_every=heartbeat_every,
+            fsync_every=fsync_every,
+        )
+
+    def worker_events(self) -> list[SpanEvent]:
+        """Every event read back from the worker spools.
+
+        Non-strict reads: an abandoned attempt's worker may still be
+        mid-line, and a killed one may have left a truncated tail —
+        everything fsynced before that point is intact and returned.
+        """
+        events: list[SpanEvent] = []
+        for path in sorted(self.root.glob(f"*{SPOOL_SUFFIX}")):
+            events.extend(iter_spans(path, strict=False))
+        return events
+
+    def merged_timeline(self) -> list[SpanEvent]:
+        """Supervisor + worker events in one deterministic global order."""
+        return merge_timeline(self.spans.events, self.worker_events())

@@ -61,6 +61,7 @@ A :class:`Tracer` forwards every event to one pluggable sink:
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter, deque
 from pathlib import Path
 from typing import Iterable, Iterator, NamedTuple, Optional
@@ -212,19 +213,49 @@ class JsonlSink:
     """Streams events to a JSON-lines file (one object per line).
 
     Usable as a context manager; :meth:`close` is idempotent.  The
-    parent directory is created on demand.
+    parent directory is created on demand.  Accepts any event object
+    exposing ``to_json()`` (trace events, runtime span events).
+
+    ``fsync_every=N`` makes the sink crash-safe: after every ``N``
+    events the buffer is flushed and fsynced, so a killed worker loses
+    at most the last ``N - 1`` events instead of its whole buffered
+    tail — which is what keeps fault attribution honest when the
+    runtime injects kills.  The default (``None``) keeps the old
+    buffered behaviour for in-process traces that close cleanly.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, fsync_every: Optional[int] = None) -> None:
+        if fsync_every is not None and fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = self.path.open("w")
+        self.fsync_every = fsync_every
+        self._since_sync = 0
         self.total = 0
 
-    def emit(self, event: TraceEvent) -> None:
-        self._file.write(json.dumps(event.to_json(), default=str))
+    def emit(self, event) -> None:
+        self.write_json(event.to_json())
+
+    def write_json(self, payload: dict) -> None:
+        """Append one already-built JSON object (the telemetry hot path
+        uses this to skip event-object construction)."""
+        self._file.write(json.dumps(payload, default=str))
         self._file.write("\n")
         self.total += 1
+        if self.fsync_every is not None:
+            self._since_sync += 1
+            if self._since_sync >= self.fsync_every:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._since_sync = 0
+
+    def flush(self) -> None:
+        """Force the buffered tail to disk now (flush + fsync)."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._since_sync = 0
 
     def close(self) -> None:
         if self._file is not None:

@@ -86,9 +86,16 @@ class ShardCell:
 
 
 def run_shard_cell(cell: ShardCell):
-    """Worker entry: run one shard of a sharded spec."""
-    from ..api import _run_join_shard
+    """Worker entry: run one shard of a sharded spec.
 
+    Stamps the telemetry context (when armed) with the shard index —
+    the dispatcher only knows the cell index, and fleet views key rows
+    by shard.
+    """
+    from ..api import _run_join_shard
+    from ..obs import telemetry
+
+    telemetry.annotate(shard=cell.shard)
     return _run_join_shard(cell.spec, cell.pair, cell.shard, cell.budget)
 
 

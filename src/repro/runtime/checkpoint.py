@@ -21,10 +21,12 @@ import os
 import pickle
 import re
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
 from ..core.results import SCHEMA_VERSION
+from ..obs import telemetry as _telemetry
 
 __all__ = ["CheckpointStore"]
 
@@ -43,7 +45,13 @@ class CheckpointStore:
         return self.root / f"{safe}.ckpt"
 
     def save(self, key: str, state: dict, *, fingerprint: str) -> Path:
-        """Atomically persist ``state`` for ``key``."""
+        """Atomically persist ``state`` for ``key``.
+
+        Under an armed telemetry context (see
+        :mod:`repro.obs.telemetry`) the save and its wall-clock cost are
+        recorded as a ``checkpoint_save`` span.
+        """
+        started = time.perf_counter()
         payload = {
             "schema_version": SCHEMA_VERSION,
             "fingerprint": fingerprint,
@@ -63,6 +71,9 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        _telemetry.checkpoint_saved(
+            time.perf_counter() - started, tick=state.get("tick"), key=key
+        )
         return path
 
     def load(self, key: str, *, fingerprint: str) -> Optional[dict]:
@@ -85,7 +96,10 @@ class CheckpointStore:
             return None
         if payload.get("fingerprint") != fingerprint:
             return None
-        return payload.get("state")
+        state = payload.get("state")
+        if isinstance(state, dict):
+            _telemetry.checkpoint_restored(tick=state.get("tick"), key=key)
+        return state
 
     def clear(self, key: str) -> None:
         """Drop ``key``'s checkpoint (after a successful run)."""

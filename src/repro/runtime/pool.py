@@ -68,6 +68,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from ..obs import telemetry as _telemetry
+from ..obs.spans import SPAN_FINISH, SPAN_RETRY, SPAN_SUBMIT, SPAN_TIMEOUT
 from . import faults as _faults
 
 #: Environment variable steering the default worker count (see above).
@@ -173,15 +175,27 @@ def _guarded(packed):
 
 
 def _guarded_attempt(packed):
-    """Worker shim for one supervised attempt, with fault context armed."""
-    fn, task, label, cell_faults, attempt = packed
+    """Worker shim for one supervised attempt, with fault context armed.
+
+    When the dispatch carries a :class:`~repro.obs.telemetry.TelemetryConfig`
+    the telemetry context is armed too: the attempt's ``start`` span and
+    heartbeats stream to its spool file, and a terminal exception is
+    recorded (and the spool made durable) before the outcome returns.
+    """
+    fn, task, label, cell_faults, attempt, telemetry_cfg, cell = packed
     _faults.activate(cell_faults, attempt)
+    if telemetry_cfg is not None:
+        _telemetry.activate(
+            telemetry_cfg, cell=cell, attempt=attempt, label=label
+        )
     try:
         _faults.inject_dispatch()
         return ("ok", fn(task))
     except Exception as exc:  # noqa: BLE001 - recorded in attempt history
+        _telemetry.record_failure(exc)
         return ("err", label, type(exc).__name__, str(exc), traceback.format_exc())
     finally:
+        _telemetry.deactivate()
         _faults.deactivate()
 
 
@@ -196,6 +210,7 @@ def parallel_map(
     fault_plan=None,
     return_errors: bool = False,
     attempts_out: Optional[list] = None,
+    telemetry=None,
 ) -> list:
     """Map a picklable ``fn`` over ``tasks``, preserving input order.
 
@@ -212,6 +227,12 @@ def parallel_map(
     their order) are unchanged for cells that succeed.  ``attempts_out``,
     when given a list, is filled with the per-cell attempt counts (1 for
     a first-try success), aligned with the results.
+
+    ``telemetry`` takes a :class:`~repro.obs.telemetry.TelemetrySession`:
+    the supervisor records submit/retry/timeout/finish spans on it and
+    its worker config rides to every attempt, which spools start spans,
+    heartbeats, and failures back (also a supervised mode — the plain
+    path never sees it).
     """
     tasks = list(tasks)
     if labels is None:
@@ -225,7 +246,10 @@ def parallel_map(
 
     count = resolve_workers(workers)
     supervised = (
-        retry is not None or fault_plan is not None or return_errors
+        retry is not None
+        or fault_plan is not None
+        or return_errors
+        or telemetry is not None
     )
     if not supervised:
         if count <= 1 or len(tasks) <= 1:
@@ -248,13 +272,16 @@ def parallel_map(
         return results
 
     policy = retry if retry is not None else RetryPolicy()
+    spans = telemetry.spans if telemetry is not None else None
+    telemetry_cfg = telemetry.config if telemetry is not None else None
     if count <= 1 or len(tasks) <= 1:
         return _supervised_serial(
-            fn, tasks, labels, policy, fault_plan, return_errors, attempts_out
+            fn, tasks, labels, policy, fault_plan, return_errors, attempts_out,
+            spans, telemetry_cfg,
         )
     return _supervised_pooled(
         fn, tasks, labels, policy, fault_plan, return_errors, attempts_out,
-        count,
+        count, spans, telemetry_cfg,
     )
 
 
@@ -263,7 +290,8 @@ def _cell_faults(fault_plan, index: int) -> tuple:
 
 
 def _supervised_serial(
-    fn, tasks, labels, policy, fault_plan, return_errors, attempts_out
+    fn, tasks, labels, policy, fault_plan, return_errors, attempts_out,
+    spans=None, telemetry_cfg=None,
 ):
     """In-process supervised attempts.
 
@@ -282,8 +310,16 @@ def _supervised_serial(
             delay = policy.delay_before(attempt)
             if delay > 0:
                 time.sleep(delay)
-            outcome = _guarded_attempt((fn, task, label, cell_faults, attempt))
+            if spans is not None:
+                spans.emit(SPAN_SUBMIT, cell=index, attempt=attempt, label=label)
+            outcome = _guarded_attempt(
+                (fn, task, label, cell_faults, attempt, telemetry_cfg, index)
+            )
             if outcome[0] == "ok":
+                if spans is not None:
+                    spans.emit(
+                        SPAN_FINISH, cell=index, attempt=attempt, label=label
+                    )
                 final = outcome[1]
                 attempt_counts.append(attempt)
                 break
@@ -291,6 +327,14 @@ def _supervised_serial(
                 {"attempt": attempt, "error": outcome[2], "message": outcome[3]}
             )
             last_details = outcome[4]
+            if spans is not None and attempt <= policy.max_retries:
+                spans.emit(
+                    SPAN_RETRY, cell=index, attempt=attempt, label=label,
+                    data={
+                        "next_attempt": attempt + 1,
+                        "delay_s": policy.delay_before(attempt + 1),
+                    },
+                )
         else:
             error = CellError(
                 label,
@@ -310,7 +354,8 @@ def _supervised_serial(
 
 
 def _supervised_pooled(
-    fn, tasks, labels, policy, fault_plan, return_errors, attempts_out, count
+    fn, tasks, labels, policy, fault_plan, return_errors, attempts_out, count,
+    spans=None, telemetry_cfg=None,
 ):
     """Submit-based executor with per-attempt timeout, backoff, retry."""
     n = len(tasks)
@@ -326,10 +371,14 @@ def _supervised_pooled(
     pool = ProcessPoolExecutor(max_workers=min(count, n))
 
     def submit(index: int, attempt: int) -> None:
+        if spans is not None:
+            spans.emit(
+                SPAN_SUBMIT, cell=index, attempt=attempt, label=labels[index]
+            )
         future = pool.submit(
             _guarded_attempt,
             (fn, tasks[index], labels[index], _cell_faults(fault_plan, index),
-             attempt),
+             attempt, telemetry_cfg, index),
         )
         deadline = (
             time.monotonic() + policy.timeout_s
@@ -344,7 +393,14 @@ def _supervised_pooled(
         )
         last_details[index] = details
         if attempt <= policy.max_retries:
-            ready = time.monotonic() + policy.delay_before(attempt + 1)
+            delay = policy.delay_before(attempt + 1)
+            if spans is not None:
+                spans.emit(
+                    SPAN_RETRY, cell=index, attempt=attempt,
+                    label=labels[index],
+                    data={"next_attempt": attempt + 1, "delay_s": delay},
+                )
+            ready = time.monotonic() + delay
             delayed.append((ready, index, attempt + 1))
         else:
             resolved[index] = True
@@ -395,6 +451,11 @@ def _supervised_pooled(
                 if resolved[index]:
                     continue  # stale result of an abandoned attempt
                 if outcome[0] == "ok":
+                    if spans is not None:
+                        spans.emit(
+                            SPAN_FINISH, cell=index, attempt=attempt,
+                            label=labels[index],
+                        )
                     results[index] = outcome[1]
                     resolved[index] = True
                     attempt_counts[index] = attempt
@@ -411,6 +472,12 @@ def _supervised_pooled(
                 future.cancel()  # no-op once running; frees queued ones
                 if resolved[index]:
                     continue
+                if spans is not None:
+                    spans.emit(
+                        SPAN_TIMEOUT, cell=index, attempt=attempt,
+                        label=labels[index],
+                        data={"timeout_s": policy.timeout_s},
+                    )
                 attempt_failed(
                     index,
                     attempt,

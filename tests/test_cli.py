@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.spans import load_spans
 
 
 class TestParser:
@@ -318,3 +321,73 @@ class TestDashCommand:
         code = main(["dash", "--from-trace", "/nonexistent.jsonl", "--once"])
         assert code == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestTraceTimelineCommand:
+    ARGS = ["trace", "timeline", "--length", "300", "--window", "20",
+            "--memory", "10", "--domain", "30", "--shards", "2"]
+
+    def test_prints_summary_and_stage_table(self, capsys):
+        code = main(self.ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline :" in out
+        assert "span events" in out
+        assert "heartbeat" in out
+        assert "queue" in out  # the stage-latency table
+
+    def test_writes_chrome_trace_json(self, capsys, tmp_path):
+        out_path = tmp_path / "timeline.json"
+        code = main(self.ARGS + ["--out", str(out_path)])
+        assert code == 0
+        capsys.readouterr()
+        trace = json.loads(out_path.read_text())
+        assert trace["traceEvents"]
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert phases >= {"M", "X"}
+
+    def test_spans_out_round_trips(self, capsys, tmp_path):
+        spans_path = tmp_path / "spans.jsonl"
+        code = main(self.ARGS + ["--spans-out", str(spans_path)])
+        assert code == 0
+        capsys.readouterr()
+        events = load_spans(spans_path)
+        assert any(event.kind == "heartbeat" for event in events)
+        assert any(event.kind == "merge" for event in events)
+
+    def test_rejects_unsharded_runs(self, capsys):
+        code = main(["trace", "timeline", "--length", "300", "--window",
+                     "20", "--memory", "10"])
+        assert code == 2
+        assert "shards > 1" in capsys.readouterr().err
+
+
+class TestFleetDashCommand:
+    def test_fleet_once(self, capsys):
+        code = main(
+            ["dash", "--fleet", "--length", "300", "--window", "20",
+             "--memory", "10", "--domain", "30", "--shards", "2",
+             "--once", "--no-color"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "done" in out
+        assert "\x1b[" not in out
+
+    def test_fleet_from_saved_spans(self, capsys, tmp_path):
+        spans_path = tmp_path / "spans.jsonl"
+        main(["trace", "timeline", "--length", "300", "--window", "20",
+              "--memory", "10", "--domain", "30", "--shards", "2",
+              "--spans-out", str(spans_path)])
+        capsys.readouterr()
+        code = main(["dash", "--fleet", "--from-trace", str(spans_path),
+                     "--once", "--no-color"])
+        assert code == 0
+        assert "shards" in capsys.readouterr().out
+
+    def test_fleet_missing_trace(self, capsys):
+        code = main(["dash", "--fleet", "--from-trace", "/nonexistent.jsonl",
+                     "--once"])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err

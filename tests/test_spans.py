@@ -1,0 +1,278 @@
+"""Tests for repro.obs.spans: events, merging, export, fleet folding."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_CHECKPOINT_RESTORE,
+    SPAN_CHECKPOINT_SAVE,
+    SPAN_DEGRADE,
+    SPAN_FAIL,
+    SPAN_FAULT,
+    SPAN_FINISH,
+    SPAN_HEARTBEAT,
+    SPAN_KINDS,
+    SPAN_MERGE,
+    SPAN_RETRY,
+    SPAN_START,
+    SPAN_SUBMIT,
+    SOURCE_SUPERVISOR,
+    SOURCE_WORKER,
+    SpanEvent,
+    SpanRecorder,
+    fleet_rows,
+    load_spans,
+    merge_timeline,
+    save_spans,
+    span_summary,
+    spans_or_none,
+    stage_durations,
+    stage_stats,
+    to_chrome_trace,
+)
+
+
+def ev(ts, kind, cell=0, attempt=1, source=SOURCE_WORKER, **kw):
+    return SpanEvent(ts=ts, kind=kind, cell=cell, attempt=attempt,
+                     source=source, **kw)
+
+
+class TestSpanEvent:
+    def test_json_round_trip(self):
+        event = ev(1.5, SPAN_HEARTBEAT, cell=3, attempt=2, shard=3,
+                   tick=160, label="shard 3", data={"output": 7})
+        assert SpanEvent.from_json(event.to_json()) == event
+
+    def test_to_json_omits_none_fields(self):
+        record = ev(1.0, SPAN_START).to_json()
+        assert set(record) == {"ts", "kind", "cell", "attempt", "source"}
+
+    def test_round_trip_through_json_text(self):
+        event = ev(2.0, SPAN_FINISH, cell=1, data={"ok": True})
+        assert SpanEvent.from_json(json.loads(json.dumps(event.to_json()))) == event
+
+    def test_key_is_cell_attempt_shard(self):
+        assert ev(0.0, SPAN_START, cell=2, attempt=3, shard=2).key == (2, 3, 2)
+
+
+class TestRecorder:
+    def test_scripted_clock(self):
+        ticks = iter([10.0, 11.0])
+        recorder = SpanRecorder(clock=lambda: next(ticks))
+        recorder.emit(SPAN_SUBMIT, cell=0)
+        recorder.emit(SPAN_RETRY, cell=0, attempt=1)
+        assert [e.ts for e in recorder.events] == [10.0, 11.0]
+        assert all(e.source == SOURCE_SUPERVISOR for e in recorder.events)
+
+    def test_spans_or_none(self):
+        recorder = SpanRecorder()
+        assert spans_or_none(recorder) is recorder
+        assert spans_or_none(None) is None
+
+        class Disabled:
+            enabled = False
+
+        assert spans_or_none(Disabled()) is None
+
+
+class TestMergeTimeline:
+    def events(self):
+        # Two workers plus a supervisor, with deliberate timestamp ties.
+        supervisor = [
+            ev(0.0, SPAN_SUBMIT, cell=0, source=SOURCE_SUPERVISOR),
+            ev(0.0, SPAN_SUBMIT, cell=1, source=SOURCE_SUPERVISOR),
+            ev(5.0, SPAN_MERGE, cell=None, source=SOURCE_SUPERVISOR),
+        ]
+        worker0 = [
+            ev(1.0, SPAN_START, cell=0, shard=0),
+            ev(2.0, SPAN_HEARTBEAT, cell=0, shard=0, tick=16),
+            ev(4.0, SPAN_FINISH, cell=0, shard=0),
+        ]
+        worker1 = [
+            ev(1.0, SPAN_START, cell=1, shard=1),
+            ev(2.0, SPAN_HEARTBEAT, cell=1, shard=1, tick=16),
+            ev(4.0, SPAN_FINISH, cell=1, shard=1),
+        ]
+        return supervisor, worker0, worker1
+
+    def test_merge_is_order_invariant(self):
+        groups = self.events()
+        reference = merge_timeline(*groups)
+        rng = random.Random(7)
+        for _ in range(10):
+            shuffled = [list(g) for g in groups]
+            for group in shuffled:
+                rng.shuffle(group)
+            rng.shuffle(shuffled)
+            assert merge_timeline(*shuffled) == reference
+
+    def test_ties_break_on_causal_rank(self):
+        start = ev(3.0, SPAN_START, cell=0)
+        beat = ev(3.0, SPAN_HEARTBEAT, cell=0, tick=0)
+        assert merge_timeline([beat], [start]) == [start, beat]
+        assert SPAN_KINDS.index(SPAN_START) < SPAN_KINDS.index(SPAN_HEARTBEAT)
+
+    def test_save_load_round_trip(self, tmp_path):
+        timeline = merge_timeline(*self.events())
+        path = save_spans(timeline, tmp_path / "spans.jsonl")
+        assert load_spans(path) == timeline
+
+
+class TestStages:
+    def timeline(self):
+        return [
+            ev(0.0, SPAN_SUBMIT, source=SOURCE_SUPERVISOR),
+            ev(0.5, SPAN_START),
+            ev(1.0, SPAN_CHECKPOINT_SAVE, tick=31, data={"seconds": 0.25}),
+            ev(2.0, SPAN_FAULT, tick=40),
+            ev(2.0, SPAN_FAIL, data={"error": "InjectedFault"}),
+            ev(2.5, SPAN_RETRY, source=SOURCE_SUPERVISOR,
+               data={"next_attempt": 2}),
+            ev(3.0, SPAN_START, attempt=2),
+            ev(3.1, SPAN_CHECKPOINT_RESTORE, attempt=2, tick=31),
+            ev(4.0, SPAN_FINISH, attempt=2),
+        ]
+
+    def test_stage_durations(self):
+        durations = stage_durations(self.timeline())
+        assert durations["queue"] == [0.5]
+        assert durations["run"] == [pytest.approx(1.5), pytest.approx(1.0)]
+        assert durations["checkpoint_save"] == [0.25]
+        assert durations["retry_backoff"] == [pytest.approx(0.5)]
+
+    def test_stage_stats_shape(self):
+        stats = stage_stats(self.timeline())
+        run = stats["run"]
+        assert run["count"] == 2
+        assert run["mean"] == pytest.approx(1.25)
+        for quantile in ("p50", "p90", "p99"):
+            assert run["min"] <= run[quantile] <= run["max"]
+        # A stage with no samples reports a bare zero count.
+        assert stage_stats([])["queue"] == {"count": 0}
+
+    def test_negative_spans_clamp_to_zero(self):
+        # Cross-process clock skew: start stamped before submit.
+        skewed = [
+            ev(1.0, SPAN_SUBMIT, source=SOURCE_SUPERVISOR),
+            ev(0.9, SPAN_START),
+            ev(2.0, SPAN_FINISH),
+        ]
+        assert stage_durations(skewed)["queue"] == [0.0]
+
+    def test_span_summary(self):
+        summary = span_summary(self.timeline())
+        assert summary["events"] == 9
+        assert summary["cells"] == [0]
+        assert summary["retries"] == 1
+        assert summary["wall_seconds"] == pytest.approx(4.0)
+        assert summary["kinds"][SPAN_START] == 2
+        assert span_summary([]) == {
+            "events": 0, "kinds": {}, "cells": [], "retries": 0,
+            "wall_seconds": 0.0,
+        }
+
+
+class TestChromeTrace:
+    def timeline(self):
+        return [
+            ev(0.0, SPAN_SUBMIT, source=SOURCE_SUPERVISOR),
+            ev(0.5, SPAN_START, shard=0),
+            ev(1.0, SPAN_HEARTBEAT, shard=0, tick=16,
+               data={"occupancy": 10, "tuples_per_s": 5.0}),
+            ev(1.5, SPAN_CHECKPOINT_SAVE, shard=0, data={"seconds": 0.1}),
+            ev(2.0, SPAN_FAULT, shard=0, tick=40),
+            ev(3.0, SPAN_FINISH, shard=0),
+            ev(3.5, SPAN_MERGE, cell=None, source=SOURCE_SUPERVISOR),
+        ]
+
+    def test_schema(self):
+        trace = to_chrome_trace(self.timeline())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events, "no trace events exported"
+        phases = {e["ph"] for e in events}
+        assert phases >= {"M", "X", "i", "C"}
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+            if event["ph"] != "M":
+                assert event["ts"] >= 0  # microseconds from the origin
+
+    def test_timestamps_are_microseconds(self):
+        events = to_chrome_trace(self.timeline())["traceEvents"]
+        finish = [e for e in events if e.get("cat") == "attempt"][0]
+        # start at 0.5 s -> 500000 us after the 0.0 origin.
+        assert finish["ts"] == pytest.approx(500_000)
+        assert finish["dur"] == pytest.approx(2_500_000)
+
+    def test_counter_tracks_from_heartbeats(self):
+        events = to_chrome_trace(self.timeline())["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert names == {"cell0/occupancy", "cell0/tuples_per_s"}
+
+    def test_lane_metadata(self):
+        events = to_chrome_trace(self.timeline())["traceEvents"]
+        lanes = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        # The supervisor's submit touches the lane first, so it is named
+        # by cell; a worker-only timeline would name it by shard.
+        assert "supervisor" in lanes
+        assert "cell 0" in lanes
+        worker_only = [e for e in self.timeline() if e.source == SOURCE_WORKER]
+        lanes = {
+            e["args"]["name"]
+            for e in to_chrome_trace(worker_only)["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert "shard 0" in lanes
+
+    def test_json_serializable_and_empty(self):
+        json.dumps(to_chrome_trace(self.timeline()))
+        assert to_chrome_trace([])["traceEvents"] == []
+
+
+class TestFleetRows:
+    def test_lifecycle_statuses(self):
+        events = [
+            ev(0.0, SPAN_SUBMIT, cell=0, source=SOURCE_SUPERVISOR),
+            ev(0.0, SPAN_SUBMIT, cell=1, source=SOURCE_SUPERVISOR),
+            ev(1.0, SPAN_START, cell=0, shard=0),
+            ev(1.0, SPAN_START, cell=1, shard=1),
+            ev(2.0, SPAN_HEARTBEAT, cell=0, shard=0, tick=16,
+               data={"output": 3}),
+            ev(2.5, SPAN_FAULT, cell=1, shard=1, tick=20),
+            ev(2.5, SPAN_FAIL, cell=1, shard=1),
+            ev(3.0, SPAN_RETRY, cell=1, source=SOURCE_SUPERVISOR,
+               data={"next_attempt": 2}),
+            ev(4.0, SPAN_FINISH, cell=0, shard=0),
+        ]
+        rows = fleet_rows(events)
+        assert [row["cell"] for row in rows] == [0, 1]
+        done, retrying = rows
+        assert done["status"] == "done"
+        assert done["heartbeat"] == {"output": 3}
+        assert done["heartbeat_age"] == pytest.approx(2.0)
+        assert retrying["status"] == "retrying"
+        assert retrying["retries"] == 1
+        assert retrying["faults"] == 1
+
+    def test_degrade_marks_shard_lost(self):
+        events = [
+            ev(0.0, SPAN_START, cell=2, shard=2),
+            ev(1.0, SPAN_DEGRADE, cell=None, source=SOURCE_SUPERVISOR,
+               data={"lost": [2]}),
+        ]
+        assert fleet_rows(events)[0]["status"] == "lost"
+
+    def test_upto_ts_replays_prefix(self):
+        events = [
+            ev(0.0, SPAN_START, cell=0),
+            ev(5.0, SPAN_FINISH, cell=0),
+        ]
+        assert fleet_rows(events, upto_ts=1.0)[0]["status"] == "running"
+        assert fleet_rows(events)[0]["status"] == "done"

@@ -1,0 +1,315 @@
+"""Tests for repro.obs.telemetry: spools, heartbeats, merged timelines."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.api import RunSpec, build_pair, run
+from repro.obs import spans as spans_mod
+from repro.obs import telemetry
+from repro.obs.spans import (
+    SPAN_CHECKPOINT_RESTORE,
+    SPAN_CHECKPOINT_SAVE,
+    SPAN_FAULT,
+    SPAN_FINISH,
+    SPAN_HEARTBEAT,
+    SPAN_RETRY,
+    SPAN_START,
+    SPAN_SUBMIT,
+    SpanEvent,
+    span_summary,
+)
+from repro.obs.telemetry import (
+    TelemetryConfig,
+    TelemetrySession,
+    spool_path,
+)
+from repro.obs.trace import JsonlSink
+from repro.runtime import Fault, FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def clean_worker_context():
+    # Every test starts and ends with the module-level context disarmed,
+    # exactly like a worker process between attempts.
+    telemetry.deactivate()
+    yield
+    telemetry.deactivate()
+
+
+class TestConfig:
+    def test_validates_intervals(self):
+        with pytest.raises(ValueError, match="heartbeat_every"):
+            TelemetryConfig(root="/tmp/x", heartbeat_every=0)
+        with pytest.raises(ValueError, match="fsync_every"):
+            TelemetryConfig(root="/tmp/x", fsync_every=0)
+
+    def test_spool_path_is_unique_per_attempt(self, tmp_path):
+        first = spool_path(tmp_path, 3, 1)
+        retry = spool_path(tmp_path, 3, 2)
+        assert first != retry
+        assert first.name == "cell0003.attempt01.spool.jsonl"
+
+
+class TestWorkerContext:
+    def config(self, tmp_path, **kw):
+        return TelemetryConfig(root=str(tmp_path), **kw)
+
+    def test_activate_emits_start_and_deactivate_disarms(self, tmp_path):
+        assert not telemetry.is_active()
+        telemetry.activate(self.config(tmp_path), cell=0, attempt=1)
+        assert telemetry.is_active()
+        telemetry.deactivate()
+        assert not telemetry.is_active()
+        events = list(spans_mod.iter_spans(spool_path(tmp_path, 0, 1)))
+        assert [e.kind for e in events] == [SPAN_START]
+
+    def test_emit_payload_matches_span_event_shape(self, tmp_path):
+        # The hot path writes a hand-built dict; it must stay loadable
+        # as (and identical to) the SpanEvent JSON schema.
+        telemetry.activate(self.config(tmp_path), cell=2, attempt=1,
+                           label="shard 2")
+        telemetry.annotate(shard=2)
+        payload = telemetry._ACTIVE.emit(
+            SPAN_HEARTBEAT, tick=16, data={"output": 1}
+        )
+        event = SpanEvent.from_json(payload)
+        assert event.to_json() == payload
+        assert (event.cell, event.attempt, event.shard) == (2, 1, 2)
+        assert event.label == "shard 2"
+
+    def test_spool_round_trip(self, tmp_path):
+        telemetry.activate(self.config(tmp_path), cell=1, attempt=2)
+        telemetry.annotate(shard=1)
+        telemetry.checkpoint_saved(0.01, tick=31, key="cell1")
+        telemetry.checkpoint_restored(tick=32, key="cell1")
+        telemetry.record_fault(40)
+        telemetry.deactivate()
+        events = list(spans_mod.iter_spans(spool_path(tmp_path, 1, 2)))
+        assert [e.kind for e in events] == [
+            SPAN_START, SPAN_CHECKPOINT_SAVE, SPAN_CHECKPOINT_RESTORE,
+            SPAN_FAULT,
+        ]
+        assert all(e.attempt == 2 for e in events)
+        assert events[1].data == {"seconds": 0.01, "key": "cell1"}
+
+    def test_functions_are_noops_when_disarmed(self, tmp_path):
+        telemetry.annotate(shard=1)
+        telemetry.maybe_heartbeat(0, lambda: pytest.fail("called"))
+        telemetry.checkpoint_saved(0.01)
+        telemetry.record_fault(5)
+        telemetry.record_failure(RuntimeError("x"))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_heartbeat_cadence_and_rate(self, tmp_path):
+        telemetry.activate(
+            self.config(tmp_path, heartbeat_every=4), cell=0, attempt=1
+        )
+        calls = []
+
+        def progress():
+            calls.append(True)
+            return {"arrivals": 10 * len(calls)}
+
+        for tick in range(9):
+            telemetry.maybe_heartbeat(tick, progress)
+        telemetry.deactivate()
+        # Only ticks 0, 4, 8 beat; progress is untouched in between.
+        assert len(calls) == 3
+        beats = [
+            e for e in spans_mod.iter_spans(spool_path(tmp_path, 0, 1))
+            if e.kind == SPAN_HEARTBEAT
+        ]
+        assert [b.tick for b in beats] == [0, 4, 8]
+        # The second and later beats derive a tuples/s rate.
+        assert "tuples_per_s" not in beats[0].data
+        assert beats[1].data["tuples_per_s"] >= 0
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        telemetry.activate(self.config(tmp_path, fsync_every=1),
+                           cell=0, attempt=1)
+        telemetry.checkpoint_saved(0.01)
+        telemetry.deactivate()
+        path = spool_path(tmp_path, 0, 1)
+        with path.open("a") as handle:
+            handle.write('{"ts": 1.0, "kind": "heartb')  # killed mid-line
+        assert [
+            e.kind for e in spans_mod.iter_spans(path, strict=False)
+        ] == [SPAN_START, SPAN_CHECKPOINT_SAVE]
+        with pytest.raises(ValueError, match="not a JSONL span line"):
+            list(spans_mod.iter_spans(path, strict=True))
+
+
+class TestJsonlSinkSpoolApi:
+    def test_write_json_counts_and_fsyncs(self, tmp_path):
+        path = tmp_path / "spool.jsonl"
+        sink = JsonlSink(path, fsync_every=2)
+        sink.write_json({"a": 1})
+        sink.write_json({"b": 2})
+        sink.write_json({"c": 3})
+        assert sink.total == 3
+        # The first two were fsynced; the third is only buffered until...
+        sink.flush()
+        sink.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines == [{"a": 1}, {"b": 2}, {"c": 3}]
+
+
+class TestSession:
+    def test_merged_timeline_folds_both_sides(self, tmp_path):
+        session = TelemetrySession(tmp_path / "tel", heartbeat_every=8)
+        session.spans.emit(SPAN_SUBMIT, cell=0)
+        telemetry.activate(session.config, cell=0, attempt=1)
+        telemetry.annotate(shard=0)
+        telemetry.maybe_heartbeat(0, lambda: {"arrivals": 1})
+        telemetry.deactivate()
+        session.spans.emit(SPAN_FINISH, cell=0)
+        timeline = session.merged_timeline()
+        assert [e.kind for e in timeline] == [
+            SPAN_SUBMIT, SPAN_START, SPAN_HEARTBEAT, SPAN_FINISH,
+        ]
+        sources = {e.kind: e.source for e in timeline}
+        assert sources[SPAN_SUBMIT] == "supervisor"
+        assert sources[SPAN_HEARTBEAT] == "worker"
+
+
+SPEC = RunSpec(
+    algorithm="EXACT", window=40, memory=20, length=400, domain=30,
+    seed=3, shards=4,
+)
+
+
+class TestRunIntegration:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="telemetry_dir"):
+            replace(SPEC, telemetry_dir="/tmp/x")
+        with pytest.raises(ValueError, match="heartbeat_every"):
+            replace(SPEC, telemetry=True, heartbeat_every=0)
+        with pytest.raises(ValueError, match="shards"):
+            replace(SPEC, shards=1, telemetry=True)
+
+    def test_telemetry_does_not_change_results(self):
+        pair = build_pair(SPEC)
+        plain = run(SPEC, pair=pair, workers=1)
+        traced = run(replace(SPEC, telemetry=True, heartbeat_every=16),
+                     pair=pair, workers=1)
+        assert traced.output_count == plain.output_count
+        assert traced.total_output_count == plain.total_output_count
+        assert traced.drop_breakdown().as_dict() == plain.drop_breakdown().as_dict()
+        assert plain.timeline is None
+        assert traced.timeline is not None
+
+    def test_heartbeat_count_is_deterministic(self):
+        spec = replace(SPEC, telemetry=True, heartbeat_every=100)
+        pair = build_pair(spec)
+        result = run(spec, pair=pair, workers=1)
+        summary = span_summary(result.timeline)
+        # Ticks 0, 100, 200, 300 beat in each of the 4 shards.
+        assert summary["kinds"][SPAN_HEARTBEAT] == 16
+        again = run(spec, pair=pair, workers=1)
+        assert span_summary(again.timeline)["kinds"] == summary["kinds"]
+
+    def test_telemetry_dir_keeps_spools(self, tmp_path):
+        spec = replace(
+            SPEC, telemetry=True, telemetry_dir=str(tmp_path / "tel"),
+            heartbeat_every=50,
+        )
+        result = run(spec, pair=build_pair(spec), workers=1)
+        spools = sorted((tmp_path / "tel").glob("*.spool.jsonl"))
+        assert len(spools) == 4
+        assert result.timeline
+
+    def test_attempts_and_retry_metrics(self, tmp_path):
+        spec = replace(
+            SPEC, telemetry=True, heartbeat_every=16, metrics=True,
+            max_retries=2, checkpoint_every=25,
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        plan = FaultPlan((Fault("kill", cell=1, tick=60, attempts=1),))
+        pair = build_pair(spec)
+        faulted = run(spec, pair=pair, workers=1, fault_plan=plan)
+        assert faulted.attempts == (1, 2, 1, 1)
+        counters = {
+            (c["name"], c["labels"].get("shard")): c["value"]
+            for c in faulted.metrics["counters"]
+            if c["name"].startswith("runtime.")
+        }
+        assert counters[("runtime.attempts", "1")] == 2
+        assert counters[("runtime.retries", "1")] == 1
+        assert counters[("runtime.attempts", "0")] == 1
+        assert ("runtime.retries", "0") not in counters
+
+    def test_faulted_pooled_run_timeline(self, tmp_path):
+        # The acceptance path: kill a shard mid-run at shards=4 over a
+        # worker pool; the merged timeline must show the killed attempt,
+        # the retry, and the checkpoint restore, and the result must be
+        # bit-identical to the fault-free run.
+        spec = replace(
+            SPEC, telemetry=True, heartbeat_every=16, max_retries=2,
+            checkpoint_every=25, checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        plan = FaultPlan((Fault("kill", cell=2, tick=60, attempts=1),))
+        pair = build_pair(spec)
+        clean = run(SPEC, pair=pair, workers=1)
+        faulted = run(spec, pair=pair, workers=4, fault_plan=plan)
+        assert faulted.output_count == clean.output_count
+        assert faulted.total_output_count == clean.total_output_count
+
+        kinds = span_summary(faulted.timeline)["kinds"]
+        for kind in (SPAN_SUBMIT, SPAN_START, SPAN_HEARTBEAT, SPAN_FAULT,
+                     SPAN_RETRY, SPAN_CHECKPOINT_SAVE,
+                     SPAN_CHECKPOINT_RESTORE, SPAN_FINISH):
+            assert kinds.get(kind), f"timeline is missing {kind!r} spans"
+        assert faulted.attempts == (1, 1, 2, 1)
+
+        # The killed attempt and its retry are separate span streams.
+        cell2 = [e for e in faulted.timeline if e.cell == 2]
+        assert {e.attempt for e in cell2} == {1, 2}
+        restores = [e for e in cell2 if e.kind == SPAN_CHECKPOINT_RESTORE]
+        assert restores and all(e.attempt == 2 for e in restores)
+
+
+class TestEngineHookStride:
+    def run_ticks(self, every, resume=None):
+        from repro.core.async_engine import AsyncEngineConfig, AsyncJoinEngine
+
+        config = AsyncEngineConfig(window=10, memory=100)
+        engine = AsyncJoinEngine(config)
+        r = [[("r", t, t)] for t in range(12)]
+        s = [[] for _ in range(12)]
+        seen = []
+        engine.run(r, s, resume=resume,
+                   on_tick=lambda eng, t: seen.append(t),
+                   on_tick_every=every)
+        return seen
+
+    def test_stride_one_hits_every_tick(self):
+        assert self.run_ticks(1) == list(range(12))
+
+    def test_stride_hits_the_grid(self):
+        assert self.run_ticks(5) == [0, 5, 10]
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError, match="on_tick_every"):
+            self.run_ticks(0)
+
+    def test_progress_valid_only_inside_hook(self):
+        from repro.core.async_engine import AsyncEngineConfig, AsyncJoinEngine
+
+        config = AsyncEngineConfig(window=10, memory=100)
+        engine = AsyncJoinEngine(config)
+        snapshots = []
+        engine.run(
+            [[("r", t, t)] for t in range(8)],
+            [[("s", t, t)] for t in range(8)],
+            on_tick=lambda eng, t: snapshots.append(eng.progress()),
+            on_tick_every=4,
+        )
+        assert [s["tick"] for s in snapshots] == [0, 4]
+        assert all(
+            {"output", "total_output", "arrivals", "occupancy", "drops"}
+            <= set(s) for s in snapshots
+        )
+        with pytest.raises(RuntimeError, match="on_tick"):
+            engine.progress()
