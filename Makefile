@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-obs bench-gate check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-obs bench-batch bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -49,9 +49,17 @@ bench-chaos:
 bench-obs:
 	$(PYTHON) benchmarks/bench_telemetry.py
 
+# Columnar-batch snapshot -> BENCH_batch.json (committed): per-tuple vs
+# batched EXACT throughput (interleaved rounds) with a strict identity
+# sweep — batched output/ledger/metrics must be bit-identical to
+# per-tuple across policies, chunk sizes, and shards, and the batched
+# lane must clear a 1.5x speedup floor.
+bench-batch:
+	$(PYTHON) benchmarks/bench_batch.py
+
 # Perf-regression gate: fresh snapshots vs the committed BENCH_engine.json
-# (and BENCH_runtime.json / BENCH_shard.json / BENCH_chaos.json when
-# present).  Fails on >20% throughput drops, output-count drift,
+# (and BENCH_runtime.json / BENCH_shard.json / BENCH_chaos.json /
+# BENCH_batch.json when present).  Fails on >20% throughput drops, output-count drift,
 # instrumentation overhead growth, parallel/serial divergence,
 # sharded-EXACT identity violations, or fault-recovery drift; see
 # benchmarks/regression.py for the tolerance knobs.

@@ -132,6 +132,15 @@ def build_obs_snapshot(
     # Each retry pass keeps its own pair of minima and the best pass
     # wins: a cumulative min would let one lucky fast off-round poison
     # every subsequent pass with an inflated ratio.
+    # Both timing legs carry a metrics registry: an uninstrumented
+    # EXACT shard now takes the columnar count lane (several times
+    # faster than the per-tick kernel path telemetry's heartbeat hooks
+    # require), so a bare off-leg would measure the lane difference,
+    # not telemetry.  Attaching metrics to both sides pins them to the
+    # same per-tick path and the ratio isolates the telemetry plane
+    # again.
+    timing_off = replace(spec_off, metrics=True)
+    timing_on = replace(spec_on, metrics=True)
     best_off = best_on = None
     overhead_pct = None
     gc.collect()
@@ -141,7 +150,7 @@ def build_obs_snapshot(
         for _ in range(MAX_TIMING_PASSES):
             pass_off = pass_on = None
             for _ in range(rounds):
-                for name, spec in (("off", spec_off), ("on", spec_on)):
+                for name, spec in (("off", timing_off), ("on", timing_on)):
                     start = time.process_time()
                     run(spec, pair=pair, workers=1)
                     elapsed = time.process_time() - start

@@ -45,6 +45,16 @@ last checkpoint must reproduce the fault-free result bit-identically,
 and a degraded run (retries exhausted, ``degrade=True``) must report a
 ``lost_output`` that exactly reconciles the output deficit.
 
+When a committed ``BENCH_batch.json`` exists (written by
+``make bench-batch`` / ``benchmarks/bench_batch.py``), the gate rebuilds
+the columnar-batch snapshot and checks the batched lane's contract:
+every batched run must be bit-identical to its per-tuple twin (output,
+ledger, metrics totals, survival — across policies, chunk sizes, and
+shards), the deterministic counts must match the committed baseline
+exactly, and batched EXACT throughput must stay at least
+``--min-batch-speedup`` (default 1.5) times the per-tuple throughput
+measured in the same interleaved rounds.
+
 Finally, when a committed ``BENCH_obs.json`` exists (written by
 ``make bench-obs`` / ``benchmarks/bench_telemetry.py``), the gate
 rebuilds the telemetry-plane snapshot and checks its contract:
@@ -59,6 +69,7 @@ Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
                                       [--tolerance 0.2] [--repeats N]
                                       [--skip-runtime] [--skip-shard]
                                       [--skip-chaos] [--skip-obs]
+                                      [--skip-batch]
 Or:   make bench-gate
 """
 
@@ -76,6 +87,7 @@ try:
 except ImportError:  # running from a checkout without `make install`
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from bench_batch import build_batch_snapshot  # noqa: E402 - sibling module
 from bench_chaos import build_chaos_snapshot  # noqa: E402 - sibling module
 from bench_runtime import build_runtime_snapshot  # noqa: E402 - sibling module
 from bench_telemetry import build_obs_snapshot  # noqa: E402 - sibling module
@@ -92,6 +104,9 @@ DEFAULT_MAX_SLOWDOWN = 5.0
 #: (per-shard async-engine ticks + pool tax make sharding legitimately
 #: slower on small workloads; this catches pathologies only)
 DEFAULT_MAX_SHARD_SLOWDOWN = 25.0
+
+#: batched EXACT must stay at least this many times the per-tuple rate
+DEFAULT_MIN_BATCH_SPEEDUP = 1.5
 
 OVERHEAD_FIELDS = ("metrics_overhead_pct", "trace_overhead_pct")
 
@@ -287,6 +302,53 @@ def check_chaos(baseline: dict, fresh: dict) -> list[str]:
     return failures
 
 
+def check_batch(
+    baseline: dict,
+    fresh: dict,
+    *,
+    min_speedup: float = DEFAULT_MIN_BATCH_SPEEDUP,
+) -> list[str]:
+    """Failure messages for the columnar-batch snapshot.
+
+    * the fresh run must be batch-identical (every batched run == its
+      per-tuple twin across policies, chunk sizes, and shards) — the
+      batched lane's hard guarantee, checked strictly;
+    * the deterministic counts must match the committed baseline
+      exactly (same spec, same result);
+    * batched EXACT throughput must be at least ``min_speedup`` times
+      the per-tuple throughput from the *same* interleaved rounds —
+      both sides of the ratio share each round's machine conditions, so
+      the floor is noise-robust in a way a cross-run comparison against
+      the committed baseline would not be.
+    """
+    failures: list[str] = []
+    if not fresh.get("batched_identical", False):
+        for line in fresh.get("mismatches", []):
+            failures.append(f"batch: {line}")
+
+    base_counts = baseline.get("counts", {})
+    fresh_counts = fresh.get("counts", {})
+    for name in ("exact_output", "exact_total_output"):
+        if name in base_counts and name in fresh_counts:
+            if base_counts[name] != fresh_counts[name]:
+                failures.append(
+                    f"batch: {name} changed {base_counts[name]} -> "
+                    f"{fresh_counts[name]} (deterministic; this is a "
+                    "semantics change)"
+                )
+
+    speedup = fresh.get("speedup", 0.0)
+    if speedup < min_speedup:
+        failures.append(
+            f"batch: batched EXACT speedup {speedup:.2f}x is below the "
+            f"{min_speedup:.1f}x floor "
+            f"(batched {fresh.get('batched_ktuples_per_second', 0):.2f} vs "
+            f"per-tuple {fresh.get('serial_ktuples_per_second', 0):.2f} "
+            "k-tuples/s)"
+        )
+    return failures
+
+
 def check_obs(baseline: dict, fresh: dict) -> list[str]:
     """Failure messages for the telemetry-plane snapshot.
 
@@ -399,6 +461,20 @@ def main() -> int:
         help="skip the fault-injected recovery identity gate",
     )
     parser.add_argument(
+        "--batch-baseline", default=str(REPO_ROOT / "BENCH_batch.json"),
+        dest="batch_baseline",
+        help="committed columnar-batch snapshot (skipped if absent)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup", type=float, default=DEFAULT_MIN_BATCH_SPEEDUP,
+        dest="min_batch_speedup",
+        help="min batched/per-tuple EXACT throughput ratio (default 1.5)",
+    )
+    parser.add_argument(
+        "--skip-batch", action="store_true",
+        help="skip the columnar-batch identity/speedup gate",
+    )
+    parser.add_argument(
         "--obs-baseline", default=str(REPO_ROOT / "BENCH_obs.json"),
         dest="obs_baseline",
         help="committed telemetry-plane snapshot (skipped if absent)",
@@ -505,6 +581,37 @@ def main() -> int:
               f"lost {chaos_fresh['counts']['lost_output']} vs exact "
               f"{chaos_fresh['counts']['exact_output']}")
         failures.extend(check_chaos(chaos_baseline, chaos_fresh))
+
+    batch_path = Path(args.batch_baseline)
+    if not args.skip_batch and batch_path.exists():
+        try:
+            batch_baseline = json.loads(batch_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"batch baseline {batch_path} is not valid JSON: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        batch_params = batch_baseline.get("parameters", {})
+        batch_repeats = (
+            args.repeats
+            if args.repeats is not None
+            else batch_params.get("repeats", 3)
+        )
+        batch_scale = batch_baseline.get("scale", "ci")
+        batch_seed = batch_baseline.get("workload", {}).get("seed", 0)
+        print(f"\nbench-gate: rebuilding batch snapshot "
+              f"(scale={batch_scale}, repeats={batch_repeats}) ...")
+        batch_fresh = build_batch_snapshot(
+            batch_scale, batch_repeats, batch_seed
+        )
+        print(f"  per-tuple {batch_fresh['serial_ktuples_per_second']:.2f} "
+              f"k-tuples/s, batched "
+              f"{batch_fresh['batched_ktuples_per_second']:.2f} k-tuples/s "
+              f"({batch_fresh['speedup']:.2f}x), "
+              f"batched_identical={batch_fresh['batched_identical']}")
+        failures.extend(check_batch(
+            batch_baseline, batch_fresh,
+            min_speedup=args.min_batch_speedup,
+        ))
 
     obs_path = Path(args.obs_baseline)
     if not args.skip_obs and obs_path.exists():

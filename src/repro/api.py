@@ -80,6 +80,16 @@ class RunSpec:
     bounded ring buffer of ``trace_capacity`` events.  Both default off
     and cost nothing when off (the engines collapse them to ``None``).
 
+    ``batch_size=N`` (fast engine only) enables the columnar micro-batch
+    fast path: the workload is encoded into struct-of-arrays chunks and
+    eligible runs — today EXACT, whose lossless configuration reduces to
+    count arithmetic — execute chunk-at-a-time.  The batcher is
+    adaptive: any option that needs tuple granularity (a shedding
+    policy, ``trace=True``, schedules) falls back to the per-tuple path,
+    and results are bit-identical either way.  Sharded runs batch
+    natively per tick regardless of this knob (see
+    ``docs/architecture.md``, "Batched execution").
+
     ``shards=N`` (fast engine only) hash-partitions the key domain into
     ``N`` independent sub-joins executed via
     :mod:`repro.core.partition` and merged deterministically: EXACT is
@@ -126,6 +136,7 @@ class RunSpec:
     correlation: str = "uncorrelated"
 
     engine: str = "fast"
+    batch_size: Optional[int] = None
     service_per_tick: int = 2
     queue_capacity: int = 64
     queue_policy: str = "tail"
@@ -163,6 +174,15 @@ class RunSpec:
             )
         if self.variable is None:
             object.__setattr__(self, "variable", name.endswith("V") and name != "V")
+        if self.batch_size is not None:
+            if self.batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+            if self.engine != "fast":
+                raise ValueError(
+                    "batch_size applies to the fast-CPU engine (the async "
+                    "engine batches natively per tick; the slow-CPU model "
+                    f"sheds at the queue), got engine={self.engine!r}"
+                )
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.shards > 1:
@@ -297,6 +317,7 @@ def run(
             memory=spec.effective_memory,
             variable=spec.variable,
             warmup=spec.warmup,
+            batch_size=spec.batch_size,
         )
         return JoinEngine(config, policy=policy, metrics=registry, trace=tracer).run(pair)
 

@@ -78,6 +78,7 @@ def _spec_from_args(args: argparse.Namespace, algorithm: str) -> RunSpec:
         skew=args.skew,
         skew_s=args.skew_s,
         correlation=args.correlation,
+        batch_size=getattr(args, "batch_size", None),
         metrics=getattr(args, "metrics", None) is not None,
         shards=getattr(args, "shards", 1),
         shard_weighted=getattr(args, "shard_weighted", False),
@@ -169,6 +170,12 @@ def _add_workload_arguments(
     parser.add_argument(
         "--warmup", type=int, default=None,
         help="output-counting start (default: 2 * window)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, dest="batch_size",
+        help="columnar micro-batch chunk size for the fast engine "
+             "(EXACT takes the count-only fast lane; configurations "
+             "needing tuple granularity fall back, results identical)",
     )
     if metrics:
         parser.add_argument(

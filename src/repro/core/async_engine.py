@@ -179,6 +179,21 @@ class AsyncJoinEngine:
             raise ValueError("batch sequences must cover the same number of ticks")
         if on_tick_every < 1:
             raise ValueError(f"on_tick_every must be >= 1, got {on_tick_every}")
+        # The count-only EXACT lane: with no policy, no instrumentation,
+        # and no per-tick hooks, a time-windowed run is pure count
+        # arithmetic (see repro.core.batched) — this is the hot path of
+        # sharded EXACT execution.  Bit-identical to the kernel path.
+        if (
+            self._policy_r is None
+            and self._policy_s is None
+            and self.config.window_mode == "time"
+            and resume is None
+            and on_tick is None
+            and not self.config.validate
+            and active_or_none(self.metrics) is None
+            and tracing_or_none(self.trace) is None
+        ):
+            return self._run_exact_counts(r_batches, s_batches)
         # The hook fires where t % on_tick_every == 0, tracked as a
         # next-tick pointer: one int compare per tick instead of a
         # modulo, and -1 (never matches) when there is no hook at all.
@@ -241,6 +256,19 @@ class AsyncJoinEngine:
             # First grid tick at or after start_tick (resume-safe).
             hook_next = start_tick + (-start_tick % on_tick_every)
 
+        # Policy-less, untraced sides take the kernel's batch operations
+        # (bulk probe over the per-key group index, bulk insert with one
+        # capacity check per chunk) — a policy's eviction contests and a
+        # tracer's event order are inherently per-tuple.  Count-mode
+        # windows interleave expiry inside the batch, so they stay
+        # per-tuple too.
+        batch_ops = (
+            self._policy_r is None
+            and self._policy_s is None
+            and not tracing
+            and not count_mode
+        )
+
         for t in range(start_tick, len(r_batches)):
             if landmark_mode:
                 if t > 0 and t % config.landmark_every == 0:
@@ -250,6 +278,16 @@ class AsyncJoinEngine:
                 kernel.expire(t - window, t, reason=expire_reason)
 
             for stream, batch in (("R", r_batches[t]), ("S", s_batches[t])):
+                if batch_ops:
+                    if batch:
+                        arrivals += len(batch)
+                        kernel.observe_batch(stream, batch, t)
+                        matches = kernel.probe_batch(stream, batch, t)
+                        total_output += matches
+                        if t >= warmup:
+                            output += matches
+                        kernel.insert_batch(stream, batch, t)
+                    continue
                 for key in batch:
                     arrivals += 1
                     kernel.observe(stream, key, t)
@@ -315,6 +353,53 @@ class AsyncJoinEngine:
             drop_counts=drop_counts,
             metrics=snapshot,
             trace=trace_events,
+        )
+
+    # ------------------------------------------------------------------
+    # the count-only EXACT lane
+    # ------------------------------------------------------------------
+    def _run_exact_counts(
+        self, r_batches: Sequence[Sequence], s_batches: Sequence[Sequence]
+    ) -> AsyncRunResult:
+        """Dictionary count arithmetic for policy-less time-window runs.
+
+        Dispatched from :meth:`run` when nothing needs per-tuple state:
+        no policy, no metrics, no tracer, no per-tick hook, no resume.
+        Sharded EXACT execution lands here — every shard is a policy-less
+        time-mode run over mostly-empty ticks — so the lane removes the
+        kernel, record allocation, and memory maintenance from the
+        sharding hot path while staying bit-identical (a regression gate
+        pins it to the kernel path).
+        """
+        from .batched import exact_tick_counts
+        from .results import DROP_EXPIRED, empty_side_drop_counts
+
+        config = self.config
+        self._kernel = None
+        self._obs = None
+        self._tracing = False
+        self._tick_state = None
+
+        output, total_output, arrivals, expired_r, expired_s = exact_tick_counts(
+            r_batches,
+            s_batches,
+            config.window,
+            config.warmup,
+            capacity=self.memory.capacity,
+            variable=self.memory.variable,
+        )
+        drop_counts = empty_side_drop_counts()
+        drop_counts["R"][DROP_EXPIRED] = expired_r
+        drop_counts["S"][DROP_EXPIRED] = expired_s
+        return AsyncRunResult(
+            output_count=output,
+            total_output_count=total_output,
+            ticks=len(r_batches),
+            arrivals=arrivals,
+            policy_name=self.policy_name,
+            drop_counts=drop_counts,
+            metrics=None,
+            trace=None,
         )
 
     # ------------------------------------------------------------------

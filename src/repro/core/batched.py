@@ -1,0 +1,224 @@
+"""Count-only EXACT execution lanes for the batched fast path.
+
+Under the EXACT configuration (no shedding policy, lossless budget
+``M >= 2w``) the sliding-window join needs none of the per-tuple
+machinery the engines carry for policies: no :class:`TupleRecord`
+allocation, no slot arrays, no per-key deques, no eviction contests.
+Everything the result reports is reachable with dictionary count
+arithmetic:
+
+* probes — ``matches(t) = s_counts[r(t)] + r_counts[s(t)]`` (plus the
+  simultaneous pair), where the count dicts track *resident tuples per
+  key*;
+* expiry — the synchronous model admits exactly one tuple per side per
+  tick, so the tuple expiring at tick ``t`` is exactly the key that
+  arrived at ``t - w``: one dict decrement per side, no arrival deque;
+* the drop ledger — EXACT never rejects or evicts, and each side
+  expires exactly ``max(0, length - w)`` tuples;
+* survival — every tuple departs at its natural ``arrival + w - 1``
+  (both the tuples that expire mid-run and the ones still resident at
+  stream end);
+* occupancy — after tick ``t``'s admissions each side holds exactly
+  ``min(t + 1, w)`` residents.
+
+The lanes here are *gated*, not general: callers must verify the
+configuration cannot overflow (``capacity >= 2 * window`` for the
+synchronous engine) or must pass capacity bounds for the lane to check
+(the asynchronous lane, where bursts can overflow).  A regression gate
+(``benchmarks/bench_batch.py``) pins the lane output bit-identical to
+the per-tuple engines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from ..streams.batches import StreamChunk
+
+__all__ = [
+    "exact_chunk_counts",
+    "exact_tick_counts",
+]
+
+
+def exact_chunk_counts(
+    chunks: Iterable[StreamChunk],
+    window: int,
+    warmup: int,
+    *,
+    count_simultaneous: bool = True,
+) -> tuple[int, int, int, int]:
+    """Run the synchronous EXACT join over columnar chunks.
+
+    Returns ``(output, total_output, simultaneous_total, length)`` with
+    exactly the semantics of ``JoinEngine._run_fast`` under a ``None``
+    policy: per tick — expire the two ``t - window`` arrivals, probe
+    both newcomers against the opposite counts (before either same-tick
+    insert), count the simultaneous pair, then insert both.
+
+    The caller guarantees the lossless budget (``capacity >= 2 *
+    window``), so no capacity checks appear in the loop.
+    """
+    r_counts: dict = {}
+    s_counts: dict = {}
+    # Flat key history, extended chunk-wise *before* the chunk's ticks
+    # run: expiry at tick t reads index t - window, which is always
+    # behind the loop cursor, and probes never read the history.
+    r_hist: list = []
+    s_hist: list = []
+
+    output = 0
+    total_output = 0
+    simultaneous_total = 0
+    length = 0
+
+    r_get = r_counts.get
+    s_get = s_counts.get
+
+    for chunk in chunks:
+        r_keys = chunk.r_list()
+        s_keys = chunk.s_list()
+        base = chunk.start
+        r_hist.extend(r_keys)
+        s_hist.extend(s_keys)
+        for i in range(chunk.length):
+            t = base + i
+            # 1. expiry: the synchronous model retires exactly the
+            #    arrival at t - window on each side.
+            old = t - window
+            if old >= 0:
+                key = r_hist[old]
+                remaining = r_counts[key] - 1
+                if remaining:
+                    r_counts[key] = remaining
+                else:
+                    del r_counts[key]
+                key = s_hist[old]
+                remaining = s_counts[key] - 1
+                if remaining:
+                    s_counts[key] = remaining
+                else:
+                    del s_counts[key]
+
+            r_key = r_keys[i]
+            s_key = s_keys[i]
+
+            # 2. probes (before either same-tick insert).
+            matched = s_get(r_key, 0) + r_get(s_key, 0)
+            if count_simultaneous and r_key == s_key:
+                matched += 1
+                simultaneous_total += 1
+            total_output += matched
+            if t >= warmup:
+                output += matched
+
+            # 3. admissions (no contest possible at lossless budget).
+            r_counts[r_key] = r_get(r_key, 0) + 1
+            s_counts[s_key] = s_get(s_key, 0) + 1
+        length = base + chunk.length
+
+    return output, total_output, simultaneous_total, length
+
+
+def exact_tick_counts(
+    r_batches: Sequence[Sequence],
+    s_batches: Sequence[Sequence],
+    window: int,
+    warmup: int,
+    *,
+    capacity: int,
+    variable: bool,
+    overflow_error: type = RuntimeError,
+) -> tuple[int, int, int, int, int]:
+    """Run the asynchronous EXACT join over per-tick arrival batches.
+
+    Semantics of ``AsyncJoinEngine.run`` in time-window mode with a
+    ``None`` policy: per tick — expire ``arrival <= t - window`` on both
+    sides, then process the R batch and then the S batch, each tuple
+    probing the opposite counts when processed (so a same-tick pair is
+    found by the later-processed partner, and R arrivals of tick ``t``
+    are visible to tick ``t``'s S probes).
+
+    Unlike the synchronous lane, bursts can overflow the budget, so
+    inserts check capacity exactly where :meth:`JoinKernel.insert`
+    would and raise ``overflow_error`` with the kernel's message.
+
+    Returns ``(output, total_output, arrivals, expired_r, expired_s)``.
+    """
+    r_counts: dict = {}
+    s_counts: dict = {}
+    # Per-side expiry queues of (arrival, key); arrivals enter in tick
+    # order, so expiry only inspects the front.
+    r_queue: deque = deque()
+    s_queue: deque = deque()
+
+    output = 0
+    total_output = 0
+    arrivals = 0
+    expired_r = 0
+    expired_s = 0
+    r_size = 0
+    s_size = 0
+
+    r_get = r_counts.get
+    s_get = s_counts.get
+    half = capacity // 2
+
+    ticks = len(r_batches)
+    for t in range(ticks):
+        horizon = t - window
+        if horizon >= 0:  # earliest arrival is 0; skip warm-start ticks
+            while r_queue and r_queue[0][0] <= horizon:
+                _, key = r_queue.popleft()
+                remaining = r_counts[key] - 1
+                if remaining:
+                    r_counts[key] = remaining
+                else:
+                    del r_counts[key]
+                expired_r += 1
+                r_size -= 1
+            while s_queue and s_queue[0][0] <= horizon:
+                _, key = s_queue.popleft()
+                remaining = s_counts[key] - 1
+                if remaining:
+                    s_counts[key] = remaining
+                else:
+                    del s_counts[key]
+                expired_s += 1
+                s_size -= 1
+
+        batch = r_batches[t]
+        if batch:
+            for key in batch:
+                arrivals += 1
+                matches = s_get(key, 0)
+                total_output += matches
+                if t >= warmup:
+                    output += matches
+                if (r_size + s_size >= capacity) if variable else (r_size >= half):
+                    raise overflow_error(
+                        f"memory overflow at t={t} with no shedding policy "
+                        f"(capacity {capacity})"
+                    )
+                r_counts[key] = r_get(key, 0) + 1
+                r_queue.append((t, key))
+                r_size += 1
+        batch = s_batches[t]
+        if batch:
+            for key in batch:
+                arrivals += 1
+                matches = r_get(key, 0)
+                total_output += matches
+                if t >= warmup:
+                    output += matches
+                if (r_size + s_size >= capacity) if variable else (s_size >= half):
+                    raise overflow_error(
+                        f"memory overflow at t={t} with no shedding policy "
+                        f"(capacity {capacity})"
+                    )
+                s_counts[key] = s_get(key, 0) + 1
+                s_queue.append((t, key))
+                s_size += 1
+
+    return output, total_output, arrivals, expired_r, expired_s

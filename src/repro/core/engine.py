@@ -114,6 +114,15 @@ class EngineConfig:
         Tick cadence of the occupancy/memory-share series in the
         default (non-``profile``) metrics mode; ``None`` picks
         ``max(1, window // 8)``.
+    batch_size:
+        Enable the columnar micro-batch fast path with this chunk size
+        (``None``, the default, keeps the per-tuple loops).  Batching is
+        *adaptive*: it engages only for configurations it can reproduce
+        bit-identically at chunk granularity — today the EXACT
+        count-only lane (no policy, lossless budget) — and silently
+        falls back to the per-tuple path whenever a policy, tracer,
+        schedule, or validation hook needs tuple granularity.  Results
+        are bit-identical either way.
     validate:
         Run per-tick invariant checks (tests only; slow).
     """
@@ -131,6 +140,7 @@ class EngineConfig:
     window_schedule: Optional[object] = None
     profile: bool = False
     metrics_sample_every: Optional[int] = None
+    batch_size: Optional[int] = None
     validate: bool = False
 
     def __post_init__(self) -> None:
@@ -146,6 +156,8 @@ class EngineConfig:
             raise ValueError("share_sample_every must be positive")
         if self.metrics_sample_every is not None and self.metrics_sample_every <= 0:
             raise ValueError("metrics_sample_every must be positive")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.window_schedule is not None and self.track_survival:
             raise ValueError(
                 "track_survival is not supported with a window_schedule "
@@ -265,6 +277,11 @@ class JoinEngine:
           result materialisation, share tracking, per-tick invariant
           checks, and ``profile`` metrics (per-phase timers) all run
           here.
+
+        With ``config.batch_size`` set, eligible configurations take a
+        third implementation — the *columnar batched lane*
+        (:meth:`_run_exact_batched`); see
+        :attr:`EngineConfig.batch_size` for the fallback matrix.
         """
         config = self.config
         obs = active_or_none(self.metrics)
@@ -278,6 +295,14 @@ class JoinEngine:
             and not config.validate
             and not (config.profile and obs is not None)
         ):
+            if (
+                config.batch_size is not None
+                and self._policy_r is None
+                and self._policy_s is None
+                and not self._observers
+                and self.memory.capacity >= 2 * config.window
+            ):
+                return self._run_exact_batched(pair, obs)
             return self._run_fast(pair, obs)
         return self._run_general(pair, obs, tracer)
 
@@ -508,6 +533,91 @@ class JoinEngine:
         )
 
     # ------------------------------------------------------------------
+    def _run_exact_batched(self, pair: StreamPair, obs) -> RunResult:
+        """The columnar EXACT count lane (see :meth:`run`).
+
+        Replaces per-match iteration with dictionary count arithmetic
+        over struct-of-arrays chunks (:mod:`repro.core.batched`).  Only
+        dispatched when the run is provably lossless (no policy,
+        ``capacity >= 2 * window``), which makes every result field
+        analytic: drop ledger, survival records, and occupancy series
+        are synthesised in closed form and match the per-tuple loop
+        bit for bit.
+        """
+        from ..streams.batches import encode_chunks
+        from .batched import exact_chunk_counts
+
+        config = self.config
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+        length = len(pair)
+
+        timed = obs is not None
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+
+        output, total_output, simultaneous_total, _ = exact_chunk_counts(
+            encode_chunks(pair, config.batch_size),
+            window,
+            warmup,
+            count_simultaneous=config.count_simultaneous,
+        )
+
+        # EXACT never rejects or evicts; each side expires exactly the
+        # arrivals older than the final window.
+        expired = max(0, length - window)
+        drop_counts = {
+            "R": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: expired},
+            "S": {DROP_REJECTED: 0, DROP_EVICTED: 0, DROP_EXPIRED: expired},
+        }
+        # Every tuple serves its full window: natural departure at
+        # arrival + w - 1, for the expired and the end-resident alike.
+        r_departures = s_departures = None
+        if config.track_survival:
+            r_departures = [arrival + window - 1 for arrival in range(length)]
+            s_departures = list(r_departures)
+
+        snapshot = None
+        if timed:
+            # After tick t's admissions each side holds min(t+1, window)
+            # residents — the same samples the per-tuple loop records.
+            occupancy_r = obs.series("engine.occupancy", side="R")
+            occupancy_s = obs.series("engine.occupancy", side="S")
+            share_series = obs.series("engine.memory_share", side="R")
+            sample_every = config.metrics_sample_every or max(1, window // 8)
+            for t in range(0, length, sample_every):
+                size = min(t + 1, window)
+                occupancy_r.append(t, size)
+                occupancy_s.append(t, size)
+                share_series.append(t, 0.5)
+            run_timer.stop()
+            self._flush_metrics(
+                obs, length, total_output, simultaneous_total, output,
+                drop_counts, final_occupancy=min(length, window),
+            )
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
+
+        return RunResult(
+            output_count=output,
+            total_output_count=total_output,
+            length=length,
+            window=window,
+            memory=config.memory,
+            warmup=warmup,
+            policy_name=self.policy_name,
+            pairs=None,
+            r_departures=r_departures,
+            s_departures=s_departures,
+            shares=None,
+            drop_counts=drop_counts,
+            metrics=snapshot,
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
     def _flush_metrics(
         self,
         obs,
@@ -516,8 +626,15 @@ class JoinEngine:
         simultaneous_total: int,
         output: int,
         drop_counts: dict,
+        *,
+        final_occupancy: Optional[int] = None,
     ) -> None:
-        """End-of-run counter/gauge flush shared by both loops."""
+        """End-of-run counter/gauge flush shared by the fast loops.
+
+        ``final_occupancy`` overrides the end-of-run gauge for lanes
+        that never populate the join memory (the count-only EXACT lane
+        computes residency analytically).
+        """
         memory = self.memory
         obs.counter("engine.probes").inc(2 * length)
         obs.counter("engine.matches").inc(total_output)
@@ -532,6 +649,8 @@ class JoinEngine:
                 obs.counter("engine.drops", side=side, reason=reason).inc(count)
             obs.gauge("engine.final_occupancy", side=side).set(
                 memory.side(side).size
+                if final_occupancy is None
+                else final_occupancy
             )
 
     # ------------------------------------------------------------------

@@ -183,6 +183,19 @@ class JoinKernel:
         for policy in self.observers:
             policy.observe_arrival(stream, key, now)
 
+    def observe_batch(self, stream: str, keys, now: int) -> None:
+        """Announce a same-tick arrival batch (policy-major order).
+
+        Equivalent to :meth:`observe` per key for the single-observer
+        case; with several observers the broadcast is policy-major
+        (each observer sees the whole batch in arrival order), which no
+        shipped policy distinguishes from key-major.
+        """
+        for policy in self.observers:
+            observe = policy.observe_arrival
+            for key in keys:
+                observe(stream, key, now)
+
     def expire(
         self,
         horizon: int,
@@ -238,6 +251,63 @@ class JoinKernel:
                     partner.arrival, partner.priority, None, self.tag,
                 ))
         return matches
+
+    def probe_batch(self, stream: str, keys, now: int) -> int:
+        """Total matches of a same-tick probe batch (bulk :meth:`probe`).
+
+        Within one side's batch no probe can see another batch member's
+        insertion (probes read the *opposite* side), so summing per-key
+        counts over the whole batch is exact.  Without a tracer this is
+        one bulk dict sweep over the per-key group index; with one, it
+        falls back to per-key probes so join-output credit events keep
+        their order.
+        """
+        if self.tracer is not None:
+            total = 0
+            for key in keys:
+                total += self.probe(stream, key, now)
+            return total
+        return self.memory.other_side(stream).match_total(keys)
+
+    def insert_batch(
+        self, stream: str, keys, now: int
+    ) -> list[tuple[bool, Optional[TupleRecord]]]:
+        """Offer a same-tick batch of newcomers to the memory.
+
+        Policy-less sides take the bulk lane: one capacity check for the
+        whole chunk, then :meth:`StreamMemory.add_batch`.  If the chunk
+        does not fit, the tuples that do fit are admitted first and the
+        overflow raises at exactly the tuple where the per-tuple path
+        would have raised (same error type and message).  Sides with a
+        policy, or traced runs, fall back to per-tuple :meth:`insert` —
+        eviction contests and event order are inherently sequential.
+        """
+        memory = self.memory
+        policy = self.policy_r if stream == "R" else self.policy_s
+        if policy is None and self.tracer is None:
+            side = memory.side(stream)
+            count = len(keys)
+            free = (
+                memory.capacity - memory.total_size
+                if memory.variable
+                else memory.capacity // 2 - side.size
+            )
+            if free < count:
+                if free > 0:
+                    side.add_batch(
+                        [TupleRecord(stream, now, key) for key in keys[:free]]
+                    )
+                raise self.overflow_error(
+                    f"memory overflow at t={now} with no shedding policy "
+                    f"(capacity {memory.capacity})"
+                )
+            records = [TupleRecord(stream, now, key) for key in keys]
+            side.add_batch(records)
+            return [(True, None) for _ in records]
+        outcomes = []
+        for key in keys:
+            outcomes.append(self.insert(TupleRecord(stream, now, key), now))
+        return outcomes
 
     def insert(
         self, record: TupleRecord, now: int

@@ -63,6 +63,19 @@ class StreamMemory:
         """Number of resident tuples with the given join value."""
         return self._key_counts.get(key, 0)
 
+    def match_total(self, keys) -> int:
+        """Total resident matches over a batch of probe keys.
+
+        The count-based bulk probe of the batched execution path: one
+        dict lookup per key against the per-key alive counters, no
+        record iteration.
+        """
+        get = self._key_counts.get
+        total = 0
+        for key in keys:
+            total += get(key, 0)
+        return total
+
     def matches(self, key: Hashable) -> Iterator[TupleRecord]:
         """Resident tuples with the given join value (for materialising)."""
         bucket = self._by_key.get(key)
@@ -113,6 +126,33 @@ class StreamMemory:
         counts = self._key_counts
         counts[key] = counts.get(key, 0) + 1
         self._by_arrival.append(record)
+
+    def add_batch(self, records: list[TupleRecord]) -> None:
+        """Bulk :meth:`add` for one chunk of fresh records.
+
+        The caller (``JoinKernel.insert_batch``) has already performed
+        the capacity check once for the whole chunk, so the loop here is
+        pure data-structure maintenance with hoisted lookups.
+        """
+        slots = self._slots
+        by_key = self._by_key
+        counts = self._key_counts
+        by_arrival = self._by_arrival
+        index = len(slots)
+        for record in records:
+            if record.alive:
+                raise ValueError(f"{record!r} is already resident")
+            record.alive = True
+            record.slot = index
+            index += 1
+            slots.append(record)
+            key = record.key
+            bucket = by_key.get(key)
+            if bucket is None:
+                by_key[key] = bucket = deque()
+            bucket.append(record)
+            counts[key] = counts.get(key, 0) + 1
+            by_arrival.append(record)
 
     def remove(self, record: TupleRecord) -> None:
         """Remove a resident tuple (eviction or expiry), O(1)."""

@@ -31,6 +31,7 @@ from .pool import (
     ENV_WORKERS,
     CellError,
     RetryPolicy,
+    autotune_chunksize,
     parallel_map,
     resolve_workers,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ShardCell",
     "SpecCell",
     "SuiteCell",
+    "autotune_chunksize",
     "faults",
     "parallel_map",
     "resolve_workers",

@@ -165,6 +165,16 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return 1
 
 
+def autotune_chunksize(task_count: int, workers: int) -> int:
+    """Map chunk size for ``task_count`` cells over ``workers`` processes.
+
+    Small grids get one task per dispatch so every worker stays busy;
+    large grids get ~4 chunks per worker, enough slack for uneven cell
+    runtimes while amortising the per-dispatch pickling.
+    """
+    return max(1, task_count // (workers * 4))
+
+
 def _guarded(packed):
     """Top-level worker shim: never raises, returns a tagged outcome."""
     fn, task, label = packed
@@ -252,13 +262,14 @@ def parallel_map(
         or telemetry is not None
     )
     if not supervised:
-        if count <= 1 or len(tasks) <= 1:
+        # Undersubscribed grids (fewer cells than workers) run serially
+        # too: the pool could not be saturated anyway, and spinning up
+        # processes costs more than the lost overlap on tiny grids.
+        if count <= 1 or len(tasks) <= 1 or len(tasks) < count:
             return [fn(task) for task in tasks]
 
         if chunksize is None:
-            # Small grids: one task per dispatch keeps all workers busy;
-            # large grids: chunking amortises the per-dispatch pickling.
-            chunksize = max(1, len(tasks) // (count * 4))
+            chunksize = autotune_chunksize(len(tasks), count)
         packed = [(fn, task, label) for task, label in zip(tasks, labels)]
         with ProcessPoolExecutor(max_workers=min(count, len(tasks))) as pool:
             outcomes = list(pool.map(_guarded, packed, chunksize=chunksize))

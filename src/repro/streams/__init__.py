@@ -14,6 +14,14 @@ from .arrival import (
     synchronous_schedule,
     total_arrivals,
 )
+from .batches import (
+    DEFAULT_BATCH_SIZE,
+    HAVE_NUMPY,
+    StreamChunk,
+    encode_chunks,
+    encode_columns,
+    resolve_batch_size,
+)
 from .generators import (
     CORRELATION_MODES,
     drifting_zipf_pair,
@@ -46,13 +54,16 @@ from .zipf import AliasSampler, ZipfDistribution, zipf_probabilities
 __all__ = [
     "AliasSampler",
     "CORRELATION_MODES",
+    "DEFAULT_BATCH_SIZE",
     "GRID_COLS",
     "GRID_ROWS",
     "GridCell",
+    "HAVE_NUMPY",
     "JoinResultTuple",
     "NUM_CELLS",
     "STREAM_R",
     "STREAM_S",
+    "StreamChunk",
     "StreamPair",
     "StreamTuple",
     "ZipfDistribution",
@@ -61,12 +72,15 @@ __all__ = [
     "day_night_schedule",
     "drifting_zipf_pair",
     "empirical_probabilities",
+    "encode_chunks",
+    "encode_columns",
     "exact_join_size",
     "is_day",
     "iterate_exact_join",
     "load_pair",
     "multi_attribute_pair",
     "poisson_schedule",
+    "resolve_batch_size",
     "save_pair",
     "synchronous_schedule",
     "total_arrivals",

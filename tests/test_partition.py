@@ -63,8 +63,8 @@ class TestShardBatches:
             r_owners = [s for s, (r, _) in enumerate(views) if r[t]]
             s_owners = [s for s, (_, sb) in enumerate(views) if sb[t]]
             assert len(r_owners) == 1 and len(s_owners) == 1
-            assert views[r_owners[0]][0][t] == [pair.r[t]]
-            assert views[s_owners[0]][1][t] == [pair.s[t]]
+            assert list(views[r_owners[0]][0][t]) == [pair.r[t]]
+            assert list(views[s_owners[0]][1][t]) == [pair.s[t]]
 
     def test_weights_cover_all_arrivals(self):
         pair = zipf_pair(150, 8, 1.0, seed=2)
