@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-obs bench-batch bench-gate check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-obs bench-batch soak bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,12 +57,24 @@ bench-obs:
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch.py
 
+# Bounded-memory soak -> BENCH_soak.json (committed): 2M+ ticks from an
+# unbounded zipf source through the streaming EXACT lane plus 200k
+# through the full PROB+EWMA engine path, with tracemalloc asserting
+# that live memory stays flat — bounded by the window/budget, never by
+# stream length.  Override the tick budgets with SOAK_TICKS /
+# SOAK_POLICY_TICKS for a quicker local run.
+SOAK_TICKS ?= 2000000
+SOAK_POLICY_TICKS ?= 200000
+soak:
+	$(PYTHON) benchmarks/bench_soak.py --ticks $(SOAK_TICKS) --policy-ticks $(SOAK_POLICY_TICKS)
+
 # Perf-regression gate: fresh snapshots vs the committed BENCH_engine.json
 # (and BENCH_runtime.json / BENCH_shard.json / BENCH_chaos.json /
-# BENCH_batch.json when present).  Fails on >20% throughput drops, output-count drift,
-# instrumentation overhead growth, parallel/serial divergence,
-# sharded-EXACT identity violations, or fault-recovery drift; see
-# benchmarks/regression.py for the tolerance knobs.
+# BENCH_batch.json / BENCH_soak.json when present).  Fails on >20% throughput drops,
+# output-count drift, instrumentation overhead growth, parallel/serial
+# divergence, sharded-EXACT identity violations, fault-recovery drift,
+# or unbounded-stream memory growth; see benchmarks/regression.py for
+# the tolerance knobs.
 bench-gate:
 	$(PYTHON) benchmarks/regression.py
 

@@ -55,6 +55,16 @@ exactly, and batched EXACT throughput must stay at least
 ``--min-batch-speedup`` (default 1.5) times the per-tuple throughput
 measured in the same interleaved rounds.
 
+When a committed ``BENCH_soak.json`` exists (written by ``make soak``
+/ ``benchmarks/bench_soak.py``), the gate re-runs the bounded-memory
+soak — an unbounded zipf source through the streaming EXACT lane and
+the full PROB+EWMA engine path with ``tracemalloc`` on — and checks
+the incremental path's contract: live memory must stay flat
+(window-bounded, never stream-length-bounded), and the deterministic
+output counts must match the committed baseline exactly when the
+rebuild runs at the baseline's own tick budget (``--soak-ticks`` can
+shorten the rebuild, which then gates flatness only).
+
 Finally, when a committed ``BENCH_obs.json`` exists (written by
 ``make bench-obs`` / ``benchmarks/bench_telemetry.py``), the gate
 rebuilds the telemetry-plane snapshot and checks its contract:
@@ -69,7 +79,7 @@ Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
                                       [--tolerance 0.2] [--repeats N]
                                       [--skip-runtime] [--skip-shard]
                                       [--skip-chaos] [--skip-obs]
-                                      [--skip-batch]
+                                      [--skip-batch] [--skip-soak]
 Or:   make bench-gate
 """
 
@@ -90,6 +100,7 @@ except ImportError:  # running from a checkout without `make install`
 from bench_batch import build_batch_snapshot  # noqa: E402 - sibling module
 from bench_chaos import build_chaos_snapshot  # noqa: E402 - sibling module
 from bench_runtime import build_runtime_snapshot  # noqa: E402 - sibling module
+from bench_soak import build_soak_snapshot  # noqa: E402 - sibling module
 from bench_telemetry import build_obs_snapshot  # noqa: E402 - sibling module
 from bench_shard import build_shard_snapshot  # noqa: E402 - sibling module
 from snapshot import build_snapshot  # noqa: E402 - sibling module
@@ -380,6 +391,43 @@ def check_obs(baseline: dict, fresh: dict) -> list[str]:
     return failures
 
 
+def check_soak(baseline: dict, fresh: dict) -> list[str]:
+    """Failure messages for the bounded-memory soak snapshot.
+
+    * the fresh run must be memory-flat on both incremental lanes
+      (streaming EXACT counts and the PROB+EWMA engine path) — the
+      source refactor's hard guarantee that live memory is bounded by
+      the window/budget, never by stream length, checked strictly;
+    * the deterministic counts must match the committed baseline
+      exactly — but only when the fresh soak ran at the baseline's own
+      tick budget (counts are a function of the tick count, so a
+      ``--soak-ticks`` shortened rebuild checks flatness only).
+    """
+    failures: list[str] = []
+    if not fresh.get("flat_memory", False):
+        for line in fresh.get("mismatches", []):
+            failures.append(f"soak: {line}")
+
+    base_params = baseline.get("parameters", {})
+    fresh_params = fresh.get("parameters", {})
+    same_scale = all(
+        base_params.get(name) == fresh_params.get(name)
+        for name in ("ticks", "policy_ticks", "window", "domain", "skew", "seed")
+    )
+    if same_scale:
+        base_counts = baseline.get("counts", {})
+        fresh_counts = fresh.get("counts", {})
+        for name in ("exact_output", "exact_total_output", "policy_output"):
+            if name in base_counts and name in fresh_counts:
+                if base_counts[name] != fresh_counts[name]:
+                    failures.append(
+                        f"soak: {name} changed {base_counts[name]} -> "
+                        f"{fresh_counts[name]} (deterministic; this is a "
+                        "semantics change)"
+                    )
+    return failures
+
+
 def format_comparison(baseline: dict, fresh: dict) -> str:
     """Side-by-side table of the gated quantities."""
     lines = [
@@ -482,6 +530,25 @@ def main() -> int:
     parser.add_argument(
         "--skip-obs", action="store_true",
         help="skip the telemetry-plane identity/overhead gate",
+    )
+    parser.add_argument(
+        "--soak-baseline", default=str(REPO_ROOT / "BENCH_soak.json"),
+        dest="soak_baseline",
+        help="committed bounded-memory soak snapshot (skipped if absent)",
+    )
+    parser.add_argument(
+        "--soak-ticks", type=int, default=None, dest="soak_ticks",
+        help="EXACT-lane soak rebuild length (default: the baseline's "
+             "own; a shorter rebuild checks memory flatness only)",
+    )
+    parser.add_argument(
+        "--soak-policy-ticks", type=int, default=None,
+        dest="soak_policy_ticks",
+        help="policy-path soak rebuild length (default: the baseline's own)",
+    )
+    parser.add_argument(
+        "--skip-soak", action="store_true",
+        help="skip the bounded-memory soak gate",
     )
     args = parser.parse_args()
 
@@ -639,6 +706,43 @@ def main() -> int:
               f"heartbeats {obs_fresh['counts']['heartbeats']}, "
               f"telemetry_identical={obs_fresh['telemetry_identical']}")
         failures.extend(check_obs(obs_baseline, obs_fresh))
+
+    soak_path = Path(args.soak_baseline)
+    if not args.skip_soak and soak_path.exists():
+        try:
+            soak_baseline = json.loads(soak_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"soak baseline {soak_path} is not valid JSON: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        soak_params = soak_baseline.get("parameters", {})
+        soak_ticks = (
+            args.soak_ticks
+            if args.soak_ticks is not None
+            else soak_params.get("ticks", 2_000_000)
+        )
+        soak_policy_ticks = (
+            args.soak_policy_ticks
+            if args.soak_policy_ticks is not None
+            else soak_params.get("policy_ticks", 200_000)
+        )
+        print(f"\nbench-gate: rebuilding soak snapshot "
+              f"(ticks={soak_ticks:,}, policy_ticks={soak_policy_ticks:,}, "
+              "tracemalloc on) ...")
+        soak_fresh = build_soak_snapshot(
+            soak_ticks, soak_policy_ticks,
+            slack_pct=soak_params.get("slack_pct", 5.0),
+            slack_kib=soak_params.get("slack_kib", 64.0),
+        )
+        print(f"  exact {soak_fresh['exact']['memory_kib'][0]:.1f} -> "
+              f"{soak_fresh['exact']['memory_kib'][-1]:.1f} KiB, "
+              f"policy {soak_fresh['policy']['memory_kib'][0]:.1f} -> "
+              f"{soak_fresh['policy']['memory_kib'][-1]:.1f} KiB, "
+              f"flat_memory={soak_fresh['flat_memory']}")
+        if soak_ticks != soak_params.get("ticks"):
+            print("  (shortened rebuild: checking memory flatness only, "
+                  "not baseline counts)")
+        failures.extend(check_soak(soak_baseline, soak_fresh))
 
     if failures:
         print(f"\nbench-gate FAILED ({len(failures)} issue(s)):")

@@ -37,7 +37,7 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
-from .core.async_engine import AsyncEngineConfig, AsyncJoinEngine, batches_from_pair
+from .core.async_engine import AsyncEngineConfig, AsyncJoinEngine
 from .core.engine import EngineConfig, JoinEngine
 from .core.offline.opt import OptResult, solve_opt
 from .core.policies import make_policy_spec
@@ -45,10 +45,16 @@ from .core.results import SCHEMA_VERSION
 from .core.slowcpu import SlowCpuConfig, SlowCpuEngine
 from .experiments.runner import ALL_ALGORITHMS, estimators_for
 from .obs import MetricsRegistry, RingBufferSink, Tracer
+from .stats.countmin import CountMinSketch
+from .stats.ewma import EwmaFrequencyEstimator
+from .stats.frequency import StaticFrequencyTable
+from .stats.spacesaving import SpaceSaving
 from .streams import StreamPair, uniform_pair, weather_pair, zipf_pair
+from .streams.sources import PairSource
 
 __all__ = [
     "ENGINES",
+    "ESTIMATORS",
     "WORKLOADS",
     "RunSpec",
     "attribute_run",
@@ -62,6 +68,11 @@ __all__ = [
 
 ENGINES = ("fast", "async", "slowcpu")
 WORKLOADS = ("zipf", "uniform", "weather")
+#: Statistics modules feeding PROB/LIFE: the paper's static oracle table
+#: plus the online bounded-memory estimators (updated as streams flow).
+ESTIMATORS = ("oracle", "ewma", "countmin", "spacesaving")
+#: Algorithms whose policies consume a statistics module at all.
+_ESTIMATOR_ALGORITHMS = ("PROB", "PROBV", "LIFE", "LIFEV", "ARM", "ARMV")
 
 
 @dataclass(frozen=True)
@@ -110,6 +121,28 @@ class RunSpec:
     its retries and attributes the loss under the ``lost_shard`` drop
     reason instead of failing the run.
 
+    ``source=`` replaces the workload fields with a pull-based
+    :class:`~repro.streams.sources.Source` (generator, replay, or
+    adapted pair): the run consumes it *incrementally* through the
+    engines' ``run_stream`` path, so memory stays bounded by the
+    window/budget — never by stream length.  ``duration=N`` bounds the
+    run at ``N`` ticks (mandatory for unbounded sources).  Incompatible
+    with the materialized-pair-only machinery: the slow-CPU engine, the
+    OPT bound, the columnar ``batch_size`` path, and the checkpoint /
+    degrade / weighted-shard fault knobs (plain sharding, retries, and
+    telemetry all work — shards filter the source by key hash).
+
+    ``estimator=`` picks the statistics module feeding PROB/LIFE:
+    ``"oracle"`` (default) is the paper's static table (true generating
+    distribution, or an offline frequency scan); ``"ewma"``,
+    ``"countmin"``, and ``"spacesaving"`` are *online* bounded-memory
+    estimators updated from the live arrivals — the paper's "any online
+    histogram or sketch could substitute" remark, realised.  For a
+    drifting source the oracle is deliberately *stale* (phase-0
+    distributions), which is exactly what the online estimators beat.
+    ``estimator_alpha`` tunes the EWMA smoothing factor (default
+    ``2 / (window + 1)``).
+
     ``telemetry=True`` (sharded runs only) arms the cross-process
     telemetry plane: the supervisor records task-lifecycle spans
     (submit / retry / timeout / finish / merge / degrade), every worker
@@ -134,6 +167,11 @@ class RunSpec:
     skew: float = 1.0
     skew_s: Optional[float] = None
     correlation: str = "uncorrelated"
+
+    source: Optional[object] = None
+    duration: Optional[int] = None
+    estimator: str = "oracle"
+    estimator_alpha: Optional[float] = None
 
     engine: str = "fast"
     batch_size: Optional[int] = None
@@ -198,6 +236,57 @@ class RunSpec:
                     "tracing is not supported with sharded execution "
                     "(per-shard event streams have no global order)"
                 )
+        if self.estimator not in ESTIMATORS:
+            raise ValueError(
+                f"estimator must be one of {ESTIMATORS}, got {self.estimator!r}"
+            )
+        if self.estimator != "oracle" and name not in (
+            "PROB", "PROBV", "LIFE", "LIFEV"
+        ):
+            raise ValueError(
+                "online estimators drive the PROB/LIFE heuristics only; "
+                f"got estimator={self.estimator!r} with algorithm={name!r}"
+            )
+        if self.estimator_alpha is not None:
+            if self.estimator != "ewma":
+                raise ValueError("estimator_alpha applies to estimator='ewma'")
+            if not 0.0 < self.estimator_alpha <= 1.0:
+                raise ValueError(
+                    f"estimator_alpha must be in (0, 1], got {self.estimator_alpha}"
+                )
+        if self.duration is not None:
+            if self.source is None:
+                raise ValueError("duration requires a source")
+            if self.duration < 1:
+                raise ValueError(f"duration must be >= 1, got {self.duration}")
+        if self.source is not None:
+            if name in ("OPT", "OPTV"):
+                raise ValueError(
+                    "the offline OPT bound needs the materialized pair; "
+                    "it cannot consume a source"
+                )
+            if self.engine == "slowcpu":
+                raise ValueError(
+                    "sources run on the fast/async engines "
+                    "(the slow-CPU model replays materialized pairs)"
+                )
+            if self.batch_size is not None:
+                raise ValueError(
+                    "batch_size (the columnar pair path) is incompatible "
+                    "with a source; the source path is already incremental"
+                )
+            for knob, is_set in (
+                ("shard_weighted", self.shard_weighted),
+                ("checkpoint_every", self.checkpoint_every is not None),
+                ("degrade", self.degrade),
+            ):
+                if is_set:
+                    raise ValueError(
+                        f"{knob} needs a full pass over the materialized "
+                        "pair and cannot be combined with a source"
+                    )
+            # An unbounded source also needs duration=N *or* a stop()
+            # callback; that check lives in run(), which sees both.
         # Fault-tolerance knobs: the one shared validator every surface
         # (API, CLI run/compare/sweep) funnels through.
         if self.max_retries < 0:
@@ -264,17 +353,77 @@ def _tracer_for(spec: RunSpec) -> Optional[Tracer]:
     return Tracer(RingBufferSink(spec.trace_capacity)) if spec.trace else None
 
 
-def _policy_for(spec: RunSpec, pair: StreamPair, estimators: Optional[dict]):
+def _online_estimators(spec: RunSpec) -> dict:
+    """Fresh per-side online estimators for ``spec.estimator``.
+
+    Sizing: the EWMA smoothing defaults to ``2 / (window + 1)`` (an
+    effective history of about one window); the Count-Min sketch is
+    sized for 1% additive error at 99% confidence; Space-Saving tracks
+    enough counters to rank everything the memory budget could retain.
+    """
+    if spec.estimator == "ewma":
+        alpha = (
+            spec.estimator_alpha
+            if spec.estimator_alpha is not None
+            else 2.0 / (spec.window + 1)
+        )
+        make = lambda: EwmaFrequencyEstimator(alpha)
+    elif spec.estimator == "countmin":
+        make = lambda: CountMinSketch.from_error_bounds(
+            0.01, 0.01, seed=spec.seed, conservative=True
+        )
+    else:  # spacesaving
+        make = lambda: SpaceSaving(max(64, 2 * spec.memory))
+    return {"R": make(), "S": make()}
+
+
+def _source_estimators(source) -> dict:
+    """The *oracle* statistics module for a source.
+
+    A :class:`~repro.streams.sources.PairSource` defers to the pair's
+    own metadata; generator sources expose their true generating
+    distributions.  A drifting source yields its *phase-0* tables — a
+    deliberately stale oracle, the baseline the online estimators beat.
+    Sources with unknown statistics (replays, custom feeds) have no
+    oracle; pick an online estimator for those.
+    """
+    if isinstance(source, PairSource):
+        return estimators_for(source.pair)
+    if hasattr(source, "phase_distributions"):
+        dist_r, dist_s = source.phase_distributions(0)
+    elif hasattr(source, "distributions"):
+        dist_r, dist_s = source.distributions()
+    else:
+        raise ValueError(
+            "estimator='oracle' needs a source with known distributions "
+            "(a PairSource or a generator source); use an online "
+            "estimator ('ewma', 'countmin', 'spacesaving') for replay "
+            "or custom sources"
+        )
+    return {
+        "R": StaticFrequencyTable.from_array(dist_r.probabilities()),
+        "S": StaticFrequencyTable.from_array(dist_s.probabilities()),
+    }
+
+
+def _policy_for(spec: RunSpec, pair: Optional[StreamPair], estimators: Optional[dict]):
     if spec.algorithm == "EXACT":
         return None
-    if estimators is None:
-        estimators = estimators_for(pair)
+    update = spec.estimator != "oracle"
+    if update:
+        estimators = _online_estimators(spec)
+    elif estimators is None and spec.algorithm in _ESTIMATOR_ALGORITHMS:
+        estimators = (
+            estimators_for(pair) if pair is not None
+            else _source_estimators(spec.source)
+        )
     return make_policy_spec(
         spec.algorithm,
         variable=spec.variable,
         estimators=estimators,
         window=spec.window,
         seed=spec.seed,
+        update_estimators=update,
     )
 
 
@@ -285,6 +434,10 @@ def run(
     estimators: Optional[dict] = None,
     workers: Optional[int] = None,
     fault_plan=None,
+    emit=None,
+    on_summary=None,
+    on_summary_every: Optional[int] = None,
+    stop=None,
 ):
     """Run the spec end to end and return the engine's result.
 
@@ -299,17 +452,51 @@ def run(
 
     ``pair`` overrides the generated workload (so several specs can share
     one input); ``estimators`` overrides the statistics module.
+
+    Streaming hooks (``repro serve`` is a thin layer over these):
+    ``emit(result_tuple)`` receives each join output as produced
+    (bounded-memory alternative to materializing); ``on_summary`` gets a
+    rolling :class:`~repro.core.results.RunSummary` every
+    ``on_summary_every`` ticks; ``stop()`` is polled per tick for
+    cooperative shutdown.  They apply to single-engine runs only — a
+    sharded merge has no global event order.
     """
     if spec.algorithm in ("OPT", "OPTV"):
         return optimal_offline(spec, pair=pair)
+    streaming = (emit, on_summary, on_summary_every, stop) != (None, None, None, None)
     if spec.shards > 1:
+        if streaming:
+            raise ValueError(
+                "emit/on_summary/stop need a single engine run; a sharded "
+                "merge has no global event order"
+            )
         return _run_sharded(spec, pair=pair, workers=workers, fault_plan=fault_plan)
 
-    if pair is None:
-        pair = build_pair(spec)
+    source = spec.source
+    if source is None:
+        if pair is None:
+            pair = build_pair(spec)
+    elif pair is not None:
+        raise ValueError("pass either spec.source or pair=, not both")
+    elif (
+        spec.duration is None
+        and stop is None
+        and getattr(source, "length", None) is None
+    ):
+        raise ValueError(
+            "an unbounded source needs duration=N or a stop() callback "
+            "to bound the run"
+        )
     registry = _registry_for(spec)
     tracer = _tracer_for(spec)
     policy = _policy_for(spec, pair, estimators)
+    stream_kwargs = dict(
+        until=spec.duration,
+        emit=emit,
+        on_summary=on_summary,
+        on_summary_every=on_summary_every,
+        stop=stop,
+    )
 
     if spec.engine == "fast":
         config = EngineConfig(
@@ -319,7 +506,10 @@ def run(
             warmup=spec.warmup,
             batch_size=spec.batch_size,
         )
-        return JoinEngine(config, policy=policy, metrics=registry, trace=tracer).run(pair)
+        engine = JoinEngine(config, policy=policy, metrics=registry, trace=tracer)
+        return engine.run_stream(
+            source if source is not None else PairSource(pair), **stream_kwargs
+        )
 
     if spec.engine == "async":
         config = AsyncEngineConfig(
@@ -328,11 +518,16 @@ def run(
             variable=spec.variable,
             warmup=spec.warmup,
         )
-        r_batches, s_batches = batches_from_pair(pair)
-        return AsyncJoinEngine(config, policy=policy, metrics=registry, trace=tracer).run(
-            r_batches, s_batches
+        engine = AsyncJoinEngine(config, policy=policy, metrics=registry, trace=tracer)
+        return engine.run_stream(
+            source if source is not None else PairSource(pair), **stream_kwargs
         )
 
+    if streaming:
+        raise ValueError(
+            "emit/on_summary/stop need the fast or async engine "
+            f"(run_stream), got engine={spec.engine!r}"
+        )
     config = SlowCpuConfig(
         window=spec.window,
         memory=spec.effective_memory,
@@ -430,11 +625,10 @@ def _run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
     :mod:`repro.runtime.faults`) the same per-tick hook fires injected
     faults, so a kill lands mid-run with real join state at stake.
     """
-    from .core.partition import shard_batches, shard_seed
+    from .core.partition import shard_batches, shard_seed, shard_source
     from .obs import telemetry
     from .runtime import faults
 
-    r_batches, s_batches = shard_batches(pair, shard, spec.shards)
     shard_spec = replace(spec, seed=shard_seed(spec.seed, shard))
     policy = _policy_for(shard_spec, pair, None)
     config = AsyncEngineConfig(
@@ -449,10 +643,11 @@ def _run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
     resume = None
     every = spec.checkpoint_every
     key = f"shard-{shard}"
-    fingerprint = _shard_fingerprint(spec, pair, shard, budget)
+    fingerprint = None
     if every is not None and spec.checkpoint_dir is not None:
         from .runtime.checkpoint import CheckpointStore
 
+        fingerprint = _shard_fingerprint(spec, pair, shard, budget)
         store = CheckpointStore(spec.checkpoint_dir)
         resume = store.load(key, fingerprint=fingerprint)
 
@@ -480,6 +675,17 @@ def _run_join_shard(spec: RunSpec, pair: StreamPair, shard: int, budget: int):
                     key, running_engine.checkpoint(), fingerprint=fingerprint
                 )
 
+    if spec.source is not None:
+        # Checkpoints are validated out with sources, so no store/resume
+        # here; retries simply restart the (deterministic) shard source.
+        return engine.run_stream(
+            shard_source(spec.source, shard, spec.shards),
+            until=spec.duration,
+            on_tick=on_tick,
+            on_tick_every=on_tick_every,
+        )
+
+    r_batches, s_batches = shard_batches(pair, shard, spec.shards)
     result = engine.run(
         r_batches, s_batches, resume=resume,
         on_tick=on_tick, on_tick_every=on_tick_every,
@@ -517,8 +723,21 @@ def _run_sharded(
     )
     from .runtime import CellError, RetryPolicy, ShardCell, parallel_map, run_shard_cell
 
-    if pair is None:
-        pair = build_pair(spec)
+    if spec.source is not None:
+        if pair is not None:
+            raise ValueError("pass either spec.source or pair=, not both")
+        length = (
+            spec.duration if spec.duration is not None else spec.source.length
+        )
+        if length is None:
+            raise ValueError(
+                "a sharded run over an unbounded source needs duration=N "
+                "(the merge reports a definite length)"
+            )
+    else:
+        if pair is None:
+            pair = build_pair(spec)
+        length = len(pair)
     lossless = 2 * spec.window if spec.algorithm == "EXACT" else None
     weights = (
         shard_weights(pair, spec.shards)
@@ -619,7 +838,7 @@ def _run_sharded(
     merged = merge_shard_results(
         results,
         plan,
-        length=len(pair),
+        length=length,
         window=spec.window,
         memory=spec.effective_memory,
         warmup=spec.effective_warmup,

@@ -1,9 +1,13 @@
 """Command-line interface.
 
-Seven verbs, all printing plain text:
+Eight verbs, all printing plain text:
 
 * ``repro list`` — available algorithms, figures, tables, and scales;
 * ``repro run`` — run one algorithm on a generated workload;
+* ``repro serve`` — run one algorithm over a pull-based *source*
+  (generator or JSONL replay), incrementally and optionally unbounded:
+  rolling summary lines on stderr, graceful Ctrl-C shutdown, and
+  ``--emit jsonl`` streaming each join output to stdout as produced;
 * ``repro compare`` — run several algorithms on the same workload;
 * ``repro sweep`` — run several algorithms across seeds and print
   mean/std/min/max aggregates per algorithm;
@@ -28,6 +32,9 @@ Examples
 
     repro run --algorithm PROB --length 2000 --window 100 --memory 50
     repro run --algorithm PROB --metrics json --metrics-out prob.json
+    repro serve --source zipf --algorithm PROB --duration 100000
+    repro serve --source drifting-zipf --estimator ewma --duration 50000
+    repro serve --source replay --replay streams.jsonl --emit jsonl
     repro run --algorithm EXACT --shards 4 --workers 4 \
         --max-retries 2 --checkpoint-every 64
     repro compare --algorithms RAND,PROB,OPT --skew 1.5
@@ -46,6 +53,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from typing import Optional, Sequence
@@ -307,6 +315,148 @@ def _cmd_run(args: argparse.Namespace) -> int:
             {args.algorithm: snapshot or {}},
             {args.algorithm: summary() if callable(summary) else None},
         )
+    return 0
+
+
+def _build_source(args: argparse.Namespace):
+    """The :class:`~repro.streams.sources.Source` a ``serve`` asks for."""
+    from .streams.sources import (
+        DriftingZipfSource,
+        PoissonSource,
+        ReplaySource,
+        ZipfSource,
+    )
+
+    if args.source == "replay":
+        if not args.replay:
+            raise ValueError("--source replay needs --replay PATH")
+        return ReplaySource(args.replay)
+    if args.source == "drifting-zipf":
+        return DriftingZipfSource(
+            args.domain,
+            args.skew,
+            phase_length=args.phase_length,
+            seed=args.seed,
+            length=args.length,
+        )
+    if args.source == "poisson":
+        return PoissonSource(
+            args.domain,
+            args.skew,
+            args.rate,
+            skew_s=args.skew_s,
+            correlation=args.correlation,
+            seed=args.seed,
+            length=args.length,
+        )
+    return ZipfSource(
+        args.domain,
+        args.skew,
+        skew_s=args.skew_s,
+        correlation=args.correlation,
+        seed=args.seed,
+        length=args.length,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a source through the incremental engine path.
+
+    Join results never materialize: ``--emit jsonl`` streams each output
+    pair to stdout the tick it is produced, rolling summaries go to
+    stderr every ``--summary-every`` ticks, and SIGINT (Ctrl-C) sets a
+    cooperative stop flag — the engine finishes the current tick,
+    flushes, and reports like any bounded run.
+    """
+    import json
+    import signal
+
+    try:
+        source = _build_source(args)
+        spec = RunSpec(
+            algorithm=args.algorithm,
+            window=args.window,
+            memory=args.memory,
+            warmup=args.warmup,
+            seed=args.seed,
+            engine=args.engine,
+            source=source,
+            duration=args.duration,
+            estimator=args.estimator,
+            estimator_alpha=args.estimator_alpha,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.duration is None and source.length is None and not sys.stderr.isatty():
+        # Unbounded runs are interactive by design; still allow them in
+        # pipelines — the stop flag is the only exit, so say so once.
+        print("serving unbounded source; stop with SIGINT", file=sys.stderr)
+
+    emit = None
+    if args.emit == "jsonl":
+        out = sys.stdout
+
+        def emit(result):
+            out.write(json.dumps({
+                "r": result.r_arrival, "s": result.s_arrival, "key": result.key,
+            }) + "\n")
+
+    ticks_seen = {"n": 0}
+
+    def on_summary(summary):
+        ticks_seen["n"] += args.summary_every
+        drops = summary.drops
+        print(
+            f"[{source.name or args.source} t={ticks_seen['n']}] "
+            f"{summary.policy_name}: output={summary.output_count} "
+            f"shed={drops.shed} expired={drops.expired}",
+            file=sys.stderr,
+        )
+
+    stopping = {"flag": False}
+
+    def _handle_sigint(signum, frame):
+        if stopping["flag"]:  # second Ctrl-C: give up immediately
+            raise KeyboardInterrupt
+        stopping["flag"] = True
+        print("stopping after current tick ...", file=sys.stderr)
+
+    previous = signal.signal(signal.SIGINT, _handle_sigint)
+    try:
+        result = run(
+            spec,
+            emit=emit,
+            on_summary=on_summary,
+            on_summary_every=args.summary_every,
+            stop=lambda: stopping["flag"],
+        )
+    except ValueError as exc:  # e.g. estimator='oracle' over a replay source
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # The downstream --emit consumer closed its end (`... | head`):
+        # normal termination for a streaming run.  Point stdout at
+        # devnull so the interpreter's shutdown flush doesn't print an
+        # "Exception ignored" complaint, and exit like SIGPIPE would.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        signal.signal(signal.SIGINT, previous)
+    drops = result.drop_breakdown()
+    print(f"source   : {source.name or args.source}", file=sys.stderr)
+    print(
+        f"window   : {args.window}   memory: {args.memory}   "
+        f"warmup: {spec.effective_warmup}",
+        file=sys.stderr,
+    )
+    print(
+        f"{args.algorithm}: {result.output_count} output tuples over "
+        f"{result.length} ticks (shed={drops.shed}, expired={drops.expired})"
+        + ("  [stopped]" if stopping["flag"] else ""),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -673,6 +823,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards run fans its shards over the workers",
     )
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run one algorithm incrementally over a pull-based source "
+             "(generator or JSONL replay), optionally unbounded",
+    )
+    serve_parser.add_argument(
+        "--algorithm", default="PROB", type=str.upper,
+        help=f"one of {', '.join(ALL_ALGORITHMS)} (no OPT/OPTV)",
+    )
+    serve_parser.add_argument(
+        "--source",
+        choices=("zipf", "drifting-zipf", "poisson", "replay"),
+        default="zipf",
+        help="arrival source (generators are unbounded unless --length)",
+    )
+    serve_parser.add_argument(
+        "--replay", default=None,
+        help="JSONL recording to replay (with --source replay; "
+             "CSV recordings are adapted automatically)",
+    )
+    serve_parser.add_argument("--window", type=int, default=100, help="window size w")
+    serve_parser.add_argument("--memory", type=int, default=50, help="memory budget M")
+    serve_parser.add_argument("--domain", type=int, default=50)
+    serve_parser.add_argument("--skew", type=float, default=1.0)
+    serve_parser.add_argument(
+        "--skew-s", type=float, default=None, dest="skew_s",
+        help="Zipf parameter of S (defaults to --skew)",
+    )
+    serve_parser.add_argument(
+        "--correlation",
+        choices=("uncorrelated", "correlated", "anticorrelated"),
+        default="uncorrelated",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=1.0,
+        help="mean arrivals per side per tick (--source poisson)",
+    )
+    serve_parser.add_argument(
+        "--phase-length", type=int, default=10_000, dest="phase_length",
+        help="ticks per drift phase (--source drifting-zipf)",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--length", type=int, default=None,
+        help="bound the *source* at N ticks (default: unbounded generator)",
+    )
+    serve_parser.add_argument(
+        "--duration", type=int, default=None,
+        help="bound the *run* at N ticks (else runs to source end / SIGINT)",
+    )
+    serve_parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="output-counting start (default: 2 * window)",
+    )
+    serve_parser.add_argument(
+        "--engine", choices=("fast", "async"), default="fast",
+    )
+    serve_parser.add_argument(
+        "--estimator",
+        choices=("oracle", "ewma", "countmin", "spacesaving"),
+        default="oracle",
+        help="statistics module for PROB/LIFE (oracle = static tables; "
+             "the rest update online from the live arrivals)",
+    )
+    serve_parser.add_argument(
+        "--estimator-alpha", type=float, default=None, dest="estimator_alpha",
+        help="EWMA smoothing factor (default: 2 / (window + 1))",
+    )
+    serve_parser.add_argument(
+        "--emit", choices=("jsonl",), default=None,
+        help="stream each join output to stdout as produced",
+    )
+    serve_parser.add_argument(
+        "--summary-every", type=int, default=5000, dest="summary_every",
+        help="ticks between rolling summary lines on stderr",
+    )
+
     compare_parser = commands.add_parser("compare", help="run several algorithms")
     compare_parser.add_argument(
         "--algorithms", default="RAND,PROB,OPT",
@@ -829,6 +1056,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "serve": _cmd_serve,
     "compare": _cmd_compare,
     "sweep": _cmd_sweep,
     "figure": _cmd_figure,

@@ -30,8 +30,9 @@ Output is counted per processing tick against the usual warmup.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from ..obs import Timer, active_or_none
 from ..obs.trace import (
@@ -40,13 +41,14 @@ from ..obs.trace import (
     TraceEvent,
     tracing_or_none,
 )
+from ..streams.sources import Source, as_source
 from ..streams.tuples import StreamPair
 from .engine import PolicySpec
 from .kernel import JoinKernel
 from .memory import JoinMemory, TupleRecord
 from .policies import resolve_policy_spec
 from .policies.life import LifePolicy
-from .results import BaseRunResult, DropBreakdown
+from .results import BaseRunResult, DropBreakdown, RunSummary
 
 WINDOW_MODES = ("time", "count", "landmark")
 
@@ -403,6 +405,278 @@ class AsyncJoinEngine:
         )
 
     # ------------------------------------------------------------------
+    # the incremental source path
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        source: Union[Source, StreamPair],
+        *,
+        until: Optional[int] = None,
+        emit=None,
+        on_summary=None,
+        on_summary_every: Optional[int] = None,
+        stop=None,
+        on_tick=None,
+        on_tick_every: int = 1,
+    ) -> AsyncRunResult:
+        """Consume a pull-based source with asynchronous semantics.
+
+        The source-path analogue of :meth:`run`: per-tick ``(r_keys,
+        s_keys)`` events come from any
+        :class:`~repro.streams.sources.Source` (a :class:`StreamPair` is
+        adapted automatically) instead of materialized batch lists, and
+        working state stays bounded by the window/memory budget, so
+        unbounded sources are safe.  Tick semantics are identical to
+        :meth:`run` — each tuple probes the opposite memory when
+        processed, R batch before S batch — and a
+        ``PairSource``-equivalent event stream produces bit-identical
+        results (counts, ledger, metrics totals) to
+        ``run(*batches_from_pair(pair))``.
+
+        ``until`` bounds the tick count and ``stop()`` is polled each
+        tick (either is required for an unbounded source); ``emit`` is a
+        per-pair sink for post-warmup output; ``on_summary`` receives a
+        rolling :class:`~repro.core.results.RunSummary` every
+        ``on_summary_every`` ticks (default 4096).  ``on_tick`` works as
+        in :meth:`run` (telemetry heartbeats; :meth:`progress` is valid
+        inside), but checkpoint/resume stays pair-path-only — an
+        interrupted source run is re-run from the start (sources are
+        restartable by contract).
+        """
+        source = as_source(source)
+        if until is not None and until < 0:
+            raise ValueError(f"until must be non-negative, got {until}")
+        if on_summary_every is not None and on_summary_every <= 0:
+            raise ValueError(
+                f"on_summary_every must be positive, got {on_summary_every}"
+            )
+        if on_tick_every < 1:
+            raise ValueError(f"on_tick_every must be >= 1, got {on_tick_every}")
+        if source.length is None and until is None and stop is None:
+            raise ValueError(
+                "unbounded source: pass until= and/or stop= to bound the run"
+            )
+        stride = on_summary_every or 4096
+
+        config = self.config
+        obs = active_or_none(self.metrics)
+        tracer = tracing_or_none(self.trace)
+        if (
+            self._policy_r is None
+            and self._policy_s is None
+            and config.window_mode == "time"
+            and on_tick is None
+            and emit is None
+            and not config.validate
+            and obs is None
+            and tracer is None
+        ):
+            return self._run_exact_stream(source, until, stop, on_summary, stride)
+
+        memory = self.memory
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+        count_mode = config.window_mode == "count"
+        landmark_mode = config.window_mode == "landmark"
+
+        output = 0
+        total_output = 0
+        arrivals = 0
+        ticks = 0
+        sequence = {"R": 0, "S": 0}
+
+        kernel = JoinKernel(memory, self._policy_r, self._policy_s, tracer=tracer)
+        drop_counts = kernel.drop_counts
+        expire_reason = (
+            REASON_WINDOW if config.window_mode == "time" else config.window_mode
+        )
+        tracing = tracer is not None
+        timed = obs is not None
+        self._kernel = kernel
+        self._obs = obs
+        self._tracing = tracing
+        self._tick_state = None
+
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            occupancy_r = obs.series("engine.occupancy", side="R")
+            occupancy_s = obs.series("engine.occupancy", side="S")
+            batch_size = obs.histogram("async.batch_size")
+
+        hook_next = 0 if on_tick is not None else -1
+
+        batch_ops = (
+            self._policy_r is None
+            and self._policy_s is None
+            and not tracing
+            and not count_mode
+            and emit is None
+        )
+
+        from ..streams.tuples import JoinResultTuple
+
+        for t, (r_event, s_event) in enumerate(iter(source)):
+            if until is not None and t >= until:
+                break
+            if stop is not None and stop():
+                break
+            if landmark_mode:
+                if t > 0 and t % config.landmark_every == 0:
+                    kernel.expire(t, t, reason=expire_reason)
+            elif not count_mode:
+                kernel.expire(t - window, t, reason=expire_reason)
+
+            for stream, batch in (("R", r_event), ("S", s_event)):
+                if batch_ops:
+                    if batch:
+                        arrivals += len(batch)
+                        kernel.observe_batch(stream, batch, t)
+                        matches = kernel.probe_batch(stream, batch, t)
+                        total_output += matches
+                        if t >= warmup:
+                            output += matches
+                        kernel.insert_batch(stream, batch, t)
+                    continue
+                other = memory.other_side(stream)
+                for key in batch:
+                    arrivals += 1
+                    kernel.observe(stream, key, t)
+                    if tracing:
+                        tracer.emit(TraceEvent(t, stream, key, EVENT_ARRIVE, t))
+
+                    matches = kernel.probe(stream, key, t)
+                    total_output += matches
+                    if t >= warmup:
+                        output += matches
+                        if emit is not None and matches:
+                            if stream == "R":
+                                for partner in other.matches(key):
+                                    emit(JoinResultTuple(t, partner.arrival, key))
+                            else:
+                                for partner in other.matches(key):
+                                    emit(JoinResultTuple(partner.arrival, t, key))
+
+                    if count_mode:
+                        sequence[stream] += 1
+                        kernel.expire(
+                            sequence[stream] - window, t,
+                            reason=expire_reason, side=stream,
+                        )
+                        record = TupleRecord(stream, sequence[stream], key)
+                    else:
+                        record = TupleRecord(stream, t, key)
+                    kernel.insert(record, t)
+
+            if timed:
+                batch_size.observe(len(r_event) + len(s_event))
+                occupancy_r.append(t, memory.r.size)
+                occupancy_s.append(t, memory.s.size)
+
+            if config.validate:
+                self._check_invariants(t)
+
+            ticks = t + 1
+            if on_summary is not None and ticks % stride == 0:
+                on_summary(RunSummary(
+                    engine="async",
+                    policy_name=self.policy_name,
+                    output_count=output,
+                    drops=DropBreakdown.from_side_counts(drop_counts),
+                ))
+
+            if t == hook_next:
+                hook_next = t + on_tick_every
+                self._tick_state = (t, output, total_output, arrivals, sequence)
+                on_tick(self, t)
+
+        self._tick_state = None
+        snapshot = None
+        if obs is not None:
+            run_timer.stop()
+            obs.counter("engine.matches").inc(total_output)
+            obs.counter("engine.output").inc(output)
+            obs.counter("async.arrivals").inc(arrivals)
+            for side in ("R", "S"):
+                for reason, count in drop_counts[side].items():
+                    obs.counter("engine.drops", side=side, reason=reason).inc(count)
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
+
+        trace_events = None
+        if tracing:
+            trace_events = tracer.collect()
+
+        return AsyncRunResult(
+            output_count=output,
+            total_output_count=total_output,
+            ticks=ticks,
+            arrivals=arrivals,
+            policy_name=self.policy_name,
+            drop_counts=drop_counts,
+            metrics=snapshot,
+            trace=trace_events,
+        )
+
+    def _run_exact_stream(
+        self, source, until, stop, on_summary, stride
+    ) -> AsyncRunResult:
+        """Streaming analogue of :meth:`_run_exact_counts`.
+
+        Policy-less, uninstrumented, unhooked time-window source runs
+        reduce to :func:`repro.core.batched.exact_stream_counts` —
+        bounded dictionary state for arbitrarily long streams.
+        """
+        from .batched import exact_stream_counts
+        from .results import DROP_EXPIRED, empty_side_drop_counts
+
+        config = self.config
+        self._kernel = None
+        self._obs = None
+        self._tracing = False
+        self._tick_state = None
+
+        on_progress = None
+        if on_summary is not None:
+            policy_name = self.policy_name
+
+            def on_progress(t, output, total_output, arrivals, exp_r, exp_s):
+                on_summary(RunSummary(
+                    engine="async",
+                    policy_name=policy_name,
+                    output_count=output,
+                    drops=DropBreakdown(expired=exp_r + exp_s),
+                ))
+
+        output, total_output, arrivals, expired_r, expired_s, ticks = (
+            exact_stream_counts(
+                iter(source),
+                config.window,
+                config.warmup,
+                capacity=self.memory.capacity,
+                variable=self.memory.variable,
+                until=until,
+                stop=stop,
+                on_progress=on_progress,
+                progress_every=stride if on_summary is not None else 0,
+            )
+        )
+        drop_counts = empty_side_drop_counts()
+        drop_counts["R"][DROP_EXPIRED] = expired_r
+        drop_counts["S"][DROP_EXPIRED] = expired_s
+        return AsyncRunResult(
+            output_count=output,
+            total_output_count=total_output,
+            ticks=ticks,
+            arrivals=arrivals,
+            policy_name=self.policy_name,
+            drop_counts=drop_counts,
+            metrics=None,
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
     # live progress
     # ------------------------------------------------------------------
     def progress(self) -> dict:
@@ -499,5 +773,19 @@ class AsyncJoinEngine:
 
 
 def batches_from_pair(pair: StreamPair) -> tuple[list[list], list[list]]:
-    """The synchronous workload as one-tuple-per-tick batches."""
+    """The synchronous workload as one-tuple-per-tick batches.
+
+    .. deprecated::
+        This materializes both streams positionally (``pair.r`` /
+        ``pair.s``) into per-tick lists — the contract the source
+        refactor removes.  Run
+        ``engine.run_stream(PairSource(pair))`` instead; it is
+        bit-identical and does not copy the streams.
+    """
+    warnings.warn(
+        "batches_from_pair is deprecated; use "
+        "AsyncJoinEngine.run_stream(PairSource(pair)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return [[key] for key in pair.r], [[key] for key in pair.s]

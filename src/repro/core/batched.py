@@ -32,12 +32,13 @@ the per-tuple engines.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..streams.batches import StreamChunk
 
 __all__ = [
     "exact_chunk_counts",
+    "exact_stream_counts",
     "exact_tick_counts",
 ]
 
@@ -222,3 +223,135 @@ def exact_tick_counts(
                 s_size += 1
 
     return output, total_output, arrivals, expired_r, expired_s
+
+
+def exact_stream_counts(
+    events: Iterable,
+    window: int,
+    warmup: int,
+    *,
+    capacity: int,
+    variable: bool,
+    count_simultaneous: bool = True,
+    overflow_error: type = RuntimeError,
+    until: Optional[int] = None,
+    stop: Optional[Callable[[], bool]] = None,
+    on_progress: Optional[Callable] = None,
+    progress_every: int = 0,
+) -> tuple[int, int, int, int, int, int]:
+    """Run the EXACT join incrementally over a source's event iterator.
+
+    The bounded-memory analogue of :func:`exact_tick_counts`: ``events``
+    yields per-tick ``(r_keys, s_keys)`` arrival batches (a
+    :class:`repro.streams.sources.Source` iterator), which may be
+    unbounded — working state is two count dicts plus two expiry queues,
+    all bounded by the window contents, never by stream length.  This is
+    the lane ``make soak`` exercises.
+
+    Counting is order-equivalent for both engines' EXACT semantics: R
+    arrivals are probed against resident S then admitted before the S
+    batch probes, so a same-tick pair is counted once — exactly the
+    asynchronous per-tuple order, and exactly the synchronous engine's
+    probes-plus-top-path total.  ``count_simultaneous=False`` (a
+    synchronous-engine knob) subtracts the same-tick pairs.
+
+    ``until`` bounds the tick count, ``stop()`` is polled each tick for
+    cooperative shutdown (``repro serve``'s SIGINT path), and
+    ``on_progress(t, output, total_output, arrivals, expired_r,
+    expired_s)`` fires after every ``progress_every`` ticks — the
+    rolling-summary hook.
+
+    Returns ``(output, total_output, arrivals, expired_r, expired_s,
+    ticks)``.
+    """
+    r_counts: dict = {}
+    s_counts: dict = {}
+    r_queue: deque = deque()
+    s_queue: deque = deque()
+
+    output = 0
+    total_output = 0
+    arrivals = 0
+    expired_r = 0
+    expired_s = 0
+    r_size = 0
+    s_size = 0
+    ticks = 0
+
+    r_get = r_counts.get
+    s_get = s_counts.get
+    half = capacity // 2
+
+    for t, (r_batch, s_batch) in enumerate(events):
+        if until is not None and t >= until:
+            break
+        if stop is not None and stop():
+            break
+        horizon = t - window
+        if horizon >= 0:
+            while r_queue and r_queue[0][0] <= horizon:
+                _, key = r_queue.popleft()
+                remaining = r_counts[key] - 1
+                if remaining:
+                    r_counts[key] = remaining
+                else:
+                    del r_counts[key]
+                expired_r += 1
+                r_size -= 1
+            while s_queue and s_queue[0][0] <= horizon:
+                _, key = s_queue.popleft()
+                remaining = s_counts[key] - 1
+                if remaining:
+                    s_counts[key] = remaining
+                else:
+                    del s_counts[key]
+                expired_s += 1
+                s_size -= 1
+
+        if r_batch:
+            for key in r_batch:
+                arrivals += 1
+                matches = s_get(key, 0)
+                total_output += matches
+                if t >= warmup:
+                    output += matches
+                if (r_size + s_size >= capacity) if variable else (r_size >= half):
+                    raise overflow_error(
+                        f"memory overflow at t={t} with no shedding policy "
+                        f"(capacity {capacity})"
+                    )
+                r_counts[key] = r_get(key, 0) + 1
+                r_queue.append((t, key))
+                r_size += 1
+        if s_batch:
+            for key in s_batch:
+                arrivals += 1
+                matches = r_get(key, 0)
+                total_output += matches
+                if t >= warmup:
+                    output += matches
+                if (r_size + s_size >= capacity) if variable else (s_size >= half):
+                    raise overflow_error(
+                        f"memory overflow at t={t} with no shedding policy "
+                        f"(capacity {capacity})"
+                    )
+                s_counts[key] = s_get(key, 0) + 1
+                s_queue.append((t, key))
+                s_size += 1
+        if not count_simultaneous and r_batch and s_batch:
+            # The synchronous engine's top path is optional; the insert
+            # order above already counted every same-tick pair, so take
+            # them back out.
+            tick_counts: dict = {}
+            for key in r_batch:
+                tick_counts[key] = tick_counts.get(key, 0) + 1
+            cross = sum(tick_counts.get(key, 0) for key in s_batch)
+            total_output -= cross
+            if t >= warmup:
+                output -= cross
+        ticks = t + 1
+
+        if progress_every and ticks % progress_every == 0 and on_progress is not None:
+            on_progress(t, output, total_output, arrivals, expired_r, expired_s)
+
+    return output, total_output, arrivals, expired_r, expired_s, ticks

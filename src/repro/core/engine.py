@@ -36,6 +36,7 @@ from ..obs.trace import (
     TraceEvent,
     tracing_or_none,
 )
+from ..streams.sources import PairSource, Source, as_source
 from ..streams.tuples import JoinResultTuple, StreamPair
 from .kernel import JoinKernel
 from .memory import JoinMemory, TupleRecord
@@ -47,6 +48,8 @@ from .results import (
     DROP_REJECTED,
     BaseRunResult,
     DropBreakdown,
+    RunSummary,
+    empty_side_drop_counts,
 )
 
 #: Accepted policy specs: ``None`` / ``EvictionPolicy`` /
@@ -265,6 +268,124 @@ class JoinEngine:
     # ------------------------------------------------------------------
     def run(self, pair: StreamPair) -> RunResult:
         """Process a finite stream pair and return the run's results.
+
+        Implemented as ``run_stream(PairSource(pair))``: the pair is one
+        particular source, and :meth:`run_stream` routes a plain
+        ``PairSource`` with no streaming options to the historical
+        pair-path loops — results are bit-identical to the pre-source
+        engine (a regression test pins them).
+        """
+        return self.run_stream(PairSource(pair))
+
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        source: Union[Source, StreamPair],
+        *,
+        until: Optional[int] = None,
+        emit=None,
+        on_summary=None,
+        on_summary_every: Optional[int] = None,
+        stop=None,
+    ) -> RunResult:
+        """Consume a pull-based source and return the run's results.
+
+        ``source`` is anything satisfying the
+        :class:`~repro.streams.sources.Source` protocol (or a
+        :class:`StreamPair`, adapted automatically).  A plain
+        :class:`~repro.streams.sources.PairSource` with none of the
+        streaming options takes the historical pair-path loops
+        (:meth:`_run_pair`), bit-identical to the pre-source engine;
+        everything else runs the *incremental* path, whose working state
+        is bounded by the window/memory budget — never by stream length
+        — so unbounded sources are safe.
+
+        Parameters
+        ----------
+        until:
+            Process at most this many ticks (required, together with
+            ``stop``, for unbounded sources).
+        emit:
+            Join-result sink: ``emit(JoinResultTuple)`` is called for
+            every post-warmup output pair instead of materializing an
+            output list.
+        on_summary / on_summary_every:
+            Rolling progress: ``on_summary(summary)`` receives an
+            engine-agnostic :class:`~repro.core.results.RunSummary` of
+            the counters so far after every ``on_summary_every`` ticks
+            (default 4096 when only the callback is given).
+        stop:
+            Cooperative shutdown: a ``() -> bool`` callable polled each
+            tick; a truthy return ends the run cleanly (``repro serve``
+            wires SIGINT here).
+
+        The incremental path keeps the synchronous tick semantics,
+        generalized to per-tick batches: expiry, then all probes of the
+        tick (against resident state, plus the same-tick cross pairs the
+        top path contributes), then admissions R-batch-first.  Survival
+        tracking and the pair-only features (``materialize``,
+        ``track_shares``, schedules, ``profile``) are unsupported here —
+        they hold per-arrival state, which an unbounded stream forbids.
+        """
+        source = as_source(source)
+        if until is not None and until < 0:
+            raise ValueError(f"until must be non-negative, got {until}")
+        if on_summary_every is not None and on_summary_every <= 0:
+            raise ValueError(
+                f"on_summary_every must be positive, got {on_summary_every}"
+            )
+        streaming = (
+            until is not None
+            or emit is not None
+            or on_summary is not None
+            or stop is not None
+        )
+        if isinstance(source, PairSource) and not streaming:
+            return self._run_pair(source.pair)
+
+        config = self.config
+        unsupported = [
+            name
+            for name, active in (
+                ("materialize", config.materialize),
+                ("track_shares", config.track_shares),
+                ("memory_schedule", config.memory_schedule is not None),
+                ("window_schedule", config.window_schedule is not None),
+                ("profile", config.profile),
+            )
+            if active
+        ]
+        if unsupported:
+            raise ValueError(
+                f"{', '.join(unsupported)} not supported on the incremental "
+                "source path (they hold per-arrival state); run the "
+                "materialized pair path instead"
+            )
+        if source.length is None and until is None and stop is None:
+            raise ValueError(
+                "unbounded source: pass until= and/or stop= to bound the run"
+            )
+        stride = on_summary_every or 4096
+
+        obs = active_or_none(self.metrics)
+        tracer = tracing_or_none(self.trace)
+        if (
+            obs is None
+            and tracer is None
+            and emit is None
+            and not config.validate
+            and self._policy_r is None
+            and self._policy_s is None
+            and not self._observers
+        ):
+            return self._run_exact_stream(source, until, stop, on_summary, stride)
+        return self._run_incremental(
+            source, obs, tracer, until, emit, on_summary, stride, stop
+        )
+
+    # ------------------------------------------------------------------
+    def _run_pair(self, pair: StreamPair) -> RunResult:
+        """The materialized pair path (see :meth:`run`).
 
         Dispatches to one of two loop implementations with identical
         semantics (a regression test pins them to each other):
@@ -615,6 +736,252 @@ class JoinEngine:
             drop_counts=drop_counts,
             metrics=snapshot,
             trace=None,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_exact_stream(
+        self, source, until, stop, on_summary, stride
+    ) -> RunResult:
+        """The count-only EXACT lane of the incremental path.
+
+        Policy-less, uninstrumented source runs reduce to the dictionary
+        count arithmetic of :func:`repro.core.batched.exact_stream_counts`
+        — bounded working state, no record allocation.  This is what
+        ``make soak`` drives for millions of ticks.
+        """
+        from .batched import exact_stream_counts
+
+        config = self.config
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+
+        on_progress = None
+        if on_summary is not None:
+            policy_name = self.policy_name
+
+            def on_progress(t, output, total_output, arrivals, exp_r, exp_s):
+                on_summary(RunSummary(
+                    engine="fast",
+                    policy_name=policy_name,
+                    output_count=output,
+                    drops=DropBreakdown(expired=exp_r + exp_s),
+                ))
+
+        output, total_output, _, expired_r, expired_s, ticks = exact_stream_counts(
+            iter(source),
+            window,
+            warmup,
+            capacity=self.memory.capacity,
+            variable=self.memory.variable,
+            count_simultaneous=config.count_simultaneous,
+            overflow_error=CapacityExceededError,
+            until=until,
+            stop=stop,
+            on_progress=on_progress,
+            progress_every=stride if on_summary is not None else 0,
+        )
+        drop_counts = empty_side_drop_counts()
+        drop_counts["R"][DROP_EXPIRED] = expired_r
+        drop_counts["S"][DROP_EXPIRED] = expired_s
+        return RunResult(
+            output_count=output,
+            total_output_count=total_output,
+            length=ticks,
+            window=window,
+            memory=config.memory,
+            warmup=warmup,
+            policy_name=self.policy_name,
+            pairs=None,
+            r_departures=None,
+            s_departures=None,
+            shares=None,
+            drop_counts=drop_counts,
+            metrics=None,
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_incremental(
+        self, source, obs, tracer, until, emit, on_summary, stride, stop
+    ) -> RunResult:
+        """The kernel-driven incremental loop (see :meth:`run_stream`).
+
+        Synchronous tick semantics generalized to arrival batches: per
+        tick — expire, observe both batches, probe *both* batches
+        against resident state plus the same-tick cross pairs (the top
+        path: a new tuple is always seen by the join), then admit the R
+        batch and the S batch through the kernel's eviction contests.
+        On one-arrival-per-side ticks this reduces exactly to the pair
+        path's per-tick body.
+
+        No per-arrival state is kept: output pairs go to ``emit``,
+        progress goes to ``on_summary``, and the only growing structure
+        is the (sampled) metrics series of an instrumented run.
+        """
+        config = self.config
+        memory = self.memory
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+        count_sim = config.count_simultaneous
+
+        kernel = JoinKernel(
+            memory,
+            self._policy_r,
+            self._policy_s,
+            tracer=tracer,
+            overflow_error=CapacityExceededError,
+        )
+        self._kernel = kernel
+        drop_counts = kernel.drop_counts
+        tracing = tracer is not None
+        timed = obs is not None
+
+        output = 0
+        total_output = 0
+        simultaneous_total = 0
+        arrivals_r = 0
+        arrivals_s = 0
+        ticks = 0
+
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            occupancy_r = obs.series("engine.occupancy", side="R")
+            occupancy_s = obs.series("engine.occupancy", side="S")
+            share_series = obs.series("engine.memory_share", side="R")
+            sample_every = config.metrics_sample_every or max(1, window // 8)
+        else:
+            sample_every = 0
+
+        mem_r = memory.r
+        mem_s = memory.s
+
+        for t, (r_batch, s_batch) in enumerate(iter(source)):
+            if until is not None and t >= until:
+                break
+            if stop is not None and stop():
+                break
+
+            # 1. expiry ------------------------------------------------
+            kernel.expire(t - window, t)
+
+            # 2. statistics hooks --------------------------------------
+            arrivals_r += len(r_batch)
+            arrivals_s += len(s_batch)
+            kernel.observe_batch("R", r_batch, t)
+            kernel.observe_batch("S", s_batch, t)
+            if tracing:
+                for key in r_batch:
+                    tracer.emit(TraceEvent(t, "R", key, EVENT_ARRIVE, t))
+                for key in s_batch:
+                    tracer.emit(TraceEvent(t, "S", key, EVENT_ARRIVE, t))
+
+            # 3. probes (before any same-tick admission) ---------------
+            matches = kernel.probe_batch("R", r_batch, t) + kernel.probe_batch(
+                "S", s_batch, t
+            )
+            cross = 0
+            if count_sim and r_batch and s_batch:
+                if len(r_batch) == 1 and len(s_batch) == 1:
+                    cross = 1 if r_batch[0] == s_batch[0] else 0
+                else:
+                    tick_counts: dict = {}
+                    for key in r_batch:
+                        tick_counts[key] = tick_counts.get(key, 0) + 1
+                    cross = sum(tick_counts.get(key, 0) for key in s_batch)
+                simultaneous_total += cross
+            total_output += matches + cross
+            if t >= warmup:
+                output += matches + cross
+                if emit is not None:
+                    for key in r_batch:
+                        for partner in mem_s.matches(key):
+                            emit(JoinResultTuple(t, partner.arrival, key))
+                    for key in s_batch:
+                        for partner in mem_r.matches(key):
+                            emit(JoinResultTuple(partner.arrival, t, key))
+                    if cross:
+                        for key in s_batch:
+                            for r_key in r_batch:
+                                if r_key == key:
+                                    emit(JoinResultTuple(t, t, key))
+            if tracing and cross:
+                for key in s_batch:
+                    for r_key in r_batch:
+                        if r_key == key:
+                            tracer.emit(TraceEvent(
+                                t, "R", key, EVENT_JOIN_OUTPUT, t,
+                                None, REASON_SIMULTANEOUS,
+                            ))
+
+            # 4. admissions: R batch first, then S ---------------------
+            for key in r_batch:
+                kernel.insert(TupleRecord("R", t, key), t)
+            for key in s_batch:
+                kernel.insert(TupleRecord("S", t, key), t)
+
+            if sample_every and not t % sample_every:
+                r_size = mem_r.size
+                s_size = mem_s.size
+                occupancy_r.append(t, r_size)
+                occupancy_s.append(t, s_size)
+                total = r_size + s_size
+                share_series.append(t, (r_size / total) if total else 0.5)
+
+            if config.validate:
+                self._check_invariants(t)
+
+            ticks = t + 1
+            if on_summary is not None and ticks % stride == 0:
+                on_summary(RunSummary(
+                    engine="fast",
+                    policy_name=self.policy_name,
+                    output_count=output,
+                    drops=DropBreakdown.from_side_counts(drop_counts),
+                ))
+
+        snapshot = None
+        if timed:
+            run_timer.stop()
+            obs.counter("engine.probes").inc(arrivals_r + arrivals_s)
+            obs.counter("engine.matches").inc(total_output)
+            obs.counter("engine.simultaneous").inc(simultaneous_total)
+            obs.counter("engine.output").inc(output)
+            for side, arrived in (("R", arrivals_r), ("S", arrivals_s)):
+                obs.counter("engine.arrivals", side=side).inc(arrived)
+                obs.counter("engine.admissions", side=side).inc(
+                    arrived - drop_counts[side][DROP_REJECTED]
+                )
+                for reason, count in drop_counts[side].items():
+                    obs.counter("engine.drops", side=side, reason=reason).inc(count)
+                obs.gauge("engine.final_occupancy", side=side).set(
+                    memory.side(side).size
+                )
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
+
+        trace_events = None
+        if tracing:
+            trace_events = tracer.collect()
+        self._kernel = None
+
+        return RunResult(
+            output_count=output,
+            total_output_count=total_output,
+            length=ticks,
+            window=window,
+            memory=config.memory,
+            warmup=warmup,
+            policy_name=self.policy_name,
+            pairs=None,
+            r_departures=None,
+            s_departures=None,
+            shares=None,
+            drop_counts=drop_counts,
+            metrics=snapshot,
+            trace=trace_events,
         )
 
     # ------------------------------------------------------------------

@@ -171,7 +171,20 @@ class StreamMemory:
             self._key_counts[record.key] = remaining
         else:
             del self._key_counts[record.key]
-        # The _by_key and _by_arrival deques clean up lazily via `alive`.
+        # The _by_arrival deque cleans up lazily via `alive` (expiry
+        # front-pops it within one window).  The key bucket must be
+        # purged here: entries are in admission order, so dead records
+        # drain from the front as their cohort leaves — amortised O(1),
+        # each entry popped exactly once.  Leaving them to the `alive`
+        # flag alone would retain every record ever admitted on streams
+        # longer than the window (the unbounded-source soak catches
+        # this).
+        bucket = self._by_key.get(record.key)
+        if bucket is not None:
+            while bucket and not bucket[0].alive:
+                bucket.popleft()
+            if not bucket:
+                del self._by_key[record.key]
 
     def expire_until(self, horizon: int) -> list[TupleRecord]:
         """Remove and return tuples with ``arrival <= horizon``.

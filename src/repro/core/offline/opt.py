@@ -20,12 +20,13 @@ from typing import Optional
 from ...flow import SOLVERS
 from ...obs import active_or_none
 from ...streams.tuples import StreamPair
+from ..results import BaseRunResult, DropBreakdown
 from .flowgraph import build_schedule_network, decode_departures
 from .intervals import TupleJob, extract_jobs
 
 
 @dataclass
-class OptResult:
+class OptResult(BaseRunResult):
     """Outcome of an OPT-offline solve.
 
     Attributes
@@ -57,6 +58,18 @@ class OptResult:
     count_from: int
     policy_name: str = "OPT"
     metrics: Optional[dict] = None
+
+    engine_kind = "offline"
+
+    def drop_breakdown(self) -> DropBreakdown:
+        """All-zero: OPT sheds *implicitly* through its schedule.
+
+        The solver picks departures; it keeps no engine-style drop
+        ledger.  Overriding keeps the unified result surface
+        (``summary()`` / ``drop_breakdown()``) total across every
+        :func:`repro.api.run` dispatch target.
+        """
+        return DropBreakdown()
 
 
 def _solve_pool(

@@ -74,7 +74,15 @@ def shard_batches(
     preserving global time.  This is already the batched execution
     unit: the asynchronous engine consumes per-tick batches natively,
     and its policy-less fast lanes bulk-process each one.
+
+    ``pair`` may also be a :class:`~repro.streams.sources.PairSource`
+    (the adapter unwraps to its pair); incremental sources shard through
+    :func:`shard_source` instead, which never materializes the ticks.
     """
+    from ..streams.sources import PairSource
+
+    if isinstance(pair, PairSource):
+        pair = pair.pair
     r_batches = [
         (key,) if shard_of(key, shards) == shard else EMPTY_BATCH
         for key in pair.r
@@ -84,6 +92,57 @@ def shard_batches(
         for key in pair.s
     ]
     return r_batches, s_batches
+
+
+@dataclass(frozen=True)
+class ShardedSource:
+    """One shard's incremental view of a :class:`~repro.streams.sources.Source`.
+
+    Wraps the source without materializing it: iteration re-derives the
+    filter per tick, keeping each batch's keys whose hash lands on this
+    shard (empty ticks share :data:`EMPTY_BATCH`).  Restartable and
+    picklable exactly when the wrapped source is — which the Source
+    contract guarantees — so shard cells ship it to worker processes
+    and retries simply restart it.
+    """
+
+    source: object
+    shard: int
+    shards: int
+
+    @property
+    def length(self) -> Optional[int]:
+        return self.source.length
+
+    @property
+    def name(self) -> str:
+        base = getattr(self.source, "name", "") or "source"
+        return f"{base}[shard {self.shard}/{self.shards}]"
+
+    def __iter__(self):
+        shard = self.shard
+        shards = self.shards
+        for r_batch, s_batch in self.source:
+            r_mine = (
+                tuple(key for key in r_batch if shard_of(key, shards) == shard)
+                if r_batch
+                else EMPTY_BATCH
+            )
+            s_mine = (
+                tuple(key for key in s_batch if shard_of(key, shards) == shard)
+                if s_batch
+                else EMPTY_BATCH
+            )
+            yield (r_mine or EMPTY_BATCH, s_mine or EMPTY_BATCH)
+
+
+def shard_source(source, shard: int, shards: int) -> ShardedSource:
+    """One shard's view of a source (see :class:`ShardedSource`)."""
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard must be in [0, {shards}), got {shard}")
+    return ShardedSource(source, shard, shards)
 
 
 def shard_weights(pair: StreamPair, shards: int) -> list[int]:
@@ -383,6 +442,7 @@ __all__ = [
     "MIN_SHARD_BUDGET",
     "ShardPlan",
     "ShardedRunResult",
+    "ShardedSource",
     "merge_shard_results",
     "plan_shards",
     "shard_batches",
@@ -390,5 +450,6 @@ __all__ = [
     "shard_input_counts",
     "shard_of",
     "shard_seed",
+    "shard_source",
     "shard_weights",
 ]

@@ -24,6 +24,7 @@ normalisation point all engines share; the legacy ``{"R": ..., "S":
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -71,14 +72,16 @@ def _make_rand(*, seed: int = 0, **_ignored) -> EvictionPolicy:
     return RandomEvictionPolicy(seed=seed)
 
 
-def _make_prob(*, estimators=None, **_ignored) -> EvictionPolicy:
+def _make_prob(*, estimators=None, update_estimators=False, **_ignored) -> EvictionPolicy:
     _require("PROB", {"estimators": estimators}, "estimators")
-    return ProbPolicy(estimators)
+    return ProbPolicy(estimators, update_estimators=update_estimators)
 
 
-def _make_life(*, estimators=None, window=None, **_ignored) -> EvictionPolicy:
+def _make_life(
+    *, estimators=None, window=None, update_estimators=False, **_ignored
+) -> EvictionPolicy:
     _require("LIFE", {"estimators": estimators, "window": window}, "estimators", "window")
-    return LifePolicy(estimators, window)
+    return LifePolicy(estimators, window, update_estimators=update_estimators)
 
 
 def _make_arm(*, estimators=None, window=None, **_ignored) -> EvictionPolicy:
@@ -183,9 +186,15 @@ def make_policy_spec(
         variable = True
     if variable:
         return make_policy(name, estimators=estimators, window=window, seed=seed, **kwargs)
+    # Every arrival is broadcast to *each* policy instance, so two
+    # fixed-allocation instances sharing online estimator objects would
+    # double-count; give the S side its own copies when updating.
+    s_estimators = estimators
+    if kwargs.get("update_estimators") and estimators is not None:
+        s_estimators = copy.deepcopy(estimators)
     return SidePolicies(
         r=make_policy(name, estimators=estimators, window=window, seed=seed, **kwargs),
-        s=make_policy(name, estimators=estimators, window=window, seed=seed + 1, **kwargs),
+        s=make_policy(name, estimators=s_estimators, window=window, seed=seed + 1, **kwargs),
     )
 
 

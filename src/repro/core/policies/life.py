@@ -17,6 +17,7 @@ full-lifetime assumption overestimates output for low-probability tuples.
 
 from __future__ import annotations
 
+import copy
 from typing import Mapping, Optional
 
 from ...stats.frequency import FrequencyEstimator, StaticFrequencyTable
@@ -36,11 +37,21 @@ class LifePolicy(EvictionPolicy):
     window:
         Window size ``w``; a tuple arriving at ``i`` has remaining
         lifetime ``i + w - now`` at decision time ``now``.
+    update_estimators:
+        As for :class:`~repro.core.policies.prob.ProbPolicy`: when True,
+        each arrival is fed to its own stream's estimator so online
+        statistics (EWMA, sketches) track the live distribution.
     """
 
     name = "LIFE"
 
-    def __init__(self, estimators: Mapping[str, FrequencyEstimator], window: int) -> None:
+    def __init__(
+        self,
+        estimators: Mapping[str, FrequencyEstimator],
+        window: int,
+        *,
+        update_estimators: bool = False,
+    ) -> None:
         super().__init__()
         missing = {"R", "S"} - set(estimators)
         if missing:
@@ -49,9 +60,10 @@ class LifePolicy(EvictionPolicy):
             raise ValueError(f"window must be positive, got {window}")
         self._estimators = dict(estimators)
         self._window = window
+        self._update_estimators = update_estimators
         # Static tables never change, so partner probabilities collapse
         # to one dict lookup per scanned key (mirrors ProbPolicy).
-        if all(
+        if not update_estimators and all(
             isinstance(est, StaticFrequencyTable) for est in self._estimators.values()
         ):
             self._partner_probs: Optional[dict] = {
@@ -60,6 +72,11 @@ class LifePolicy(EvictionPolicy):
             }
         else:
             self._partner_probs = None
+        self.observes_arrivals = update_estimators
+
+    def observe_arrival(self, stream: str, key, now: int) -> None:
+        if self._update_estimators:
+            self._estimators[stream].observe(key)
 
     def partner_probability(self, stream: str, key) -> float:
         probs = self._partner_probs
@@ -144,3 +161,14 @@ class LifePolicy(EvictionPolicy):
         ):
             return weakest
         return None
+
+    def snapshot_state(self):
+        # LIFE keeps no heap — priorities are recomputed by scanning the
+        # memory — so only mutable estimator state needs capturing.
+        if not self._update_estimators:
+            return None
+        return {"estimators": copy.deepcopy(self._estimators)}
+
+    def restore_state(self, state, records) -> None:
+        if state is not None and "estimators" in state:
+            self._estimators = copy.deepcopy(state["estimators"])

@@ -59,9 +59,15 @@ class ProbPolicy(EvictionPolicy):
             raise ValueError(f"estimators missing for streams: {sorted(missing)}")
         self._estimators = dict(estimators)
         self._update_estimators = update_estimators
-        # Lazy min-heap of (priority, arrival, seq, record).
+        # Lazy min-heap of (priority, arrival, seq, record).  Dead
+        # entries (expired/evicted residents) are dropped lazily on pop
+        # and compacted in bulk once they outnumber the live ones —
+        # without compaction, high-priority tuples that *expire* leave
+        # entries that never reach the top, and an unbounded streaming
+        # run accumulates them without limit.
         self._heap: list[tuple[float, int, int, TupleRecord]] = []
         self._seq = count()
+        self._dead = 0
         # Static tables never change, so partner probabilities collapse
         # to one dict lookup per decision.  Online estimators (or
         # update_estimators=True) must keep going through the estimator.
@@ -96,10 +102,24 @@ class ProbPolicy(EvictionPolicy):
             self._heap, (record.priority, record.arrival, next(self._seq), record)
         )
 
+    def on_remove(self, record: TupleRecord, now: int, *, expired: bool) -> None:
+        # The record's heap entry just went stale.  Compaction keeps the
+        # heap bounded by the resident count (amortised O(1) per
+        # removal): filtering preserves the (priority, arrival, seq)
+        # total order of the live entries, so pop order — and therefore
+        # every eviction decision — is identical to the lazy heap's.
+        self._dead += 1
+        heap = self._heap
+        if self._dead > 64 and 2 * self._dead > len(heap):
+            self._heap = [entry for entry in heap if entry[3].alive]
+            heapq.heapify(self._heap)
+            self._dead = 0
+
     def _peek_min_alive(self) -> Optional[TupleRecord]:
         heap = self._heap
         while heap and not heap[0][3].alive:
             heapq.heappop(heap)
+            self._dead -= 1
         return heap[0][3] if heap else None
 
     def choose_victim(self, candidate: TupleRecord, now: int) -> Optional[TupleRecord]:
@@ -136,6 +156,7 @@ class ProbPolicy(EvictionPolicy):
         # the memory snapshot.
         self._heap = []
         self._seq = count()
+        self._dead = 0
         for record in records:
             heapq.heappush(
                 self._heap,

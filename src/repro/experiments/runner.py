@@ -14,7 +14,11 @@ from typing import Optional, Union
 from ..core.engine import EngineConfig, JoinEngine, RunResult
 from ..core.offline.opt import OptResult, solve_opt
 from ..core.policies import make_policy_spec
-from ..stats.frequency import StaticFrequencyTable
+from ..stats.frequency import (
+    FrequencyEstimator,
+    OnlineFrequencyCounter,
+    StaticFrequencyTable,
+)
 from ..streams.tuples import StreamPair
 
 #: Algorithms with a fixed / variable allocation pair.
@@ -25,7 +29,7 @@ ALL_ALGORITHMS = ("EXACT", "OPT", "OPTV") + FIXED_ALGORITHMS + VARIABLE_ALGORITH
 AnyResult = Union[RunResult, OptResult]
 
 
-def estimators_for(pair: StreamPair) -> dict[str, StaticFrequencyTable]:
+def estimators_for(pair: StreamPair) -> dict[str, FrequencyEstimator]:
     """The statistics module for a stream pair, as the paper built it.
 
     Synthetic pairs carry their true generating distributions in
@@ -34,6 +38,11 @@ def estimators_for(pair: StreamPair) -> dict[str, StaticFrequencyTable]:
     frequency scan of the streams is used — the paper's procedure for the
     real-life dataset ("the frequency table of the data values in the
     dataset was used", not updated during the run).
+
+    An *empty* side (legal: a run over zero ticks) has no frequencies to
+    tabulate; it gets a zero-knowledge counter whose probabilities are
+    all 0.0, so policies over empty streams construct and run cleanly
+    instead of tripping ``StaticFrequencyTable``'s empty-input guard.
     """
     metadata = pair.metadata
     if "r_distribution" in metadata and "s_distribution" in metadata:
@@ -51,8 +60,10 @@ def estimators_for(pair: StreamPair) -> dict[str, StaticFrequencyTable]:
             "S": StaticFrequencyTable.from_array(metadata["s_probabilities"]),
         }
     return {
-        "R": StaticFrequencyTable.from_stream(pair.r),
-        "S": StaticFrequencyTable.from_stream(pair.s),
+        "R": StaticFrequencyTable.from_stream(pair.r)
+        if len(pair.r) else OnlineFrequencyCounter(),
+        "S": StaticFrequencyTable.from_stream(pair.s)
+        if len(pair.s) else OnlineFrequencyCounter(),
     }
 
 
@@ -85,6 +96,8 @@ def run_algorithm(
     track_survival: bool = False,
     metrics=None,
     trace=None,
+    source=None,
+    until: Optional[int] = None,
 ) -> AnyResult:
     """Run one named algorithm and return its result.
 
@@ -95,7 +108,18 @@ def run_algorithm(
     is an optional :class:`~repro.obs.Tracer`; engine runs attach the
     collected lifecycle events as ``result.trace``.  OPT/OPTV are batch
     solves with no tuple lifecycle, so ``trace`` is ignored there.
+
+    ``source`` switches the engine-backed algorithms to
+    :meth:`~repro.core.engine.JoinEngine.run_stream` over that
+    :class:`~repro.streams.sources.Source` (``pair`` still supplies the
+    estimator defaults); ``until`` bounds the streamed run and forces
+    the incremental lane even for a plain ``PairSource`` — the pair of
+    them lets callers pin ``run_stream(PairSource(pair), until=n)``
+    against the pair fast path.  OPT/OPTV are offline solves over the
+    full materialized pair and reject ``source``.
     """
+    if until is not None and source is None:
+        raise ValueError("until= requires source=")
     if name == "EXACT":
         config = EngineConfig(
             window=window,
@@ -106,9 +130,17 @@ def run_algorithm(
             share_sample_every=share_sample_every,
             track_survival=track_survival,
         )
-        return JoinEngine(config, policy=None, metrics=metrics, trace=trace).run(pair)
+        engine = JoinEngine(config, policy=None, metrics=metrics, trace=trace)
+        if source is not None:
+            return engine.run_stream(source, until=until)
+        return engine.run(pair)
 
     if name in ("OPT", "OPTV"):
+        if source is not None:
+            raise ValueError(
+                f"{name} is an offline solve over the materialized pair; "
+                "it cannot consume a source"
+            )
         count_from = warmup if warmup is not None else 2 * window
         return solve_opt(
             pair,
@@ -135,7 +167,10 @@ def run_algorithm(
         track_survival=track_survival,
     )
     policy = make_policy_spec(name, estimators=estimators, window=window, seed=seed)
-    return JoinEngine(config, policy=policy, metrics=metrics, trace=trace).run(pair)
+    engine = JoinEngine(config, policy=policy, metrics=metrics, trace=trace)
+    if source is not None:
+        return engine.run_stream(source, until=until)
+    return engine.run(pair)
 
 
 def run_suite(

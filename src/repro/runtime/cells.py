@@ -69,10 +69,15 @@ class ShardCell:
     ``spec.checkpoint_dir``), the worker checkpoints the shard
     periodically and a retry of this same cell resumes from the last
     checkpoint instead of replaying from tick 0.
+
+    A source-driven spec (``spec.source`` set) ships no pair — the
+    source rides inside the spec (sources are picklable by contract)
+    and the worker filters it incrementally via
+    :func:`repro.core.partition.shard_source`.
     """
 
     spec: object  # RunSpec; typed loosely to avoid an api<->runtime cycle
-    pair: StreamPair
+    pair: Optional[StreamPair]
     shard: int
     budget: int
 

@@ -30,7 +30,25 @@ from .generators import (
     uniform_pair,
     zipf_pair,
 )
-from .replay import load_pair, save_pair
+from .replay import (
+    JSONL_FORMAT,
+    JSONL_VERSION,
+    load_pair,
+    load_pair_jsonl,
+    save_pair,
+    save_pair_jsonl,
+)
+from .sources import (
+    DriftingZipfSource,
+    PairSource,
+    PoissonSource,
+    ReplaySource,
+    Source,
+    SourceEvent,
+    ZipfSource,
+    as_source,
+    take_pair,
+)
 from .tuples import (
     STREAM_R,
     STREAM_S,
@@ -57,16 +75,26 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "GRID_COLS",
     "GRID_ROWS",
+    "DriftingZipfSource",
     "GridCell",
     "HAVE_NUMPY",
+    "JSONL_FORMAT",
+    "JSONL_VERSION",
     "JoinResultTuple",
     "NUM_CELLS",
+    "PairSource",
+    "PoissonSource",
+    "ReplaySource",
     "STREAM_R",
     "STREAM_S",
+    "Source",
+    "SourceEvent",
     "StreamChunk",
     "StreamPair",
     "StreamTuple",
     "ZipfDistribution",
+    "ZipfSource",
+    "as_source",
     "cell_id_for",
     "clip_schedule",
     "day_night_schedule",
@@ -78,10 +106,13 @@ __all__ = [
     "is_day",
     "iterate_exact_join",
     "load_pair",
+    "load_pair_jsonl",
     "multi_attribute_pair",
     "poisson_schedule",
     "resolve_batch_size",
     "save_pair",
+    "save_pair_jsonl",
+    "take_pair",
     "synchronous_schedule",
     "total_arrivals",
     "uniform_pair",

@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import sys
 
 import pytest
 
@@ -391,3 +393,112 @@ class TestFleetDashCommand:
                      "--once"])
         assert code == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_bounded_generator_run(self, capsys):
+        code = main(
+            ["serve", "--source", "zipf", "--algorithm", "PROB",
+             "--length", "3000", "--window", "20", "--memory", "10",
+             "--domain", "30", "--summary-every", "1000"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "PROB" in err
+        assert "output tuples" in err
+        assert err.count("t=") >= 3  # rolling summaries every 1000 ticks
+
+    def test_duration_bounds_an_unbounded_generator(self, capsys):
+        code = main(
+            ["serve", "--source", "drifting-zipf", "--phase-length", "500",
+             "--duration", "2000", "--window", "20", "--memory", "10",
+             "--estimator", "ewma", "--summary-every", "1000"]
+        )
+        assert code == 0
+        assert "2000 ticks" in capsys.readouterr().err
+
+    def test_emit_jsonl_streams_output_pairs(self, capsys):
+        code = main(
+            ["serve", "--source", "zipf", "--length", "800",
+             "--window", "15", "--memory", "30", "--domain", "10",
+             "--algorithm", "EXACT", "--emit", "jsonl",
+             "--summary-every", "1000"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines() if line]
+        assert lines
+        assert all(set(rec) == {"r", "s", "key"} for rec in lines)
+        # the sink sees exactly what the run counted
+        assert f"{len(lines)} output tuples" in captured.err
+
+    def test_emit_broken_pipe_is_clean_shutdown(self, monkeypatch):
+        # A downstream consumer closing stdout (`repro serve ... | head`)
+        # is a normal way to end a streaming run: exit 0, no traceback.
+        class ClosedPipe:
+            def __init__(self):
+                self._fd = os.open(os.devnull, os.O_WRONLY)
+                self.writes = 0
+
+            def write(self, text):
+                self.writes += 1
+                if self.writes > 3:
+                    raise BrokenPipeError
+                return len(text)
+
+            def flush(self):
+                pass
+
+            def fileno(self):
+                return self._fd
+
+        fake = ClosedPipe()
+        monkeypatch.setattr(sys, "stdout", fake)
+        code = main(
+            ["serve", "--source", "zipf", "--length", "800",
+             "--window", "15", "--memory", "30", "--domain", "10",
+             "--algorithm", "EXACT", "--emit", "jsonl",
+             "--summary-every", "1000"]
+        )
+        assert code == 0
+        assert fake.writes > 3  # the pipe actually broke mid-stream
+
+    def test_replay_source_round_trip(self, capsys, tmp_path):
+        from repro.streams.generators import zipf_pair
+        from repro.streams.replay import save_pair_jsonl
+
+        path = tmp_path / "traffic.jsonl"
+        save_pair_jsonl(zipf_pair(500, 10, 1.0, seed=3), path)
+        code = main(
+            ["serve", "--source", "replay", "--replay", str(path),
+             "--window", "20", "--memory", "10", "--summary-every", "200",
+             "--estimator", "countmin"]
+        )
+        assert code == 0
+        assert "500 ticks" in capsys.readouterr().err
+
+    def test_replay_has_no_oracle(self, capsys, tmp_path):
+        from repro.streams.generators import zipf_pair
+        from repro.streams.replay import save_pair_jsonl
+
+        path = tmp_path / "traffic.jsonl"
+        save_pair_jsonl(zipf_pair(100, 10, 1.0, seed=3), path)
+        code = main(
+            ["serve", "--source", "replay", "--replay", str(path),
+             "--window", "20", "--memory", "10"]
+        )
+        assert code == 2
+        assert "online" in capsys.readouterr().err
+
+    def test_replay_requires_a_path(self, capsys):
+        code = main(["serve", "--source", "replay"])
+        assert code == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_estimator_needs_a_semantic_policy(self, capsys):
+        code = main(
+            ["serve", "--source", "zipf", "--length", "100",
+             "--algorithm", "RAND", "--estimator", "ewma"]
+        )
+        assert code == 2
+        assert "estimator" in capsys.readouterr().err

@@ -1,0 +1,275 @@
+"""Tests for the incremental ``run_stream`` path and its api wiring.
+
+The refactor's core guarantee: the incremental source path produces
+*identical* results to the historical materialized-pair path for the
+same traffic — for every policy, both engines, fixed and variable
+allocation — while holding only window/budget-bounded state.  Plus the
+streaming surface itself: emit sinks, rolling summaries, cooperative
+stop, duration bounds, spec validation, and sharded source runs.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api import ESTIMATORS, RunSpec, run
+from repro.core.async_engine import AsyncEngineConfig, AsyncJoinEngine
+from repro.core.engine import EngineConfig, JoinEngine
+from repro.core.partition import ShardedSource, shard_source
+from repro.core.policies import make_policy_spec
+from repro.experiments.runner import estimators_for
+from repro.stats.frequency import StaticFrequencyTable
+from repro.streams import zipf_pair
+from repro.streams.sources import PairSource, PoissonSource, ZipfSource, take_pair
+
+POLICIES = ["EXACT", "RAND", "PROB", "LIFE", "FIFO", "RANDV", "PROBV", "LIFEV"]
+
+SMALL = dict(window=20, memory=10, length=400, seed=3)
+
+
+def small_spec(algorithm: str, **overrides) -> RunSpec:
+    return RunSpec(algorithm=algorithm, **{**SMALL, **overrides})
+
+
+def result_fingerprint(result):
+    return (
+        result.output_count,
+        getattr(result, "total_output_count", None),
+        result.policy_name,
+        dict(result.drop_counts),
+    )
+
+
+# ----------------------------------------------------------------------
+# identity: incremental source path == materialized pair path
+# ----------------------------------------------------------------------
+
+class TestIncrementalIdentity:
+    @pytest.mark.parametrize("algorithm", POLICIES)
+    @pytest.mark.parametrize("engine", ["fast", "async"])
+    def test_api_streaming_matches_pair_path(self, algorithm, engine):
+        spec = small_spec(algorithm, engine=engine)
+        pair = zipf_pair(SMALL["length"], 10, 1.0, seed=7)
+        baseline = run(spec, pair=pair)
+        summaries = []
+        streamed = run(spec, pair=pair, on_summary=summaries.append,
+                       on_summary_every=100)
+        assert result_fingerprint(streamed) == result_fingerprint(baseline)
+        assert summaries  # the streaming path actually ran incrementally
+
+    @pytest.mark.parametrize("variable", [False, True])
+    def test_engine_level_identity_fast(self, variable):
+        pair = zipf_pair(500, 12, 1.0, seed=11)
+        estimators = estimators_for(pair)
+
+        def policy():
+            return make_policy_spec("PROBV" if variable else "PROB",
+                                    estimators=estimators, window=25, seed=0)
+
+        config = EngineConfig(window=25, memory=12, variable=variable)
+        baseline = JoinEngine(config, policy=policy()).run(pair)
+        incremental = JoinEngine(config, policy=policy()).run_stream(
+            PairSource(pair), until=len(pair)
+        )
+        assert result_fingerprint(incremental) == result_fingerprint(baseline)
+
+    def test_engine_level_identity_async_bursty(self):
+        # the async engine's incremental path on genuinely bursty traffic
+        # rate kept well under capacity/window so EXACT's lossless 2w
+        # budget cannot overflow under Poisson bursts
+        source = PoissonSource(10, 1.0, rate=0.4, seed=5, length=600)
+        config = AsyncEngineConfig(window=30, memory=2 * 30)
+        once = AsyncJoinEngine(config).run_stream(source)
+        again = AsyncJoinEngine(config).run_stream(source, until=600)
+        assert result_fingerprint(again) == result_fingerprint(once)
+
+    def test_source_run_equals_materialized_prefix(self):
+        # consuming a generator source incrementally == materializing the
+        # same prefix and running the pair path
+        source = ZipfSource(15, 1.0, seed=9, length=700)
+        pair = take_pair(source)
+        dist_r, dist_s = source.distributions()
+        oracle = {
+            "R": StaticFrequencyTable.from_array(dist_r.probabilities()),
+            "S": StaticFrequencyTable.from_array(dist_s.probabilities()),
+        }
+        for algorithm in ("EXACT", "PROB"):
+            spec = small_spec(algorithm, window=25, memory=12)
+            via_source = run(
+                RunSpec(**{**spec.__dict__, "source": source, "length": 700})
+            )
+            via_pair = run(spec, pair=pair, estimators=oracle)
+            assert via_source.output_count == via_pair.output_count
+
+    def test_duration_truncates_like_a_prefix(self):
+        source = ZipfSource(12, 1.0, seed=2, length=1000)
+        spec = small_spec("EXACT", window=20)
+        truncated = run(RunSpec(**{**spec.__dict__, "source": source,
+                                   "duration": 250}))
+        prefix = run(spec, pair=take_pair(source, 250))
+        assert truncated.output_count == prefix.output_count
+        assert truncated.length == 250
+
+
+# ----------------------------------------------------------------------
+# streaming surface: emit, summaries, stop
+# ----------------------------------------------------------------------
+
+class TestStreamingSurface:
+    def test_emit_matches_materialized_output(self):
+        pair = zipf_pair(400, 10, 1.0, seed=13)
+        config = EngineConfig(window=20, memory=2 * 20, materialize=True)
+        materialized = JoinEngine(config).run(pair)
+        emitted = []
+        streamed = JoinEngine(EngineConfig(window=20, memory=2 * 20)).run_stream(
+            PairSource(pair), emit=emitted.append
+        )
+        assert streamed.output_count == materialized.output_count
+        assert len(emitted) == materialized.output_count
+        assert sorted((p.r_arrival, p.s_arrival, p.key) for p in emitted) == \
+            sorted((p.r_arrival, p.s_arrival, p.key) for p in materialized.pairs)
+
+    @pytest.mark.parametrize("engine", ["fast", "async"])
+    def test_rolling_summaries(self, engine):
+        spec = small_spec("PROB", engine=engine)
+        pair = zipf_pair(SMALL["length"], 10, 1.0, seed=7)
+        summaries = []
+        result = run(spec, pair=pair, on_summary=summaries.append,
+                     on_summary_every=100)
+        assert len(summaries) == SMALL["length"] // 100
+        counts = [s.output_count for s in summaries]
+        assert counts == sorted(counts)  # monotone progress
+        assert counts[-1] <= result.output_count
+        assert all(s.policy_name == result.policy_name for s in summaries)
+        assert all(s.engine in ("fast", "async") for s in summaries)
+
+    def test_stop_ends_run_cleanly(self):
+        source = ZipfSource(10, 1.0, seed=1)  # unbounded
+        config = EngineConfig(window=20, memory=2 * 20)
+        ticks = {"n": 0}
+
+        def stop():
+            ticks["n"] += 1
+            return ticks["n"] > 300
+
+        result = JoinEngine(config).run_stream(source, stop=stop)
+        assert result.length <= 301
+        full = JoinEngine(config).run_stream(
+            ZipfSource(10, 1.0, seed=1, length=result.length)
+        )
+        assert result.output_count == full.output_count
+
+    def test_immediate_stop_is_a_zero_tick_run(self):
+        config = EngineConfig(window=20, memory=2 * 20)
+        result = JoinEngine(config).run_stream(
+            ZipfSource(10, 1.0, seed=1), stop=lambda: True
+        )
+        assert result.output_count == 0
+        assert result.length == 0
+
+
+# ----------------------------------------------------------------------
+# guards and validation
+# ----------------------------------------------------------------------
+
+class TestValidation:
+    @pytest.mark.parametrize("engine_cls,config_cls", [
+        (JoinEngine, EngineConfig), (AsyncJoinEngine, AsyncEngineConfig),
+    ])
+    def test_unbounded_source_needs_a_bound(self, engine_cls, config_cls):
+        engine = engine_cls(config_cls(window=10, memory=20))
+        with pytest.raises(ValueError, match="unbounded"):
+            engine.run_stream(ZipfSource(10, 1.0, seed=0))
+
+    def test_api_unbounded_source_needs_duration_or_stop(self):
+        spec = small_spec("EXACT", source=ZipfSource(10, 1.0, seed=0))
+        with pytest.raises(ValueError, match="unbounded"):
+            run(spec)
+        # either bound suffices
+        assert run(RunSpec(**{**spec.__dict__, "duration": 50})).length == 50
+        assert run(spec, stop=lambda: True).output_count == 0
+
+    def test_source_and_pair_are_mutually_exclusive(self):
+        spec = small_spec("EXACT", source=ZipfSource(10, 1.0, seed=0, length=50))
+        with pytest.raises(ValueError, match="not both"):
+            run(spec, pair=zipf_pair(50, 10, 1.0, seed=0))
+
+    def test_streaming_hooks_rejected_for_sharded_runs(self):
+        spec = small_spec("EXACT", shards=2)
+        with pytest.raises(ValueError, match="sharded"):
+            run(spec, emit=lambda _: None)
+
+    def test_streaming_hooks_rejected_for_slowcpu(self):
+        spec = small_spec("EXACT", engine="slowcpu")
+        with pytest.raises(ValueError, match="fast or async"):
+            run(spec, on_summary=lambda _: None)
+
+    @pytest.mark.parametrize("bad", [
+        dict(estimator="histogram"),
+        dict(estimator="ewma", algorithm="RAND"),
+        dict(estimator="countmin", estimator_alpha=0.5),
+        dict(estimator="ewma", estimator_alpha=1.5),
+        dict(duration=100),  # duration without a source
+        dict(source=ZipfSource(5, 1.0, length=10), duration=0),
+        dict(source=ZipfSource(5, 1.0, length=10), algorithm="OPT"),
+        dict(source=ZipfSource(5, 1.0, length=10), engine="slowcpu"),
+        dict(source=ZipfSource(5, 1.0, length=10), batch_size=64),
+        dict(source=ZipfSource(5, 1.0, length=10), checkpoint_every=16),
+    ])
+    def test_spec_validation_rejects_incompatible_combos(self, bad):
+        params = {**SMALL, "algorithm": "PROB"}
+        params.update(bad)
+        with pytest.raises(ValueError):
+            run(RunSpec(**params))
+
+    def test_estimators_constant_lists_online_names(self):
+        assert ESTIMATORS == ("oracle", "ewma", "countmin", "spacesaving")
+
+
+# ----------------------------------------------------------------------
+# sharded source runs
+# ----------------------------------------------------------------------
+
+class TestShardedSources:
+    def test_shard_source_partitions_events(self):
+        source = ZipfSource(16, 1.0, seed=4, length=200)
+        shards = [shard_source(source, i, 4) for i in range(4)]
+        merged = [
+            tuple(sorted(k for s in shards for k in list(s)[t][0]))
+            for t in range(200)
+        ]
+        original = [tuple(sorted(r)) for r, _ in list(source)]
+        assert merged == original
+
+    def test_sharded_source_is_picklable_and_restartable(self):
+        sharded = shard_source(ZipfSource(16, 1.0, seed=4, length=100), 1, 3)
+        assert isinstance(sharded, ShardedSource)
+        clone = pickle.loads(pickle.dumps(sharded))
+        assert list(clone) == list(sharded)
+        assert "shard 1/3" in sharded.name
+
+    def test_shard_source_validates_range(self):
+        source = ZipfSource(8, 1.0, seed=0, length=10)
+        with pytest.raises(ValueError):
+            shard_source(source, 3, 3)
+        with pytest.raises(ValueError):
+            shard_source(source, -1, 3)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_sharded_exact_over_source_matches_unsharded(self, workers):
+        source = ZipfSource(24, 1.0, seed=6, length=600)
+        base = small_spec("EXACT", window=25)
+        unsharded = run(RunSpec(**{**base.__dict__, "source": source}))
+        sharded = run(
+            RunSpec(**{**base.__dict__, "source": source, "shards": 3}),
+            workers=workers,
+        )
+        assert sharded.output_count == unsharded.output_count
+        assert sharded.length == unsharded.length
+
+    def test_sharded_unbounded_source_needs_duration(self):
+        spec = small_spec("EXACT", source=ZipfSource(10, 1.0, seed=0), shards=2)
+        with pytest.raises(ValueError, match="duration"):
+            run(spec)
+        bounded = run(RunSpec(**{**spec.__dict__, "duration": 120}))
+        assert bounded.length == 120
