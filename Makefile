@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= default
 
-.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-obs bench-batch soak bench-gate check figures clean
+.PHONY: install test bench bench-ci bench-smoke bench-parallel bench-shard bench-chaos bench-obs bench-batch bench-policy bench-all soak bench-gate check figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,22 @@ bench-obs:
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch.py
 
+# Policy-lane snapshot -> BENCH_policy.json (committed): per-tuple vs
+# batched RAND/PROB/LIFE throughput (interleaved rounds) with a strict
+# identity sweep — batched output/ledger/survival/metrics must be
+# bit-identical to per-tuple across both allocation modes, chunk sizes
+# {1, 7, 64, whole}, and shards, and batched PROB and LIFE must clear a
+# 2.0x speedup floor.
+bench-policy:
+	$(PYTHON) benchmarks/bench_policy_batch.py
+
+# Aggregate: run every bench-* gate (soak excluded; run `make soak`)
+# against a temp output and print one consolidated table of current vs
+# committed-baseline throughput and overhead columns.  Fails if any
+# gate fails; never overwrites the committed baselines.
+bench-all:
+	$(PYTHON) benchmarks/bench_all.py
+
 # Bounded-memory soak -> BENCH_soak.json (committed): 2M+ ticks from an
 # unbounded zipf source through the streaming EXACT lane plus 200k
 # through the full PROB+EWMA engine path, with tracemalloc asserting
@@ -70,11 +86,12 @@ soak:
 
 # Perf-regression gate: fresh snapshots vs the committed BENCH_engine.json
 # (and BENCH_runtime.json / BENCH_shard.json / BENCH_chaos.json /
-# BENCH_batch.json / BENCH_soak.json when present).  Fails on >20% throughput drops,
-# output-count drift, instrumentation overhead growth, parallel/serial
-# divergence, sharded-EXACT identity violations, fault-recovery drift,
-# or unbounded-stream memory growth; see benchmarks/regression.py for
-# the tolerance knobs.
+# BENCH_batch.json / BENCH_policy.json / BENCH_soak.json when present).
+# Fails on >20% throughput drops, output-count drift, instrumentation
+# overhead growth, parallel/serial divergence, sharded-EXACT identity
+# violations, fault-recovery drift, policy-lane identity/speedup-floor
+# violations, or unbounded-stream memory growth; see
+# benchmarks/regression.py for the tolerance knobs.
 bench-gate:
 	$(PYTHON) benchmarks/regression.py
 

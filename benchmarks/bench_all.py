@@ -1,0 +1,200 @@
+"""Run every bench-* gate and print one consolidated comparison table.
+
+Aggregate driver for the individual snapshot benchmarks (``make
+bench-all``).  Each gate is executed exactly as its Makefile target
+would run it, except that the snapshot is written to a temporary file —
+the committed ``BENCH_*.json`` baselines at the repository root are
+**never overwritten** — and the fresh numbers are printed next to the
+committed ones in a single table: throughput (k-tuples/s), speedups,
+overhead percentages, and the strict identity flags each gate carries.
+
+This is a *reporting* front-end: a gate that exits non-zero (identity
+mismatch, speedup floor, overhead budget) fails ``bench-all`` too, but
+tolerance-band regression checking against the baselines remains
+``make bench-gate`` (``benchmarks/regression.py``).  The soak benchmark
+is excluded — it runs millions of ticks; use ``make soak``.
+
+Run:  python benchmarks/bench_all.py [--scale ci]
+Or:   make bench-all
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def _engine_rows(snap):
+    rows = [(f"{p['policy']} kt/s", p["ktuples_per_second"], "ktps")
+            for p in snap["policies"]]
+    rows.append(("metrics overhead % (max)",
+                 max(p["metrics_overhead_pct"] for p in snap["policies"]), "pct"))
+    rows.append(("trace overhead % (max)",
+                 max(p["trace_overhead_pct"] for p in snap["policies"]), "pct"))
+    return rows
+
+
+def _runtime_rows(snap):
+    return [
+        ("serial s", snap["serial_seconds"], "sec"),
+        ("parallel s", snap["parallel_seconds"], "sec"),
+        ("parallel speedup", snap["speedup"], "x"),
+        ("outputs identical", snap["outputs_match"], "ok"),
+    ]
+
+
+def _shard_rows(snap):
+    return [
+        ("unsharded s", snap["unsharded_seconds"], "sec"),
+        ("sharded serial s", snap["serial_seconds"], "sec"),
+        ("sharded parallel s", snap["parallel_seconds"], "sec"),
+        ("EXACT identical", snap["exact_identical"], "ok"),
+    ]
+
+
+def _chaos_rows(snap):
+    return [
+        ("EXACT pooled s", snap["seconds"]["exact_pooled"], "sec"),
+        ("PROB pooled s", snap["seconds"]["prob_pooled"], "sec"),
+        ("recovery identical", snap["recovery_identical"], "ok"),
+    ]
+
+
+def _obs_rows(snap):
+    return [
+        ("telemetry overhead %", snap["overhead_pct"], "pct"),
+        ("overhead within budget", snap["overhead_ok"], "ok"),
+        ("telemetry identical", snap["telemetry_identical"], "ok"),
+    ]
+
+
+def _batch_rows(snap):
+    return [
+        ("EXACT per-tuple kt/s", snap["serial_ktuples_per_second"], "ktps"),
+        ("EXACT batched kt/s", snap["batched_ktuples_per_second"], "ktps"),
+        ("EXACT batched speedup", snap["speedup"], "x"),
+        ("batched identical", snap["batched_identical"], "ok"),
+    ]
+
+
+def _policy_rows(snap):
+    rows = []
+    for p in snap["policies"]:
+        rows.append((f"{p['policy']} per-tuple kt/s",
+                     p["serial_ktuples_per_second"], "ktps"))
+        rows.append((f"{p['policy']} batched kt/s",
+                     p["batched_ktuples_per_second"], "ktps"))
+        rows.append((f"{p['policy']} batched speedup", p["speedup"], "x"))
+    rows.append(("batched identical", snap["batched_identical"], "ok"))
+    return rows
+
+
+#: (gate, script, committed baseline, extra argv, row extractor).
+GATES = (
+    ("bench-smoke", "snapshot.py", "BENCH_engine.json", (), _engine_rows),
+    ("bench-parallel", "bench_runtime.py", "BENCH_runtime.json", (), _runtime_rows),
+    ("bench-shard", "bench_shard.py", "BENCH_shard.json", (), _shard_rows),
+    ("bench-chaos", "bench_chaos.py", "BENCH_chaos.json", (), _chaos_rows),
+    ("bench-obs", "bench_telemetry.py", "BENCH_obs.json",
+     ("--timeline-out",), _obs_rows),
+    ("bench-batch", "bench_batch.py", "BENCH_batch.json", (), _batch_rows),
+    ("bench-policy", "bench_policy_batch.py", "BENCH_policy.json", (),
+     _policy_rows),
+)
+
+
+def _fmt(value, kind):
+    if value is None:
+        return "-"
+    if kind == "ok":
+        return "ok" if value else "FAIL"
+    if kind == "pct":
+        return f"{value:+.1f}%"
+    if kind == "x":
+        return f"{value:.2f}x"
+    return f"{value:.2f}"
+
+
+def _delta(kind, baseline, current):
+    """One comparison cell: speed ratio, pct-point delta, or flag match."""
+    if baseline is None or current is None:
+        return "-"
+    if kind == "ok":
+        return "=" if baseline == current else "CHANGED"
+    if kind == "pct":
+        return f"{current - baseline:+.1f}pp"
+    # Throughput-style ratio, oriented so >1.00x always means "faster".
+    if kind == "sec":
+        return f"{baseline / current:.2f}x" if current else "-"
+    return f"{current / baseline:.2f}x" if baseline else "-"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="ci")
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    table: list[tuple[str, str, str, str, str]] = []
+
+    with tempfile.TemporaryDirectory(prefix="bench-all-") as tmp:
+        for gate, script, baseline_name, extra, extract in GATES:
+            out = Path(tmp) / baseline_name
+            argv = [sys.executable, str(BENCH_DIR / script),
+                    "--scale", args.scale, "--out", str(out)]
+            for flag in extra:  # side artifacts also go to the temp dir
+                argv += [flag, str(Path(tmp) / f"{gate}-artifact.json")]
+            print(f"=== {gate}: {script}", flush=True)
+            proc = subprocess.run(argv, cwd=REPO_ROOT)
+            if proc.returncode != 0:
+                failures.append(f"{gate} exited {proc.returncode}")
+            if not out.exists():
+                failures.append(f"{gate} wrote no snapshot")
+                continue
+            fresh = json.loads(out.read_text())
+            baseline_path = REPO_ROOT / baseline_name
+            baseline = (json.loads(baseline_path.read_text())
+                        if baseline_path.exists() else None)
+            base_rows = dict(
+                (label, (value, kind))
+                for label, value, kind in (extract(baseline) if baseline else ())
+            )
+            for label, value, kind in extract(fresh):
+                base_value = base_rows.get(label, (None, kind))[0]
+                table.append((
+                    gate, label,
+                    _fmt(base_value, kind), _fmt(value, kind),
+                    _delta(kind, base_value, value),
+                ))
+                if kind == "ok" and not value:
+                    failures.append(f"{gate}: {label} is false")
+
+    print()
+    headers = ("gate", "metric", "baseline", "current", "vs baseline")
+    widths = [max(len(headers[i]), *(len(row[i]) for row in table))
+              for i in range(5)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in table:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("all gates passed (baselines untouched; "
+          "run `make bench-gate` for tolerance-band regression checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

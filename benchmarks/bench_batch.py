@@ -12,8 +12,11 @@ interleaved per round (see ``snapshot._interleaved_best``), and records:
   the per-tuple result **bit-identically** — output count, total
   output, drop ledger, survival departures, and metrics totals for
   EXACT across batch sizes; output/ledger for each shedding policy
-  (the adaptive batcher falls back to per-tuple there, and the
-  fallback must be invisible); sharded EXACT with ``batch_size`` set.
+  (RAND/PROB/LIFE take the vectorized lanes of
+  ``repro.core.batched_policies`` — gated separately by
+  ``bench_policy_batch.py`` — while ARM still falls back to per-tuple,
+  and either route must be invisible); sharded EXACT with
+  ``batch_size`` set.
 
 The committed ``BENCH_batch.json`` at the repository root is the
 reference point; ``make bench-gate`` rebuilds the snapshot and fails on
@@ -50,7 +53,10 @@ SEED = 0
 MIN_SPEEDUP = 1.5
 #: Chunk sizes the identity sweep crosses (plus the whole stream).
 IDENTITY_BATCH_SIZES = (1, 7, 64, DEFAULT_BATCH_SIZE)
-FALLBACK_POLICIES = ("RAND", "PROB", "PROBV", "LIFE", "ARM")
+#: Shedding policies whose runs ``batch_size`` must not change: the
+#: static-table ones take the vectorized policy lanes (timed and floor-
+#: gated by ``bench_policy_batch.py``); ARM has no lane and falls back.
+SHEDDING_POLICIES = ("RAND", "PROB", "PROBV", "LIFE", "ARM")
 
 
 def _comparable_metrics(snapshot):
@@ -132,8 +138,8 @@ def build_batch_snapshot(scale_name: str, repeats: int, seed: int) -> dict:
             batched, exact_metrics, metrics=True,
         )
 
-    # -- fallback identity: every shedding policy, two chunk sizes -----
-    for name in FALLBACK_POLICIES:
+    # -- policy identity: every shedding policy, two chunk sizes -------
+    for name in SHEDDING_POLICIES:
         policy_baseline = run(spec(name), pair=pair)
         for batch_size in (7, DEFAULT_BATCH_SIZE):
             batched = run(spec(name, batch_size=batch_size), pair=pair)

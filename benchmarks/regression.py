@@ -55,6 +55,17 @@ exactly, and batched EXACT throughput must stay at least
 ``--min-batch-speedup`` (default 1.5) times the per-tuple throughput
 measured in the same interleaved rounds.
 
+When a committed ``BENCH_policy.json`` exists (written by
+``make bench-policy`` / ``benchmarks/bench_policy_batch.py``), the gate
+rebuilds the policy-lane snapshot and checks the vectorized policy
+lanes' contract: every batched RAND/PROB/LIFE run (both allocation
+modes, all chunk sizes, sharded included) must be bit-identical to its
+per-tuple twin — output, ledger, survival, metrics totals — the
+deterministic counts must match the committed baseline exactly, and
+batched PROB and LIFE throughput must stay at least
+``--min-policy-speedup`` (default 2.0) times the per-tuple throughput
+measured in the same interleaved rounds.
+
 When a committed ``BENCH_soak.json`` exists (written by ``make soak``
 / ``benchmarks/bench_soak.py``), the gate re-runs the bounded-memory
 soak — an unbounded zipf source through the streaming EXACT lane and
@@ -79,7 +90,8 @@ Run:  python benchmarks/regression.py [--baseline BENCH_engine.json]
                                       [--tolerance 0.2] [--repeats N]
                                       [--skip-runtime] [--skip-shard]
                                       [--skip-chaos] [--skip-obs]
-                                      [--skip-batch] [--skip-soak]
+                                      [--skip-batch] [--skip-policy]
+                                      [--skip-soak]
 Or:   make bench-gate
 """
 
@@ -99,6 +111,7 @@ except ImportError:  # running from a checkout without `make install`
 
 from bench_batch import build_batch_snapshot  # noqa: E402 - sibling module
 from bench_chaos import build_chaos_snapshot  # noqa: E402 - sibling module
+from bench_policy_batch import build_policy_snapshot  # noqa: E402 - sibling module
 from bench_runtime import build_runtime_snapshot  # noqa: E402 - sibling module
 from bench_soak import build_soak_snapshot  # noqa: E402 - sibling module
 from bench_telemetry import build_obs_snapshot  # noqa: E402 - sibling module
@@ -118,6 +131,9 @@ DEFAULT_MAX_SHARD_SLOWDOWN = 25.0
 
 #: batched EXACT must stay at least this many times the per-tuple rate
 DEFAULT_MIN_BATCH_SPEEDUP = 1.5
+
+#: batched PROB/LIFE must stay at least this many times the per-tuple rate
+DEFAULT_MIN_POLICY_SPEEDUP = 2.0
 
 OVERHEAD_FIELDS = ("metrics_overhead_pct", "trace_overhead_pct")
 
@@ -360,6 +376,57 @@ def check_batch(
     return failures
 
 
+def check_policy(
+    baseline: dict,
+    fresh: dict,
+    *,
+    min_speedup: float = DEFAULT_MIN_POLICY_SPEEDUP,
+) -> list[str]:
+    """Failure messages for the policy-lane snapshot.
+
+    * the fresh run must be batch-identical (every batched RAND, PROB,
+      and LIFE run — both allocation modes, all chunk sizes, sharded
+      included — equal to its per-tuple twin on output, ledger,
+      survival, and metrics totals) — the policy lanes' hard guarantee,
+      checked strictly;
+    * the deterministic per-policy counts must match the committed
+      baseline exactly (shedding decisions are seeded and reproducible;
+      drift is a semantics change);
+    * batched PROB and LIFE throughput must be at least ``min_speedup``
+      times per-tuple throughput from the *same* interleaved rounds
+      (RAND is advisory: the floor is about the semantic policies the
+      paper is about).
+    """
+    failures: list[str] = []
+    if not fresh.get("batched_identical", False):
+        for line in fresh.get("mismatches", []):
+            failures.append(f"policy-batch: {line}")
+
+    base_counts = baseline.get("counts", {})
+    fresh_counts = fresh.get("counts", {})
+    for name in sorted(base_counts):
+        if name in fresh_counts and base_counts[name] != fresh_counts[name]:
+            failures.append(
+                f"policy-batch: {name} changed {base_counts[name]} -> "
+                f"{fresh_counts[name]} (deterministic; this is a "
+                "semantics change)"
+            )
+
+    for entry in fresh.get("policies", []):
+        if not entry.get("floor_enforced", False):
+            continue
+        speedup = entry.get("speedup", 0.0)
+        if speedup < min_speedup:
+            failures.append(
+                f"policy-batch: {entry['policy']} batched speedup "
+                f"{speedup:.2f}x is below the {min_speedup:.1f}x floor "
+                f"(batched {entry.get('batched_ktuples_per_second', 0):.2f} "
+                f"vs per-tuple "
+                f"{entry.get('serial_ktuples_per_second', 0):.2f} k-tuples/s)"
+            )
+    return failures
+
+
 def check_obs(baseline: dict, fresh: dict) -> list[str]:
     """Failure messages for the telemetry-plane snapshot.
 
@@ -523,6 +590,21 @@ def main() -> int:
         help="skip the columnar-batch identity/speedup gate",
     )
     parser.add_argument(
+        "--policy-baseline", default=str(REPO_ROOT / "BENCH_policy.json"),
+        dest="policy_baseline",
+        help="committed policy-lane snapshot (skipped if absent)",
+    )
+    parser.add_argument(
+        "--min-policy-speedup", type=float,
+        default=DEFAULT_MIN_POLICY_SPEEDUP, dest="min_policy_speedup",
+        help="min batched/per-tuple PROB and LIFE throughput ratio "
+             "(default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-policy", action="store_true",
+        help="skip the policy-lane identity/speedup gate",
+    )
+    parser.add_argument(
         "--obs-baseline", default=str(REPO_ROOT / "BENCH_obs.json"),
         dest="obs_baseline",
         help="committed telemetry-plane snapshot (skipped if absent)",
@@ -678,6 +760,38 @@ def main() -> int:
         failures.extend(check_batch(
             batch_baseline, batch_fresh,
             min_speedup=args.min_batch_speedup,
+        ))
+
+    policy_path = Path(args.policy_baseline)
+    if not args.skip_policy and policy_path.exists():
+        try:
+            policy_baseline = json.loads(policy_path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"policy baseline {policy_path} is not valid JSON: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        policy_params = policy_baseline.get("parameters", {})
+        policy_repeats = (
+            args.repeats
+            if args.repeats is not None
+            else policy_params.get("repeats", 3)
+        )
+        policy_scale = policy_baseline.get("scale", "ci")
+        policy_seed = policy_baseline.get("workload", {}).get("seed", 0)
+        print(f"\nbench-gate: rebuilding policy snapshot "
+              f"(scale={policy_scale}, repeats={policy_repeats}) ...")
+        policy_fresh = build_policy_snapshot(
+            policy_scale, policy_repeats, policy_seed
+        )
+        for entry in policy_fresh["policies"]:
+            print(f"  {entry['policy']:<5} per-tuple "
+                  f"{entry['serial_ktuples_per_second']:.2f} k-tuples/s, "
+                  f"batched {entry['batched_ktuples_per_second']:.2f} "
+                  f"k-tuples/s ({entry['speedup']:.2f}x)")
+        print(f"  batched_identical={policy_fresh['batched_identical']}")
+        failures.extend(check_policy(
+            policy_baseline, policy_fresh,
+            min_speedup=args.min_policy_speedup,
         ))
 
     obs_path = Path(args.obs_baseline)

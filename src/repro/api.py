@@ -93,11 +93,13 @@ class RunSpec:
 
     ``batch_size=N`` (fast engine only) enables the columnar micro-batch
     fast path: the workload is encoded into struct-of-arrays chunks and
-    eligible runs — today EXACT, whose lossless configuration reduces to
-    count arithmetic — execute chunk-at-a-time.  The batcher is
-    adaptive: any option that needs tuple granularity (a shedding
-    policy, ``trace=True``, schedules) falls back to the per-tuple path,
-    and results are bit-identical either way.  Sharded runs batch
+    eligible runs execute chunk-at-a-time — EXACT via count arithmetic,
+    and RAND/PROB/LIFE with static probability tables via the vectorized
+    policy lanes (``repro.core.batched_policies``).  The batcher is
+    adaptive: any option that needs tuple granularity (``trace=True``,
+    ARM/FIFO or estimator-updating policies, schedules) falls back to
+    the per-tuple path, and results are bit-identical either way —
+    output, drop ledger, survival, and metrics.  Sharded runs batch
     natively per tick regardless of this knob (see
     ``docs/architecture.md``, "Batched execution").
 
@@ -128,9 +130,10 @@ class RunSpec:
     window/budget — never by stream length.  ``duration=N`` bounds the
     run at ``N`` ticks (mandatory for unbounded sources).  Incompatible
     with the materialized-pair-only machinery: the slow-CPU engine, the
-    OPT bound, the columnar ``batch_size`` path, and the checkpoint /
-    degrade / weighted-shard fault knobs (plain sharding, retries, and
-    telemetry all work — shards filter the source by key hash).
+    OPT bound, and the checkpoint / degrade / weighted-shard fault knobs
+    (plain sharding, retries, telemetry, and the columnar ``batch_size``
+    lanes all work — unit-rate sources are chunked incrementally, so
+    memory stays bounded even when batched).
 
     ``estimator=`` picks the statistics module feeding PROB/LIFE:
     ``"oracle"`` (default) is the paper's static table (true generating
@@ -269,11 +272,6 @@ class RunSpec:
                 raise ValueError(
                     "sources run on the fast/async engines "
                     "(the slow-CPU model replays materialized pairs)"
-                )
-            if self.batch_size is not None:
-                raise ValueError(
-                    "batch_size (the columnar pair path) is incompatible "
-                    "with a source; the source path is already incremental"
                 )
             for knob, is_set in (
                 ("shard_weighted", self.shard_weighted),

@@ -182,8 +182,10 @@ def _add_workload_arguments(
     parser.add_argument(
         "--batch-size", type=int, default=None, dest="batch_size",
         help="columnar micro-batch chunk size for the fast engine "
-             "(EXACT takes the count-only fast lane; configurations "
-             "needing tuple granularity fall back, results identical)",
+             "(EXACT takes the count-only lane; RAND/PROB/LIFE with "
+             "static tables take the vectorized policy lanes; "
+             "configurations needing tuple granularity fall back, "
+             "results identical)",
     )
     if metrics:
         parser.add_argument(
@@ -384,6 +386,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             duration=args.duration,
             estimator=args.estimator,
             estimator_alpha=args.estimator_alpha,
+            batch_size=args.batch_size,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -879,6 +882,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--engine", choices=("fast", "async"), default="fast",
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=None, dest="batch_size",
+        help="chunk unit-rate sources into columnar micro-batches "
+             "(EXACT and static RAND/PROB/LIFE take the vectorized "
+             "lanes; memory stays bounded, results identical)",
     )
     serve_parser.add_argument(
         "--estimator",

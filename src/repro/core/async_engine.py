@@ -258,17 +258,24 @@ class AsyncJoinEngine:
             # First grid tick at or after start_tick (resume-safe).
             hook_next = start_tick + (-start_tick % on_tick_every)
 
-        # Policy-less, untraced sides take the kernel's batch operations
-        # (bulk probe over the per-key group index, bulk insert with one
-        # capacity check per chunk) — a policy's eviction contests and a
-        # tracer's event order are inherently per-tuple.  Count-mode
-        # windows interleave expiry inside the batch, so they stay
-        # per-tuple too.
+        # Untraced sides take the kernel's batch operations (bulk probe
+        # over the per-key group index; bulk insert with one capacity
+        # check per chunk when no policy is attached, else per-tuple
+        # contests inside :meth:`JoinKernel.insert_batch`).  Bulk probes
+        # read the *opposite* memory, so hoisting them above the batch's
+        # insertions is exact as long as those insertions cannot touch
+        # the opposite side: fixed-allocation victims are own-side, but
+        # a shared pool (variable) or an arrival-observing estimator
+        # would make probe results order-dependent — those stay
+        # per-tuple, as do tracers (event order) and count-mode windows
+        # (expiry interleaves inside the batch).
         batch_ops = (
-            self._policy_r is None
-            and self._policy_s is None
-            and not tracing
+            not tracing
             and not count_mode
+            and (
+                (self._policy_r is None and self._policy_s is None)
+                or (not memory.variable and not kernel.observers)
+            )
         )
 
         for t in range(start_tick, len(r_batches)):
@@ -507,12 +514,18 @@ class AsyncJoinEngine:
 
         hook_next = 0 if on_tick is not None else -1
 
+        # Same lane gate as :meth:`run` (see the comment there): bulk
+        # probes are exact for policy-less sides and for fixed-mode,
+        # non-observing policies; ``emit`` needs per-pair results, so it
+        # forces the per-tuple path regardless.
         batch_ops = (
-            self._policy_r is None
-            and self._policy_s is None
-            and not tracing
+            not tracing
             and not count_mode
             and emit is None
+            and (
+                (self._policy_r is None and self._policy_s is None)
+                or (not memory.variable and not kernel.observers)
+            )
         )
 
         from ..streams.tuples import JoinResultTuple

@@ -27,6 +27,12 @@ synchronous engine) or must pass capacity bounds for the lane to check
 (the asynchronous lane, where bursts can overflow).  A regression gate
 (``benchmarks/bench_batch.py``) pins the lane output bit-identical to
 the per-tuple engines.
+
+The shedding policies have chunk lanes too: :mod:`.batched_policies`
+(re-exported here) carries ``rand_chunk_run`` / ``prob_chunk_run`` /
+``life_chunk_run``, which keep the same per-key count arithmetic for
+probes and add flat, allocation-free replicas of the eviction contests.
+Their regression gate is ``benchmarks/bench_policy_batch.py``.
 """
 
 from __future__ import annotations
@@ -35,11 +41,23 @@ from collections import deque
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..streams.batches import StreamChunk
+from .batched_policies import (
+    LaneTotals,
+    lane_kind_for_policies,
+    life_chunk_run,
+    prob_chunk_run,
+    rand_chunk_run,
+)
 
 __all__ = [
+    "LaneTotals",
     "exact_chunk_counts",
     "exact_stream_counts",
     "exact_tick_counts",
+    "lane_kind_for_policies",
+    "life_chunk_run",
+    "prob_chunk_run",
+    "rand_chunk_run",
 ]
 
 

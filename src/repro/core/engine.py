@@ -121,11 +121,18 @@ class EngineConfig:
         Enable the columnar micro-batch fast path with this chunk size
         (``None``, the default, keeps the per-tuple loops).  Batching is
         *adaptive*: it engages only for configurations it can reproduce
-        bit-identically at chunk granularity — today the EXACT
-        count-only lane (no policy, lossless budget) — and silently
-        falls back to the per-tuple path whenever a policy, tracer,
-        schedule, or validation hook needs tuple granularity.  Results
-        are bit-identical either way.
+        bit-identically at chunk granularity — the EXACT count-only
+        lane (no policy, lossless budget) and the vectorized policy
+        lanes for RAND, PROB, and LIFE with static probability tables
+        (fixed or variable allocation) — and silently falls back to the
+        per-tuple path whenever a tracer, schedule, validation hook,
+        arrival observer (online estimators), or an uncovered policy
+        (ARM, FIFO) needs tuple granularity.  Results are bit-identical
+        either way.
+    force_general:
+        Route the run through the general per-tick loop even when the
+        fast path would apply (benchmarking only: lets overhead
+        comparisons pin both sides to the same execution lane).
     validate:
         Run per-tick invariant checks (tests only; slow).
     """
@@ -144,6 +151,7 @@ class EngineConfig:
     profile: bool = False
     metrics_sample_every: Optional[int] = None
     batch_size: Optional[int] = None
+    force_general: bool = False
     validate: bool = False
 
     def __post_init__(self) -> None:
@@ -379,6 +387,18 @@ class JoinEngine:
             and not self._observers
         ):
             return self._run_exact_stream(source, until, stop, on_summary, stride)
+        if (
+            obs is None
+            and tracer is None
+            and emit is None
+            and on_summary is None
+            and not config.validate
+            and config.batch_size is not None
+            and getattr(source, "unit_rate", False)
+        ):
+            kind = self._policy_lane_kind()
+            if kind is not None:
+                return self._run_policy_stream(source, until, stop, kind)
         return self._run_incremental(
             source, obs, tracer, until, emit, on_summary, stride, stop
         )
@@ -400,9 +420,11 @@ class JoinEngine:
           here.
 
         With ``config.batch_size`` set, eligible configurations take a
-        third implementation — the *columnar batched lane*
-        (:meth:`_run_exact_batched`); see
-        :attr:`EngineConfig.batch_size` for the fallback matrix.
+        third implementation — the *columnar batched lanes*
+        (:meth:`_run_exact_batched` for policy-less lossless runs,
+        :meth:`_run_policy_batched` for RAND/PROB/LIFE with static
+        probability tables); see :attr:`EngineConfig.batch_size` for the
+        fallback matrix.
         """
         config = self.config
         obs = active_or_none(self.metrics)
@@ -415,15 +437,19 @@ class JoinEngine:
             and not config.track_shares
             and not config.validate
             and not (config.profile and obs is not None)
+            and not config.force_general
         ):
-            if (
-                config.batch_size is not None
-                and self._policy_r is None
-                and self._policy_s is None
-                and not self._observers
-                and self.memory.capacity >= 2 * config.window
-            ):
-                return self._run_exact_batched(pair, obs)
+            if config.batch_size is not None:
+                if (
+                    self._policy_r is None
+                    and self._policy_s is None
+                    and not self._observers
+                    and self.memory.capacity >= 2 * config.window
+                ):
+                    return self._run_exact_batched(pair, obs)
+                kind = self._policy_lane_kind()
+                if kind is not None:
+                    return self._run_policy_batched(pair, obs, kind)
             return self._run_fast(pair, obs)
         return self._run_general(pair, obs, tracer)
 
@@ -739,6 +765,252 @@ class JoinEngine:
         )
 
     # ------------------------------------------------------------------
+    def _policy_lane_kind(self) -> Optional[str]:
+        """Which vectorized policy lane covers this engine's wiring.
+
+        ``None`` means the per-tuple loops must run (uncovered policy
+        type, online estimators, arrival observers, …); see
+        :func:`repro.core.batched.lane_kind_for_policies`.
+        """
+        from .batched import lane_kind_for_policies
+
+        return lane_kind_for_policies(
+            self._policy_r,
+            self._policy_s,
+            variable=self.memory.variable,
+            observers=self._observers,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_policy_lane(
+        self, chunks, kind, r_departures, s_departures, sampler, sample_every
+    ):
+        """Dispatch chunks into the matching policy lane (see
+        :mod:`repro.core.batched_policies`), feeding it the policies'
+        own state: RAND's generators, PROB/LIFE's static
+        partner-probability tables."""
+        from .batched import life_chunk_run, prob_chunk_run, rand_chunk_run
+
+        config = self.config
+        memory = self.memory
+        warmup = config.warmup
+        assert warmup is not None
+        common = dict(
+            capacity=memory.capacity,
+            variable=memory.variable,
+            count_simultaneous=config.count_simultaneous,
+            r_departures=r_departures,
+            s_departures=s_departures,
+            sampler=sampler,
+            sample_every=sample_every,
+        )
+        if kind == "rand":
+            return rand_chunk_run(
+                chunks,
+                config.window,
+                warmup,
+                rng_r=self._policy_r._rng,
+                rng_s=None if memory.variable else self._policy_s._rng,
+                **common,
+            )
+        if memory.variable:
+            probs = self._policy_r._partner_probs
+            probs_r = probs["R"]
+            probs_s = probs["S"]
+        else:
+            probs_r = self._policy_r._partner_probs["R"]
+            probs_s = self._policy_s._partner_probs["S"]
+        lane = prob_chunk_run if kind == "prob" else life_chunk_run
+        return lane(
+            chunks,
+            config.window,
+            warmup,
+            probs_r=probs_r,
+            probs_s=probs_s,
+            **common,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_policy_batched(self, pair: StreamPair, obs, kind: str) -> RunResult:
+        """The columnar policy lane of the pair path (see :meth:`run`).
+
+        RAND/PROB/LIFE runs with static probability tables collapse to
+        flat per-chunk state (count dicts, key rings, priority heaps,
+        per-key aggregate cells) — no :class:`TupleRecord` allocation,
+        no policy method dispatch.  Output, drop ledger, survival
+        departures, and metrics are bit-identical to :meth:`_run_fast`;
+        ``benchmarks/bench_policy_batch.py`` pins the contract.
+        """
+        from ..streams.batches import encode_chunks
+
+        config = self.config
+        window = config.window
+        warmup = config.warmup
+        assert warmup is not None
+        length = len(pair)
+
+        r_departures = s_departures = None
+        if config.track_survival:
+            # Natural departures cover the expired and the end-resident;
+            # the lane overwrites only the rejected (t) and the evicted
+            # (eviction tick) — same arrays the per-tuple loop builds.
+            r_departures = [arrival + window - 1 for arrival in range(length)]
+            s_departures = list(r_departures)
+
+        timed = obs is not None
+        sampler = None
+        sample_every = 0
+        if timed:
+            run_timer = Timer()
+            run_timer.start()
+            occupancy_r = obs.series("engine.occupancy", side="R")
+            occupancy_s = obs.series("engine.occupancy", side="S")
+            share_series = obs.series("engine.memory_share", side="R")
+            sample_every = config.metrics_sample_every or max(1, window // 8)
+
+            def sampler(t, r_size, s_size):
+                occupancy_r.append(t, r_size)
+                occupancy_s.append(t, s_size)
+                total = r_size + s_size
+                share_series.append(t, (r_size / total) if total else 0.5)
+
+        totals = self._run_policy_lane(
+            encode_chunks(pair, config.batch_size),
+            kind,
+            r_departures,
+            s_departures,
+            sampler,
+            sample_every,
+        )
+
+        drop_counts = {
+            "R": {
+                DROP_REJECTED: totals.rej_r,
+                DROP_EVICTED: totals.ev_r,
+                DROP_EXPIRED: totals.exp_r,
+            },
+            "S": {
+                DROP_REJECTED: totals.rej_s,
+                DROP_EVICTED: totals.ev_s,
+                DROP_EXPIRED: totals.exp_s,
+            },
+        }
+
+        snapshot = None
+        if timed:
+            run_timer.stop()
+            self._flush_metrics(
+                obs,
+                length,
+                totals.total_output,
+                totals.simultaneous_total,
+                totals.output,
+                drop_counts,
+                final_occupancy=(totals.r_size, totals.s_size),
+            )
+            obs.record_phase("engine/run", run_timer.seconds)
+            snapshot = obs.snapshot()
+
+        return RunResult(
+            output_count=totals.output,
+            total_output_count=totals.total_output,
+            length=length,
+            window=window,
+            memory=config.memory,
+            warmup=warmup,
+            policy_name=self.policy_name,
+            pairs=None,
+            r_departures=r_departures,
+            s_departures=s_departures,
+            shares=None,
+            drop_counts=drop_counts,
+            metrics=snapshot,
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
+    def _chunks_from_source(self, source, until, stop, batch_size):
+        """Re-chunk a unit-rate source into :class:`StreamChunk` columns.
+
+        Polls ``until``/``stop`` at each tick boundary — the same tick
+        set :meth:`_run_incremental` would process — and emits a chunk
+        every ``batch_size`` ticks plus the remainder.
+        """
+        from ..streams.batches import StreamChunk, _encode_column
+
+        buf_r: list = []
+        buf_s: list = []
+        start = 0
+        t = 0
+        for r_batch, s_batch in iter(source):
+            if until is not None and t >= until:
+                break
+            if stop is not None and stop():
+                break
+            buf_r.append(r_batch[0])
+            buf_s.append(s_batch[0])
+            t += 1
+            if len(buf_r) >= batch_size:
+                yield StreamChunk(start, _encode_column(buf_r), _encode_column(buf_s))
+                start = t
+                buf_r = []
+                buf_s = []
+        if buf_r:
+            yield StreamChunk(start, _encode_column(buf_r), _encode_column(buf_s))
+
+    # ------------------------------------------------------------------
+    def _run_policy_stream(self, source, until, stop, kind: str) -> RunResult:
+        """The columnar policy lane of the incremental path.
+
+        Unit-rate sources (one arrival per side per tick — the
+        synchronous model) re-chunk into columns on the fly and drive
+        the same lanes as :meth:`_run_policy_batched`.  Working state is
+        ``O(window + batch_size)`` — ring buffers instead of per-arrival
+        arrays — so unbounded streams are safe; like the rest of the
+        incremental path, survival tracking is unavailable here.
+        """
+        config = self.config
+
+        totals = self._run_policy_lane(
+            self._chunks_from_source(source, until, stop, config.batch_size),
+            kind,
+            None,
+            None,
+            None,
+            0,
+        )
+
+        drop_counts = {
+            "R": {
+                DROP_REJECTED: totals.rej_r,
+                DROP_EVICTED: totals.ev_r,
+                DROP_EXPIRED: totals.exp_r,
+            },
+            "S": {
+                DROP_REJECTED: totals.rej_s,
+                DROP_EVICTED: totals.ev_s,
+                DROP_EXPIRED: totals.exp_s,
+            },
+        }
+
+        return RunResult(
+            output_count=totals.output,
+            total_output_count=totals.total_output,
+            length=totals.length,
+            window=config.window,
+            memory=config.memory,
+            warmup=config.warmup,
+            policy_name=self.policy_name,
+            pairs=None,
+            r_departures=None,
+            s_departures=None,
+            shares=None,
+            drop_counts=drop_counts,
+            metrics=None,
+            trace=None,
+        )
+
+    # ------------------------------------------------------------------
     def _run_exact_stream(
         self, source, until, stop, on_summary, stride
     ) -> RunResult:
@@ -994,13 +1266,15 @@ class JoinEngine:
         output: int,
         drop_counts: dict,
         *,
-        final_occupancy: Optional[int] = None,
+        final_occupancy: Union[int, tuple, None] = None,
     ) -> None:
         """End-of-run counter/gauge flush shared by the fast loops.
 
         ``final_occupancy`` overrides the end-of-run gauge for lanes
-        that never populate the join memory (the count-only EXACT lane
-        computes residency analytically).
+        that never populate the join memory: a single int applies to
+        both sides (the count-only EXACT lane computes residency
+        analytically), an ``(r, s)`` tuple sets them separately (the
+        policy lanes track per-side occupancy).
         """
         memory = self.memory
         obs.counter("engine.probes").inc(2 * length)
@@ -1014,11 +1288,13 @@ class JoinEngine:
             )
             for reason, count in drop_counts[side].items():
                 obs.counter("engine.drops", side=side, reason=reason).inc(count)
-            obs.gauge("engine.final_occupancy", side=side).set(
-                memory.side(side).size
-                if final_occupancy is None
-                else final_occupancy
-            )
+            if final_occupancy is None:
+                occupancy = memory.side(side).size
+            elif isinstance(final_occupancy, tuple):
+                occupancy = final_occupancy[0 if side == "R" else 1]
+            else:
+                occupancy = final_occupancy
+            obs.gauge("engine.final_occupancy", side=side).set(occupancy)
 
     # ------------------------------------------------------------------
     def _run_general(self, pair: StreamPair, obs, tracer) -> RunResult:

@@ -70,9 +70,20 @@ class LifePolicy(EvictionPolicy):
                 "R": self._estimators["S"].as_dict(),
                 "S": self._estimators["R"].as_dict(),
             }
+            # Rebuild the cache when a table is updated wholesale
+            # (re-baselining); stale probabilities would silently skew
+            # every later eviction contest.
+            for est in self._estimators.values():
+                est.subscribe(self._refresh_partner_probs)
         else:
             self._partner_probs = None
         self.observes_arrivals = update_estimators
+
+    def _refresh_partner_probs(self) -> None:
+        self._partner_probs = {
+            "R": self._estimators["S"].as_dict(),
+            "S": self._estimators["R"].as_dict(),
+        }
 
     def observe_arrival(self, stream: str, key, now: int) -> None:
         if self._update_estimators:

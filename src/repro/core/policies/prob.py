@@ -78,11 +78,22 @@ class ProbPolicy(EvictionPolicy):
                 "R": self._estimators["S"].as_dict(),
                 "S": self._estimators["R"].as_dict(),
             }
+            # A wholesale table update (re-baselining from an online
+            # estimator or a drift detector) invalidates the cache;
+            # rebuild it instead of serving stale probabilities.
+            for est in self._estimators.values():
+                est.subscribe(self._refresh_partner_probs)
         else:
             self._partner_probs = None
         # The engine skips the per-tick observe_arrival broadcast for
         # policies that declare they don't consume it.
         self.observes_arrivals = update_estimators
+
+    def _refresh_partner_probs(self) -> None:
+        self._partner_probs = {
+            "R": self._estimators["S"].as_dict(),
+            "S": self._estimators["R"].as_dict(),
+        }
 
     def observe_arrival(self, stream: str, key, now: int) -> None:
         if self._update_estimators:

@@ -98,6 +98,8 @@ def run_algorithm(
     trace=None,
     source=None,
     until: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    force_general: bool = False,
 ) -> AnyResult:
     """Run one named algorithm and return its result.
 
@@ -117,6 +119,13 @@ def run_algorithm(
     them lets callers pin ``run_stream(PairSource(pair), until=n)``
     against the pair fast path.  OPT/OPTV are offline solves over the
     full materialized pair and reject ``source``.
+
+    ``batch_size`` enables the engines' columnar micro-batch lanes for
+    eligible configurations (see
+    :attr:`~repro.core.engine.EngineConfig.batch_size`);
+    ``force_general`` pins the run to the general per-tick loop, which
+    lets benchmarks compare instrumented and plain runs on the same
+    execution lane.  Both are ignored by OPT/OPTV.
     """
     if until is not None and source is None:
         raise ValueError("until= requires source=")
@@ -129,6 +138,8 @@ def run_algorithm(
             track_shares=track_shares,
             share_sample_every=share_sample_every,
             track_survival=track_survival,
+            batch_size=batch_size,
+            force_general=force_general,
         )
         engine = JoinEngine(config, policy=None, metrics=metrics, trace=trace)
         if source is not None:
@@ -165,6 +176,8 @@ def run_algorithm(
         track_shares=track_shares,
         share_sample_every=share_sample_every,
         track_survival=track_survival,
+        batch_size=batch_size,
+        force_general=force_general,
     )
     policy = make_policy_spec(name, estimators=estimators, window=window, seed=seed)
     engine = JoinEngine(config, policy=policy, metrics=metrics, trace=trace)

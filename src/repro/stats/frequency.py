@@ -37,17 +37,27 @@ class StaticFrequencyTable:
 
     Built from the true generating distribution (synthetic workloads) or
     from an offline frequency scan of the dataset (the weather workload);
-    never updated while the streams flow, exactly as in Section 4.5.
+    never updated *by the stream*, exactly as in Section 4.5.  A caller
+    may still :meth:`update` the table wholesale (e.g. re-baselining
+    from a drift detector); consumers that cache derived views — the
+    PROB/LIFE partner-probability tables — :meth:`subscribe` to be
+    rebuilt when that happens.
     """
 
     def __init__(self, probabilities: Mapping[Hashable, float]) -> None:
+        self._listeners: list = []
+        self._version = 0
+        self._probabilities = self._normalized(probabilities)
+
+    @staticmethod
+    def _normalized(probabilities: Mapping[Hashable, float]) -> dict:
         total = float(sum(probabilities.values()))
         if total <= 0:
             raise ValueError("probability table must have positive total mass")
         bad = [k for k, p in probabilities.items() if p < 0]
         if bad:
             raise ValueError(f"negative probabilities for keys {bad[:5]}")
-        self._probabilities = {k: p / total for k, p in probabilities.items()}
+        return {k: p / total for k, p in probabilities.items()}
 
     @classmethod
     def from_stream(cls, keys: Iterable[Hashable]) -> "StaticFrequencyTable":
@@ -72,6 +82,23 @@ class StaticFrequencyTable:
 
     def as_dict(self) -> dict[Hashable, float]:
         return dict(self._probabilities)
+
+    @property
+    def version(self) -> int:
+        """Bumped by every :meth:`update`; lets caches detect staleness."""
+        return self._version
+
+    def subscribe(self, listener) -> None:
+        """Call ``listener()`` after every wholesale :meth:`update`."""
+        self._listeners.append(listener)
+
+    def update(self, probabilities: Mapping[Hashable, float]) -> None:
+        """Replace the table (same validation/normalization as __init__)
+        and notify subscribers so derived caches rebuild."""
+        self._probabilities = self._normalized(probabilities)
+        self._version += 1
+        for listener in self._listeners:
+            listener()
 
     def __len__(self) -> int:
         return len(self._probabilities)

@@ -86,6 +86,10 @@ class PairSource:
     incremental path see identical traffic.
     """
 
+    #: One arrival per side per tick, always (the synchronous model) —
+    #: lets the engines' columnar policy lanes re-chunk the stream.
+    unit_rate = True
+
     def __init__(self, pair: StreamPair) -> None:
         if not isinstance(pair, StreamPair):
             raise TypeError(f"PairSource expects a StreamPair, got {type(pair).__name__}")
@@ -202,6 +206,11 @@ class ZipfSource:
         return self._length
 
     @property
+    def unit_rate(self) -> bool:
+        """Exactly one arrival per side per tick (no Poisson schedule)."""
+        return self.rate is None
+
+    @property
     def name(self) -> str:
         bound = "unbounded" if self._length is None else f"length={self._length}"
         return (
@@ -276,6 +285,9 @@ class DriftingZipfSource:
     frequency table built in one phase misranks tuples in the next; the
     online estimators are expected to track the shift.
     """
+
+    #: Always the synchronous model: one arrival per side per tick.
+    unit_rate = True
 
     def __init__(
         self,

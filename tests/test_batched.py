@@ -315,7 +315,7 @@ class TestBatchSizeValidation:
 # ----------------------------------------------------------------------
 
 BATCH_SIZES = (1, 7, 64, SMALL["length"])  # whole-stream last
-POLICIES = ("EXACT", "RAND", "PROB", "PROBV", "LIFE", "ARM")
+POLICIES = ("EXACT", "RAND", "RANDV", "PROB", "PROBV", "LIFE", "LIFEV", "ARM")
 
 
 class TestBatchedIdentity:
@@ -329,6 +329,8 @@ class TestBatchedIdentity:
         assert batched.output_count == baseline.output_count
         assert batched.total_output_count == baseline.total_output_count
         assert batched.drop_counts == baseline.drop_counts
+        assert batched.r_departures == baseline.r_departures
+        assert batched.s_departures == baseline.s_departures
         assert comparable_metrics(batched.metrics) == comparable_metrics(
             baseline.metrics
         )

@@ -213,7 +213,6 @@ class TestValidation:
         dict(source=ZipfSource(5, 1.0, length=10), duration=0),
         dict(source=ZipfSource(5, 1.0, length=10), algorithm="OPT"),
         dict(source=ZipfSource(5, 1.0, length=10), engine="slowcpu"),
-        dict(source=ZipfSource(5, 1.0, length=10), batch_size=64),
         dict(source=ZipfSource(5, 1.0, length=10), checkpoint_every=16),
     ])
     def test_spec_validation_rejects_incompatible_combos(self, bad):
